@@ -1,0 +1,104 @@
+//! Table III bench: the `kernals_ks` dense fill vs on-demand kernel
+//! entries, and `coal_bott_new` under both modes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsbm_core::kernels::{kernals_ks, CollisionTables, KernelMode, KernelTables};
+use fsbm_core::meter::PointWork;
+use fsbm_core::point::{Grids, PointBins, PointThermo};
+use fsbm_core::processes::collision::coal_bott_new;
+
+fn cloudy_point() -> PointBins {
+    let mut b = PointBins::empty();
+    for k in 6..=16 {
+        b.n[0][k] = 3.0e7;
+    }
+    b.n[0][20] = 1.0e4;
+    b.n[4][12] = 1.0e5;
+    b.n[5][15] = 2.0e4;
+    b
+}
+
+fn bench(c: &mut Criterion) {
+    let tables = KernelTables::new();
+    let grids = Grids::new();
+    let mut group = c.benchmark_group("table3_lookup_refactor");
+    group.sample_size(30);
+
+    // The baseline's per-grid-point cost: refill all 20 dense arrays.
+    group.bench_function("kernals_ks_dense_fill", |bch| {
+        let mut dense = CollisionTables::new();
+        let mut w = PointWork::ZERO;
+        bch.iter(|| {
+            kernals_ks(&tables, black_box(68_000.0), &mut dense, &mut w);
+            black_box(dense.filled_for_p)
+        });
+    });
+
+    // The lookup version's replacement: compute only what is used.
+    group.bench_function("get_cw_on_demand_1000_entries", |bch| {
+        let mut w = PointWork::ZERO;
+        bch.iter(|| {
+            let mut acc = 0.0f32;
+            for pair in 0..5 {
+                for i in (6..=16).step_by(1) {
+                    for j in 6..=16 {
+                        acc += tables.entry(pair, i, j, black_box(68_000.0), &mut w);
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    // Whole collision step per grid point, both modes.
+    let mut dense = CollisionTables::new();
+    let mut w = PointWork::ZERO;
+    kernals_ks(&tables, 68_000.0, &mut dense, &mut w);
+    group.bench_function("coal_bott_new_dense", |bch| {
+        bch.iter(|| {
+            let mut b = cloudy_point();
+            let mut th = PointThermo {
+                t: 263.0,
+                qv: 0.004,
+                p: 68_000.0,
+                rho: 0.9,
+            };
+            let mut w = PointWork::ZERO;
+            coal_bott_new(
+                &mut b.view(),
+                &mut th,
+                &grids,
+                KernelMode::Dense(&dense),
+                5.0,
+                &mut w,
+            )
+        });
+    });
+    group.bench_function("coal_bott_new_ondemand", |bch| {
+        bch.iter(|| {
+            let mut b = cloudy_point();
+            let mut th = PointThermo {
+                t: 263.0,
+                qv: 0.004,
+                p: 68_000.0,
+                rho: 0.9,
+            };
+            let mut w = PointWork::ZERO;
+            coal_bott_new(
+                &mut b.view(),
+                &mut th,
+                &grids,
+                KernelMode::OnDemand {
+                    tables: &tables,
+                    p: 68_000.0,
+                },
+                5.0,
+                &mut w,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table VII / Figure 4 bench: whole-experiment evaluation of the
+//! performance model across rank counts and versions, plus the hotspot
+//! views of Table I.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsbm_core::scheme::SbmVersion;
+use miniwrf::hotspots::{gprof_view, nsys_view};
+use wrf_bench::ReproContext;
+
+fn bench(c: &mut Criterion) {
+    // One context shared by all benches (building it runs the model).
+    let ctx = ReproContext::quick();
+    let mut group = c.benchmark_group("table7_fig4_multi_rank");
+    group.sample_size(10);
+
+    for ranks in [16usize, 64, 256] {
+        group.bench_function(format!("experiment_baseline_{ranks}ranks"), |bch| {
+            bch.iter(|| black_box(ctx.run(SbmVersion::Baseline, ranks, 0).total_secs));
+        });
+    }
+    group.bench_function("experiment_gpu_40ranks_8gpus", |bch| {
+        bch.iter(|| {
+            black_box(
+                ctx.run(SbmVersion::OffloadCollapse3, 40, 8)
+                    .total_secs,
+            )
+        });
+    });
+
+    // Table I: profile construction.
+    let exp = ctx.run(SbmVersion::Baseline, 16, 0);
+    group.bench_function("table1_gprof_view", |bch| {
+        bch.iter(|| black_box(gprof_view(&exp).total_seconds));
+    });
+    group.bench_function("table1_nsys_view", |bch| {
+        bch.iter(|| black_box(nsys_view(&exp).capture_seconds));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

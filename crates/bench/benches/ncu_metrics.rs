@@ -1,0 +1,37 @@
+//! Table VI bench: the trace-driven cache simulator on both collision-
+//! kernel layouts (the machinery behind the L1/L2/DRAM rows).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsbm_core::workload::{coal_memory_trace, CoalLayout, TraceParams};
+use gpu_sim::cachesim::{scaled_l2, CacheSim, A100_L1};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_ncu_metrics");
+    group.sample_size(20);
+    let tp = TraceParams {
+        ilen: 32,
+        ..TraceParams::default()
+    };
+    for (layout, name) in [
+        (CoalLayout::Collapse2, "trace_collapse2"),
+        (CoalLayout::Collapse3, "trace_collapse3"),
+    ] {
+        group.bench_function(format!("{name}_generate"), |bch| {
+            bch.iter(|| black_box(coal_memory_trace(layout, &tp).len()));
+        });
+        let trace = coal_memory_trace(layout, &tp);
+        group.bench_function(format!("{name}_simulate"), |bch| {
+            bch.iter(|| {
+                let mut sim = CacheSim::new(1, A100_L1, scaled_l2(1.0 / 108.0));
+                for a in &trace {
+                    sim.access(0, *a);
+                }
+                black_box(sim.finish().l1_hit_pct())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

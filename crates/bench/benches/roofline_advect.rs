@@ -1,0 +1,67 @@
+//! Figure 3 and Table I supporting benches: roofline evaluation and the
+//! RK3 scalar-transport kernels (`rk_scalar_tend` / `rk_update_scalar`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsbm_core::meter::PointWork;
+use gpu_sim::machine::A100;
+use gpu_sim::roofline::{Roofline, RooflinePoint};
+use wrf_dycore::advect::{rk_scalar_tend, rk_update_scalar};
+use wrf_dycore::wind::{storm_wind, StormWind, Wind};
+use wrf_grid::{two_d_decomposition, Domain, Field3};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_roofline_and_advection");
+    group.sample_size(30);
+
+    // Roofline math (cheap, but it is the figure's engine).
+    let roof = Roofline::of(&A100);
+    let points: Vec<RooflinePoint> = (0..32)
+        .map(|i| RooflinePoint {
+            label: format!("p{i}"),
+            ai: 0.05 * (i + 1) as f64,
+            gflops: 40.0 * (i + 1) as f64,
+        })
+        .collect();
+    group.bench_function("roofline_render_32_points", |bch| {
+        bch.iter(|| black_box(roof.render(&points).len()));
+    });
+
+    // One 3-D scalar tendency + update over a 64×24×32 patch.
+    let p = two_d_decomposition(Domain::new(64, 24, 32), 1, 2).patches[0];
+    let mut wind = Wind::calm(&p);
+    storm_wind(&mut wind, &p, &StormWind::default(), 0.0, 12_000.0, 400.0);
+    let mut scalar = Field3::filled(p.im, p.km, p.jm, 1.0e-3f32);
+    for (n, v) in scalar.as_mut_slice().iter_mut().enumerate() {
+        *v *= 1.0 + 0.1 * ((n % 17) as f32 / 17.0);
+    }
+    let mut tend = Field3::for_patch(&p);
+    let base = scalar.clone();
+    group.bench_function("rk_scalar_tend_64x24x32", |bch| {
+        let mut w = PointWork::ZERO;
+        bch.iter(|| {
+            rk_scalar_tend(
+                black_box(&scalar),
+                &wind,
+                &p,
+                12_000.0,
+                12_000.0,
+                400.0,
+                &mut tend,
+                &mut w,
+            );
+            black_box(tend.as_slice()[0])
+        });
+    });
+    group.bench_function("rk_update_scalar_64x24x32", |bch| {
+        let mut out = Field3::for_patch(&p);
+        let mut w = PointWork::ZERO;
+        bch.iter(|| {
+            rk_update_scalar(&mut out, &base, &tend, 5.0, &p, true, &mut w);
+            black_box(out.as_slice()[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

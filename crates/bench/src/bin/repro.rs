@@ -1,0 +1,134 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|all]`
+//! (default `all`). Building the context runs the functional model for a
+//! few steps to measure work coefficients; use a release build.
+
+use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
+use wrf_bench::figures::{fig2, fig3, fig4};
+use wrf_bench::future::project_cond_offload;
+use wrf_bench::tables::{table1, table3, table4, table5, table6, table7};
+use wrf_bench::verify::verify_versions;
+use wrf_bench::ReproContext;
+
+fn listings() -> String {
+    use codee_sim::{corpus, rewrite_offload, screening};
+    let mut s = String::new();
+    s.push_str("=== Codee workflow (Listings 2-6) ===\n\n");
+    s.push_str("$ codee screening --config compile_commands.json\n");
+    let mut subs = corpus::fsbm_subprograms(false);
+    subs.extend(corpus::dynamics_subprograms());
+    let nests = vec![
+        corpus::kernals_ks_nest(),
+        corpus::grid_loop_baseline(),
+        corpus::grid_loop_lookup(),
+        corpus::coal_fission_loop(),
+    ];
+    s.push_str(&screening(&subs, &nests).to_string());
+    s.push('\n');
+
+    s.push_str("$ codee rewrite --offload omp --in-place module_mp_fast_sbm.f90:6293:4\n");
+    match rewrite_offload(&corpus::kernals_ks_nest()) {
+        Ok(code) => s.push_str(&code),
+        Err(e) => s.push_str(&format!("BLOCKED: {e}\n")),
+    }
+    s.push('\n');
+
+    s.push_str("$ codee rewrite --offload omp module_mp_fast_sbm.f90:2486 (baseline grid loop)\n");
+    match rewrite_offload(&corpus::grid_loop_baseline()) {
+        Ok(code) => s.push_str(&code),
+        Err(e) => s.push_str(&format!("BLOCKED: {e}\n")),
+    }
+    s.push('\n');
+
+    s.push_str("$ codee rewrite --offload omp (fissioned collision loop, Listing 6)\n");
+    match rewrite_offload(&corpus::coal_fission_loop()) {
+        Ok(code) => s.push_str(&code),
+        Err(e) => s.push_str(&format!("BLOCKED: {e}\n")),
+    }
+    s
+}
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let need_ctx = what != "verify" && what != "listings";
+    let ctx = if need_ctx {
+        eprintln!("[repro] measuring work coefficients (functional model)...");
+        Some(ReproContext::new())
+    } else {
+        None
+    };
+    let ctx = ctx.as_ref();
+
+    let mut emitted = false;
+    let mut emit = |name: &str, text: String| {
+        println!("{text}");
+        println!();
+        let _ = name;
+        emitted = true;
+    };
+
+    if matches!(what.as_str(), "table1" | "all") {
+        emit("table1", table1(ctx.unwrap()).rendered);
+    }
+    if matches!(what.as_str(), "timeline" | "all") {
+        let exp = ctx.unwrap().run(
+            fsbm_core::scheme::SbmVersion::Baseline,
+            16,
+            0,
+        );
+        emit(
+            "timeline",
+            format!(
+                "Nsight-Systems-style view of the heavy rank (3 steps):\n{}",
+                miniwrf::hotspots::nsys_timeline(&exp, 100)
+            ),
+        );
+    }
+    if matches!(what.as_str(), "table3" | "all") {
+        emit("table3", table3(ctx.unwrap()).rendered);
+    }
+    if matches!(what.as_str(), "table4" | "all") {
+        emit("table4", table4(ctx.unwrap()).rendered);
+    }
+    if matches!(what.as_str(), "table5" | "all") {
+        emit("table5", table5(ctx.unwrap()).rendered);
+    }
+    if matches!(what.as_str(), "table6" | "all") {
+        emit("table6", table6(ctx.unwrap()).2.rendered);
+    }
+    if matches!(what.as_str(), "table7" | "all") {
+        emit("table7", table7(ctx.unwrap()).1.rendered);
+    }
+    if matches!(what.as_str(), "fig2" | "all") {
+        emit("fig2", fig2());
+    }
+    if matches!(what.as_str(), "fig3" | "all") {
+        emit("fig3", fig3(ctx.unwrap()).1);
+    }
+    if matches!(what.as_str(), "fig4" | "all") {
+        emit("fig4", fig4(ctx.unwrap()).1);
+    }
+    if matches!(what.as_str(), "ablation" | "all") {
+        let ctx = ctx.unwrap();
+        emit("ablation", ablation_registers(ctx).1);
+        emit("ablation", ablation_latency_knee(ctx).1);
+        emit("ablation", ablation_block_size(ctx).1);
+    }
+    if matches!(what.as_str(), "future" | "all") {
+        emit("future", project_cond_offload(ctx.unwrap()).1);
+    }
+    if matches!(what.as_str(), "verify" | "all") {
+        emit("verify", verify_versions(0.06, 12, 6).1);
+    }
+    if matches!(what.as_str(), "listings" | "all") {
+        emit("listings", listings());
+    }
+    if !emitted {
+        eprintln!(
+            "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
+             timeline|fig2|fig3|fig4|ablation|future|verify|listings|all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared state of the reproduction harness.
+
+use fsbm_core::scheme::SbmVersion;
+use miniwrf::perfmodel::{
+    experiment, measure_coeffs, ExperimentConfig, ExperimentResult, MeasuredCoeffs, PerfParams,
+    TrafficModel,
+};
+use wrf_cases::ConusParams;
+
+/// Everything the table/figure generators need: measured work
+/// coefficients, machine parameters, and the cache-simulated traffic
+/// model. Building one runs the functional model briefly (seconds in
+/// release builds).
+pub struct ReproContext {
+    /// Work coefficients measured from the functional model.
+    pub coeffs: MeasuredCoeffs,
+    /// Machine + calibration parameters.
+    pub pp: PerfParams,
+    /// Cache-simulated DRAM traffic per memory operand.
+    pub traffic: TrafficModel,
+    /// Scenario used by the modeled experiments.
+    pub case: ConusParams,
+}
+
+impl ReproContext {
+    /// Full-quality context (used by the `repro` binary): coefficients
+    /// from a spun-up functional run at the case's full 50 levels.
+    pub fn new() -> Self {
+        Self::with_fidelity(0.10, 50, 5)
+    }
+
+    /// Reduced-fidelity context for fast tests. `nz = 24` keeps the full
+    /// 8 km cloud depth (clipping it would skew the per-column
+    /// coefficients the extrapolation relies on).
+    pub fn quick() -> Self {
+        Self::with_fidelity(0.05, 24, 2)
+    }
+
+    /// A process-wide shared quick context (tests reuse it instead of
+    /// re-measuring coefficients per test).
+    pub fn quick_shared() -> &'static ReproContext {
+        static CTX: std::sync::OnceLock<ReproContext> = std::sync::OnceLock::new();
+        CTX.get_or_init(ReproContext::quick)
+    }
+
+    /// Context with explicit functional-measurement fidelity.
+    pub fn with_fidelity(scale: f64, nz: i32, steps: usize) -> Self {
+        ReproContext {
+            coeffs: measure_coeffs(scale, nz, steps),
+            pp: PerfParams::default(),
+            traffic: TrafficModel::measure(),
+            case: ConusParams::full(),
+        }
+    }
+
+    /// Runs one modeled experiment on the full-scale case.
+    pub fn run(&self, version: SbmVersion, ranks: usize, gpus: usize) -> ExperimentResult {
+        experiment(
+            &ExperimentConfig {
+                case: self.case,
+                version,
+                ranks,
+                gpus,
+                minutes: 10.0,
+            },
+            &self.coeffs,
+            &self.pp,
+            &self.traffic,
+        )
+    }
+}
+
+impl Default for ReproContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,124 @@
+//! The paper's stated next step, §VIII: "The loops calling condensation
+//! routines are currently being offloaded."
+//!
+//! This module projects that port with the same machinery used for the
+//! collision loop: the cloudy-point condensation work (`onecond1/2`)
+//! moves from the host pre-sweep into a `collapse(3)`-style kernel
+//! (condensation has no cross-point dependences either — the same
+//! dead-on-entry/privatization argument applies), and the whole-program
+//! model is re-evaluated.
+
+use crate::context::ReproContext;
+use fsbm_core::scheme::SbmVersion;
+use gpu_sim::launch::{launch_modeled, KernelSpec};
+use miniwrf::perfmodel::RankWork;
+use std::fmt::Write as _;
+use wrf_cases::ConusCase;
+use wrf_grid::two_d_decomposition;
+
+/// Projection of the condensation offload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CondOffloadProjection {
+    /// Whole-program seconds with only the collision loop offloaded
+    /// (today's collapse(3) version).
+    pub coal_only_secs: f64,
+    /// Whole-program seconds with condensation offloaded as well.
+    pub with_cond_secs: f64,
+    /// Projected additional overall speedup.
+    pub additional_speedup: f64,
+    /// The condensation kernel's modeled milliseconds per step.
+    pub cond_kernel_ms: f64,
+}
+
+/// Projects the condensation offload on the 16-rank / 16-GPU setup.
+pub fn project_cond_offload(ctx: &ReproContext) -> (CondOffloadProjection, String) {
+    let today = ctx.run(SbmVersion::OffloadCollapse3, 16, 16);
+    let crit = today.critical();
+
+    // The critical rank's cloudy condensation work as a kernel.
+    let case = ConusCase::new(ctx.case);
+    let dd = two_d_decomposition(ctx.case.domain(), 16, 3);
+    let work = dd
+        .patches
+        .iter()
+        .map(|p| {
+            RankWork::extrapolate(&case, p, &ctx.coeffs, SbmVersion::OffloadCollapse3, &ctx.pp)
+        })
+        .max_by_key(|w| w.coal_points)
+        .expect("patches");
+
+    // Cloudy condensation share of the host pre-sweep.
+    let cloudy_cond = fsbm_core::meter::PointWork {
+        flops: ctx.coeffs.pre_per_cloudy_point.flops * work.coal_points,
+        mem_ops: ctx.coeffs.pre_per_cloudy_point.mem_ops * work.coal_points,
+    };
+    let host_cond_secs = cloudy_cond.flops as f64 / ctx.pp.sbm_flops_per_core;
+
+    // onecond as a collapse(3)-style kernel: simpler per-point state than
+    // the collision routine (one class's bins at a time), so fewer
+    // registers; slab-resident like Listing 8.
+    let spec = KernelSpec {
+        name: "onecond_loop_collapse3".into(),
+        block_threads: 128,
+        regs_per_thread: 96,
+        smem_per_block: 0,
+        stack_bytes_per_thread: 512,
+        collapse: 3,
+    };
+    let (dram_r, dram_w) = ctx.traffic.dram_bytes(3, cloudy_cond.mem_ops as f64);
+    let kw = fsbm_core::workload::kernel_work(
+        work.coal_iters.max(1),
+        cloudy_cond,
+        dram_r,
+        dram_w,
+        work.warp_eff,
+    );
+    let launch = launch_modeled(&ctx.pp.gpu, &spec, &kw).expect("valid launch");
+
+    let saved = host_cond_secs - launch.time_secs;
+    let new_step = (crit.total - saved).max(crit.total * 0.05);
+    let with_cond_secs = today.steps as f64 * new_step + today.io_secs;
+
+    let proj = CondOffloadProjection {
+        coal_only_secs: today.total_secs,
+        with_cond_secs,
+        additional_speedup: today.total_secs / with_cond_secs,
+        cond_kernel_ms: launch.time_secs * 1e3,
+    };
+
+    let mut s = String::from("Projection (§VIII future work): offloading onecond1/onecond2\n");
+    let _ = writeln!(
+        s,
+        "  host condensation on the critical rank: {host_cond_secs:.3} s/step"
+    );
+    let _ = writeln!(
+        s,
+        "  as a collapse(3) kernel:                {:.3} ms/step (occupancy {:.1}%)",
+        proj.cond_kernel_ms,
+        launch.occupancy.achieved * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "  whole program: {:.1} s -> {:.1} s ({:.2}x additional)",
+        proj.coal_only_secs, proj.with_cond_secs, proj.additional_speedup
+    );
+    (proj, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_offload_projects_a_further_win() {
+        let ctx = ReproContext::quick_shared();
+        let (p, s) = project_cond_offload(ctx);
+        assert!(
+            p.additional_speedup > 1.02,
+            "offloading condensation should help: {p:?}"
+        );
+        assert!(p.additional_speedup < 3.0, "but it is Amdahl-bounded: {p:?}");
+        assert!(p.cond_kernel_ms < 1000.0);
+        assert!(s.contains("onecond"));
+    }
+}

@@ -1,0 +1,402 @@
+//! Tables I and III–VII of the paper.
+
+use crate::context::ReproContext;
+use fsbm_core::scheme::SbmVersion;
+use fsbm_core::workload::{coal_memory_trace, CoalLayout, TraceParams};
+use gpu_sim::cachesim::{scaled_l2, CacheSim, MemStats, A100_L1};
+use gpu_sim::ncu::{comparison_table, KernelProfile};
+use miniwrf::hotspots;
+use miniwrf::perfmodel::ExperimentResult;
+use std::fmt::Write as _;
+
+/// One speedup row of Tables III–V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    /// Row label (`coal_bott_new loop`, `fast_sbm`, `Overall`).
+    pub name: &'static str,
+    /// Speedup vs the previous version.
+    pub current: f64,
+    /// Speedup vs the version where the row was first measured.
+    pub cumulative: f64,
+}
+
+/// A rendered table plus its data.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Table id, e.g. `Table III`.
+    pub title: String,
+    /// Speedup rows (empty for non-speedup tables).
+    pub rows: Vec<SpeedupRow>,
+    /// Rendered text.
+    pub rendered: String,
+}
+
+/// Per-version timing triple used by the speedup tables.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionTimes {
+    /// Isolated collision loop seconds per step (critical rank).
+    pub coal_loop: f64,
+    /// `fast_sbm` seconds per step (critical rank).
+    pub fast_sbm: f64,
+    /// Whole-program seconds for the 10-minute run.
+    pub overall: f64,
+}
+
+impl VersionTimes {
+    fn of(e: &ExperimentResult) -> Self {
+        VersionTimes {
+            coal_loop: e.critical().coal_loop,
+            fast_sbm: e.critical().fast_sbm,
+            overall: e.total_secs,
+        }
+    }
+}
+
+/// Times of all four versions in the paper's 16-rank / 16-GPU setup.
+pub fn version_times(ctx: &ReproContext) -> [VersionTimes; 4] {
+    [
+        VersionTimes::of(&ctx.run(SbmVersion::Baseline, 16, 0)),
+        VersionTimes::of(&ctx.run(SbmVersion::Lookup, 16, 0)),
+        VersionTimes::of(&ctx.run(SbmVersion::OffloadCollapse2, 16, 16)),
+        VersionTimes::of(&ctx.run(SbmVersion::OffloadCollapse3, 16, 16)),
+    ]
+}
+
+fn render_speedups(title: &str, paper: &[(&str, f64, f64)], rows: &[SpeedupRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(
+        s,
+        "{:<22} {:>9} {:>11} {:>9} {:>11}",
+        "", "current", "cumulative", "paper", "paper-cum"
+    );
+    for (row, (pname, pcur, pcum)) in rows.iter().zip(paper) {
+        debug_assert_eq!(&row.name, pname);
+        let _ = writeln!(
+            s,
+            "{:<22} {:>8.2}x {:>10.2}x {:>8.2}x {:>10.2}x",
+            row.name, row.current, row.cumulative, pcur, pcum
+        );
+    }
+    s
+}
+
+/// Table I: hotspot percentages, gprof (all ranks) vs Nsight (heavy rank).
+pub fn table1(ctx: &ReproContext) -> TableData {
+    let exp = ctx.run(SbmVersion::Baseline, 16, 0);
+    let rows = hotspots::table1(&exp);
+    let paper = [
+        ("fast_sbm", 51.39, 77.07),
+        ("rk_scalar_tend", 28.07, 10.15),
+        ("rk_update_scalar", 6.361, 1.504),
+    ];
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table I: time contribution (%) of the top hotspots"
+    );
+    let _ = writeln!(
+        s,
+        "{:<18} {:>8} {:>8} {:>12} {:>12}",
+        "Routine", "gprof", "nsys", "paper-gprof", "paper-nsys"
+    );
+    for ((name, g, n), (_, pg, pn)) in rows.iter().zip(paper) {
+        let _ = writeln!(s, "{name:<18} {g:>8.2} {n:>8.2} {pg:>12.2} {pn:>12.2}");
+    }
+    TableData {
+        title: "Table I".into(),
+        rows: vec![],
+        rendered: s,
+    }
+}
+
+/// Table III: speedups from the `kernals_ks` removal (lookup refactor).
+pub fn table3(ctx: &ReproContext) -> TableData {
+    let v = version_times(ctx);
+    let rows = vec![
+        SpeedupRow {
+            name: "fast_sbm",
+            current: v[0].fast_sbm / v[1].fast_sbm,
+            cumulative: v[0].fast_sbm / v[1].fast_sbm,
+        },
+        SpeedupRow {
+            name: "Overall",
+            current: v[0].overall / v[1].overall,
+            cumulative: v[0].overall / v[1].overall,
+        },
+    ];
+    let rendered = render_speedups(
+        "Table III: removal of kernals_ks (baseline -> lookup)",
+        &[("fast_sbm", 1.83, 1.83), ("Overall", 1.42, 1.42)],
+        &rows,
+    );
+    TableData {
+        title: "Table III".into(),
+        rows,
+        rendered,
+    }
+}
+
+/// Table IV: offloading the fissioned collision loop with `collapse(2)`.
+pub fn table4(ctx: &ReproContext) -> TableData {
+    let v = version_times(ctx);
+    let rows = vec![
+        SpeedupRow {
+            name: "coal_bott_new loop",
+            current: v[1].coal_loop / v[2].coal_loop,
+            cumulative: v[1].coal_loop / v[2].coal_loop,
+        },
+        SpeedupRow {
+            name: "fast_sbm",
+            current: v[1].fast_sbm / v[2].fast_sbm,
+            cumulative: v[0].fast_sbm / v[2].fast_sbm,
+        },
+        SpeedupRow {
+            name: "Overall",
+            current: v[1].overall / v[2].overall,
+            cumulative: v[0].overall / v[2].overall,
+        },
+    ];
+    let rendered = render_speedups(
+        "Table IV: offload of the collision loop, collapse(2)",
+        &[
+            ("coal_bott_new loop", 6.47, 6.47),
+            ("fast_sbm", 1.54, 2.67),
+            ("Overall", 1.33, 2.09),
+        ],
+        &rows,
+    );
+    TableData {
+        title: "Table IV".into(),
+        rows,
+        rendered,
+    }
+}
+
+/// Table V: slab arrays + full `collapse(3)`.
+pub fn table5(ctx: &ReproContext) -> TableData {
+    let v = version_times(ctx);
+    let rows = vec![
+        SpeedupRow {
+            name: "coal_bott_new loop",
+            current: v[2].coal_loop / v[3].coal_loop,
+            cumulative: v[1].coal_loop / v[3].coal_loop,
+        },
+        SpeedupRow {
+            name: "fast_sbm",
+            current: v[2].fast_sbm / v[3].fast_sbm,
+            cumulative: v[0].fast_sbm / v[3].fast_sbm,
+        },
+        SpeedupRow {
+            name: "Overall",
+            current: v[2].overall / v[3].overall,
+            cumulative: v[0].overall / v[3].overall,
+        },
+    ];
+    let rendered = render_speedups(
+        "Table V: full collapse(3) via temp_arrays slabs",
+        &[
+            ("coal_bott_new loop", 10.3, 66.6),
+            ("fast_sbm", 1.12, 2.99),
+            ("Overall", 1.05, 2.20),
+        ],
+        &rows,
+    );
+    TableData {
+        title: "Table V".into(),
+        rows,
+        rendered,
+    }
+}
+
+/// Full-kernel cache statistics for one collapse layout, extrapolated
+/// from a representative block trace to the experiment's total memory
+/// operands.
+pub fn kernel_mem_stats(ctx: &ReproContext, layout: CoalLayout, total_mem_ops: f64) -> MemStats {
+    let tp = TraceParams {
+        ilen: 32,
+        ..TraceParams::default()
+    };
+    let trace = coal_memory_trace(layout, &tp);
+    let mut sim = CacheSim::new(1, A100_L1, scaled_l2(1.0 / 108.0));
+    for a in &trace {
+        sim.access(0, *a);
+    }
+    let stats = sim.finish();
+    let _ = ctx;
+    stats.scaled(total_mem_ops / trace.len() as f64)
+}
+
+/// Table VI: Nsight-Compute metrics of the two offloaded kernels.
+pub fn table6(ctx: &ReproContext) -> (KernelProfile, KernelProfile, TableData) {
+    let c2 = ctx.run(SbmVersion::OffloadCollapse2, 16, 16);
+    let c3 = ctx.run(SbmVersion::OffloadCollapse3, 16, 16);
+    let l2 = c2.critical().launch.clone().expect("offloaded");
+    let l3 = c3.critical().launch.clone().expect("offloaded");
+    let m2 = kernel_mem_stats(ctx, CoalLayout::Collapse2, l2.dram_bytes / 4.0);
+    let m3 = kernel_mem_stats(ctx, CoalLayout::Collapse3, l3.dram_bytes / 4.0);
+    let p2 = KernelProfile::from_model("collapse(2)", &l2, &m2);
+    let p3 = KernelProfile::from_model("collapse(3) w/ pointers", &l3, &m3);
+    let mut s = String::from("Table VI: Nsight Compute metrics of the collision kernel\n");
+    s.push_str(&comparison_table(&p2, &p3));
+    s.push_str(
+        "paper: time 335.85 -> 29.11 ms | occupancy 4.63 -> 35.67 % | \
+         L1 84.82 -> 61.43 % | L2 95.84 -> 69.28 % | \
+         DRAM W 0.785 -> 4.290 GB | DRAM R 0.654 -> 10.24 GB\n",
+    );
+    (
+        p2,
+        p3,
+        TableData {
+            title: "Table VI".into(),
+            rows: vec![],
+            rendered: s,
+        },
+    )
+}
+
+/// One row of Table VII / Figure 4.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Configuration label.
+    pub label: String,
+    /// Baseline CPU seconds.
+    pub baseline: f64,
+    /// Lookup CPU seconds.
+    pub lookup: f64,
+    /// GPU (collapse(3)) seconds.
+    pub gpu: f64,
+    /// Total speedup baseline → GPU.
+    pub speedup: f64,
+}
+
+/// Table VII / Figure 4 data: 16/32/64 ranks sharing 16 GPUs, plus the
+/// equal-resource 2-node comparison (256 CPU ranks vs 40 ranks + 8 GPUs,
+/// the 5-ranks-per-GPU memory limit).
+pub fn table7(ctx: &ReproContext) -> (Vec<Table7Row>, TableData) {
+    let mut rows = Vec::new();
+    for ranks in [16usize, 32, 64] {
+        let b = ctx.run(SbmVersion::Baseline, ranks, 0).total_secs;
+        let l = ctx.run(SbmVersion::Lookup, ranks, 0).total_secs;
+        let g = ctx.run(SbmVersion::OffloadCollapse3, ranks, 16).total_secs;
+        rows.push(Table7Row {
+            label: format!("{ranks} ranks"),
+            baseline: b,
+            lookup: l,
+            gpu: g,
+            speedup: b / g,
+        });
+    }
+    // 2 nodes: CPU code on 256 cores, GPU code on 40 ranks + 8 GPUs.
+    let b = ctx.run(SbmVersion::Baseline, 256, 0).total_secs;
+    let l = ctx.run(SbmVersion::Lookup, 256, 0).total_secs;
+    let g = ctx.run(SbmVersion::OffloadCollapse3, 40, 8).total_secs;
+    rows.push(Table7Row {
+        label: "2 nodes".into(),
+        baseline: b,
+        lookup: l,
+        gpu: g,
+        speedup: b / g,
+    });
+
+    let paper = [
+        (1211.45, 581.2, 2.08),
+        (655.1, 360.1, 1.82),
+        (471.7, 303.03, 1.56),
+        (379.8, 397.1, 0.956),
+    ];
+    let mut s = String::from(
+        "Table VII: total times, baseline vs final GPU version (10 simulated minutes)\n",
+    );
+    let _ = writeln!(
+        s,
+        "{:<10} {:>10} {:>10} {:>9} | {:>10} {:>10} {:>9}",
+        "Config", "base (s)", "GPU (s)", "speedup", "paper-base", "paper-GPU", "paper-x"
+    );
+    for (r, (pb, pg, px)) in rows.iter().zip(paper) {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10.1} {:>10.1} {:>8.2}x | {:>10.1} {:>10.1} {:>8.2}x",
+            r.label, r.baseline, r.gpu, r.speedup, pb, pg, px
+        );
+    }
+    (
+        rows,
+        TableData {
+            title: "Table VII".into(),
+            rows: vec![],
+            rendered: s,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> &'static ReproContext {
+        ReproContext::quick_shared()
+    }
+
+    #[test]
+    fn table3_shape() {
+        let t = table3(ctx());
+        assert!((1.2..2.8).contains(&t.rows[0].current), "{:?}", t.rows);
+        assert!((1.05..2.2).contains(&t.rows[1].current));
+        assert!(t.rendered.contains("paper"));
+    }
+
+    #[test]
+    fn table4_and_5_shapes() {
+        let c = ctx();
+        let t4 = table4(c);
+        assert!(t4.rows[0].current > 3.0, "coal offload wins: {:?}", t4.rows);
+        assert!(t4.rows[2].cumulative > 1.3, "overall cum {:?}", t4.rows[2]);
+        let t5 = table5(c);
+        assert!(
+            (3.0..40.0).contains(&t5.rows[0].current),
+            "collapse(3) gain {:?}",
+            t5.rows[0]
+        );
+        // Amdahl: overall gains shrink down the chain.
+        assert!(t5.rows[2].current < t4.rows[2].current + 0.3);
+        assert!(t5.rows[2].cumulative >= t4.rows[2].cumulative * 0.95);
+    }
+
+    #[test]
+    fn table6_shape() {
+        let (p2, p3, t) = table6(ctx());
+        assert!(p3.time_ms < p2.time_ms / 3.0, "{} vs {}", p2.time_ms, p3.time_ms);
+        assert!(p3.achieved_occupancy_pct > p2.achieved_occupancy_pct * 4.0);
+        assert!(p2.l1_hit_pct > p3.l1_hit_pct);
+        assert!(p2.l2_hit_pct > p3.l2_hit_pct);
+        assert!(p3.dram_read_gb > p2.dram_read_gb);
+        assert!(t.rendered.contains("Achieved occupancy"));
+    }
+
+    #[test]
+    fn table7_shape() {
+        let (rows, t) = table7(ctx());
+        assert_eq!(rows.len(), 4);
+        // GPU wins by roughly 2x whenever it has a GPU per few ranks
+        // (paper: 2.08 / 1.82 / 1.56)...
+        for r in &rows[..3] {
+            assert!(
+                (1.2..3.4).contains(&r.speedup),
+                "GPU should win ~2x: {r:?}"
+            );
+        }
+        // ...and loses (or roughly ties) at equal 2-node resources
+        // (paper: 0.956). The within-family decay from 16 to 64 ranks is
+        // NOT asserted — see EXPERIMENTS.md for why the model inverts it.
+        assert!(rows[3].speedup < 1.1, "2-node crossover: {:?}", rows[3]);
+        assert!(t.rendered.contains("2 nodes"));
+    }
+
+    #[test]
+    fn table1_shape() {
+        let t = table1(ctx());
+        assert!(t.rendered.contains("fast_sbm"));
+        assert!(t.rendered.contains("rk_scalar_tend"));
+    }
+}

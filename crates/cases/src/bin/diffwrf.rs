@@ -1,0 +1,40 @@
+//! `diffwrf` — compare two miniwrf state files, like WRF's utility of the
+//! same name (§VII-B of the paper).
+//!
+//! ```sh
+//! diffwrf wrfout_a.bin wrfout_b.bin
+//! ```
+//!
+//! Exit code 0 when every variable agrees to at least 3 significant
+//! digits (the paper's weakest state-variable agreement), 1 otherwise,
+//! 2 on usage/IO errors.
+
+use wrf_cases::diffwrf::diffwrf;
+use wrf_cases::wrfout::load_state;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 {
+        eprintln!("usage: diffwrf <state-a.bin> <state-b.bin>");
+        std::process::exit(2);
+    }
+    let load = |p: &str| {
+        load_state(std::path::Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("diffwrf: cannot read `{p}`: {e}");
+            std::process::exit(2);
+        })
+    };
+    let a = load(&args[0]);
+    let b = load(&args[1]);
+    if a.patch != b.patch {
+        eprintln!("diffwrf: states cover different patches");
+        std::process::exit(2);
+    }
+    let report = diffwrf(&a, &b);
+    print!("{report}");
+    if report.identical() {
+        println!("states are bit-identical");
+    }
+    let ok = report.min_state_digits() >= 3;
+    std::process::exit(if ok { 0 } else { 1 });
+}

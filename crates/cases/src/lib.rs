@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Test cases and verification tools.
+//!
+//! [`conus`] generates the synthetic stand-in for the CONUS-12km
+//! thunderstorm benchmark (425 × 300 × 50, Δx = 12 km, Δt = 5 s): a
+//! hydrostatic base state with CAPE, plus a sparse, spatially-clustered
+//! population of convective cells — the sparsity and clustering produce
+//! the load imbalance that drives the paper's gprof-vs-Nsight discrepancy
+//! (Table I) and the GPU underutilization argument (§VIII). The case
+//! scales to any resolution, so functional runs use a reduced grid while
+//! the performance model evaluates the full one analytically.
+//!
+//! [`diffwrf`] is the output-verification tool of §VII-B: per-variable
+//! digit agreement between two model states.
+
+pub mod conus;
+pub mod diffwrf;
+pub mod wrfout;
+
+pub use conus::{ConusCase, ConusParams};
+pub use diffwrf::{diffwrf, DiffReport, FieldDiff};
+pub use wrfout::{load_state, save_state};

@@ -1,0 +1,241 @@
+//! Flat-binary model-state files — the `wrfout` stand-in.
+//!
+//! WRF writes netCDF history files that `diffwrf` compares; this module
+//! serializes an [`SbmPatchState`] to a self-describing little-endian
+//! binary format (magic, version, patch spans, then each field's f32
+//! payload) so runs can be saved and compared offline with the `diffwrf`
+//! binary. No external dependencies — the format is ~60 lines.
+
+use fsbm_core::state::SbmPatchState;
+use fsbm_core::types::{NKR, NTYPES};
+use std::io::{self, Read, Write};
+use wrf_grid::{PatchSpec, Span};
+
+const MAGIC: &[u8; 8] = b"MINIWRF1";
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_i32<W: Write>(w: &mut W, v: i32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_i32<R: Read>(r: &mut R) -> io::Result<i32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(i32::from_le_bytes(b))
+}
+
+fn write_f32s<W: Write>(w: &mut W, data: &[f32]) -> io::Result<()> {
+    write_u32(w, data.len() as u32)?;
+    for v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let n = read_u32(r)? as usize;
+    let mut out = vec![0.0f32; n];
+    let mut buf = [0u8; 4];
+    for v in &mut out {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(out)
+}
+
+fn write_span<W: Write>(w: &mut W, s: Span) -> io::Result<()> {
+    write_i32(w, s.lo)?;
+    write_i32(w, s.hi)
+}
+
+fn read_span<R: Read>(r: &mut R) -> io::Result<Span> {
+    let lo = read_i32(r)?;
+    let hi = read_i32(r)?;
+    Ok(Span::new(lo, hi))
+}
+
+/// Writes `state` to `w`.
+pub fn write_state<W: Write>(w: &mut W, state: &SbmPatchState) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let p = state.patch;
+    write_u32(w, p.rank as u32)?;
+    write_u32(w, p.coords.0 as u32)?;
+    write_u32(w, p.coords.1 as u32)?;
+    for s in [p.ip, p.kp, p.jp, p.im, p.km, p.jm] {
+        write_span(w, s)?;
+    }
+    write_i32(w, p.halo)?;
+    for f in [&state.tt, &state.t_old, &state.qv, &state.p, &state.rho] {
+        write_f32s(w, f.as_slice())?;
+    }
+    write_u32(w, NTYPES as u32)?;
+    write_u32(w, NKR as u32)?;
+    for f in &state.ff {
+        write_f32s(w, f.as_slice())?;
+    }
+    w.write_all(&state.precip_acc.to_le_bytes())?;
+    write_f32s(w, &state.rainnc)
+}
+
+/// Reads a state written by [`write_state`].
+pub fn read_state<R: Read>(r: &mut R) -> io::Result<SbmPatchState> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a miniwrf state file",
+        ));
+    }
+    let rank = read_u32(r)? as usize;
+    let cx = read_u32(r)? as usize;
+    let cy = read_u32(r)? as usize;
+    let ip = read_span(r)?;
+    let kp = read_span(r)?;
+    let jp = read_span(r)?;
+    let im = read_span(r)?;
+    let km = read_span(r)?;
+    let jm = read_span(r)?;
+    let halo = read_i32(r)?;
+    let patch = PatchSpec {
+        rank,
+        coords: (cx, cy),
+        ip,
+        kp,
+        jp,
+        im,
+        km,
+        jm,
+        halo,
+    };
+    let mut state = SbmPatchState::new(patch);
+    for f in [
+        &mut state.tt,
+        &mut state.t_old,
+        &mut state.qv,
+        &mut state.p,
+        &mut state.rho,
+    ] {
+        let data = read_f32s(r)?;
+        if data.len() != f.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "field size mismatch",
+            ));
+        }
+        f.as_mut_slice().copy_from_slice(&data);
+    }
+    let ntypes = read_u32(r)? as usize;
+    let nkr = read_u32(r)? as usize;
+    if ntypes != NTYPES || nkr != NKR {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bin layout mismatch",
+        ));
+    }
+    for f in &mut state.ff {
+        let data = read_f32s(r)?;
+        if data.len() != f.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "slab size mismatch",
+            ));
+        }
+        f.as_mut_slice().copy_from_slice(&data);
+    }
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    state.precip_acc = f64::from_le_bytes(b);
+    let rainnc = read_f32s(r)?;
+    if rainnc.len() != state.rainnc.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "rainnc size mismatch",
+        ));
+    }
+    state.rainnc = rainnc;
+    Ok(state)
+}
+
+/// Saves a state to `path`.
+pub fn save_state(path: &std::path::Path, state: &SbmPatchState) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_state(&mut f, state)
+}
+
+/// Loads a state from `path`.
+pub fn load_state(path: &std::path::Path) -> io::Result<SbmPatchState> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_state(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conus::{ConusCase, ConusParams};
+    use wrf_grid::two_d_decomposition;
+
+    fn state() -> SbmPatchState {
+        let params = ConusParams::at_scale(0.05);
+        let case = ConusCase::new(params);
+        let dd = two_d_decomposition(params.domain(), 1, 2);
+        let mut st = case.init_state(&dd.patches[0]);
+        st.precip_acc = 12.5;
+        st
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let st = state();
+        let mut buf = Vec::new();
+        write_state(&mut buf, &st).unwrap();
+        let back = read_state(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.patch, st.patch);
+        assert_eq!(back.tt.as_slice(), st.tt.as_slice());
+        assert_eq!(back.qv.as_slice(), st.qv.as_slice());
+        for c in 0..NTYPES {
+            assert_eq!(back.ff[c].as_slice(), st.ff[c].as_slice());
+        }
+        assert_eq!(back.precip_acc, 12.5);
+        // And diffwrf agrees they are identical.
+        assert!(crate::diffwrf::diffwrf(&st, &back).identical());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_state(&mut buf, &state()).unwrap();
+        buf[0] = b'X';
+        let err = read_state(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut buf = Vec::new();
+        write_state(&mut buf, &state()).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_state(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let st = state();
+        let dir = std::env::temp_dir().join("wrfout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrfout_d01.bin");
+        save_state(&path, &st).unwrap();
+        let back = load_state(&path).unwrap();
+        assert!(crate::diffwrf::diffwrf(&st, &back).identical());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,50 @@
+//! Physical constants (SI units).
+
+/// Gas constant for dry air, J/(kg·K).
+pub const R_D: f32 = 287.04;
+/// Gas constant for water vapor, J/(kg·K).
+pub const R_V: f32 = 461.5;
+/// Specific heat of dry air at constant pressure, J/(kg·K).
+pub const CP: f32 = 1004.5;
+/// Latent heat of vaporization at 0 °C, J/kg.
+pub const L_V: f32 = 2.501e6;
+/// Latent heat of sublimation, J/kg.
+pub const L_S: f32 = 2.834e6;
+/// Latent heat of fusion, J/kg.
+pub const L_F: f32 = L_S - L_V;
+/// Freezing point, K.
+pub const T_0: f32 = 273.15;
+/// The FSBM "do anything at all" temperature guard of Listing 1, K.
+pub const T_MIN_PHYSICS: f32 = 193.15;
+/// The FSBM collision temperature guard of Listing 1, K.
+pub const T_MIN_COAL: f32 = 223.15;
+/// Density of liquid water, kg/m³.
+pub const RHO_WATER: f32 = 1000.0;
+/// Reference air density, kg/m³.
+pub const RHO_AIR_REF: f32 = 1.225;
+/// Gravitational acceleration, m/s².
+pub const GRAV: f32 = 9.80665;
+/// Reference pressure for Exner/theta conversions, Pa.
+pub const P_1000: f32 = 100_000.0;
+/// 750 hPa reference pressure of the first kernel table, Pa.
+pub const P_750MB: f32 = 75_000.0;
+/// 500 hPa reference pressure of the second kernel table, Pa.
+pub const P_500MB: f32 = 50_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latent_heats_consistent() {
+        assert!((L_F - 0.333e6).abs() < 0.01e6);
+        const { assert!(L_S > L_V) };
+    }
+
+    #[test]
+    fn guards_match_listing1() {
+        assert_eq!(T_MIN_PHYSICS, 193.15);
+        assert_eq!(T_MIN_COAL, 223.15);
+        const { assert!(T_MIN_COAL > T_MIN_PHYSICS) };
+    }
+}

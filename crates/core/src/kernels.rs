@@ -1,0 +1,419 @@
+//! Pairwise collision-coalescence kernels: the `cw**` tables and their
+//! on-demand replacement.
+//!
+//! `kernals_ks` in FSBM fills 20 dense `nkr × nkr` collision-kernel
+//! arrays per grid point by interpolating pre-computed tables at 750 mb
+//! and 500 mb to the local pressure (Listing 3). Section VI-A of the
+//! paper deletes that subroutine and the global arrays, replacing each
+//! access by a `pure` function computing one entry on demand (Listing 5).
+//! Both paths share the same math here, so the refactor is numerically
+//! identity-preserving — exactly what the paper's `diffwrf` verification
+//! relies on.
+
+use crate::bins::{all_grids, BinGrid};
+use crate::constants::{P_500MB, P_750MB, RHO_AIR_REF};
+use crate::meter::PointWork;
+use crate::thermo::air_density;
+use crate::types::{HydroClass, NKR};
+
+/// One collision interaction: classes `a` collects with `b`, producing
+/// `outcome` mass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollisionPair {
+    /// First collider (by convention the collector class).
+    pub a: HydroClass,
+    /// Second collider.
+    pub b: HydroClass,
+    /// Class receiving the merged particle.
+    pub outcome: HydroClass,
+}
+
+use HydroClass::*;
+
+/// The 20 interactions whose kernels `kernals_ks` tabulates (the `cwll`,
+/// `cwls`, `cwlg`, ... arrays of Listing 3/4).
+pub const COLLISION_PAIRS: [CollisionPair; 20] = [
+    CollisionPair { a: Water, b: Water, outcome: Water },
+    CollisionPair { a: Water, b: Snow, outcome: Snow },
+    CollisionPair { a: Water, b: Graupel, outcome: Graupel },
+    CollisionPair { a: Water, b: Hail, outcome: Hail },
+    CollisionPair { a: Water, b: IceColumns, outcome: Graupel },
+    CollisionPair { a: Water, b: IcePlates, outcome: Graupel },
+    CollisionPair { a: Water, b: IceDendrites, outcome: Graupel },
+    CollisionPair { a: Snow, b: Snow, outcome: Snow },
+    CollisionPair { a: Snow, b: Graupel, outcome: Graupel },
+    CollisionPair { a: Snow, b: Hail, outcome: Hail },
+    CollisionPair { a: Snow, b: IceColumns, outcome: Snow },
+    CollisionPair { a: Snow, b: IcePlates, outcome: Snow },
+    CollisionPair { a: Snow, b: IceDendrites, outcome: Snow },
+    CollisionPair { a: IceColumns, b: IceColumns, outcome: Snow },
+    CollisionPair { a: IcePlates, b: IcePlates, outcome: Snow },
+    CollisionPair { a: IceDendrites, b: IceDendrites, outcome: Snow },
+    CollisionPair { a: IceColumns, b: IcePlates, outcome: Snow },
+    CollisionPair { a: IceColumns, b: IceDendrites, outcome: Snow },
+    CollisionPair { a: IcePlates, b: IceDendrites, outcome: Snow },
+    CollisionPair { a: Graupel, b: Hail, outcome: Hail },
+];
+
+/// FSBM-style table name of pair `p` (`cwls` = water×snow, ...).
+pub fn pair_name(p: &CollisionPair) -> String {
+    format!("cw{}{}", p.a.tag(), p.b.tag())
+}
+
+/// Collection efficiency for a pair of particles (dimensionless, 0–1).
+/// A smooth size-dependent form in the spirit of the Long (1974) kernel
+/// for water–water and constant plateaus for mixed-phase riming and
+/// ice aggregation.
+#[inline]
+pub fn collection_efficiency(a: HydroClass, b: HydroClass, ra: f32, rb: f32) -> f32 {
+    let r_large = ra.max(rb);
+    let r_small = ra.min(rb);
+    match (a.is_ice(), b.is_ice()) {
+        (false, false) => {
+            // Water–water: tiny droplets barely collect; efficiency
+            // saturates near 1 for drizzle/rain collectors.
+            let x = r_large / 50.0e-6;
+            let e = (x * x).min(1.0);
+            // Comparable sizes have reduced efficiency (wake capture
+            // ignored).
+            let ratio = (r_small / r_large.max(1e-9)).min(1.0);
+            (e * (1.0 - 0.5 * ratio * ratio * ratio)).clamp(0.0, 1.0)
+        }
+        (true, true) => 0.2,  // aggregation plateau
+        _ => {
+            // Riming: efficient once droplets exceed ~10 µm.
+            let rw = if a.is_ice() { rb } else { ra };
+            ((rw / 10.0e-6).min(1.0) * 0.8).clamp(0.0, 0.8)
+        }
+    }
+}
+
+/// Gravitational (hydrodynamic) collection kernel
+/// `K = E · π (r_a + r_b)² · |v_a − v_b|` in m³/s, with fall speeds at
+/// air density `rho_air`.
+#[inline]
+pub fn gravitational_kernel(
+    ga: &BinGrid,
+    gb: &BinGrid,
+    i: usize,
+    j: usize,
+    rho_air: f32,
+) -> f32 {
+    let ra = ga.radius[i];
+    let rb = gb.radius[j];
+    let va = ga.vt_at(i, rho_air);
+    let vb = gb.vt_at(j, rho_air);
+    let e = collection_efficiency(ga.class, gb.class, ra, rb);
+    let sum_r = ra + rb;
+    // A floor on |Δv| keeps equal-size pairs weakly interacting
+    // (turbulence-induced relative motion), as FSBM's tables do.
+    let dv = (va - vb).abs().max(0.01 * va.max(vb));
+    e * std::f32::consts::PI * sum_r * sum_r * dv
+}
+
+/// Air densities of the two reference levels (ICAO-ish temperatures).
+fn rho_750() -> f32 {
+    air_density(268.0, P_750MB)
+}
+fn rho_500() -> f32 {
+    air_density(253.0, P_500MB)
+}
+
+/// The static two-level kernel tables (`ywls_750mb`, `ywls_500mb`, ...):
+/// 20 pairs × 2 pressure levels × `nkr²` entries, built once at model
+/// start.
+#[derive(Debug, Clone)]
+pub struct KernelTables {
+    /// `t750[pair][i * NKR + j]`.
+    t750: Vec<Box<[f32]>>,
+    /// `t500[pair][i * NKR + j]`.
+    t500: Vec<Box<[f32]>>,
+}
+
+impl KernelTables {
+    /// Builds the tables from the bin grids.
+    pub fn new() -> Self {
+        let grids = all_grids();
+        let mut t750 = Vec::with_capacity(COLLISION_PAIRS.len());
+        let mut t500 = Vec::with_capacity(COLLISION_PAIRS.len());
+        for pair in &COLLISION_PAIRS {
+            let ga = &grids[pair.a.index()];
+            let gb = &grids[pair.b.index()];
+            let mut a = vec![0.0f32; NKR * NKR].into_boxed_slice();
+            let mut b = vec![0.0f32; NKR * NKR].into_boxed_slice();
+            for i in 0..NKR {
+                for j in 0..NKR {
+                    a[i * NKR + j] = gravitational_kernel(ga, gb, i, j, rho_750());
+                    b[i * NKR + j] = gravitational_kernel(ga, gb, i, j, rho_500());
+                }
+            }
+            t750.push(a);
+            t500.push(b);
+        }
+        KernelTables { t750, t500 }
+    }
+
+    /// The on-demand entry computation — the body of the paper's
+    /// `get_cwlg(i, j, ...)` functions (Listing 5): read both reference
+    /// tables and interpolate linearly to pressure `p`. Also the body of
+    /// the `kernals_ks` inner statement (Listing 3); both versions share
+    /// this math by construction.
+    #[inline]
+    pub fn entry(&self, pair: usize, i: usize, j: usize, p: f32, work: &mut PointWork) -> f32 {
+        let ckern_1 = self.t750[pair][i * NKR + j];
+        let ckern_2 = self.t500[pair][i * NKR + j];
+        // Linear interpolation in pressure, clamped to the table range.
+        let w = ((P_750MB - p) / (P_750MB - P_500MB)).clamp(0.0, 1.0);
+        work.fm(4, 2);
+        ckern_1 + w * (ckern_2 - ckern_1)
+    }
+
+    /// Bytes of the static tables (for data-environment accounting).
+    pub fn bytes(&self) -> u64 {
+        (self.t750.len() + self.t500.len()) as u64 * (NKR * NKR * 4) as u64
+    }
+}
+
+impl Default for KernelTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The 20 dense per-grid-point collision arrays — FSBM's *global module
+/// state* (`cwll`, `cwls`, ...) that the baseline refills at every grid
+/// point and that blocks parallelization of the grid loops.
+#[derive(Debug, Clone)]
+pub struct CollisionTables {
+    /// `cw[pair][i * NKR + j]`.
+    cw: Vec<Box<[f32]>>,
+    /// Pressure the tables were last filled for.
+    pub filled_for_p: f32,
+}
+
+impl CollisionTables {
+    /// Allocates zeroed tables.
+    pub fn new() -> Self {
+        CollisionTables {
+            cw: (0..COLLISION_PAIRS.len())
+                .map(|_| vec![0.0f32; NKR * NKR].into_boxed_slice())
+                .collect(),
+            filled_for_p: f32::NAN,
+        }
+    }
+
+    /// Reads entry `(i, j)` of pair table `pair`.
+    #[inline]
+    pub fn get(&self, pair: usize, i: usize, j: usize, work: &mut PointWork) -> f32 {
+        work.m(1);
+        self.cw[pair][i * NKR + j]
+    }
+
+    /// Total bytes of the 20 arrays.
+    pub fn bytes(&self) -> u64 {
+        self.cw.len() as u64 * (NKR * NKR * 4) as u64
+    }
+}
+
+impl Default for CollisionTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `kernals_ks`: fills all 20 dense arrays for local pressure `p`
+/// (Listing 3). The baseline calls this for **every grid point** inside
+/// `coal_bott_new`; its cost and its write-to-global-state are the twin
+/// problems Section VI-A removes.
+pub fn kernals_ks(
+    tables: &KernelTables,
+    p: f32,
+    out: &mut CollisionTables,
+    work: &mut PointWork,
+) {
+    for pair in 0..COLLISION_PAIRS.len() {
+        for j in 0..NKR {
+            for i in 0..NKR {
+                let v = tables.entry(pair, i, j, p, work);
+                out.cw[pair][i * NKR + j] = v;
+                work.m(1);
+            }
+        }
+    }
+    out.filled_for_p = p;
+}
+
+/// How a `coal_bott_new` invocation obtains kernel values: the dense
+/// per-point tables (baseline) or the on-demand pure function (lookup and
+/// both offload versions).
+#[derive(Clone, Copy)]
+pub enum KernelMode<'a> {
+    /// Baseline: read the pre-filled global arrays.
+    Dense(&'a CollisionTables),
+    /// Lookup refactor: compute entries on demand at pressure `p`.
+    OnDemand {
+        /// The static two-level tables.
+        tables: &'a KernelTables,
+        /// Local pressure, Pa.
+        p: f32,
+    },
+}
+
+impl<'a> KernelMode<'a> {
+    /// Kernel value for `pair` at bins `(i, j)`, m³/s.
+    #[inline]
+    pub fn get(&self, pair: usize, i: usize, j: usize, work: &mut PointWork) -> f32 {
+        match self {
+            KernelMode::Dense(t) => t.get(pair, i, j, work),
+            KernelMode::OnDemand { tables, p } => tables.entry(pair, i, j, *p, work),
+        }
+    }
+}
+
+/// Reference air density helper shared by tests and sedimentation.
+pub fn rho_at_reference(level: usize) -> f32 {
+    match level {
+        0 => RHO_AIR_REF,
+        1 => rho_750(),
+        _ => rho_500(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_pairs_with_unique_names() {
+        assert_eq!(COLLISION_PAIRS.len(), 20);
+        let mut names: Vec<String> = COLLISION_PAIRS.iter().map(pair_name).collect();
+        names.sort();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        assert!(names.contains(&"cwls".to_string()));
+        assert!(names.contains(&"cwlg".to_string()));
+    }
+
+    #[test]
+    fn outcomes_conserve_phase_sense() {
+        for p in &COLLISION_PAIRS {
+            // Ice–ice collisions never produce liquid.
+            if p.a.is_ice() && p.b.is_ice() {
+                assert!(p.outcome.is_ice(), "{:?}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        let g = all_grids();
+        for p in &COLLISION_PAIRS {
+            for i in (0..NKR).step_by(4) {
+                for j in (0..NKR).step_by(4) {
+                    let e = collection_efficiency(
+                        p.a,
+                        p.b,
+                        g[p.a.index()].radius[i],
+                        g[p.b.index()].radius[j],
+                    );
+                    assert!((0.0..=1.0).contains(&e), "{e} for {:?}", p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_droplets_barely_collect() {
+        let e_small = collection_efficiency(Water, Water, 3.0e-6, 2.0e-6);
+        let e_rain = collection_efficiency(Water, Water, 500.0e-6, 20.0e-6);
+        assert!(e_small < 0.01);
+        assert!(e_rain > 0.9);
+    }
+
+    #[test]
+    fn kernel_grows_with_size_contrast() {
+        let g = all_grids();
+        let gw = &g[Water.index()];
+        let k_close = gravitational_kernel(gw, gw, 20, 20, 1.0);
+        let k_far = gravitational_kernel(gw, gw, 28, 10, 1.0);
+        assert!(k_far > k_close);
+        assert!(k_far > 0.0);
+    }
+
+    #[test]
+    fn tables_interpolate_between_levels() {
+        let t = KernelTables::new();
+        let mut w = PointWork::ZERO;
+        let at750 = t.entry(0, 25, 10, P_750MB, &mut w);
+        let at500 = t.entry(0, 25, 10, P_500MB, &mut w);
+        let mid = t.entry(0, 25, 10, 0.5 * (P_750MB + P_500MB), &mut w);
+        assert!((mid - 0.5 * (at750 + at500)).abs() / mid.max(1e-30) < 1e-4);
+        // Thinner air → faster fall speeds → larger kernels.
+        assert!(at500 > at750);
+        // Clamped outside the range.
+        assert_eq!(t.entry(0, 25, 10, 101_325.0, &mut w), at750);
+        assert_eq!(t.entry(0, 25, 10, 30_000.0, &mut w), at500);
+    }
+
+    #[test]
+    fn entry_meters_work() {
+        let t = KernelTables::new();
+        let mut w = PointWork::ZERO;
+        t.entry(3, 5, 7, 60_000.0, &mut w);
+        assert_eq!(w.flops, 4);
+        assert_eq!(w.mem_ops, 2);
+    }
+
+    #[test]
+    fn kernals_ks_fills_everything_and_meters() {
+        let t = KernelTables::new();
+        let mut dense = CollisionTables::new();
+        let mut w = PointWork::ZERO;
+        kernals_ks(&t, 60_000.0, &mut dense, &mut w);
+        assert_eq!(dense.filled_for_p, 60_000.0);
+        // 20 pairs × 33² entries.
+        let entries = 20 * NKR as u64 * NKR as u64;
+        assert_eq!(w.flops, 4 * entries);
+        assert_eq!(w.mem_ops, 3 * entries);
+        // Every entry equals the on-demand value: the refactor is exact.
+        let mut w2 = PointWork::ZERO;
+        for pair in [0usize, 7, 19] {
+            for i in (0..NKR).step_by(3) {
+                for j in (0..NKR).step_by(5) {
+                    assert_eq!(
+                        dense.get(pair, i, j, &mut w2),
+                        t.entry(pair, i, j, 60_000.0, &mut w2)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_ondemand_modes_agree() {
+        let t = KernelTables::new();
+        let mut dense = CollisionTables::new();
+        let mut w = PointWork::ZERO;
+        let p = 55_000.0;
+        kernals_ks(&t, p, &mut dense, &mut w);
+        let dm = KernelMode::Dense(&dense);
+        let om = KernelMode::OnDemand { tables: &t, p };
+        for pair in 0..20 {
+            for i in (0..NKR).step_by(7) {
+                for j in (0..NKR).step_by(7) {
+                    assert_eq!(dm.get(pair, i, j, &mut w), om.get(pair, i, j, &mut w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_bytes_match_paper_scale() {
+        let t = KernelTables::new();
+        // 40 tables × 33² × 4 B ≈ 174 KB.
+        assert_eq!(t.bytes(), 40 * 33 * 33 * 4);
+        let d = CollisionTables::new();
+        assert_eq!(d.bytes(), 20 * 33 * 33 * 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Work metering: the instrumentation that feeds the performance model.
+//!
+//! Every physics routine counts the single-precision FLOPs and 4-byte
+//! memory operands it executes into a [`PointWork`]. The counts are what
+//! the bench harness prices on the modeled EPYC/A100 hardware — so the
+//! speedups of Tables III–V emerge from *measured work deltas* (fewer
+//! kernel evaluations after the lookup refactor, unchanged math but
+//! different parallel geometry after offload), not from hard-coded
+//! factors.
+
+/// Floating-point and memory work of a code region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PointWork {
+    /// Single-precision floating-point operations.
+    pub flops: u64,
+    /// 4-byte memory operands touched (loads + stores).
+    pub mem_ops: u64,
+}
+
+impl PointWork {
+    /// Zero work.
+    pub const ZERO: PointWork = PointWork {
+        flops: 0,
+        mem_ops: 0,
+    };
+
+    /// Adds `flops` FLOPs.
+    #[inline]
+    pub fn f(&mut self, flops: u64) {
+        self.flops += flops;
+    }
+
+    /// Adds `ops` memory operands.
+    #[inline]
+    pub fn m(&mut self, ops: u64) {
+        self.mem_ops += ops;
+    }
+
+    /// Adds both.
+    #[inline]
+    pub fn fm(&mut self, flops: u64, mem: u64) {
+        self.flops += flops;
+        self.mem_ops += mem;
+    }
+}
+
+impl std::ops::Add for PointWork {
+    type Output = PointWork;
+    fn add(self, rhs: PointWork) -> PointWork {
+        PointWork {
+            flops: self.flops + rhs.flops,
+            mem_ops: self.mem_ops + rhs.mem_ops,
+        }
+    }
+}
+
+impl std::ops::AddAssign for PointWork {
+    fn add_assign(&mut self, rhs: PointWork) {
+        self.flops += rhs.flops;
+        self.mem_ops += rhs.mem_ops;
+    }
+}
+
+/// Per-routine work breakdown of one `fast_sbm` invocation, mirroring the
+/// subroutine structure the paper profiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkBreakdown {
+    /// `kernals_ks` dense table fills (baseline only).
+    pub kernals: PointWork,
+    /// `coal_bott_new` collision math (kernel lookups included for the
+    /// on-demand version).
+    pub coal: PointWork,
+    /// `onecond1`/`onecond2` condensation.
+    pub cond: PointWork,
+    /// `jernucl01_ks` nucleation.
+    pub nucl: PointWork,
+    /// Sedimentation.
+    pub sed: PointWork,
+    /// Freezing/melting.
+    pub freeze: PointWork,
+    /// Breakup.
+    pub breakup: PointWork,
+}
+
+impl WorkBreakdown {
+    /// Total work over all routines.
+    pub fn total(&self) -> PointWork {
+        self.kernals + self.coal + self.cond + self.nucl + self.sed + self.freeze + self.breakup
+    }
+
+    /// The collision-loop share (what the offloaded kernel executes:
+    /// `kernals_ks` + `coal_bott_new`).
+    pub fn coal_loop(&self) -> PointWork {
+        self.kernals + self.coal
+    }
+}
+
+impl std::ops::AddAssign for WorkBreakdown {
+    fn add_assign(&mut self, rhs: WorkBreakdown) {
+        self.kernals += rhs.kernals;
+        self.coal += rhs.coal;
+        self.cond += rhs.cond;
+        self.nucl += rhs.nucl;
+        self.sed += rhs.sed;
+        self.freeze += rhs.freeze;
+        self.breakup += rhs.breakup;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut w = PointWork::ZERO;
+        w.f(10);
+        w.m(5);
+        w.fm(2, 3);
+        assert_eq!(
+            w,
+            PointWork {
+                flops: 12,
+                mem_ops: 8
+            }
+        );
+        let sum = w + w;
+        assert_eq!(sum.flops, 24);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let mut b = WorkBreakdown::default();
+        b.kernals.f(100);
+        b.coal.f(50);
+        b.cond.f(25);
+        assert_eq!(b.total().flops, 175);
+        assert_eq!(b.coal_loop().flops, 150);
+        let mut c = b;
+        c += b;
+        assert_eq!(c.total().flops, 350);
+    }
+}

@@ -1,0 +1,106 @@
+//! Collisional/spontaneous breakup of large raindrops.
+//!
+//! Raindrops beyond ~2.5 mm radius are hydrodynamically unstable; FSBM
+//! applies a breakup term that caps the large end of the liquid spectrum.
+//! We model spontaneous breakup: unstable drops fragment into eight
+//! equal pieces (three bins down on the doubling grid), conserving mass
+//! exactly and multiplying number by eight.
+
+use crate::meter::PointWork;
+use crate::point::{BinsView, Grids};
+use crate::types::{HydroClass, NKR};
+
+/// Radius beyond which drops break up, m.
+pub const R_BREAKUP: f32 = 2.5e-3;
+/// Breakup e-folding timescale, s.
+pub const TAU_BREAKUP: f32 = 10.0;
+/// Fragments land this many bins lower (2³ = 8 fragments).
+const BIN_DROP: usize = 3;
+
+/// Applies breakup to the liquid spectrum over `dt`.
+pub fn breakup(bins: &mut BinsView<'_>, grids: &Grids, dt: f32, w: &mut PointWork) {
+    let g = grids.of(HydroClass::Water);
+    let frac = (dt / TAU_BREAKUP).min(1.0);
+    w.f(2);
+    for k in (BIN_DROP..NKR).rev() {
+        w.fm(1, 1);
+        if g.radius[k] < R_BREAKUP {
+            break;
+        }
+        let n = bins.class(HydroClass::Water)[k];
+        if n <= 0.0 {
+            continue;
+        }
+        let dn = n * frac;
+        let s = bins.class_mut(HydroClass::Water);
+        s[k] -= dn;
+        // 8 fragments of m/8 each: mass-exact on the doubling grid.
+        s[k - BIN_DROP] += dn * 8.0;
+        w.fm(4, 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::PointWork;
+    use crate::point::PointBins;
+
+    fn grids() -> Grids {
+        Grids::new()
+    }
+
+    #[test]
+    fn giant_drops_fragment_conserving_mass() {
+        let g = grids();
+        let gw = g.of(HydroClass::Water);
+        let mut b = PointBins::empty();
+        b.n[0][NKR - 1] = 100.0;
+        let mut w = PointWork::ZERO;
+        let mut v = b.view();
+        let q_before = v.mass_of(HydroClass::Water, &g, &mut w);
+        breakup(&mut v, &g, 5.0, &mut w);
+        let q_after = v.mass_of(HydroClass::Water, &g, &mut w);
+        assert!((q_after - q_before).abs() / q_before < 1e-6);
+        assert!(v.class(HydroClass::Water)[NKR - 1] < 100.0);
+        assert!(v.class(HydroClass::Water)[NKR - 1 - 3] > 0.0);
+        assert!(gw.radius[NKR - 1] > R_BREAKUP);
+    }
+
+    #[test]
+    fn small_drops_unaffected() {
+        let g = grids();
+        let mut b = PointBins::empty();
+        for k in 0..20 {
+            b.n[0][k] = 1.0e6;
+        }
+        let before = b.clone();
+        let mut w = PointWork::ZERO;
+        breakup(&mut b.view(), &g, 5.0, &mut w);
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn number_multiplies_by_eight() {
+        let g = grids();
+        let mut b = PointBins::empty();
+        b.n[0][NKR - 1] = 8.0;
+        let mut w = PointWork::ZERO;
+        let mut v = b.view();
+        // Long dt → full breakup of the bin.
+        breakup(&mut v, &g, 1.0e9, &mut w);
+        assert_eq!(v.class(HydroClass::Water)[NKR - 1], 0.0);
+        assert!((v.class(HydroClass::Water)[NKR - 4] - 64.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ice_classes_untouched() {
+        let g = grids();
+        let mut b = PointBins::empty();
+        b.n[6][NKR - 1] = 50.0; // hail does not "break up" here
+        let before = b.clone();
+        let mut w = PointWork::ZERO;
+        breakup(&mut b.view(), &g, 5.0, &mut w);
+        assert_eq!(b, before);
+    }
+}

@@ -1,0 +1,16 @@
+//! The microphysical process routines of `fast_sbm`.
+//!
+//! Each module mirrors one Fortran subroutine of the scheme (Listing 1):
+//! [`nucleation`] (`jernucl01_ks`), [`condensation`] (`onecond1`,
+//! `onecond2`), [`collision`] (`coal_bott_new`), plus
+//! [`freezing`], [`breakup`], and the column-wise [`sedimentation`].
+//! [`driver`] combines them per grid point with the paper's temperature
+//! guards.
+
+pub mod breakup;
+pub mod collision;
+pub mod condensation;
+pub mod driver;
+pub mod freezing;
+pub mod nucleation;
+pub mod sedimentation;

@@ -1,0 +1,217 @@
+//! `jernucl01_ks`: droplet activation and ice nucleation.
+//!
+//! CCN activation follows the Twomey power law `N_act = C·s^k` against
+//! the current droplet number; heterogeneous ice nucleation follows a
+//! Meyers-type exponential in ice supersaturation, with the crystal habit
+//! chosen by temperature regime (columns / plates / dendrites), as FSBM
+//! does.
+
+use crate::constants::T_0;
+use crate::meter::PointWork;
+use crate::point::{BinsView, Grids, PointThermo};
+use crate::thermo::{latent_heating, supersat_ice, supersat_liquid};
+use crate::types::HydroClass;
+
+/// Twomey CCN coefficient: active nuclei at 1 % supersaturation, #/kg
+/// (≈ 120 cm⁻³ continental).
+pub const CCN_C: f32 = 1.0e8;
+/// Twomey exponent.
+pub const CCN_K: f32 = 0.5;
+/// Meyers-type ice-nuclei scale, #/kg.
+pub const IN_A: f32 = 1.0e3;
+/// Meyers-type exponent on ice supersaturation.
+pub const IN_B: f32 = 12.96;
+
+/// Crystal habit nucleated at temperature `t` (K): columns −5…−9 °C,
+/// plates −9…−22 °C, dendrites colder (an FSBM-style habit diagram).
+pub fn habit_for(t: f32) -> HydroClass {
+    let tc = t - T_0;
+    if tc > -9.0 {
+        HydroClass::IceColumns
+    } else if tc > -22.0 {
+        HydroClass::IcePlates
+    } else {
+        HydroClass::IceDendrites
+    }
+}
+
+/// Activates droplets and nucleates ice for one point. Returns the
+/// number of droplets activated (diagnostic).
+pub fn jernucl01_ks(
+    bins: &mut BinsView<'_>,
+    th: &mut PointThermo,
+    grids: &Grids,
+    _dt: f32,
+    w: &mut PointWork,
+) -> f32 {
+    let mut activated = 0.0;
+    let s = supersat_liquid(th.t, th.p, th.qv);
+    w.f(25);
+    if s > 0.0 {
+        // Twomey: number that *should* be active at this supersaturation;
+        // activate the shortfall into the smallest bin.
+        let target = CCN_C * (s.min(0.10)).powf(CCN_K);
+        let have = bins.number_of(HydroClass::Water);
+        let add = (target - have).max(0.0);
+        w.f(12);
+        if add > 0.0 {
+            let g = grids.of(HydroClass::Water);
+            bins.class_mut(HydroClass::Water)[0] += add;
+            let dq = add * g.mass[0];
+            th.qv -= dq;
+            th.t += latent_heating(dq, false);
+            activated = add;
+            w.fm(6, 2);
+        }
+    }
+
+    if th.t < T_0 - 5.0 {
+        let si = supersat_ice(th.t, th.p, th.qv);
+        w.f(25);
+        if si > 0.0 {
+            let habit = habit_for(th.t);
+            let target = IN_A * (IN_B * si.min(0.25)).exp();
+            let have: f32 = [
+                HydroClass::IceColumns,
+                HydroClass::IcePlates,
+                HydroClass::IceDendrites,
+            ]
+            .iter()
+            .map(|&c| bins.number_of(c))
+            .sum();
+            let add = (target - have).max(0.0);
+            w.f(15);
+            if add > 0.0 {
+                let g = grids.of(habit);
+                bins.class_mut(habit)[0] += add;
+                let dq = add * g.mass[0];
+                th.qv -= dq;
+                th.t += latent_heating(dq, true);
+                w.fm(6, 2);
+            }
+        }
+    }
+    activated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::PointBins;
+    use crate::thermo::{qsat_ice, qsat_liquid};
+
+    fn grids() -> Grids {
+        Grids::new()
+    }
+
+    #[test]
+    fn supersaturated_warm_point_activates_droplets() {
+        let g = grids();
+        let mut b = PointBins::empty();
+        let (t, p) = (285.0, 85_000.0);
+        let mut th = PointThermo {
+            t,
+            qv: qsat_liquid(t, p) * 1.01,
+            p,
+            rho: 1.0,
+        };
+        let mut w = PointWork::ZERO;
+        let mut v = b.view();
+        let act = jernucl01_ks(&mut v, &mut th, &g, 5.0, &mut w);
+        assert!(act > 0.0);
+        assert!(v.class(HydroClass::Water)[0] > 0.0);
+        // ~1 % supersaturation → ~CCN_C × 0.1 = 1e7/kg.
+        assert!((1.0e6..5.0e7).contains(&act), "act = {act}");
+    }
+
+    #[test]
+    fn activation_tops_up_not_duplicates() {
+        let g = grids();
+        let (t, p) = (285.0, 85_000.0);
+        let mut th = PointThermo {
+            t,
+            qv: qsat_liquid(t, p) * 1.01,
+            p,
+            rho: 1.0,
+        };
+        let mut b = PointBins::empty();
+        let mut w = PointWork::ZERO;
+        let first = jernucl01_ks(&mut b.view(), &mut th, &g, 5.0, &mut w);
+        // Same supersaturation, droplets already present → nothing new.
+        let mut th2 = PointThermo {
+            qv: qsat_liquid(th.t, p) * 1.01,
+            ..th
+        };
+        let second = jernucl01_ks(&mut b.view(), &mut th2, &g, 5.0, &mut w);
+        assert!(first > 0.0);
+        assert!(second < first * 0.2, "second = {second}");
+    }
+
+    #[test]
+    fn subsaturated_point_does_nothing() {
+        let g = grids();
+        let (t, p) = (285.0, 85_000.0);
+        let mut th = PointThermo {
+            t,
+            qv: qsat_liquid(t, p) * 0.9,
+            p,
+            rho: 1.0,
+        };
+        let mut b = PointBins::empty();
+        let mut w = PointWork::ZERO;
+        let act = jernucl01_ks(&mut b.view(), &mut th, &g, 5.0, &mut w);
+        assert_eq!(act, 0.0);
+        assert_eq!(b.view().number_of(HydroClass::Water), 0.0);
+    }
+
+    #[test]
+    fn cold_point_nucleates_habit_by_temperature() {
+        let g = grids();
+        for (tc, habit) in [
+            (-7.0, HydroClass::IceColumns),
+            (-15.0, HydroClass::IcePlates),
+            (-30.0, HydroClass::IceDendrites),
+        ] {
+            let t = T_0 + tc;
+            let p = 50_000.0;
+            let mut th = PointThermo {
+                t,
+                qv: qsat_ice(t, p) * 1.1,
+                p,
+                rho: 0.7,
+            };
+            let mut b = PointBins::empty();
+            let mut w = PointWork::ZERO;
+            jernucl01_ks(&mut b.view(), &mut th, &g, 5.0, &mut w);
+            assert!(
+                b.view().number_of(habit) > 0.0,
+                "habit {habit:?} at {tc} °C"
+            );
+        }
+    }
+
+    #[test]
+    fn habit_diagram_boundaries() {
+        assert_eq!(habit_for(T_0 - 6.0), HydroClass::IceColumns);
+        assert_eq!(habit_for(T_0 - 10.0), HydroClass::IcePlates);
+        assert_eq!(habit_for(T_0 - 25.0), HydroClass::IceDendrites);
+    }
+
+    #[test]
+    fn activation_consumes_vapor_and_heats() {
+        let g = grids();
+        let (t, p) = (285.0, 85_000.0);
+        let qv0 = qsat_liquid(t, p) * 1.02;
+        let mut th = PointThermo {
+            t,
+            qv: qv0,
+            p,
+            rho: 1.0,
+        };
+        let mut b = PointBins::empty();
+        let mut w = PointWork::ZERO;
+        jernucl01_ks(&mut b.view(), &mut th, &g, 5.0, &mut w);
+        assert!(th.qv < qv0);
+        assert!(th.t >= t);
+    }
+}

@@ -1,0 +1,1120 @@
+//! The four versions of `fast_sbm` over a patch.
+//!
+//! * [`SbmVersion::Baseline`] — Listing 1: one serial grid loop; inside
+//!   the collision call, `kernals_ks` refills the 20 *shared* dense
+//!   collision tables for the local pressure (the global-module-state
+//!   pattern that blocks parallelization and that Codee's dependence
+//!   analysis untangles).
+//! * [`SbmVersion::Lookup`] — §VI-A: dense tables and `kernals_ks`
+//!   deleted; kernel entries computed on demand by pure functions.
+//! * [`SbmVersion::OffloadCollapse2`] — §VI-B: loop fission isolates the
+//!   collision stage behind a predicate array; the `(j,k)` loops are
+//!   offloaded (functional execution with real host parallelism through
+//!   `gpu-sim`), the `i` loop stays serial inside each device thread, and
+//!   per-point bins live in automatic (stack) arrays.
+//! * [`SbmVersion::OffloadCollapse3`] — §VI-C: the automatic arrays are
+//!   replaced by per-grid-point slices of the `temp_arrays` slabs
+//!   (`Field4` storage, Listing 8), enabling a full `collapse(3)`.
+//!
+//! All versions run identical physics in identical per-point order, so
+//! their outputs agree to f32 round-off — the property §VII-B verifies
+//! with `diffwrf`.
+
+use crate::kernels::{kernals_ks, CollisionTables, KernelMode, KernelTables};
+use crate::meter::{PointWork, WorkBreakdown};
+use crate::point::{Grids, PointBins};
+use crate::processes::driver::{fast_sbm_coal, fast_sbm_post, fast_sbm_pre, PointOutcome};
+use crate::processes::sedimentation::sedimentation_column;
+use crate::state::SbmPatchState;
+use crate::types::{NKR, NTYPES};
+use crate::workload::warp_efficiency;
+use gpu_sim::launch::{launch_functional, KernelSpec};
+use gpu_sim::syncslice::SyncWriteSlice;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which optimization stage of the paper to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SbmVersion {
+    /// Original serial code with `kernals_ks` dense tables.
+    Baseline,
+    /// §VI-A lookup refactor (serial).
+    Lookup,
+    /// §VI-B offload of the fissioned collision loop, `collapse(2)`.
+    OffloadCollapse2,
+    /// §VI-C slab arrays + full `collapse(3)`.
+    OffloadCollapse3,
+}
+
+impl SbmVersion {
+    /// All versions in paper order.
+    pub const ALL: [SbmVersion; 4] = [
+        SbmVersion::Baseline,
+        SbmVersion::Lookup,
+        SbmVersion::OffloadCollapse2,
+        SbmVersion::OffloadCollapse3,
+    ];
+
+    /// True for the two offloaded versions.
+    pub fn offloaded(self) -> bool {
+        matches!(
+            self,
+            SbmVersion::OffloadCollapse2 | SbmVersion::OffloadCollapse3
+        )
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SbmVersion::Baseline => "baseline",
+            SbmVersion::Lookup => "lookup",
+            SbmVersion::OffloadCollapse2 => "offload collapse(2)",
+            SbmVersion::OffloadCollapse3 => "offload collapse(3) w/ pointers",
+        }
+    }
+}
+
+/// Configuration of a scheme instance.
+#[derive(Debug, Clone, Copy)]
+pub struct SbmConfig {
+    /// Version to run.
+    pub version: SbmVersion,
+    /// Microphysics time step, s.
+    pub dt: f32,
+    /// Vertical layer thickness for sedimentation, m.
+    pub dz: f32,
+    /// Host worker threads emulating the device for offloaded versions
+    /// (`None` = all available).
+    pub workers: Option<usize>,
+    /// WRF `numtiles`: OpenMP tiles per patch for the CPU versions
+    /// (Fig. 1's shared-memory level; the paper runs 1). The baseline's
+    /// shared collision tables become per-tile (`THREADPRIVATE`) copies
+    /// when tiled.
+    pub tiles: usize,
+}
+
+impl SbmConfig {
+    /// A configuration with the paper's Δt = 5 s and 400 m layers.
+    pub fn new(version: SbmVersion) -> Self {
+        SbmConfig {
+            version,
+            dt: 5.0,
+            dz: 400.0,
+            workers: None,
+            tiles: 1,
+        }
+    }
+}
+
+/// Statistics of one `fast_sbm` step over the patch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SbmStepStats {
+    /// Grid points visited.
+    pub points: usize,
+    /// Points passing the `T_OLD > 193.15` guard.
+    pub active_points: usize,
+    /// Points whose collision predicate fired.
+    pub coal_points: usize,
+    /// Kernel entries evaluated inside the collision stage.
+    pub coal_entries: u64,
+    /// Aggregated per-routine work.
+    pub work: WorkBreakdown,
+    /// Collapsed iteration count of the offloaded collision kernel
+    /// (0 for the CPU versions).
+    pub coal_iters: u64,
+    /// Warp efficiency of the offloaded kernel (1.0 for CPU versions).
+    pub warp_efficiency: f64,
+    /// Launch descriptor of the offloaded kernel, if any.
+    pub kernel_spec: Option<KernelSpec>,
+    /// Surface precipitation this step, kg/m² summed over columns.
+    pub precip: f64,
+}
+
+/// The scheme driver holding static tables and (for the baseline) the
+/// shared dense collision arrays.
+pub struct FastSbm {
+    /// Configuration.
+    pub cfg: SbmConfig,
+    grids: Grids,
+    tables: KernelTables,
+    /// The baseline's global module state (`cwll`, `cwls`, ...).
+    dense: CollisionTables,
+}
+
+impl FastSbm {
+    /// Builds a scheme instance (computes the static kernel tables).
+    pub fn new(cfg: SbmConfig) -> Self {
+        FastSbm {
+            cfg,
+            grids: Grids::new(),
+            tables: KernelTables::new(),
+            dense: CollisionTables::new(),
+        }
+    }
+
+    /// The static kernel tables (shared with the data-environment
+    /// accounting in the model driver).
+    pub fn tables(&self) -> &KernelTables {
+        &self.tables
+    }
+
+    /// The bin grids.
+    pub fn grids(&self) -> &Grids {
+        &self.grids
+    }
+
+    /// The device resources an offloaded version needs for `state`:
+    /// the collision kernel's spec plus the `temp_arrays` slab bytes —
+    /// what a rank's context must satisfy before its first launch. CPU
+    /// versions need nothing and return `None`.
+    pub fn device_requirements(
+        &self,
+        state: &SbmPatchState,
+    ) -> Option<(KernelSpec, u64)> {
+        match self.cfg.version {
+            SbmVersion::OffloadCollapse2 => Some((
+                KernelSpec {
+                    name: "coal_bott_new_loop_collapse2".into(),
+                    block_threads: 128,
+                    regs_per_thread: 168,
+                    smem_per_block: 0,
+                    stack_bytes_per_thread: 20 * 1024,
+                    collapse: 2,
+                },
+                // Automatic arrays: no slabs; only the state fields move.
+                state.slab_bytes(),
+            )),
+            SbmVersion::OffloadCollapse3 => Some((
+                KernelSpec {
+                    name: "coal_bott_new_loop_collapse3".into(),
+                    block_threads: 128,
+                    regs_per_thread: 80,
+                    smem_per_block: 0,
+                    stack_bytes_per_thread: 640,
+                    collapse: 3,
+                },
+                state.slab_bytes(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Validates the offloaded launch against a device context (the
+    /// §VI-B/§VII-A failure modes): per-thread stack within
+    /// `NV_ACC_CUDA_STACKSIZE`, and the slab allocation fitting HBM.
+    pub fn validate_on_device(
+        &self,
+        state: &SbmPatchState,
+        device: &mut gpu_sim::device::Device,
+        rank: usize,
+    ) -> Result<(), gpu_sim::error::GpuError> {
+        let Some((spec, slab_bytes)) = self.device_requirements(state) else {
+            return Ok(());
+        };
+        device.check_stack(rank, spec.stack_bytes_per_thread)?;
+        device.alloc(rank, &spec.name, slab_bytes)?;
+        Ok(())
+    }
+
+    /// Advances the microphysics on `state` by one step.
+    pub fn step(&mut self, state: &mut SbmPatchState) -> SbmStepStats {
+        state.snapshot_t_old();
+        let mut stats = match (self.cfg.version, self.cfg.tiles) {
+            (SbmVersion::Baseline, t) if t > 1 => self.step_tiled(state, true),
+            (SbmVersion::Lookup, t) if t > 1 => self.step_tiled(state, false),
+            (SbmVersion::Baseline, _) => self.step_serial(state, true),
+            (SbmVersion::Lookup, _) => self.step_serial(state, false),
+            (SbmVersion::OffloadCollapse2, _) => self.step_offload(state, 2),
+            (SbmVersion::OffloadCollapse3, _) => self.step_offload(state, 3),
+        };
+        self.sedimentation_pass(state, &mut stats);
+        stats
+    }
+
+    // ---- Baseline / Lookup: the unfissioned Listing 1 loop ------------
+    fn step_serial(&mut self, state: &mut SbmPatchState, dense_tables: bool) -> SbmStepStats {
+        let p = state.patch;
+        let dt = self.cfg.dt;
+        let mut stats = empty_stats(p.compute_points());
+        let mut bins = PointBins::empty();
+        for j in p.jp.iter() {
+            for k in p.kp.iter() {
+                for i in p.ip.iter() {
+                    let t_old = state.t_old.get(i, k, j);
+                    let mut th = state.thermo_at(i, k, j);
+                    state.load_bins(i, k, j, &mut bins);
+                    let mut view = bins.view();
+                    let mut out = fast_sbm_pre(&mut view, &mut th, &self.grids, dt, t_old);
+                    if out.coal_called {
+                        if dense_tables {
+                            // kernals_ks refills the shared module arrays
+                            // for this point's pressure — the baseline's
+                            // defining cost and dependence hazard.
+                            let mut kw = PointWork::ZERO;
+                            kernals_ks(&self.tables, th.p, &mut self.dense, &mut kw);
+                            out.work.kernals = kw;
+                            fast_sbm_coal(
+                                &mut view,
+                                &mut th,
+                                &self.grids,
+                                KernelMode::Dense(&self.dense),
+                                dt,
+                                &mut out,
+                            );
+                        } else {
+                            let pressure = th.p;
+                            fast_sbm_coal(
+                                &mut view,
+                                &mut th,
+                                &self.grids,
+                                KernelMode::OnDemand {
+                                    tables: &self.tables,
+                                    p: pressure,
+                                },
+                                dt,
+                                &mut out,
+                            );
+                        }
+                    }
+                    fast_sbm_post(&mut view, &mut th, &self.grids, dt, &mut out);
+                    drop(view);
+                    state.store_bins(i, k, j, &bins);
+                    state.store_thermo(i, k, j, &th);
+                    accumulate(&mut stats, &out);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Tiled CPU execution (WRF `numtiles` > 1): the patch splits into
+    /// tiles run by concurrent host threads. Every tile owns its
+    /// automatic arrays and — for the baseline — a private copy of the
+    /// collision tables (what `!$omp threadprivate(cw**)` would give the
+    /// Fortran code). Bitwise identical to the serial path.
+    fn step_tiled(&mut self, state: &mut SbmPatchState, dense_tables: bool) -> SbmStepStats {
+        use wrf_grid::split_patch_into_tiles;
+        let patch = state.patch;
+        let dt = self.cfg.dt;
+        let tiles = split_patch_into_tiles(&patch, self.cfg.tiles);
+        let mut stats = empty_stats(patch.compute_points());
+
+        let meta = FieldMeta {
+            ilen: patch.im.len(),
+            klen: patch.km.len(),
+            i0: patch.im.lo,
+            k0: patch.km.lo,
+            j0: patch.jm.lo,
+        };
+        let grids = &self.grids;
+        let tables = &self.tables;
+
+        let tile_stats: Vec<SbmStepStats> = {
+            let t_old = &state.t_old;
+            let p_field = &state.p;
+            let rho_field = &state.rho;
+            // Disjoint per-point writes across tiles (tiles partition the
+            // compute region).
+            let tt_view = unsafe { SyncWriteSlice::new(state.tt.as_mut_slice()) };
+            let qv_view = unsafe { SyncWriteSlice::new(state.qv.as_mut_slice()) };
+            let ff_views: Vec<SyncWriteSlice<'_, f32>> = state
+                .ff
+                .iter_mut()
+                .map(|f| unsafe { SyncWriteSlice::new(f.as_mut_slice()) })
+                .collect();
+
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = tiles
+                    .iter()
+                    .map(|tile| {
+                        let tt_view = &tt_view;
+                        let qv_view = &qv_view;
+                        let ff_views = &ff_views;
+                        let tile = *tile;
+                        scope.spawn(move |_| {
+                            let mut st = empty_stats(tile.points());
+                            let mut bins = PointBins::empty();
+                            // THREADPRIVATE collision tables for the
+                            // baseline.
+                            let mut dense = if dense_tables {
+                                Some(CollisionTables::new())
+                            } else {
+                                None
+                            };
+                            for j in tile.jt.iter() {
+                                for k in tile.kt.iter() {
+                                    for i in tile.it.iter() {
+                                        let idx3 = meta.flat3(i, k, j);
+                                        let told = t_old.get(i, k, j);
+                                        let mut th = crate::point::PointThermo {
+                                            t: tt_view.get(idx3),
+                                            qv: qv_view.get(idx3),
+                                            p: p_field.get(i, k, j),
+                                            rho: rho_field.get(i, k, j),
+                                        };
+                                        for (c, v) in ff_views.iter().enumerate() {
+                                            bins.n[c].copy_from_slice(
+                                                v.subslice_mut(meta.flat4(i, k, j), NKR),
+                                            );
+                                        }
+                                        let mut view = bins.view();
+                                        let mut out = fast_sbm_pre(
+                                            &mut view, &mut th, grids, dt, told,
+                                        );
+                                        if out.coal_called {
+                                            let pressure = th.p;
+                                            if let Some(dense) = dense.as_mut() {
+                                                let mut kw = PointWork::ZERO;
+                                                kernals_ks(tables, pressure, dense, &mut kw);
+                                                out.work.kernals = kw;
+                                                fast_sbm_coal(
+                                                    &mut view,
+                                                    &mut th,
+                                                    grids,
+                                                    KernelMode::Dense(dense),
+                                                    dt,
+                                                    &mut out,
+                                                );
+                                            } else {
+                                                fast_sbm_coal(
+                                                    &mut view,
+                                                    &mut th,
+                                                    grids,
+                                                    KernelMode::OnDemand {
+                                                        tables,
+                                                        p: pressure,
+                                                    },
+                                                    dt,
+                                                    &mut out,
+                                                );
+                                            }
+                                        }
+                                        fast_sbm_post(&mut view, &mut th, grids, dt, &mut out);
+                                        drop(view);
+                                        for (c, v) in ff_views.iter().enumerate() {
+                                            v.subslice_mut(meta.flat4(i, k, j), NKR)
+                                                .copy_from_slice(&bins.n[c]);
+                                        }
+                                        tt_view.set(idx3, th.t);
+                                        qv_view.set(idx3, th.qv);
+                                        accumulate(&mut st, &out);
+                                    }
+                                }
+                            }
+                            st
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("tile thread panicked"))
+                    .collect()
+            })
+            .expect("tile scope failed")
+        };
+        for ts in tile_stats {
+            stats.active_points += ts.active_points;
+            stats.coal_points += ts.coal_points;
+            stats.coal_entries += ts.coal_entries;
+            stats.work += ts.work;
+        }
+        stats
+    }
+
+    // ---- Offloaded versions: fissioned loops (Listings 6–8) -----------
+    fn step_offload(&mut self, state: &mut SbmPatchState, collapse: u32) -> SbmStepStats {
+        let p = state.patch;
+        let dt = self.cfg.dt;
+        let (ilen, klen, jlen) = (p.ip.len(), p.kp.len(), p.jp.len());
+        let points = ilen * klen * jlen;
+        let mut stats = empty_stats(points);
+
+        // Sweep 1 (host): nucleation + condensation; fill the predicate
+        // array `call_coal_bott_new` and remember which points are active.
+        let mut predicate = vec![false; points];
+        let mut active = vec![false; points];
+        let mut outcomes: Vec<PointOutcome> = vec![PointOutcome::default(); points];
+        let mut bins = PointBins::empty();
+        for (jx, j) in p.jp.iter().enumerate() {
+            for (kx, k) in p.kp.iter().enumerate() {
+                for (ix, i) in p.ip.iter().enumerate() {
+                    let idx = (jx * klen + kx) * ilen + ix;
+                    let t_old = state.t_old.get(i, k, j);
+                    let mut th = state.thermo_at(i, k, j);
+                    state.load_bins(i, k, j, &mut bins);
+                    let mut view = bins.view();
+                    let out = fast_sbm_pre(&mut view, &mut th, &self.grids, dt, t_old);
+                    drop(view);
+                    state.store_bins(i, k, j, &bins);
+                    state.store_thermo(i, k, j, &th);
+                    predicate[idx] = out.coal_called;
+                    active[idx] = out.active;
+                    outcomes[idx] = out;
+                }
+            }
+        }
+
+        // Sweep 2 (device): the isolated collision loop of Listing 6.
+        let coal_stats = self.coal_kernel(state, &predicate, collapse);
+        stats.coal_iters = coal_stats.iters;
+        stats.warp_efficiency = coal_stats.warp_eff;
+        stats.kernel_spec = Some(coal_stats.spec.clone());
+        stats.coal_entries = coal_stats.entries;
+        debug_assert!(coal_stats.coal_points as usize <= points);
+        stats.work.coal = PointWork {
+            flops: coal_stats.flops,
+            mem_ops: coal_stats.mem_ops,
+        };
+
+        // Sweep 3 (host): freezing/melting + breakup.
+        for (jx, j) in p.jp.iter().enumerate() {
+            for (kx, k) in p.kp.iter().enumerate() {
+                for (ix, i) in p.ip.iter().enumerate() {
+                    let idx = (jx * klen + kx) * ilen + ix;
+                    let mut out = outcomes[idx];
+                    let mut th = state.thermo_at(i, k, j);
+                    state.load_bins(i, k, j, &mut bins);
+                    let mut view = bins.view();
+                    fast_sbm_post(&mut view, &mut th, &self.grids, dt, &mut out);
+                    drop(view);
+                    state.store_bins(i, k, j, &bins);
+                    state.store_thermo(i, k, j, &th);
+                    accumulate_pre_post(&mut stats, &out, predicate[idx]);
+                }
+            }
+        }
+        stats
+    }
+
+    /// The offloaded collision kernel body, executed with real host
+    /// parallelism. `collapse = 2` parallelizes `(j,k)` with a serial `i`
+    /// loop per thread and per-thread automatic arrays; `collapse = 3`
+    /// parallelizes all three loops operating in place on the slabs.
+    fn coal_kernel(
+        &self,
+        state: &mut SbmPatchState,
+        predicate: &[bool],
+        collapse: u32,
+    ) -> CoalKernelStats {
+        let p = state.patch;
+        let dt = self.cfg.dt;
+        let (ilen, klen, jlen) = (p.ip.len(), p.kp.len(), p.jp.len());
+
+        // Warp-efficiency of the launch from the predicate layout.
+        let (iters, warp_eff, spec) = if collapse == 2 {
+            let mut lane_active = vec![false; jlen * klen];
+            for jk in 0..jlen * klen {
+                lane_active[jk] = (0..ilen).any(|ix| predicate[jk * ilen + ix]);
+            }
+            (
+                (jlen * klen) as u64,
+                warp_efficiency(&lane_active, 32),
+                KernelSpec {
+                    name: "coal_bott_new_loop_collapse2".into(),
+                    block_threads: 128,
+                    regs_per_thread: 168,
+                    smem_per_block: 0,
+                    // ~40 automatic bin arrays (Listing 7).
+                    stack_bytes_per_thread: 20 * 1024,
+                    collapse: 2,
+                },
+            )
+        } else {
+            (
+                (jlen * klen * ilen) as u64,
+                warp_efficiency(predicate, 32),
+                KernelSpec {
+                    name: "coal_bott_new_loop_collapse3".into(),
+                    block_threads: 128,
+                    regs_per_thread: 80,
+                    smem_per_block: 0,
+                    // Pointers into temp_arrays slabs (Listing 8).
+                    stack_bytes_per_thread: 640,
+                    collapse: 3,
+                },
+            )
+        };
+
+        // Shared counters flushed once per device thread iteration.
+        let entries = AtomicU64::new(0);
+        let flops = AtomicU64::new(0);
+        let mem_ops = AtomicU64::new(0);
+        let coal_points = AtomicU64::new(0);
+
+        {
+            // Disjoint-write views (the Codee-proven independence).
+            let mut ff: Vec<&mut wrf_grid::Field4<f32>> = state.ff.iter_mut().collect();
+            // Immutable metadata snapshots for index math.
+            let ff_refs: Vec<*const wrf_grid::Field4<f32>> =
+                ff.iter().map(|f| *f as *const _).collect();
+            let _ = ff_refs;
+            let tt_field = &mut state.tt;
+            let p_field = &state.p;
+            let rho_field = &state.rho;
+
+            // Build flat views. SAFETY: every kernel iteration touches
+            // only its own grid point's bin slices and tt element, and
+            // iterations are disjoint by construction (one iteration per
+            // point, or one per (j,k) column with a serial i loop).
+            let ff_bases: Vec<usize> = ff
+                .iter()
+                .map(|f| f.flat_base(p.ip.lo, p.kp.lo, p.jp.lo))
+                .collect();
+            let _ = ff_bases;
+            let ff_views: Vec<SyncWriteSlice<'_, f32>> = ff
+                .iter_mut()
+                .map(|f| unsafe { SyncWriteSlice::new(f.as_mut_slice()) })
+                .collect();
+            let ff_meta: Vec<FieldMeta> = {
+                // Recompute strides from the patch spans (Field4 layout:
+                // bin fastest, then i, k, j).
+                (0..NTYPES)
+                    .map(|_| FieldMeta {
+                        ilen: p.im.len(),
+                        klen: p.km.len(),
+                        i0: p.im.lo,
+                        k0: p.km.lo,
+                        j0: p.jm.lo,
+                    })
+                    .collect()
+            };
+            let tt_meta = ff_meta[0];
+            let tt_view = unsafe { SyncWriteSlice::new(tt_field.as_mut_slice()) };
+
+            let grids = &self.grids;
+            let tables = &self.tables;
+
+            let run_point = |i: i32, k: i32, j: i32, use_slabs: bool| {
+                let pth = gpu_sim::launch::KernelSpec::new; // no-op anchor
+                let _ = &pth;
+                let th_p = p_field.get(i, k, j);
+                let th_rho = rho_field.get(i, k, j);
+                let t_idx = tt_meta.flat3(i, k, j);
+                let mut th = crate::point::PointThermo {
+                    t: tt_view.get(t_idx),
+                    qv: 0.0, // unused by the collision stage
+                    p: th_p,
+                    rho: th_rho,
+                };
+                let mut out = PointOutcome {
+                    active: true,
+                    coal_called: true,
+                    ..Default::default()
+                };
+                let km = KernelMode::OnDemand { tables, p: th_p };
+                if use_slabs {
+                    // Listing 8: operate in place on slab slices.
+                    let mut slices: Vec<&mut [f32]> = ff_views
+                        .iter()
+                        .zip(&ff_meta)
+                        .map(|(v, m)| v.subslice_mut(m.flat4(i, k, j), NKR))
+                        .collect();
+                    let mut it = slices.drain(..);
+                    let mut view = crate::point::BinsView::from_slices(
+                        std::array::from_fn(|_| it.next().expect("7 slabs")),
+                    );
+                    fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
+                } else {
+                    // Listing 7: automatic (stack) arrays + copy in/out.
+                    let mut local = PointBins::empty();
+                    for (c, (v, m)) in ff_views.iter().zip(&ff_meta).enumerate() {
+                        let base = m.flat4(i, k, j);
+                        let src = v.subslice_mut(base, NKR);
+                        local.n[c].copy_from_slice(src);
+                    }
+                    let mut view = local.view();
+                    fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
+                    drop(view);
+                    for (c, (v, m)) in ff_views.iter().zip(&ff_meta).enumerate() {
+                        let base = m.flat4(i, k, j);
+                        v.subslice_mut(base, NKR).copy_from_slice(&local.n[c]);
+                    }
+                }
+                tt_view.set(t_idx, th.t);
+                (out.coal_entries, out.work.coal)
+            };
+
+            if collapse == 2 {
+                launch_functional((jlen * klen) as u64, self.cfg.workers, |idx| {
+                    let jk = idx as usize;
+                    let (jx, kx) = (jk / klen, jk % klen);
+                    let j = p.jp.lo + jx as i32;
+                    let k = p.kp.lo + kx as i32;
+                    let mut e = 0u64;
+                    let mut w = PointWork::ZERO;
+                    let mut pts = 0u64;
+                    for ix in 0..ilen {
+                        if predicate[jk * ilen + ix] {
+                            let i = p.ip.lo + ix as i32;
+                            let (ee, ww) = run_point(i, k, j, false);
+                            e += ee;
+                            w += ww;
+                            pts += 1;
+                        }
+                    }
+                    entries.fetch_add(e, Ordering::Relaxed);
+                    flops.fetch_add(w.flops, Ordering::Relaxed);
+                    mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
+                    coal_points.fetch_add(pts, Ordering::Relaxed);
+                });
+            } else {
+                launch_functional((jlen * klen * ilen) as u64, self.cfg.workers, |idx| {
+                    let idx = idx as usize;
+                    if !predicate[idx] {
+                        return;
+                    }
+                    let ix = idx % ilen;
+                    let kx = (idx / ilen) % klen;
+                    let jx = idx / (ilen * klen);
+                    let i = p.ip.lo + ix as i32;
+                    let k = p.kp.lo + kx as i32;
+                    let j = p.jp.lo + jx as i32;
+                    let (e, w) = run_point(i, k, j, true);
+                    entries.fetch_add(e, Ordering::Relaxed);
+                    flops.fetch_add(w.flops, Ordering::Relaxed);
+                    mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
+                    coal_points.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+
+        CoalKernelStats {
+            iters,
+            warp_eff,
+            spec,
+            entries: entries.into_inner(),
+            flops: flops.into_inner(),
+            mem_ops: mem_ops.into_inner(),
+            coal_points: coal_points.into_inner(),
+        }
+    }
+
+    /// Column sedimentation (all versions; serial host pass, as in the
+    /// paper where only the collision loop is offloaded).
+    fn sedimentation_pass(&self, state: &mut SbmPatchState, stats: &mut SbmStepStats) {
+        let p = state.patch;
+        let nz = p.kp.len();
+        let mut w = PointWork::ZERO;
+        let mut col = vec![[0.0f32; NKR]; nz];
+        let mut rho = vec![0.0f32; nz];
+        for j in p.jp.iter() {
+            for i in p.ip.iter() {
+                for (kx, k) in p.kp.iter().enumerate() {
+                    rho[kx] = state.rho.get(i, k, j);
+                }
+                let mut col_precip = 0.0f32;
+                for c in 0..NTYPES {
+                    let mut any = false;
+                    for (kx, k) in p.kp.iter().enumerate() {
+                        col[kx].copy_from_slice(state.ff[c].bin_slice(i, k, j));
+                        any |= col[kx].iter().any(|&v| v > 0.0);
+                    }
+                    if !any {
+                        continue;
+                    }
+                    let precip = sedimentation_column(
+                        &mut col,
+                        self.grids.by_index(c),
+                        &rho,
+                        self.cfg.dz,
+                        self.cfg.dt,
+                        &mut w,
+                    );
+                    col_precip += precip;
+                    stats.precip += precip as f64;
+                    for (kx, k) in p.kp.iter().enumerate() {
+                        state.ff[c].bin_slice_mut(i, k, j).copy_from_slice(&col[kx]);
+                    }
+                }
+                if col_precip > 0.0 {
+                    let idx = state.column_index(i, j);
+                    state.rainnc[idx] += col_precip;
+                }
+            }
+        }
+        stats.work.sed = w;
+        state.precip_acc += stats.precip;
+    }
+}
+
+/// Flat-index helpers for the kernel bodies (recomputed from patch spans
+/// so views need no field borrows).
+#[derive(Debug, Clone, Copy)]
+struct FieldMeta {
+    ilen: usize,
+    klen: usize,
+    i0: i32,
+    k0: i32,
+    j0: i32,
+}
+
+impl FieldMeta {
+    #[inline]
+    fn flat3(&self, i: i32, k: i32, j: i32) -> usize {
+        let ii = (i - self.i0) as usize;
+        let kk = (k - self.k0) as usize;
+        let jj = (j - self.j0) as usize;
+        ii + self.ilen * (kk + self.klen * jj)
+    }
+
+    #[inline]
+    fn flat4(&self, i: i32, k: i32, j: i32) -> usize {
+        self.flat3(i, k, j) * NKR
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CoalKernelStats {
+    iters: u64,
+    warp_eff: f64,
+    spec: KernelSpec,
+    entries: u64,
+    flops: u64,
+    mem_ops: u64,
+    coal_points: u64,
+}
+
+fn empty_stats(points: usize) -> SbmStepStats {
+    SbmStepStats {
+        points,
+        active_points: 0,
+        coal_points: 0,
+        coal_entries: 0,
+        work: WorkBreakdown::default(),
+        coal_iters: 0,
+        warp_efficiency: 1.0,
+        kernel_spec: None,
+        precip: 0.0,
+    }
+}
+
+fn accumulate(stats: &mut SbmStepStats, out: &PointOutcome) {
+    if out.active {
+        stats.active_points += 1;
+    }
+    if out.coal_called {
+        stats.coal_points += 1;
+    }
+    stats.coal_entries += out.coal_entries;
+    stats.work += out.work;
+}
+
+/// Accumulation for the fissioned path: coal work was already added from
+/// the kernel counters, so only pre/post work and point counts land here.
+fn accumulate_pre_post(stats: &mut SbmStepStats, out: &PointOutcome, coal: bool) {
+    if out.active {
+        stats.active_points += 1;
+    }
+    if coal {
+        stats.coal_points += 1;
+    }
+    let mut w = out.work;
+    w.coal = PointWork::ZERO;
+    w.kernals = PointWork::ZERO;
+    stats.work += w;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermo::qsat_liquid;
+    use wrf_grid::{two_d_decomposition, Domain};
+
+    /// Builds a small cloudy test patch: a warm moist blob in the middle,
+    /// dry air elsewhere.
+    pub(crate) fn test_state() -> SbmPatchState {
+        let d = Domain::new(10, 6, 8);
+        let patch = two_d_decomposition(d, 1, 0).patches[0];
+        let mut st = SbmPatchState::new(patch);
+        for j in patch.jm.iter() {
+            for k in patch.km.iter() {
+                for i in patch.im.iter() {
+                    let p = 90_000.0 - 6_000.0 * (k - 1) as f32;
+                    let t = 292.0 - 5.0 * (k - 1) as f32;
+                    st.p.set(i, k, j, p);
+                    st.tt.set(i, k, j, t);
+                    st.rho.set(i, k, j, crate::thermo::air_density(t, p));
+                    let cloudy = (3..=7).contains(&i) && (2..=5).contains(&j) && k <= 4;
+                    let qv = if cloudy {
+                        qsat_liquid(t, p) * 1.02
+                    } else {
+                        qsat_liquid(t, p) * 0.5
+                    };
+                    st.qv.set(i, k, j, qv);
+                }
+            }
+        }
+        // Seed droplets in the cloudy region.
+        let mut bins = PointBins::empty();
+        for b in 7..=12 {
+            bins.n[0][b] = 2.0e7;
+        }
+        for j in 2..=5 {
+            for k in 1..=4 {
+                for i in 3..=7 {
+                    st.store_bins(i, k, j, &bins);
+                }
+            }
+        }
+        st
+    }
+
+    fn run_version(v: SbmVersion, steps: usize) -> (SbmPatchState, SbmStepStats) {
+        let mut st = test_state();
+        let mut cfg = SbmConfig::new(v);
+        cfg.workers = Some(4);
+        let mut scheme = FastSbm::new(cfg);
+        let mut last = None;
+        for _ in 0..steps {
+            last = Some(scheme.step(&mut st));
+        }
+        (st, last.unwrap())
+    }
+
+    fn max_rel_diff(a: &SbmPatchState, b: &SbmPatchState) -> f64 {
+        let mut worst = 0.0f64;
+        for (fa, fb) in a.ff.iter().zip(&b.ff) {
+            for (x, y) in fa.as_slice().iter().zip(fb.as_slice()) {
+                let denom = x.abs().max(y.abs()).max(1e-6);
+                worst = worst.max(((x - y).abs() / denom) as f64);
+            }
+        }
+        for (x, y) in a.tt.as_slice().iter().zip(b.tt.as_slice()) {
+            worst = worst.max(((x - y).abs() / 300.0) as f64);
+        }
+        worst
+    }
+
+    #[test]
+    fn all_versions_agree() {
+        let (base, sbase) = run_version(SbmVersion::Baseline, 3);
+        for v in [
+            SbmVersion::Lookup,
+            SbmVersion::OffloadCollapse2,
+            SbmVersion::OffloadCollapse3,
+        ] {
+            let (st, s) = run_version(v, 3);
+            let d = max_rel_diff(&base, &st);
+            assert!(
+                d < 1e-5,
+                "{v:?} diverges from baseline by {d}"
+            );
+            assert_eq!(s.active_points, sbase.active_points, "{v:?}");
+            assert_eq!(s.coal_points, sbase.coal_points, "{v:?}");
+            assert_eq!(s.coal_entries, sbase.coal_entries, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_pays_kernals_cost_lookup_does_not() {
+        let (_, sb) = run_version(SbmVersion::Baseline, 1);
+        let (_, sl) = run_version(SbmVersion::Lookup, 1);
+        assert!(sb.work.kernals.flops > 0);
+        assert_eq!(sl.work.kernals.flops, 0);
+        // The dense fill dominates: per coal point it costs 4 flops × 20×33²
+        // while the sparse math touches a fraction of entries.
+        assert!(
+            sb.work.kernals.flops > sb.work.coal.flops,
+            "kernals {} vs coal {}",
+            sb.work.kernals.flops,
+            sb.work.coal.flops
+        );
+        // Lookup evaluates exactly the entries the math needs.
+        assert!(sl.work.coal_loop().flops < sb.work.coal_loop().flops / 2);
+    }
+
+    #[test]
+    fn offload_versions_report_launch_geometry() {
+        let (_, s2) = run_version(SbmVersion::OffloadCollapse2, 1);
+        let (_, s3) = run_version(SbmVersion::OffloadCollapse3, 1);
+        let k2 = s2.kernel_spec.as_ref().unwrap();
+        let k3 = s3.kernel_spec.as_ref().unwrap();
+        assert_eq!(k2.collapse, 2);
+        assert_eq!(k3.collapse, 3);
+        assert!(k2.stack_bytes_per_thread > 4096, "automatic arrays");
+        assert!(k3.stack_bytes_per_thread < 4096, "slab pointers");
+        // collapse(3) launches ilen× more iterations.
+        assert_eq!(s3.coal_iters, s2.coal_iters * 10);
+        assert!(s2.warp_efficiency > 0.0 && s2.warp_efficiency <= 1.0);
+        assert!(s3.warp_efficiency > 0.0 && s3.warp_efficiency <= 1.0);
+    }
+
+    #[test]
+    fn activity_is_sparse_like_conus() {
+        let (_, s) = run_version(SbmVersion::Lookup, 1);
+        assert!(s.active_points > 0);
+        assert!(s.coal_points > 0);
+        assert!(
+            s.coal_points < s.points / 2,
+            "most of the domain is cloud-free: {} of {}",
+            s.coal_points,
+            s.points
+        );
+    }
+
+    #[test]
+    fn microphysics_conserves_water_mass() {
+        let mut st = test_state();
+        let mut scheme = FastSbm::new(SbmConfig::new(SbmVersion::Lookup));
+        let total_water_before: f64 = {
+            let qv: f64 = st
+                .patch
+                .jp
+                .iter()
+                .flat_map(|j| {
+                    let st = &st;
+                    st.patch.kp.iter().flat_map(move |k| {
+                        st.patch.ip.iter().map(move |i| st.qv.get(i, k, j) as f64)
+                    })
+                })
+                .sum();
+            qv + st.total_condensate_sum()
+        };
+        let mut precip = 0.0;
+        for _ in 0..5 {
+            precip += scheme.step(&mut st).precip;
+        }
+        let total_water_after: f64 = {
+            let qv: f64 = st
+                .patch
+                .jp
+                .iter()
+                .flat_map(|j| {
+                    let st = &st;
+                    st.patch.kp.iter().flat_map(move |k| {
+                        st.patch.ip.iter().map(move |i| st.qv.get(i, k, j) as f64)
+                    })
+                })
+                .sum();
+            qv + st.total_condensate_sum()
+        };
+        // Precip leaves the column as kg/m²; convert to the mixing-ratio
+        // budget with ρ·dz (approximate with ρ ≈ 1, dz = 400).
+        let leaked = (total_water_before - total_water_after - precip / 400.0).abs();
+        assert!(
+            leaked / total_water_before < 0.02,
+            "water budget drift: {leaked} of {total_water_before} (precip {precip})"
+        );
+    }
+
+    #[test]
+    fn precipitation_eventually_forms() {
+        let mut st = test_state();
+        let mut scheme = FastSbm::new(SbmConfig::new(SbmVersion::Lookup));
+        for _ in 0..30 {
+            scheme.step(&mut st);
+        }
+        assert!(
+            st.precip_acc > 0.0,
+            "a supersaturated cloud must eventually rain"
+        );
+        // RAINNC: the per-column accumulation sums to the scalar total
+        // and rains where the cloud is (the seeded blob).
+        let sum: f64 = st.rainnc.iter().map(|&v| v as f64).sum();
+        assert!(
+            (sum - st.precip_acc).abs() / st.precip_acc < 1e-4,
+            "rainnc sum {sum} vs precip_acc {}",
+            st.precip_acc
+        );
+        let max = st.rainnc.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max > 0.0);
+        // The driest columns got little or nothing.
+        let dry = st.rainnc.iter().filter(|&&v| v < max * 1e-3).count();
+        assert!(dry > 0, "rain is localized");
+    }
+}
+
+#[cfg(test)]
+mod tile_tests {
+    use super::*;
+    use crate::scheme::tests as base_tests;
+
+    /// WRF numtiles > 1 must be bitwise identical to the serial sweep —
+    /// the shared-memory level of Fig. 1 changes nothing, including for
+    /// the baseline once its tables are THREADPRIVATE.
+    #[test]
+    fn tiled_equals_serial_bitwise() {
+        for version in [SbmVersion::Baseline, SbmVersion::Lookup] {
+            let mut serial_state = base_tests::test_state();
+            let mut tiled_state = serial_state.clone();
+
+            let mut serial = FastSbm::new(SbmConfig::new(version));
+            let mut cfg = SbmConfig::new(version);
+            cfg.tiles = 4;
+            let mut tiled = FastSbm::new(cfg);
+
+            for _ in 0..3 {
+                let a = serial.step(&mut serial_state);
+                let b = tiled.step(&mut tiled_state);
+                assert_eq!(a.coal_entries, b.coal_entries, "{version:?}");
+                assert_eq!(a.active_points, b.active_points);
+                assert_eq!(a.coal_points, b.coal_points);
+                assert_eq!(a.work.total(), b.work.total());
+            }
+            assert_eq!(
+                serial_state.tt.as_slice(),
+                tiled_state.tt.as_slice(),
+                "{version:?}: temperatures must match bitwise"
+            );
+            for c in 0..NTYPES {
+                assert_eq!(
+                    serial_state.ff[c].as_slice(),
+                    tiled_state.ff[c].as_slice(),
+                    "{version:?}: class {c} bins must match bitwise"
+                );
+            }
+        }
+    }
+
+    /// More tiles than j-rows still covers every point exactly once.
+    #[test]
+    fn many_tiles_cover_exactly() {
+        let mut state = base_tests::test_state();
+        let mut cfg = SbmConfig::new(SbmVersion::Lookup);
+        cfg.tiles = 16;
+        let mut scheme = FastSbm::new(cfg);
+        let stats = scheme.step(&mut state);
+        assert_eq!(stats.active_points, state.patch.compute_points());
+    }
+}
+
+#[cfg(test)]
+mod device_tests {
+    use super::*;
+    use gpu_sim::device::Device;
+    use gpu_sim::error::GpuError;
+    use gpu_sim::machine::A100;
+
+    /// The §VI narrative through the scheme's own API: collapse(2) with
+    /// automatic arrays overflows the default stack; collapse(3) with
+    /// slabs fits; the slab allocation lands in HBM.
+    #[test]
+    fn validate_on_device_reproduces_the_narrative() {
+        let state = SbmPatchState::new(
+            wrf_grid::two_d_decomposition(wrf_grid::Domain::new(32, 10, 24), 1, 3).patches[0],
+        );
+        let mut dev = Device::new(A100);
+        dev.create_context(0, A100.default_stack_bytes).unwrap();
+
+        let c2 = FastSbm::new(SbmConfig::new(SbmVersion::OffloadCollapse2));
+        assert!(matches!(
+            c2.validate_on_device(&state, &mut dev, 0),
+            Err(GpuError::StackOverflow { .. })
+        ));
+
+        // Raise NV_ACC_CUDA_STACKSIZE: now it validates.
+        dev.destroy_context(0);
+        dev.create_context(0, 65536).unwrap();
+        assert!(c2.validate_on_device(&state, &mut dev, 0).is_ok());
+
+        // collapse(3) slabs fit even the default stack.
+        let mut dev2 = Device::new(A100);
+        dev2.create_context(1, A100.default_stack_bytes).unwrap();
+        let c3 = FastSbm::new(SbmConfig::new(SbmVersion::OffloadCollapse3));
+        assert!(c3.validate_on_device(&state, &mut dev2, 1).is_ok());
+        assert!(dev2.used_bytes() > state.slab_bytes());
+
+        // CPU versions need nothing.
+        let base = FastSbm::new(SbmConfig::new(SbmVersion::Baseline));
+        assert!(base.device_requirements(&state).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Moist thermodynamics helpers.
+
+use crate::constants::*;
+
+/// Saturation vapor pressure over liquid water, Pa (Bolton 1980).
+#[inline]
+pub fn esat_liquid(t: f32) -> f32 {
+    let tc = t - T_0;
+    611.2 * (17.67 * tc / (tc + 243.5)).exp()
+}
+
+/// Saturation vapor pressure over ice, Pa (Murphy & Koop fit, simplified).
+#[inline]
+pub fn esat_ice(t: f32) -> f32 {
+    let tc = t - T_0;
+    611.2 * (22.46 * tc / (tc + 272.62)).exp()
+}
+
+/// Saturation mixing ratio over liquid, kg/kg.
+#[inline]
+pub fn qsat_liquid(t: f32, p: f32) -> f32 {
+    let es = esat_liquid(t).min(0.5 * p);
+    (R_D / R_V) * es / (p - es)
+}
+
+/// Saturation mixing ratio over ice, kg/kg.
+#[inline]
+pub fn qsat_ice(t: f32, p: f32) -> f32 {
+    let es = esat_ice(t).min(0.5 * p);
+    (R_D / R_V) * es / (p - es)
+}
+
+/// Supersaturation over liquid (fractional, 0 = saturated).
+#[inline]
+pub fn supersat_liquid(t: f32, p: f32, qv: f32) -> f32 {
+    qv / qsat_liquid(t, p) - 1.0
+}
+
+/// Supersaturation over ice (fractional).
+#[inline]
+pub fn supersat_ice(t: f32, p: f32, qv: f32) -> f32 {
+    qv / qsat_ice(t, p) - 1.0
+}
+
+/// Air density from the ideal gas law (dry-air approximation), kg/m³.
+#[inline]
+pub fn air_density(t: f32, p: f32) -> f32 {
+    p / (R_D * t)
+}
+
+/// Diffusional-growth coefficient `G(T, p)` in `dm/dt = 4π r G S`,
+/// combining vapor diffusivity and thermal conduction (Rogers & Yau §7),
+/// kg/(m·s).
+#[inline]
+pub fn growth_coefficient(t: f32, p: f32, over_ice: bool) -> f32 {
+    // Vapor diffusivity, m²/s.
+    let dv = 2.11e-5 * (t / T_0).powf(1.94) * (P_1000 / p);
+    // Thermal conductivity of air, W/(m·K).
+    let ka = 2.4e-2 * (t / T_0);
+    let l = if over_ice { L_S } else { L_V };
+    let es = if over_ice { esat_ice(t) } else { esat_liquid(t) };
+    let rho_vs = es / (R_V * t);
+    // 1/G = L²/(ka Rv T²) + Rv T/(Dv es) in vapor-density form.
+    let fk = (l / (R_V * t) - 1.0) * l / (ka * t);
+    let fd = 1.0 / (dv * rho_vs);
+    1.0 / (fk + fd)
+}
+
+/// Temperature change from condensing `dq` kg/kg of vapor (positive dq
+/// releases heat), K.
+#[inline]
+pub fn latent_heating(dq: f32, over_ice: bool) -> f32 {
+    let l = if over_ice { L_S } else { L_V };
+    l * dq / CP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn esat_at_freezing_matches_tables() {
+        // e_s(0°C) ≈ 611 Pa for both phases.
+        assert!((esat_liquid(T_0) - 611.2).abs() < 1.0);
+        assert!((esat_ice(T_0) - 611.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn esat_liquid_exceeds_ice_below_freezing() {
+        // The Bergeron process depends on this.
+        for tc in [-5.0f32, -15.0, -30.0] {
+            let t = T_0 + tc;
+            assert!(
+                esat_liquid(t) > esat_ice(t),
+                "at {tc} °C: liq {} ice {}",
+                esat_liquid(t),
+                esat_ice(t)
+            );
+        }
+    }
+
+    #[test]
+    fn esat_20c_sanity() {
+        // e_s(20 °C) ≈ 2.34 kPa.
+        let e = esat_liquid(T_0 + 20.0);
+        assert!((e - 2340.0).abs() < 60.0, "e = {e}");
+    }
+
+    #[test]
+    fn qsat_increases_with_temperature() {
+        let p = 90_000.0;
+        assert!(qsat_liquid(T_0 + 20.0, p) > qsat_liquid(T_0, p));
+        assert!(qsat_liquid(T_0 + 20.0, p) > 0.01); // ~1.6 %
+    }
+
+    #[test]
+    fn supersaturation_signs() {
+        let (t, p) = (T_0 + 10.0, 90_000.0);
+        let qs = qsat_liquid(t, p);
+        assert!(supersat_liquid(t, p, qs * 1.01) > 0.0);
+        assert!(supersat_liquid(t, p, qs * 0.99) < 0.0);
+        assert!(supersat_liquid(t, p, qs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn air_density_sanity() {
+        let rho = air_density(288.15, 101_325.0);
+        assert!((rho - 1.225).abs() < 0.01);
+    }
+
+    #[test]
+    fn growth_coefficient_positive_and_reasonable() {
+        let g = growth_coefficient(T_0 + 5.0, 90_000.0, false);
+        assert!(g > 0.0);
+        // Order of magnitude: ~1e-10..1e-9 kg/(m s) in vapor-density form
+        // units; just pin positivity and smooth T dependence.
+        let g2 = growth_coefficient(T_0 + 15.0, 90_000.0, false);
+        assert!(g2 > g * 0.5 && g2 < g * 3.0);
+    }
+
+    #[test]
+    fn latent_heating_magnitude() {
+        // Condensing 1 g/kg warms ≈ 2.5 K.
+        let dt = latent_heating(1.0e-3, false);
+        assert!((dt - 2.49).abs() < 0.1);
+        assert!(latent_heating(1.0e-3, true) > dt);
+    }
+}

@@ -1,0 +1,126 @@
+//! Second-order horizontal diffusion (WRF's `diff_opt=1` analogue).
+//!
+//! An explicit constant-eddy-viscosity ∇²ₕ filter applied to transported
+//! scalars each step — part of the "residual dynamics" cost family of
+//! the performance model, and the numerical hygiene that keeps the
+//! kinematic core's sharp storm edges from ringing.
+
+use fsbm_core::meter::PointWork;
+use wrf_grid::{Field3, PatchSpec};
+
+/// Metered FLOPs per point per diffusion application.
+pub const DIFF_FLOPS_PER_POINT: u64 = 9;
+/// Metered memory operands per point per application.
+pub const DIFF_MEMOPS_PER_POINT: u64 = 7;
+
+/// Applies `scalar += K Δt ∇²ₕ scalar` over the compute region (requires
+/// one halo cell). Stability requires `K Δt / Δx² ≤ 0.25`; the call
+/// asserts it.
+pub fn horizontal_diffusion(
+    scalar: &mut Field3<f32>,
+    patch: &PatchSpec,
+    kh: f32,
+    dx: f32,
+    dt: f32,
+    work: &mut PointWork,
+) {
+    assert!(patch.halo >= 1, "diffusion needs one halo cell");
+    let alpha = kh * dt / (dx * dx);
+    assert!(
+        alpha <= 0.25,
+        "diffusive CFL violated: K dt/dx^2 = {alpha}"
+    );
+    // Two-pass (tendency then update) to keep the stencil symmetric and
+    // independent of sweep order.
+    let mut tend = Field3::for_patch(patch);
+    for j in patch.jp.iter() {
+        for k in patch.kp.iter() {
+            for i in patch.ip.iter() {
+                let c = scalar.get(i, k, j);
+                let lap = scalar.get(i - 1, k, j) + scalar.get(i + 1, k, j)
+                    + scalar.get(i, k, j - 1)
+                    + scalar.get(i, k, j + 1)
+                    - 4.0 * c;
+                tend.set(i, k, j, alpha * lap);
+                work.fm(DIFF_FLOPS_PER_POINT, DIFF_MEMOPS_PER_POINT);
+            }
+        }
+    }
+    for j in patch.jp.iter() {
+        for k in patch.kp.iter() {
+            for i in patch.ip.iter() {
+                let v = scalar.get(i, k, j) + tend.get(i, k, j);
+                scalar.set(i, k, j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrf_grid::{two_d_decomposition, Domain};
+
+    fn patch() -> PatchSpec {
+        two_d_decomposition(Domain::new(16, 3, 16), 1, 2).patches[0]
+    }
+
+    #[test]
+    fn smooths_a_spike_conserving_mass() {
+        let p = patch();
+        let mut f = Field3::for_patch(&p);
+        f.set(8, 2, 8, 100.0);
+        let before = f.compute_sum(&p);
+        let mut w = PointWork::ZERO;
+        for _ in 0..10 {
+            horizontal_diffusion(&mut f, &p, 1.0e5, 12_000.0, 5.0, &mut w);
+        }
+        let after = f.compute_sum(&p);
+        // Interior spike: no flux through the (zero) halo yet, so the
+        // compute-region sum is conserved and the peak decays.
+        assert!((after - before).abs() / before < 1e-4, "{before} -> {after}");
+        assert!(f.get(8, 2, 8) < 100.0);
+        assert!(f.get(7, 2, 8) > 0.0);
+    }
+
+    #[test]
+    fn uniform_field_unchanged() {
+        let p = patch();
+        let mut f = Field3::filled(p.im, p.km, p.jm, 3.25f32);
+        let mut w = PointWork::ZERO;
+        horizontal_diffusion(&mut f, &p, 1.0e5, 12_000.0, 5.0, &mut w);
+        for j in p.jp.iter() {
+            for i in p.ip.iter() {
+                assert_eq!(f.get(i, 1, j), 3.25);
+            }
+        }
+    }
+
+    #[test]
+    fn never_amplifies_extrema() {
+        let p = patch();
+        let mut f = Field3::for_patch(&p);
+        for j in p.jm.iter() {
+            for k in p.km.iter() {
+                for i in p.im.iter() {
+                    f.set(i, k, j, ((i * 7 + j * 13 + k) % 11) as f32);
+                }
+            }
+        }
+        let max0 = f.max_abs();
+        let mut w = PointWork::ZERO;
+        for _ in 0..5 {
+            horizontal_diffusion(&mut f, &p, 1.0e5, 12_000.0, 5.0, &mut w);
+        }
+        assert!(f.max_abs() <= max0 + 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "diffusive CFL")]
+    fn unstable_k_rejected() {
+        let p = patch();
+        let mut f = Field3::for_patch(&p);
+        let mut w = PointWork::ZERO;
+        horizontal_diffusion(&mut f, &p, 1.0e7, 1_000.0, 5.0, &mut w);
+    }
+}

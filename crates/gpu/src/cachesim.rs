@@ -1,0 +1,492 @@
+//! Trace-driven cache hierarchy simulator (L1 per SM → shared L2 → DRAM).
+//!
+//! Table VI of the paper contrasts the collapse(2) and collapse(3) kernels
+//! through Nsight Compute's memory counters: L1/TEX hit rate, L2 hit rate,
+//! and DRAM read/write volume. Those quantities are functions of the
+//! *access pattern*, which the two loop layouts change drastically — the
+//! collapse(2) thread walks the whole `i` row with heavy bin-array reuse,
+//! while a collapse(3) thread touches one grid point's slabs strided by
+//! `nkr` elements across a huge footprint. We therefore simulate the
+//! pattern directly: kernels record representative `(address, bytes, rw)`
+//! traces, which drive set-associative LRU caches with NVIDIA-style 32 B
+//! sectors, and the totals are extrapolated by block count.
+//!
+//! Policies: L1 is write-through/no-write-allocate (Ampere global-store
+//! behaviour); L2 is write-back/write-allocate. Writebacks of dirty L2
+//! lines count toward DRAM writes.
+
+/// One memory access in a kernel trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address (virtual; any consistent address space works).
+    pub addr: u64,
+    /// Access width in bytes.
+    pub bytes: u32,
+    /// True for stores.
+    pub write: bool,
+}
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line (sector) size in bytes.
+    pub line: u32,
+}
+
+impl CacheConfig {
+    fn sets(&self) -> usize {
+        (self.bytes / (self.ways as u64 * self.line as u64)).max(1) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// A set-associative LRU cache level.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    /// Line-granular hits.
+    pub hits: u64,
+    /// Line-granular misses.
+    pub misses: u64,
+}
+
+/// Outcome of a line probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present.
+    Hit,
+    /// Line absent; if a dirty victim was evicted its writeback is flagged.
+    Miss {
+        /// A dirty line was evicted and must be written downstream.
+        dirty_writeback: bool,
+    },
+}
+
+impl CacheLevel {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        CacheLevel {
+            cfg,
+            sets: vec![vec![Way::default(); cfg.ways as usize]; sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line(&self) -> u32 {
+        self.cfg.line
+    }
+
+    /// Probes (and fills) the line containing `addr`. `mark_dirty` tags the
+    /// line dirty on hit or fill (write-back caches).
+    pub fn access_line(&mut self, addr: u64, mark_dirty: bool) -> Probe {
+        self.tick += 1;
+        let line_addr = addr / self.cfg.line as u64;
+        let set_idx = (line_addr % self.sets.len() as u64) as usize;
+        let tag = line_addr / self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = self.tick;
+            w.dirty |= mark_dirty;
+            self.hits += 1;
+            return Probe::Hit;
+        }
+        self.misses += 1;
+        // Victimize invalid first, else LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .expect("cache set has ways");
+        let dirty_writeback = victim.valid && victim.dirty;
+        *victim = Way {
+            tag,
+            lru: self.tick,
+            valid: true,
+            dirty: mark_dirty,
+        };
+        Probe::Miss { dirty_writeback }
+    }
+
+    /// Hit rate over all probes so far (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregated traffic statistics of a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemStats {
+    /// L1 probes that hit.
+    pub l1_hits: u64,
+    /// L1 probes that missed.
+    pub l1_misses: u64,
+    /// L2 probes that hit.
+    pub l2_hits: u64,
+    /// L2 probes that missed.
+    pub l2_misses: u64,
+    /// Bytes read from DRAM (L2 fill traffic).
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM (dirty-line writebacks + final flush).
+    pub dram_write_bytes: u64,
+}
+
+impl MemStats {
+    /// L1 hit rate in percent.
+    pub fn l1_hit_pct(&self) -> f64 {
+        pct(self.l1_hits, self.l1_misses)
+    }
+
+    /// L2 hit rate in percent.
+    pub fn l2_hit_pct(&self) -> f64 {
+        pct(self.l2_hits, self.l2_misses)
+    }
+
+    /// Scales byte/probe counts by `factor` (block-count extrapolation).
+    pub fn scaled(&self, factor: f64) -> MemStats {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        MemStats {
+            l1_hits: s(self.l1_hits),
+            l1_misses: s(self.l1_misses),
+            l2_hits: s(self.l2_hits),
+            l2_misses: s(self.l2_misses),
+            dram_read_bytes: s(self.dram_read_bytes),
+            dram_write_bytes: s(self.dram_write_bytes),
+        }
+    }
+}
+
+fn pct(h: u64, m: u64) -> f64 {
+    let t = h + m;
+    if t == 0 {
+        0.0
+    } else {
+        100.0 * h as f64 / t as f64
+    }
+}
+
+/// A multi-SM cache hierarchy: one L1 per simulated SM, a shared L2, and
+/// DRAM byte counters.
+#[derive(Debug)]
+pub struct CacheSim {
+    l1s: Vec<CacheLevel>,
+    l2: CacheLevel,
+    stats: MemStats,
+}
+
+/// A100-shaped L1 (128 KB usable with default carve-out) with 32 B sectors.
+pub const A100_L1: CacheConfig = CacheConfig {
+    bytes: 128 * 1024,
+    ways: 4,
+    line: 32,
+};
+
+/// A100 L2 (40 MB) with 32 B sectors. For tractable simulation of scaled
+/// traces, callers may shrink `bytes` proportionally to the sampled
+/// footprint — see `scaled_l2`.
+pub const A100_L2: CacheConfig = CacheConfig {
+    bytes: 40 * 1024 * 1024,
+    ways: 16,
+    line: 32,
+};
+
+/// An L2 configuration scaled to a sampled fraction of the device: when
+/// simulating `sample` of the roughly homogeneous thread blocks of a
+/// kernel that would collectively enjoy the full 40 MB, the sampled share
+/// of L2 is `sample × bytes` (competition from unsampled blocks would
+/// claim the rest).
+pub fn scaled_l2(fraction: f64) -> CacheConfig {
+    assert!(fraction > 0.0 && fraction <= 1.0);
+    let bytes = ((A100_L2.bytes as f64 * fraction) as u64)
+        .max(A100_L2.ways as u64 * A100_L2.line as u64 * 16);
+    CacheConfig {
+        bytes,
+        ..A100_L2
+    }
+}
+
+impl CacheSim {
+    /// Builds a hierarchy with `n_sms` private L1s and one shared L2.
+    pub fn new(n_sms: usize, l1: CacheConfig, l2: CacheConfig) -> Self {
+        assert!(n_sms > 0);
+        CacheSim {
+            l1s: (0..n_sms).map(|_| CacheLevel::new(l1)).collect(),
+            l2: CacheLevel::new(l2),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Runs one access from SM `sm` through the hierarchy. Accesses wider
+    /// than a line are split into line-sized probes.
+    pub fn access(&mut self, sm: usize, a: MemAccess) {
+        let line = self.l1s[sm % self.l1s.len()].line() as u64;
+        let first = a.addr / line;
+        let last = (a.addr + a.bytes.max(1) as u64 - 1) / line;
+        for l in first..=last {
+            self.access_one(sm, l * line, a.write);
+        }
+    }
+
+    fn access_one(&mut self, sm: usize, line_addr: u64, write: bool) {
+        let line = self.l2.line() as u64;
+        let idx = sm % self.l1s.len();
+        let l1 = &mut self.l1s[idx];
+        if write {
+            // Write-through no-allocate L1: update L1 only on hit.
+            match l1.access_probe_only(line_addr) {
+                true => self.stats.l1_hits += 1,
+                false => self.stats.l1_misses += 1,
+            }
+            // Store goes to L2 (write-allocate, write-back).
+            match self.l2.access_line(line_addr, true) {
+                Probe::Hit => self.stats.l2_hits += 1,
+                Probe::Miss { dirty_writeback } => {
+                    self.stats.l2_misses += 1;
+                    // Fetch-on-write-allocate.
+                    self.stats.dram_read_bytes += line;
+                    if dirty_writeback {
+                        self.stats.dram_write_bytes += line;
+                    }
+                }
+            }
+        } else {
+            match l1.access_line(line_addr, false) {
+                Probe::Hit => {
+                    self.stats.l1_hits += 1;
+                }
+                Probe::Miss { .. } => {
+                    self.stats.l1_misses += 1;
+                    match self.l2.access_line(line_addr, false) {
+                        Probe::Hit => self.stats.l2_hits += 1,
+                        Probe::Miss { dirty_writeback } => {
+                            self.stats.l2_misses += 1;
+                            self.stats.dram_read_bytes += line;
+                            if dirty_writeback {
+                                self.stats.dram_write_bytes += line;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes remaining dirty L2 lines to DRAM and returns final stats.
+    pub fn finish(mut self) -> MemStats {
+        let line = self.l2.line() as u64;
+        for set in &self.l2.sets {
+            for w in set {
+                if w.valid && w.dirty {
+                    self.stats.dram_write_bytes += line;
+                }
+            }
+        }
+        self.stats
+    }
+
+    /// Stats so far, without the final dirty flush.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+}
+
+impl CacheLevel {
+    /// Probe without fill or LRU update beyond a touch (for write-through
+    /// no-allocate L1 stores). Returns hit.
+    fn access_probe_only(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line_addr = addr / self.cfg.line as u64;
+        let set_idx = (line_addr % self.sets.len() as u64) as usize;
+        let tag = line_addr / self.sets.len() as u64;
+        let tick = self.tick;
+        if let Some(w) = self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
+            w.lru = tick;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(bytes: u64, ways: u32) -> CacheConfig {
+        CacheConfig {
+            bytes,
+            ways,
+            line: 32,
+        }
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheLevel::new(tiny(1024, 4));
+        assert_eq!(c.access_line(64, false), Probe::Miss { dirty_writeback: false });
+        assert_eq!(c.access_line(64, false), Probe::Hit);
+        assert_eq!(c.access_line(80, false), Probe::Hit); // same 32B line
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way, 1 set of interest: capacity 64 B, line 32 → 1 set, 2 ways.
+        let mut c = CacheLevel::new(tiny(64, 2));
+        c.access_line(0, false);
+        c.access_line(32, false);
+        c.access_line(0, false); // refresh line 0
+        // New line evicts line 32 (older).
+        c.access_line(64, false);
+        assert_eq!(c.access_line(0, false), Probe::Hit);
+        assert!(matches!(c.access_line(32, false), Probe::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = CacheLevel::new(tiny(64, 2));
+        c.access_line(0, true);
+        c.access_line(32, false);
+        // Evicts dirty line 0.
+        c.access_line(32, false);
+        let p = c.access_line(64, false);
+        assert_eq!(p, Probe::Miss { dirty_writeback: true });
+    }
+
+    #[test]
+    fn streaming_read_misses_every_line() {
+        let mut sim = CacheSim::new(1, tiny(1024, 4), tiny(4096, 8));
+        for i in 0..1000u64 {
+            sim.access(
+                0,
+                MemAccess {
+                    addr: i * 32,
+                    bytes: 4,
+                    write: false,
+                },
+            );
+        }
+        let s = sim.stats();
+        // Every access a new line: all miss through to DRAM.
+        assert_eq!(s.l1_hits, 0);
+        assert_eq!(s.dram_read_bytes, 1000 * 32);
+    }
+
+    #[test]
+    fn small_working_set_hits_in_l1() {
+        let mut sim = CacheSim::new(1, tiny(4096, 4), tiny(65536, 8));
+        // 512 B working set read 100 times.
+        for _ in 0..100 {
+            for i in 0..16u64 {
+                sim.access(
+                    0,
+                    MemAccess {
+                        addr: i * 32,
+                        bytes: 32,
+                        write: false,
+                    },
+                );
+            }
+        }
+        let s = sim.stats();
+        assert!(s.l1_hit_pct() > 98.0, "l1 = {}", s.l1_hit_pct());
+        assert_eq!(s.dram_read_bytes, 16 * 32);
+    }
+
+    #[test]
+    fn l1_write_through_counts_l2_stores() {
+        let mut sim = CacheSim::new(1, tiny(1024, 4), tiny(4096, 8));
+        sim.access(
+            0,
+            MemAccess {
+                addr: 0,
+                bytes: 4,
+                write: true,
+            },
+        );
+        let s = sim.stats();
+        assert_eq!(s.l1_misses, 1);
+        assert_eq!(s.l2_misses, 1);
+        // Final flush writes the dirty line back.
+        let fin = sim.finish();
+        assert_eq!(fin.dram_write_bytes, 32);
+    }
+
+    #[test]
+    fn wide_access_splits_into_lines() {
+        let mut sim = CacheSim::new(1, tiny(1024, 4), tiny(4096, 8));
+        sim.access(
+            0,
+            MemAccess {
+                addr: 0,
+                bytes: 128,
+                write: false,
+            },
+        );
+        let s = sim.stats();
+        assert_eq!(s.l1_hits + s.l1_misses, 4);
+    }
+
+    #[test]
+    fn per_sm_l1s_are_private() {
+        let mut sim = CacheSim::new(2, tiny(1024, 4), tiny(4096, 8));
+        let a = MemAccess {
+            addr: 0,
+            bytes: 4,
+            write: false,
+        };
+        sim.access(0, a);
+        sim.access(1, a); // misses its own L1, hits shared L2
+        let s = sim.stats();
+        assert_eq!(s.l1_misses, 2);
+        assert_eq!(s.l2_hits, 1);
+        assert_eq!(s.l2_misses, 1);
+    }
+
+    #[test]
+    fn scaled_stats() {
+        let s = MemStats {
+            l1_hits: 10,
+            l1_misses: 10,
+            l2_hits: 5,
+            l2_misses: 5,
+            dram_read_bytes: 320,
+            dram_write_bytes: 160,
+        };
+        let t = s.scaled(2.0);
+        assert_eq!(t.dram_read_bytes, 640);
+        assert!((t.l1_hit_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_l2_clamps() {
+        let c = scaled_l2(1e-6);
+        assert!(c.bytes >= c.ways as u64 * c.line as u64);
+        let full = scaled_l2(1.0);
+        assert_eq!(full.bytes, A100_L2.bytes);
+    }
+}

@@ -1,0 +1,223 @@
+//! The OpenMP device data environment: `map` clauses and transfer costs.
+//!
+//! Section V-B of the paper stresses that OpenMP transfers mapped arrays
+//! at every target-region boundary unless explicit data directives keep
+//! them resident. [`DataEnv`] models one rank's view of a device: arrays
+//! become *present* via `enter_data_alloc`/`map_to`; `map_to`/`map_from`
+//! around a kernel move bytes over PCIe and are costed with the machine's
+//! transfer parameters; `require_present` is the runtime presence check
+//! that fails when a kernel touches an unmapped array.
+
+use crate::device::Device;
+use crate::error::GpuError;
+use std::collections::HashMap;
+
+/// Direction of a `map` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapDir {
+    /// `map(to: ...)` — host → device at region entry.
+    To,
+    /// `map(from: ...)` — device → host at region exit.
+    From,
+    /// `map(tofrom: ...)` — both (OpenMP default for arrays).
+    ToFrom,
+    /// `map(alloc: ...)` — allocate only, no transfer.
+    Alloc,
+}
+
+/// One rank's data environment on a device.
+#[derive(Debug, Default)]
+pub struct DataEnv {
+    rank: usize,
+    /// name → bytes for arrays currently present on the device.
+    present: HashMap<String, u64>,
+    /// Cumulative host→device bytes.
+    pub h2d_bytes: u64,
+    /// Cumulative device→host bytes.
+    pub d2h_bytes: u64,
+    /// Cumulative transfer seconds (modeled).
+    pub transfer_secs: f64,
+}
+
+impl DataEnv {
+    /// Creates the environment for `rank`.
+    pub fn new(rank: usize) -> Self {
+        DataEnv {
+            rank,
+            ..Default::default()
+        }
+    }
+
+    /// The owning rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// `omp target enter data map(alloc: name)` — persistent device
+    /// allocation with no transfer (the paper's `temp_arrays` slabs).
+    pub fn enter_data_alloc(
+        &mut self,
+        dev: &mut Device,
+        name: &str,
+        bytes: u64,
+    ) -> Result<(), GpuError> {
+        dev.alloc(self.rank, name, bytes)?;
+        self.present.insert(name.to_string(), bytes);
+        Ok(())
+    }
+
+    /// `omp target exit data map(delete: name)`.
+    pub fn exit_data_delete(&mut self, dev: &mut Device, name: &str) {
+        if self.present.remove(name).is_some() {
+            dev.free(self.rank, name);
+        }
+    }
+
+    /// Applies a `map` clause of `bytes` for `name` at a target-region
+    /// boundary, allocating if absent and accumulating transfer cost.
+    /// Returns the modeled transfer seconds incurred now.
+    pub fn map(
+        &mut self,
+        dev: &mut Device,
+        name: &str,
+        bytes: u64,
+        dir: MapDir,
+    ) -> Result<f64, GpuError> {
+        if !self.present.contains_key(name) {
+            dev.alloc(self.rank, name, bytes)?;
+            self.present.insert(name.to_string(), bytes);
+        }
+        let p = *dev.params();
+        let cost_one = |b: u64| p.pcie_latency + b as f64 / p.pcie_bw;
+        let secs = match dir {
+            MapDir::To => {
+                self.h2d_bytes += bytes;
+                cost_one(bytes)
+            }
+            MapDir::From => {
+                self.d2h_bytes += bytes;
+                cost_one(bytes)
+            }
+            MapDir::ToFrom => {
+                self.h2d_bytes += bytes;
+                self.d2h_bytes += bytes;
+                2.0 * cost_one(bytes)
+            }
+            MapDir::Alloc => 0.0,
+        };
+        self.transfer_secs += secs;
+        Ok(secs)
+    }
+
+    /// True when `name` is present on the device.
+    pub fn is_present(&self, name: &str) -> bool {
+        self.present.contains_key(name)
+    }
+
+    /// Presence check a kernel performs for each referenced array.
+    pub fn require_present(&self, name: &str) -> Result<(), GpuError> {
+        if self.is_present(name) {
+            Ok(())
+        } else {
+            Err(GpuError::NotPresent(name.to_string()))
+        }
+    }
+
+    /// Bytes currently resident for this rank's mapped arrays.
+    pub fn resident_bytes(&self) -> u64 {
+        self.present.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::A100;
+
+    fn dev() -> Device {
+        Device::new(A100)
+    }
+
+    #[test]
+    fn alloc_makes_present_without_transfer() {
+        let mut d = dev();
+        let mut env = DataEnv::new(0);
+        env.enter_data_alloc(&mut d, "fl1_temp", 1 << 20).unwrap();
+        assert!(env.is_present("fl1_temp"));
+        assert_eq!(env.h2d_bytes, 0);
+        assert_eq!(env.transfer_secs, 0.0);
+        assert!(env.require_present("fl1_temp").is_ok());
+    }
+
+    #[test]
+    fn map_to_costs_latency_plus_bandwidth() {
+        let mut d = dev();
+        let mut env = DataEnv::new(0);
+        let secs = env.map(&mut d, "tt", 1 << 20, MapDir::To).unwrap();
+        let expect = A100.pcie_latency + (1 << 20) as f64 / A100.pcie_bw;
+        assert!((secs - expect).abs() < 1e-15);
+        assert_eq!(env.h2d_bytes, 1 << 20);
+        assert_eq!(env.d2h_bytes, 0);
+    }
+
+    #[test]
+    fn tofrom_doubles_traffic() {
+        let mut d = dev();
+        let mut env = DataEnv::new(0);
+        env.map(&mut d, "a", 1000, MapDir::ToFrom).unwrap();
+        assert_eq!(env.h2d_bytes, 1000);
+        assert_eq!(env.d2h_bytes, 1000);
+    }
+
+    #[test]
+    fn repeated_map_reuses_allocation() {
+        let mut d = dev();
+        let mut env = DataEnv::new(0);
+        env.map(&mut d, "a", 1000, MapDir::To).unwrap();
+        let used = d.used_bytes();
+        // Second region boundary: transfer again but no re-allocation.
+        env.map(&mut d, "a", 1000, MapDir::To).unwrap();
+        assert_eq!(d.used_bytes(), used);
+        assert_eq!(env.h2d_bytes, 2000);
+    }
+
+    #[test]
+    fn absent_array_fails_presence_check() {
+        let env = DataEnv::new(0);
+        assert_eq!(
+            env.require_present("cwlg"),
+            Err(GpuError::NotPresent("cwlg".into()))
+        );
+    }
+
+    #[test]
+    fn exit_data_frees_device_memory() {
+        let mut d = dev();
+        let mut env = DataEnv::new(0);
+        env.enter_data_alloc(&mut d, "g1_temp", 1 << 20).unwrap();
+        let used = d.used_bytes();
+        env.exit_data_delete(&mut d, "g1_temp");
+        assert_eq!(d.used_bytes(), used - (1 << 20));
+        assert!(!env.is_present("g1_temp"));
+    }
+
+    #[test]
+    fn resident_bytes_sums() {
+        let mut d = dev();
+        let mut env = DataEnv::new(0);
+        env.enter_data_alloc(&mut d, "a", 100).unwrap();
+        env.enter_data_alloc(&mut d, "b", 200).unwrap();
+        assert_eq!(env.resident_bytes(), 300);
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let mut d = dev();
+        let mut env = DataEnv::new(0);
+        let err = env
+            .enter_data_alloc(&mut d, "huge", A100.hbm_bytes * 2)
+            .unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        assert!(!env.is_present("huge"));
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! A software model of an NVIDIA A100 GPU under OpenMP target offload.
+//!
+//! The paper's port runs on Perlmutter A100s through NVHPC's OpenMP
+//! `target teams distribute parallel do` lowering. With no GPU available to
+//! this reproduction, this crate provides the device as a *simulated
+//! substrate* with two coupled planes:
+//!
+//! * **Functional plane** — [`launch::launch_functional`] executes the
+//!   kernel body (a Rust closure over the collapsed iteration space) with
+//!   real host parallelism (crossbeam scoped threads), so offloaded code
+//!   paths produce real numerical results that tests compare against the
+//!   CPU versions.
+//! * **Performance plane** — [`launch::launch_modeled`] prices the same
+//!   launch on modeled A100 hardware: an occupancy calculator
+//!   ([`occupancy`]), a latency-hiding throughput model, DRAM bandwidth
+//!   bounds, per-thread stack accounting (`NV_ACC_CUDA_STACKSIZE`
+//!   semantics), device-memory capacity with out-of-memory errors, and a
+//!   trace-driven L1/L2 cache simulator ([`cachesim`]) that yields
+//!   Nsight-Compute-style metrics ([`ncu`]) and roofline points
+//!   ([`roofline`]).
+//!
+//! Machine parameters are centralized in [`machine`] with their sources;
+//! calibration constants are documented there and in `EXPERIMENTS.md`.
+
+pub mod cachesim;
+pub mod dataenv;
+pub mod device;
+pub mod error;
+pub mod launch;
+pub mod machine;
+pub mod ncu;
+pub mod occupancy;
+pub mod roofline;
+pub mod syncslice;
+
+pub use dataenv::{DataEnv, MapDir};
+pub use device::Device;
+pub use error::GpuError;
+pub use launch::{launch_functional, launch_modeled, KernelSpec, KernelWork, LaunchStats};
+pub use machine::{CpuParams, GpuParams, Interconnect, A100, EPYC_7763, SLINGSHOT};
+pub use ncu::KernelProfile;
+pub use occupancy::{occupancy_for, OccupancyResult};
+pub use roofline::{Roofline, RooflinePoint};
+pub use syncslice::SyncWriteSlice;

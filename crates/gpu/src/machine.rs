@@ -1,0 +1,265 @@
+//! Machine parameters for the modeled hardware.
+//!
+//! All hardware constants used anywhere in the performance model live here,
+//! with the sources the paper itself cites (Section IV): Perlmutter GPU
+//! nodes carry one 2.45 GHz AMD EPYC 7763 (64 cores) and four NVIDIA A100
+//! GPUs (40 or 80 GB HBM2e; 108 SMs; 9.7 / 19.5 TFLOP/s double/single
+//! precision; 1 555 / 1 935 GB/s).
+//!
+//! Besides datasheet numbers, the model needs a small set of *calibration
+//! constants* (sustained-vs-peak fractions, latency-hiding knee). They are
+//! grouped in [`Calibration`] and discussed in `EXPERIMENTS.md`; they are
+//! fixed once, globally — never tuned per experiment.
+
+/// Parameters of one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuParams {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// SM clock in GHz (boost clock; A100 SXM4).
+    pub clock_ghz: f64,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum registers addressable per thread.
+    pub max_regs_per_thread: u32,
+    /// Register allocation granularity (per warp, in registers).
+    pub reg_alloc_granularity: u32,
+    /// Shared memory per SM in bytes (A100: up to 164 KB configurable).
+    pub smem_per_sm: u32,
+    /// Warp size.
+    pub warp: u32,
+    /// Warp schedulers per SM (instruction issue slots per cycle).
+    pub schedulers_per_sm: u32,
+    /// L1/TEX cache per SM in bytes (A100 unified 192 KB, minus smem carve-out).
+    pub l1_bytes: u32,
+    /// Shared L2 cache in bytes (A100: 40 MB).
+    pub l2_bytes: u64,
+    /// HBM capacity in bytes.
+    pub hbm_bytes: u64,
+    /// HBM bandwidth in bytes/s.
+    pub hbm_bw: f64,
+    /// Peak FP32 throughput, FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak FP64 throughput, FLOP/s.
+    pub fp64_flops: f64,
+    /// Host↔device interconnect bandwidth in bytes/s (PCIe 4.0 x16
+    /// effective, ~24 GB/s).
+    pub pcie_bw: f64,
+    /// Host↔device transfer latency per operation, seconds.
+    pub pcie_latency: f64,
+    /// Kernel launch overhead, seconds (OpenMP target region entry;
+    /// NVHPC measures ~10 µs).
+    pub launch_overhead: f64,
+    /// Default per-thread device stack size in bytes (CUDA default 1 KiB).
+    pub default_stack_bytes: u64,
+}
+
+impl GpuParams {
+    /// Total resident-thread capacity of the device.
+    pub fn thread_capacity(&self) -> u64 {
+        self.sms as u64 * self.max_threads_per_sm as u64
+    }
+
+    /// The device-side stack pool reserved for a context configured with
+    /// `stack_bytes` per thread: the CUDA runtime reserves stack for every
+    /// potentially-resident thread (`NV_ACC_CUDA_STACKSIZE` semantics).
+    pub fn stack_pool_bytes(&self, stack_bytes: u64) -> u64 {
+        self.thread_capacity() * stack_bytes
+    }
+
+    /// Clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+}
+
+/// NVIDIA A100-SXM4-80GB as deployed in Perlmutter GPU nodes.
+pub const A100: GpuParams = GpuParams {
+    name: "NVIDIA A100-SXM4-80GB",
+    sms: 108,
+    clock_ghz: 1.41,
+    max_threads_per_sm: 2048,
+    max_blocks_per_sm: 32,
+    regs_per_sm: 65536,
+    max_regs_per_thread: 255,
+    reg_alloc_granularity: 256,
+    smem_per_sm: 164 * 1024,
+    warp: 32,
+    schedulers_per_sm: 4,
+    l1_bytes: 192 * 1024,
+    l2_bytes: 40 * 1024 * 1024,
+    hbm_bytes: 80 * 1024 * 1024 * 1024,
+    hbm_bw: 1935.0e9,
+    fp32_flops: 19.5e12,
+    fp64_flops: 9.7e12,
+    pcie_bw: 24.0e9,
+    pcie_latency: 10.0e-6,
+    launch_overhead: 10.0e-6,
+    default_stack_bytes: 1024,
+};
+
+/// The 40 GB variant (Perlmutter has both; the multi-rank OOM limit of
+/// Section VII-A is sensitive to which one a job lands on).
+pub const A100_40GB: GpuParams = GpuParams {
+    name: "NVIDIA A100-SXM4-40GB",
+    hbm_bytes: 40 * 1024 * 1024 * 1024,
+    hbm_bw: 1555.0e9,
+    ..A100
+};
+
+/// Parameters of the host CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuParams {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores per socket/node.
+    pub cores: u32,
+    /// Base clock, GHz.
+    pub clock_ghz: f64,
+    /// Sustained FP32 FLOP/s per core on branch-heavy bin-microphysics
+    /// code. EPYC 7763 peak is 16 FP32 FLOP/cycle (2×AVX2 FMA) ≈ 39 GF;
+    /// the FSBM inner loops are short, branchy and latency-bound, so the
+    /// sustained figure is far lower — this is the single most important
+    /// CPU calibration constant (see `Calibration`).
+    pub sustained_flops_per_core: f64,
+    /// Sustained memory bandwidth per node, bytes/s (8-channel DDR4-3200).
+    pub mem_bw: f64,
+}
+
+/// AMD EPYC 7763 (Milan) as in Perlmutter GPU/CPU nodes.
+pub const EPYC_7763: CpuParams = CpuParams {
+    name: "AMD EPYC 7763",
+    cores: 64,
+    clock_ghz: 2.45,
+    sustained_flops_per_core: 3.2e9,
+    mem_bw: 190.0e9,
+};
+
+/// An α–β model of the interconnect between ranks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// Per-message latency, seconds.
+    pub alpha: f64,
+    /// Bandwidth, bytes/s.
+    pub beta: f64,
+    /// Latency for intra-node (shared-memory) messages, seconds.
+    pub alpha_local: f64,
+    /// Intra-node bandwidth, bytes/s.
+    pub beta_local: f64,
+}
+
+impl Interconnect {
+    /// Time to move `bytes` between two ranks.
+    pub fn transfer_secs(&self, bytes: u64, same_node: bool) -> f64 {
+        if same_node {
+            self.alpha_local + bytes as f64 / self.beta_local
+        } else {
+            self.alpha + bytes as f64 / self.beta
+        }
+    }
+}
+
+/// HPE Slingshot-11 class network as on Perlmutter.
+pub const SLINGSHOT: Interconnect = Interconnect {
+    alpha: 2.0e-6,
+    beta: 22.0e9,
+    alpha_local: 0.6e-6,
+    beta_local: 80.0e9,
+};
+
+/// Global calibration constants of the performance model. Fixed once for
+/// the whole reproduction; see `EXPERIMENTS.md` for the rationale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Resident warps per SM needed to fully hide latency. Below this the
+    /// achievable issue rate degrades linearly. Branch-heavy, local-memory
+    /// heavy kernels on Ampere need on the order of 8–16 warps/SM.
+    pub latency_hiding_warps: f64,
+    /// Minimum fraction of peak issue rate at occupancy → 0 (a single
+    /// resident warp still makes progress).
+    pub min_issue_fraction: f64,
+    /// Fraction of peak FLOP/s a divergent, local-memory-bound kernel can
+    /// sustain at full occupancy.
+    pub gpu_sustained_fraction: f64,
+    /// Instruction issue slots consumed per 4-byte local/global memory
+    /// operand touched (address math + LSU pressure), in cycles.
+    pub cycles_per_mem_op: f64,
+    /// Average exposed latency of a local/global memory access, cycles
+    /// (Ampere local memory round-trips L2/DRAM: ~400-600).
+    pub mem_latency_cycles: f64,
+    /// Latency of an arithmetic slot, cycles.
+    pub alu_latency_cycles: f64,
+    /// Instruction-level parallelism a thread's dependent chains expose
+    /// (how many outstanding accesses overlap within one thread).
+    pub thread_ilp: f64,
+}
+
+/// Default calibration used everywhere. The latency-hiding knee is set
+/// for *local-memory-dominated* kernels like the FSBM collision routine
+/// (register spills + automatic arrays → hundreds of cycles of exposed
+/// latency per dependent access): ~48 resident warps/SM are needed to
+/// approach peak issue, so the collapse(2) launch (4 warps/SM on 30 of
+/// 108 SMs) lands deep in the linear regime — reproducing the ~10×
+/// collapse(3)/collapse(2) ratio of Tables V–VI.
+pub const CALIBRATION: Calibration = Calibration {
+    latency_hiding_warps: 48.0,
+    min_issue_fraction: 0.02,
+    gpu_sustained_fraction: 0.35,
+    cycles_per_mem_op: 1.0,
+    mem_latency_cycles: 500.0,
+    alu_latency_cycles: 4.0,
+    thread_ilp: 2.0,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_thread_capacity() {
+        assert_eq!(A100.thread_capacity(), 108 * 2048);
+    }
+
+    #[test]
+    fn stack_pool_at_64k_is_about_14_gib() {
+        let pool = A100.stack_pool_bytes(65536);
+        let gib = pool as f64 / (1u64 << 30) as f64;
+        // 108 * 2048 * 64 KiB = 13.5 GiB
+        assert!((13.0..14.0).contains(&gib), "pool = {gib} GiB");
+    }
+
+    #[test]
+    fn stack_pool_default_is_small() {
+        let pool = A100.stack_pool_bytes(A100.default_stack_bytes);
+        assert_eq!(pool, 108 * 2048 * 1024);
+        assert!(pool < 256 * 1024 * 1024);
+    }
+
+    #[test]
+    fn variants_share_compute() {
+        assert_eq!(A100_40GB.sms, A100.sms);
+        const { assert!(A100_40GB.hbm_bytes < A100.hbm_bytes) };
+        const { assert!(A100_40GB.hbm_bw < A100.hbm_bw) };
+    }
+
+    #[test]
+    fn interconnect_monotonic_in_bytes() {
+        let t1 = SLINGSHOT.transfer_secs(1_000, false);
+        let t2 = SLINGSHOT.transfer_secs(1_000_000, false);
+        assert!(t2 > t1);
+        assert!(SLINGSHOT.transfer_secs(1_000, true) < t1);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let t = SLINGSHOT.transfer_secs(8, false);
+        let latency_share = SLINGSHOT.alpha / t;
+        assert!(latency_share > 0.99, "share = {latency_share}");
+    }
+}

@@ -1,0 +1,208 @@
+//! CUDA-occupancy-calculator-style resident-block and occupancy model.
+//!
+//! Reproduces the logic behind Table VI's "Achieved occupancy" row: how
+//! many thread blocks of a kernel can be resident per SM given its
+//! register / thread / block-slot / shared-memory demands, and what
+//! fraction of the device's warp slots the actual launch fills. The
+//! collapse(2) kernel launches far fewer blocks than the device has SMs,
+//! so its occupancy is grid-limited to single digits; the collapse(3)
+//! kernel launches thousands of blocks and is register-limited near 37 %.
+
+use crate::machine::GpuParams;
+
+/// What bounded the number of resident blocks per SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Too few blocks in the grid to fill the device.
+    GridSize,
+    /// Register file exhausted.
+    Registers,
+    /// Thread-slot limit reached.
+    Threads,
+    /// Block-slot limit reached.
+    Blocks,
+    /// Shared memory exhausted.
+    SharedMemory,
+}
+
+/// Result of the occupancy computation for one launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyResult {
+    /// Blocks the resource limits allow per SM.
+    pub resident_blocks_per_sm: u32,
+    /// Theoretical occupancy: resident threads / max threads per SM.
+    pub theoretical: f64,
+    /// Device-wide achieved occupancy: average resident warps per SM
+    /// during the launch divided by the warp capacity, accounting for
+    /// grids smaller than the device (ncu's "Achieved Occupancy").
+    pub achieved: f64,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Number of full-device waves needed to run the grid.
+    pub waves: u64,
+    /// The binding resource.
+    pub limiter: Limiter,
+    /// Resident warps per SM while the kernel saturates the device
+    /// (or per *active* SM for grid-limited launches) — the quantity the
+    /// latency-hiding model consumes.
+    pub resident_warps_per_active_sm: f64,
+}
+
+/// Computes occupancy for a launch of `grid_blocks` blocks of
+/// `block_threads` threads, each thread using `regs_per_thread` registers
+/// and each block `smem_per_block` bytes of shared memory.
+pub fn occupancy_for(
+    gpu: &GpuParams,
+    grid_blocks: u64,
+    block_threads: u32,
+    regs_per_thread: u32,
+    smem_per_block: u32,
+) -> OccupancyResult {
+    assert!(block_threads > 0 && block_threads <= 1024);
+    assert!(grid_blocks > 0);
+    let warps_per_block = block_threads.div_ceil(gpu.warp);
+
+    // Register allocation is per warp, rounded to the allocation granule.
+    let regs_per_warp =
+        (regs_per_thread.max(32) * gpu.warp).div_ceil(gpu.reg_alloc_granularity)
+            * gpu.reg_alloc_granularity;
+    let regs_per_block = regs_per_warp * warps_per_block;
+
+    let by_regs = gpu
+        .regs_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let by_threads = gpu.max_threads_per_sm / block_threads;
+    let by_blocks = gpu.max_blocks_per_sm;
+    let by_smem = gpu
+        .smem_per_sm
+        .checked_div(smem_per_block)
+        .unwrap_or(u32::MAX);
+
+    let resident = by_regs.min(by_threads).min(by_blocks).min(by_smem);
+    let mut limiter = if resident == by_threads {
+        Limiter::Threads
+    } else if resident == by_regs {
+        Limiter::Registers
+    } else if resident == by_smem {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Blocks
+    };
+
+    let theoretical =
+        (resident * block_threads) as f64 / gpu.max_threads_per_sm as f64;
+
+    // Device-wide achieved occupancy: total warp-residency the grid can
+    // sustain, averaged over all SMs. Grids smaller than one wave leave
+    // SMs idle and dominate the achieved figure.
+    let device_resident_blocks = resident as u64 * gpu.sms as u64;
+    let waves = grid_blocks.div_ceil(device_resident_blocks.max(1)).max(1);
+    let blocks_in_flight = grid_blocks.min(device_resident_blocks) as f64;
+    let achieved = (blocks_in_flight * warps_per_block as f64)
+        / (gpu.sms as f64 * (gpu.max_threads_per_sm / gpu.warp) as f64);
+    if grid_blocks < device_resident_blocks {
+        limiter = Limiter::GridSize;
+    }
+
+    // Warps per SM that actually have work, for the latency-hiding model:
+    // for grid-limited launches, blocks spread one per SM.
+    let active_sms = (grid_blocks.min(gpu.sms as u64)) as f64;
+    let resident_warps_per_active_sm = if waves == 1 && grid_blocks <= gpu.sms as u64 {
+        warps_per_block as f64 * (grid_blocks as f64 / active_sms)
+    } else {
+        (blocks_in_flight / gpu.sms as f64) * warps_per_block as f64
+    };
+
+    OccupancyResult {
+        resident_blocks_per_sm: resident,
+        theoretical,
+        achieved: achieved.min(theoretical),
+        grid_blocks,
+        waves,
+        limiter,
+        resident_warps_per_active_sm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::A100;
+
+    /// The collapse(2) launch of the paper: a 75×50 (j,k) iteration space
+    /// on one patch → ~30 blocks of 128 → single-digit achieved occupancy.
+    #[test]
+    fn collapse2_is_grid_limited_single_digit() {
+        let iters = 75u64 * 50;
+        let blocks = iters.div_ceil(128);
+        let occ = occupancy_for(&A100, blocks, 128, 168, 0);
+        assert_eq!(occ.limiter, Limiter::GridSize);
+        assert_eq!(occ.waves, 1);
+        assert!(occ.achieved < 0.10, "achieved = {}", occ.achieved);
+        assert!(occ.achieved > 0.001);
+    }
+
+    /// The collapse(3) launch: 106×50×75 grid points → thousands of blocks;
+    /// with ~80 regs/thread the kernel is register-limited near 37 %.
+    #[test]
+    fn collapse3_is_register_limited_around_37_percent() {
+        let iters = 106u64 * 50 * 75;
+        let blocks = iters.div_ceil(128);
+        let occ = occupancy_for(&A100, blocks, 128, 80, 0);
+        assert_eq!(occ.limiter, Limiter::Registers);
+        assert!(occ.waves > 1);
+        assert!(
+            (0.30..0.45).contains(&occ.achieved),
+            "achieved = {}",
+            occ.achieved
+        );
+    }
+
+    #[test]
+    fn low_register_kernel_is_thread_limited() {
+        let occ = occupancy_for(&A100, 100_000, 128, 32, 0);
+        assert_eq!(occ.limiter, Limiter::Threads);
+        assert!((occ.theoretical - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smem_limits_when_large() {
+        // 40 KB of shared memory per block → 4 blocks/SM on A100.
+        let occ = occupancy_for(&A100, 100_000, 128, 32, 40 * 1024);
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+        assert_eq!(occ.resident_blocks_per_sm, 4);
+    }
+
+    #[test]
+    fn waves_scale_with_grid() {
+        let a = occupancy_for(&A100, 10_000, 128, 80, 0);
+        let b = occupancy_for(&A100, 20_000, 128, 80, 0);
+        assert!(b.waves >= a.waves);
+        assert!((b.waves as f64 / a.waves as f64 - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn achieved_never_exceeds_theoretical() {
+        for regs in [32, 64, 80, 128, 200] {
+            for blocks in [1u64, 10, 108, 1000, 100_000] {
+                let occ = occupancy_for(&A100, blocks, 128, regs, 0);
+                assert!(occ.achieved <= occ.theoretical + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_block_has_one_sm_worth_of_warps() {
+        let occ = occupancy_for(&A100, 1, 128, 64, 0);
+        assert_eq!(occ.limiter, Limiter::GridSize);
+        assert!((occ.resident_warps_per_active_sm - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_registers_still_runs() {
+        let occ = occupancy_for(&A100, 1_000_000, 128, 255, 0);
+        assert!(occ.resident_blocks_per_sm >= 1);
+        assert_eq!(occ.limiter, Limiter::Registers);
+    }
+}

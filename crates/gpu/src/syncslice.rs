@@ -1,0 +1,168 @@
+//! Disjoint-write shared slices for kernel bodies.
+//!
+//! OpenMP offload kernels freely write shared device arrays, relying on the
+//! programmer's (or Codee's) dependence analysis to guarantee that distinct
+//! iterations touch disjoint elements — exactly the property Section VI-A
+//! of the paper establishes for the FSBM grid-point loops before
+//! parallelizing them. [`SyncWriteSlice`] encodes that contract in Rust:
+//! it is `Sync` and allows unsynchronized writes, with the disjointness
+//! obligation carried by the unsafe constructor.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A shared, writable view of a slice for data-parallel kernels whose
+/// iterations write disjoint index sets.
+///
+/// # Safety contract
+///
+/// Constructing one asserts that concurrent users never write the same
+/// element and never read an element another thread writes during the
+/// kernel. This is the OpenMP "no loop-carried dependence" obligation that
+/// Codee's analysis discharges for the FSBM loops.
+pub struct SyncWriteSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: PhantomData<&'a UnsafeCell<[T]>>,
+}
+
+unsafe impl<T: Send + Sync> Send for SyncWriteSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for SyncWriteSlice<'_, T> {}
+
+impl<'a, T> SyncWriteSlice<'a, T> {
+    /// Wraps a mutable slice.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee that, for the lifetime of the wrapper, every
+    /// element index is written by at most one thread and no element is
+    /// concurrently read and written by different threads.
+    pub unsafe fn new(slice: &'a mut [T]) -> Self {
+        SyncWriteSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _life: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `idx`. Bounds-checked.
+    #[inline]
+    pub fn set(&self, idx: usize, value: T) {
+        assert!(idx < self.len, "index {idx} out of bounds ({})", self.len);
+        // SAFETY: bounds checked above; disjointness guaranteed by the
+        // constructor's contract.
+        unsafe { *self.ptr.add(idx) = value }
+    }
+
+    /// Reads the element at `idx` (requires `T: Copy`). Bounds-checked.
+    #[inline]
+    pub fn get(&self, idx: usize) -> T
+    where
+        T: Copy,
+    {
+        assert!(idx < self.len, "index {idx} out of bounds ({})", self.len);
+        // SAFETY: bounds checked; contract forbids concurrent writes to
+        // elements being read.
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    /// A mutable subslice `[start, start+len)` usable by exactly one
+    /// thread. Bounds-checked; disjointness across threads remains the
+    /// caller's obligation.
+    // The &self → &mut deliberately encodes the disjoint-write contract
+    // established at construction (UnsafeCell-backed interior mutability).
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub fn subslice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start.checked_add(len).is_some_and(|e| e <= self.len),
+            "subslice {start}+{len} out of bounds ({})",
+            self.len
+        );
+        // SAFETY: range checked; exclusive use per the contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_disjoint_writes() {
+        let mut data = vec![0u64; 4096];
+        {
+            let view = unsafe { SyncWriteSlice::new(&mut data) };
+            std::thread::scope(|s| {
+                for t in 0..8usize {
+                    let view = &view;
+                    s.spawn(move || {
+                        for i in (t..4096).step_by(8) {
+                            view.set(i, i as u64);
+                        }
+                    });
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn subslices_partition() {
+        let mut data = vec![0u32; 100];
+        {
+            let view = unsafe { SyncWriteSlice::new(&mut data) };
+            std::thread::scope(|s| {
+                for t in 0..4usize {
+                    let view = &view;
+                    s.spawn(move || {
+                        let sub = view.subslice_mut(t * 25, 25);
+                        sub.fill(t as u32 + 1);
+                    });
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v as usize, i / 25 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_oob_panics() {
+        let mut data = vec![0u8; 4];
+        let view = unsafe { SyncWriteSlice::new(&mut data) };
+        view.set(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn subslice_oob_panics() {
+        let mut data = vec![0u8; 4];
+        let view = unsafe { SyncWriteSlice::new(&mut data) };
+        let _ = view.subslice_mut(2, 3);
+    }
+
+    #[test]
+    fn get_reads_back() {
+        let mut data = vec![1.5f32; 8];
+        let view = unsafe { SyncWriteSlice::new(&mut data) };
+        view.set(3, 7.5);
+        assert_eq!(view.get(3), 7.5);
+        assert_eq!(view.get(2), 1.5);
+        assert_eq!(view.len(), 8);
+        assert!(!view.is_empty());
+    }
+}

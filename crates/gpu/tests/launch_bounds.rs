@@ -1,0 +1,117 @@
+//! Launch-pricing bounds: which resource limits a kernel and how the
+//! three planes (issue, DRAM, per-thread latency) trade off.
+
+use gpu_sim::launch::{launch_modeled, Bound, KernelSpec, KernelWork};
+use gpu_sim::machine::A100;
+
+fn spec(regs: u32) -> KernelSpec {
+    KernelSpec {
+        name: "k".into(),
+        block_threads: 128,
+        regs_per_thread: regs,
+        smem_per_block: 0,
+        stack_bytes_per_thread: 0,
+        collapse: 3,
+    }
+}
+
+/// Few fat threads with heavy per-thread memory chains → latency-bound
+/// (the collapse(2) regime).
+#[test]
+fn fat_threads_are_latency_bound() {
+    let w = KernelWork {
+        iters: 3_750,
+        flops_f32: 1.0e9,
+        flops_f64: 0.0,
+        mem_ops: 5.0e8,
+        dram_read_bytes: 5.0e7,
+        dram_write_bytes: 2.0e7,
+        warp_efficiency: 0.8,
+    };
+    let s = launch_modeled(&A100, &spec(168), &w).unwrap();
+    assert_eq!(s.bound, Bound::Latency);
+    // Same total work spread over 100x more threads: far less exposed
+    // per-thread latency, much faster wall time.
+    let thin = KernelWork {
+        iters: 375_000,
+        ..w
+    };
+    let s2 = launch_modeled(&A100, &spec(80), &thin).unwrap();
+    assert!(s2.time_secs < s.time_secs / 3.0);
+}
+
+/// Pure streaming kernels are DRAM-bound and their time equals
+/// bytes/bandwidth plus overhead.
+#[test]
+fn streaming_kernel_hits_the_memory_roof() {
+    let w = KernelWork {
+        iters: 10_000_000,
+        flops_f32: 1.0e7,
+        flops_f64: 0.0,
+        mem_ops: 1.0e7,
+        dram_read_bytes: 200.0e9,
+        dram_write_bytes: 100.0e9,
+        warp_efficiency: 1.0,
+    };
+    let s = launch_modeled(&A100, &spec(32), &w).unwrap();
+    assert_eq!(s.bound, Bound::Memory);
+    let ideal = 300.0e9 / A100.hbm_bw;
+    assert!((s.time_secs - ideal - A100.launch_overhead).abs() / ideal < 1e-6);
+}
+
+/// Compute-dense kernels at full occupancy are issue-bound.
+#[test]
+fn dense_math_is_compute_bound() {
+    let w = KernelWork {
+        iters: 10_000_000,
+        flops_f32: 1.0e12,
+        flops_f64: 0.0,
+        mem_ops: 1.0e9,
+        dram_read_bytes: 1.0e9,
+        dram_write_bytes: 1.0e9,
+        warp_efficiency: 1.0,
+    };
+    let s = launch_modeled(&A100, &spec(32), &w).unwrap();
+    assert_eq!(s.bound, Bound::Compute);
+    // Achieved GFLOP/s stays below the sustained fraction of the
+    // datasheet peak (the FP-pipe ceiling).
+    assert!(s.gflops() <= 19_500.0 * 0.35 * 1.01, "gflops = {}", s.gflops());
+    assert!(s.gflops() > 100.0);
+}
+
+/// More waves at fixed per-thread work scale time roughly linearly.
+#[test]
+fn waves_scale_time() {
+    let mk = |iters: u64| KernelWork {
+        iters,
+        flops_f32: iters as f64 * 10_000.0,
+        flops_f64: 0.0,
+        mem_ops: iters as f64 * 1_000.0,
+        dram_read_bytes: iters as f64 * 100.0,
+        dram_write_bytes: iters as f64 * 50.0,
+        warp_efficiency: 1.0,
+    };
+    let a = launch_modeled(&A100, &spec(80), &mk(500_000)).unwrap();
+    let b = launch_modeled(&A100, &spec(80), &mk(2_000_000)).unwrap();
+    let ratio = b.time_secs / a.time_secs;
+    assert!((3.0..5.0).contains(&ratio), "4x work → ~4x time, got {ratio}");
+}
+
+/// Register pressure lengthens grid-saturating kernels (fewer resident
+/// warps to hide latency with).
+#[test]
+fn register_pressure_costs_time() {
+    let w = KernelWork {
+        iters: 1_000_000,
+        flops_f32: 5.0e9,
+        flops_f64: 0.0,
+        mem_ops: 2.0e9,
+        dram_read_bytes: 1.0e9,
+        dram_write_bytes: 5.0e8,
+        warp_efficiency: 0.7,
+    };
+    let lean = launch_modeled(&A100, &spec(64), &w).unwrap();
+    let fat = launch_modeled(&A100, &spec(255), &w).unwrap();
+    assert!(fat.occupancy.achieved < lean.occupancy.achieved);
+    assert!(fat.time_secs >= lean.time_secs);
+}

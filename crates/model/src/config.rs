@@ -1,0 +1,84 @@
+//! Namelist-style model configuration.
+
+use fsbm_core::scheme::SbmVersion;
+use wrf_cases::ConusParams;
+
+/// Configuration of a model run (the subset of WRF's `namelist.input`
+/// the paper's experiments exercise).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Scenario parameters (grid, spacing, Δt, storms).
+    pub case: ConusParams,
+    /// Microphysics version under test.
+    pub version: SbmVersion,
+    /// MPI ranks (domain decomposition).
+    pub ranks: usize,
+    /// OpenMP tiles per rank (WRF `numtiles`; the paper runs 1).
+    pub tiles: usize,
+    /// Halo width (WRF uses 3 for 5th-order advection; ≥ 2 required).
+    pub halo: i32,
+    /// Host worker threads standing in for one GPU's parallelism in
+    /// functional offloaded runs.
+    pub device_workers: Option<usize>,
+    /// Simulation length in minutes (the paper runs 10).
+    pub minutes: f64,
+}
+
+impl ModelConfig {
+    /// The paper's headline configuration: CONUS-12km, 16 ranks,
+    /// 1 thread/rank, 10 simulated minutes.
+    pub fn paper_default(version: SbmVersion) -> Self {
+        ModelConfig {
+            case: ConusParams::full(),
+            version,
+            ranks: 16,
+            tiles: 1,
+            halo: 3,
+            device_workers: None,
+            minutes: 10.0,
+        }
+    }
+
+    /// A reduced functional configuration for tests and coefficient
+    /// measurement: `scale` shrinks the horizontal grid, `nz` the levels.
+    pub fn functional(version: SbmVersion, scale: f64, nz: i32) -> Self {
+        let mut case = ConusParams::at_scale(scale);
+        case.nz = nz;
+        ModelConfig {
+            case,
+            version,
+            ranks: 1,
+            tiles: 1,
+            halo: 3,
+            device_workers: Some(4),
+            minutes: 1.0,
+        }
+    }
+
+    /// Number of time steps in the configured run.
+    pub fn steps(&self) -> usize {
+        ((self.minutes * 60.0) / self.case.dt as f64).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_iv() {
+        let c = ModelConfig::paper_default(SbmVersion::Baseline);
+        assert_eq!(c.ranks, 16);
+        assert_eq!(c.tiles, 1);
+        assert_eq!(c.steps(), 120);
+        assert_eq!(c.case.nx, 425);
+    }
+
+    #[test]
+    fn functional_config_shrinks() {
+        let c = ModelConfig::functional(SbmVersion::Lookup, 0.05, 12);
+        assert!(c.case.nx <= 25);
+        assert_eq!(c.case.nz, 12);
+        assert!(c.steps() >= 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Table I: the gprof / Nsight-Systems hotspot comparison.
+//!
+//! gprof aggregates self time over *all* ranks; the NVTX/Nsight column
+//! profiles the single rank the authors selected (a heavily loaded one).
+//! Because FSBM work is spatially clustered, the two views disagree —
+//! `fast_sbm` is ~51 % in the aggregate but ~77 % on the storm-heavy
+//! rank. Both views are produced here from the same per-rank modeled
+//! times.
+
+use crate::perfmodel::{ExperimentResult, RankStepTime};
+use prof_sim::{FlatProfiler, FlatReport, RangeProfiler, RangeReport};
+
+
+/// The routine names of Table I plus the residual categories.
+pub const ROUTINES: [&str; 5] = [
+    "fast_sbm",
+    "rk_scalar_tend",
+    "rk_update_scalar",
+    "solve_em_other",
+    "mpi_halo",
+];
+
+fn routine_secs(t: &RankStepTime, name: &str) -> f64 {
+    match name {
+        "fast_sbm" => t.fast_sbm,
+        "rk_scalar_tend" => t.rk_scalar_tend,
+        "rk_update_scalar" => t.rk_update_scalar,
+        "solve_em_other" => t.other_dyn,
+        "mpi_halo" => t.comm,
+        _ => 0.0,
+    }
+}
+
+/// Builds the gprof-style aggregate flat profile over all ranks.
+pub fn gprof_view(exp: &ExperimentResult) -> FlatReport {
+    let prof = FlatProfiler::new();
+    for rank in &exp.per_rank {
+        for name in ROUTINES {
+            prof.record_calls(name, routine_secs(rank, name) * exp.steps as f64, exp.steps as u64);
+        }
+    }
+    prof.report()
+}
+
+/// Builds the Nsight-Systems-style range profile of the heaviest rank.
+pub fn nsys_view(exp: &ExperimentResult) -> RangeReport {
+    let rank = exp.critical();
+    let mut prof = RangeProfiler::new();
+    for _ in 0..exp.steps {
+        prof.push("solve_em");
+        for name in ["rk_scalar_tend", "rk_update_scalar", "solve_em_other"] {
+            prof.scoped(name, routine_secs(rank, name));
+        }
+        prof.scoped("fast_sbm", rank.fast_sbm);
+        prof.scoped("mpi_halo", rank.comm);
+        prof.pop();
+    }
+    prof.report()
+}
+
+/// Renders the heavy rank's modeled step as an Nsight-Systems-style
+/// text timeline (three steps shown for context).
+pub fn nsys_timeline(exp: &ExperimentResult, width: usize) -> String {
+    let rank = exp.critical();
+    let mut prof = RangeProfiler::new();
+    for _ in 0..3 {
+        prof.push("solve_em");
+        for name in ["rk_scalar_tend", "rk_update_scalar", "solve_em_other"] {
+            prof.scoped(name, routine_secs(rank, name));
+        }
+        prof.scoped("fast_sbm", rank.fast_sbm);
+        prof.scoped("mpi_halo", rank.comm);
+        prof.pop();
+    }
+    prof.render_timeline(width)
+}
+
+/// The Table I rows: `(routine, gprof %, nsys %)`.
+pub fn table1(exp: &ExperimentResult) -> Vec<(String, f64, f64)> {
+    let g = gprof_view(exp);
+    let n = nsys_view(exp);
+    ["fast_sbm", "rk_scalar_tend", "rk_update_scalar"]
+        .iter()
+        .map(|r| (r.to_string(), g.percent_of(r), n.percent_of(r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfmodel::{experiment, ExperimentConfig, PerfParams};
+    use fsbm_core::scheme::SbmVersion;
+    use wrf_cases::ConusParams;
+
+    #[test]
+    fn views_cover_all_routines() {
+        let (coeffs, traffic) = *crate::perfmodel::test_fixture();
+        let pp = PerfParams::default();
+        let exp = experiment(
+            &ExperimentConfig {
+                case: ConusParams::full(),
+                version: SbmVersion::Baseline,
+                ranks: 16,
+                gpus: 0,
+                minutes: 10.0,
+            },
+            &coeffs,
+            &pp,
+            &traffic,
+        );
+        let g = gprof_view(&exp);
+        let total_pct: f64 = ROUTINES.iter().map(|r| g.percent_of(r)).sum();
+        assert!((total_pct - 100.0).abs() < 1e-6, "gprof covers everything");
+        let n = nsys_view(&exp);
+        // solve_em wraps the whole step on the heavy rank.
+        assert!((n.percent_of("solve_em") - 100.0).abs() < 1e-6);
+        // The timeline renders every lane.
+        let t = nsys_timeline(&exp, 60);
+        for r in ROUTINES {
+            assert!(t.contains(r), "timeline lane {r} missing:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table1_shape_reproduced() {
+        let (coeffs, traffic) = *crate::perfmodel::test_fixture();
+        let pp = PerfParams::default();
+        let exp = experiment(
+            &ExperimentConfig {
+                case: ConusParams::full(),
+                version: SbmVersion::Baseline,
+                ranks: 16,
+                gpus: 0,
+                minutes: 10.0,
+            },
+            &coeffs,
+            &pp,
+            &traffic,
+        );
+        let rows = table1(&exp);
+        let (name0, gprof_sbm, nsys_sbm) = &rows[0];
+        assert_eq!(name0, "fast_sbm");
+        // Paper: 51.4 % aggregate, 77.1 % on the heavy rank. Shape: the
+        // heavy-rank share must exceed the aggregate share markedly, and
+        // fast_sbm must be the top hotspot.
+        assert!(
+            nsys_sbm > &(gprof_sbm + 5.0),
+            "imbalance must show: gprof {gprof_sbm:.1} vs nsys {nsys_sbm:.1}"
+        );
+        assert!(*gprof_sbm > 25.0, "fast_sbm aggregate {gprof_sbm:.1}%");
+        let (_, gprof_tend, nsys_tend) = &rows[1];
+        assert!(
+            gprof_tend > nsys_tend,
+            "advection share shrinks on the heavy rank"
+        );
+        // fast_sbm dominates rk_scalar_tend which dominates the update.
+        assert!(gprof_sbm > gprof_tend);
+        assert!(*gprof_tend > rows[2].1);
+    }
+}

@@ -1,0 +1,482 @@
+//! Single-rank functional model.
+
+use crate::config::ModelConfig;
+use fsbm_core::meter::PointWork;
+use fsbm_core::scheme::{FastSbm, SbmConfig, SbmStepStats};
+use fsbm_core::state::SbmPatchState;
+use fsbm_core::types::{NKR, NTYPES};
+use prof_sim::Stopwatch;
+use wrf_cases::ConusCase;
+use wrf_dycore::diffusion::horizontal_diffusion;
+use wrf_dycore::rk3::{rk3_advect_scalar, Rk3Work};
+use wrf_dycore::wind::{storm_wind, StormWind, Wind};
+use wrf_grid::{two_d_decomposition, Field3, PatchSpec};
+
+/// Per-step report of the functional model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Advection work split by routine.
+    pub rk3: Rk3Work,
+    /// Wind-fill work (part of the residual dynamics).
+    pub wind_work: PointWork,
+    /// Number of 3-D scalars advected this step (vapor + occupied bins).
+    pub scalars_advected: usize,
+    /// Microphysics statistics.
+    pub sbm: SbmStepStats,
+    /// Wall seconds in the dynamics phase.
+    pub wall_dynamics: f64,
+    /// Wall seconds in the microphysics phase.
+    pub wall_sbm: f64,
+}
+
+/// Accumulated run report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Steps taken.
+    pub steps: usize,
+    /// Summed advection work.
+    pub rk3: Rk3Work,
+    /// Summed microphysics work.
+    pub sbm_work: fsbm_core::meter::WorkBreakdown,
+    /// Final-step microphysics stats (activity snapshot).
+    pub last_sbm: Option<SbmStepStats>,
+    /// Total surface precipitation, kg/m² summed over columns.
+    pub precip: f64,
+    /// Total coal-kernel entries evaluated.
+    pub coal_entries: u64,
+    /// Wall seconds (dynamics, microphysics).
+    pub wall: (f64, f64),
+}
+
+/// A one-patch functional model instance.
+pub struct Model {
+    /// Configuration.
+    pub cfg: ModelConfig,
+    /// The generated scenario.
+    pub case: ConusCase,
+    /// This rank's patch.
+    pub patch: PatchSpec,
+    /// Prognostic state.
+    pub state: SbmPatchState,
+    /// Wind fields.
+    pub wind: Wind,
+    sbm: FastSbm,
+    scratch: Field3<f32>,
+    scratch2: Field3<f32>,
+    tendency: Field3<f32>,
+    /// Model time, s.
+    pub time: f32,
+}
+
+impl Model {
+    /// Builds a single-rank model over the whole (possibly scaled) domain.
+    pub fn single_rank(cfg: ModelConfig) -> Self {
+        let dd = two_d_decomposition(cfg.case.domain(), 1, cfg.halo);
+        Self::for_patch(cfg, dd.patches[0])
+    }
+
+    /// Builds a model over one rank's patch.
+    pub fn for_patch(cfg: ModelConfig, patch: PatchSpec) -> Self {
+        let case = ConusCase::new(cfg.case);
+        let state = case.init_state(&patch);
+        let mut sbm_cfg = SbmConfig::new(cfg.version);
+        sbm_cfg.dt = cfg.case.dt;
+        sbm_cfg.dz = cfg.case.dz;
+        sbm_cfg.workers = cfg.device_workers;
+        sbm_cfg.tiles = cfg.tiles.max(1);
+        Model {
+            cfg,
+            case,
+            patch,
+            state,
+            wind: Wind::calm(&patch),
+            sbm: FastSbm::new(sbm_cfg),
+            scratch: Field3::for_patch(&patch),
+            scratch2: Field3::for_patch(&patch),
+            tendency: Field3::for_patch(&patch),
+            time: 0.0,
+        }
+    }
+
+    /// The storm-wind parameters consistent with the configured domain.
+    fn wind_params(&self) -> StormWind {
+        StormWind {
+            nz: self.cfg.case.nz as f32,
+            ..Default::default()
+        }
+    }
+
+    /// Occupied-bin mask for one class (any point holds particles in
+    /// that bin), so cloud-free bins skip transport. WRF advects all
+    /// bins unconditionally; the analytic performance model accounts for
+    /// the full 231+1 scalar cost — this mask only accelerates the
+    /// functional plane.
+    fn occupied_bins(&self, class: usize) -> [bool; NKR] {
+        let mut mask = [false; NKR];
+        for chunk in self.state.ff[class].as_slice().chunks_exact(NKR) {
+            for (b, &v) in chunk.iter().enumerate() {
+                if v > 0.0 {
+                    mask[b] = true;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Advances the model by one step with a doubly-periodic single-patch
+    /// halo refresh.
+    pub fn step(&mut self) -> StepReport {
+        let patch = self.patch;
+        let refresh = periodic_refresh(patch);
+        self.step_with_refresh(&mut { refresh })
+    }
+
+    /// The occupied-bin masks of all classes (the scalar set this rank
+    /// would advect). Multi-rank drivers OR these across ranks before
+    /// stepping so every rank advects the same sequence.
+    pub fn occupied_masks(&self) -> [[bool; NKR]; NTYPES] {
+        std::array::from_fn(|c| self.occupied_bins(c))
+    }
+
+    /// Advances one step with the supplied halo refresh (the multi-rank
+    /// driver passes the MPI exchange here).
+    pub fn step_with_refresh(
+        &mut self,
+        refresh: &mut dyn FnMut(&mut Field3<f32>),
+    ) -> StepReport {
+        let masks = self.occupied_masks();
+        self.step_with_refresh_and_masks(refresh, &masks)
+    }
+
+    /// Like [`Self::step_with_refresh`] with externally supplied (e.g.
+    /// globally OR-reduced) occupied-bin masks.
+    pub fn step_with_refresh_and_masks(
+        &mut self,
+        refresh: &mut dyn FnMut(&mut Field3<f32>),
+        masks: &[[bool; NKR]; NTYPES],
+    ) -> StepReport {
+        let sw = Stopwatch::start();
+        let sp = self.wind_params();
+        let wind_work = storm_wind(
+            &mut self.wind,
+            &self.patch,
+            &sp,
+            self.time,
+            self.cfg.case.dx,
+            self.cfg.case.dz,
+        );
+
+        let mut rk3 = Rk3Work::default();
+        let mut advected = 0usize;
+        let dt = self.cfg.case.dt;
+        let (dx, dz) = (self.cfg.case.dx, self.cfg.case.dz);
+
+        // Potential temperature: WRF transports θ (conserved under
+        // advection), not T. Convert, advect, convert back.
+        const KAPPA: f32 = 0.2854;
+        let mut wind_extra = PointWork::ZERO;
+        for j in self.patch.jm.iter() {
+            for k in self.patch.km.iter() {
+                for i in self.patch.im.iter() {
+                    let t = self.state.tt.get(i, k, j);
+                    let p = self.state.p.get(i, k, j);
+                    self.scratch2
+                        .set(i, k, j, t * (100_000.0 / p).powf(KAPPA));
+                    wind_extra.fm(3, 3);
+                }
+            }
+        }
+        rk3 += rk3_advect_scalar(
+            &mut self.scratch2,
+            &self.wind,
+            &self.patch,
+            dx,
+            dx,
+            dz,
+            dt,
+            false,
+            &mut self.scratch,
+            &mut self.tendency,
+            refresh,
+        );
+        for j in self.patch.jm.iter() {
+            for k in self.patch.km.iter() {
+                for i in self.patch.im.iter() {
+                    let th = self.scratch2.get(i, k, j);
+                    let p = self.state.p.get(i, k, j);
+                    self.state
+                        .tt
+                        .set(i, k, j, th * (p / 100_000.0).powf(KAPPA));
+                    wind_extra.fm(3, 3);
+                }
+            }
+        }
+        advected += 1;
+
+        // Vapor.
+        rk3 += rk3_advect_scalar(
+            &mut self.state.qv,
+            &self.wind,
+            &self.patch,
+            dx,
+            dx,
+            dz,
+            dt,
+            true,
+            &mut self.scratch,
+            &mut self.tendency,
+            refresh,
+        );
+        // Weak second-order horizontal diffusion on the moisture field
+        // (WRF diff_opt=1-style hygiene on the kinematic core).
+        refresh(&mut self.state.qv);
+        horizontal_diffusion(
+            &mut self.state.qv,
+            &self.patch,
+            1.0e4,
+            dx,
+            dt,
+            &mut wind_extra,
+        );
+        advected += 1;
+
+        // Every occupied hydrometeor bin is a transported scalar.
+        for (c, mask) in masks.iter().enumerate().take(NTYPES) {
+            for (b, &occ) in mask.iter().enumerate() {
+                if !occ {
+                    continue;
+                }
+                // Gather bin (c,b) into a 3-D scalar field.
+                for j in self.patch.jm.iter() {
+                    for k in self.patch.km.iter() {
+                        for i in self.patch.im.iter() {
+                            self.scratch2
+                                .set(i, k, j, self.state.ff[c].bin_slice(i, k, j)[b]);
+                        }
+                    }
+                }
+                rk3 += rk3_advect_scalar(
+                    &mut self.scratch2,
+                    &self.wind,
+                    &self.patch,
+                    dx,
+                    dx,
+                    dz,
+                    dt,
+                    true,
+                    &mut self.scratch,
+                    &mut self.tendency,
+                    refresh,
+                );
+                for j in self.patch.jm.iter() {
+                    for k in self.patch.km.iter() {
+                        for i in self.patch.im.iter() {
+                            self.state.ff[c].bin_slice_mut(i, k, j)[b] =
+                                self.scratch2.get(i, k, j);
+                        }
+                    }
+                }
+                advected += 1;
+            }
+        }
+        let wall_dynamics = sw.elapsed_secs();
+
+        // Microphysics.
+        let sw = Stopwatch::start();
+        let sbm = self.sbm.step(&mut self.state);
+        let wall_sbm = sw.elapsed_secs();
+
+        self.time += dt;
+        StepReport {
+            rk3,
+            wind_work: {
+                let mut w = wind_work;
+                w += wind_extra;
+                w
+            },
+            scalars_advected: advected,
+            sbm,
+            wall_dynamics,
+            wall_sbm,
+        }
+    }
+
+    /// The `-gpu=autocompare` analogue of §VII-B: advances one step with
+    /// this model's configured version while a baseline copy of the
+    /// microphysics runs on a cloned state, and returns the per-step
+    /// digit agreement of the worst microphysics field (the paper
+    /// reports 6-7 digits per step; our simulated device is bit-exact).
+    pub fn step_autocompare(&mut self) -> (StepReport, u32) {
+        use fsbm_core::scheme::{FastSbm, SbmConfig, SbmVersion};
+        // Advance dynamics + configured microphysics on the real state,
+        // but snapshot the post-dynamics state for the reference run.
+        let patch = self.patch;
+        let mut refresh = periodic_refresh(patch);
+
+        // Dynamics part of the step, shared by both versions: run the
+        // normal step but capture the state right before microphysics by
+        // replaying on a clone.
+        let pre = {
+            // Clone current state, advance it with a scheme-free step by
+            // running the full step on the clone *with the same version*
+            // and keeping its pre-microphysics snapshot is not separable;
+            // instead run the reference scheme on a snapshot taken now
+            // plus identical dynamics below.
+            self.state.clone()
+        };
+        let report = self.step_with_refresh(&mut refresh);
+
+        // Reference: baseline scheme over the same pre-step state with
+        // identical dynamics (re-run the step on the clone).
+        let mut ref_cfg = SbmConfig::new(SbmVersion::Baseline);
+        ref_cfg.dt = self.cfg.case.dt;
+        ref_cfg.dz = self.cfg.case.dz;
+        let ref_sbm = FastSbm::new(ref_cfg);
+        let mut ref_model = Model {
+            cfg: ModelConfig {
+                version: SbmVersion::Baseline,
+                ..self.cfg
+            },
+            case: ConusCase::new(self.cfg.case),
+            patch,
+            state: pre,
+            wind: Wind::calm(&patch),
+            sbm: ref_sbm,
+            scratch: Field3::for_patch(&patch),
+            scratch2: Field3::for_patch(&patch),
+            tendency: Field3::for_patch(&patch),
+            time: self.time - self.cfg.case.dt,
+        };
+        ref_model.step();
+        let diff = wrf_cases::diffwrf::diffwrf(&self.state, &ref_model.state);
+        (report, diff.min_microphysics_digits().min(diff.min_state_digits()))
+    }
+
+    /// Runs `steps` steps, accumulating a report.
+    pub fn run(&mut self, steps: usize) -> RunReport {
+        let mut rep = RunReport::default();
+        for _ in 0..steps {
+            let s = self.step();
+            rep.steps += 1;
+            rep.rk3 += s.rk3;
+            rep.sbm_work += s.sbm.work;
+            rep.precip += s.sbm.precip;
+            rep.coal_entries += s.sbm.coal_entries;
+            rep.wall.0 += s.wall_dynamics;
+            rep.wall.1 += s.wall_sbm;
+            rep.last_sbm = Some(s.sbm);
+        }
+        rep
+    }
+}
+
+/// Doubly-periodic halo refresh for a single patch.
+pub fn periodic_refresh(p: PatchSpec) -> impl FnMut(&mut Field3<f32>) {
+    move |f: &mut Field3<f32>| {
+        // i-direction wrap.
+        for j in p.jp.iter() {
+            for k in p.kp.iter() {
+                for h in 1..=p.halo {
+                    let from_hi = f.get(p.ip.hi - h + 1, k, j);
+                    f.set(p.ip.lo - h, k, j, from_hi);
+                    let from_lo = f.get(p.ip.lo + h - 1, k, j);
+                    f.set(p.ip.hi + h, k, j, from_lo);
+                }
+            }
+        }
+        // j-direction wrap over the full memory i-range (corners).
+        for k in p.kp.iter() {
+            for h in 1..=p.halo {
+                for i in p.im.iter() {
+                    let from_hi = f.get(i, k, p.jp.hi - h + 1);
+                    f.set(i, k, p.jp.lo - h, from_hi);
+                    let from_lo = f.get(i, k, p.jp.lo + h - 1);
+                    f.set(i, k, p.jp.hi + h, from_lo);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsbm_core::scheme::SbmVersion;
+
+    fn tiny(version: SbmVersion) -> Model {
+        Model::single_rank(ModelConfig::functional(version, 0.05, 10))
+    }
+
+    #[test]
+    fn model_steps_and_rains() {
+        let mut m = tiny(SbmVersion::Lookup);
+        let rep = m.run(8);
+        assert_eq!(rep.steps, 8);
+        assert!(rep.coal_entries > 0, "storms must collide");
+        assert!(rep.rk3.tend.flops > 0);
+        assert!(rep.last_sbm.as_ref().unwrap().active_points > 0);
+        assert!(m.time > 39.0);
+    }
+
+    #[test]
+    fn only_occupied_bins_are_advected() {
+        let mut m = tiny(SbmVersion::Lookup);
+        let s = m.step();
+        // 1 (qv) + occupied bins; far fewer than the full 232.
+        assert!(s.scalars_advected > 5);
+        assert!(
+            s.scalars_advected < 120,
+            "advected {}",
+            s.scalars_advected
+        );
+    }
+
+    #[test]
+    fn storms_convert_vapor_to_condensate() {
+        let mut m = tiny(SbmVersion::Lookup);
+        let cond0 = m.state.total_condensate_sum();
+        m.run(6);
+        let cond1 = m.state.total_condensate_sum();
+        // The storm stays within physical bounds: clouds neither vanish
+        // nor blow up, and the water that leaves shows up as precip.
+        assert!(
+            cond1 > 0.3 * cond0 && cond1 < 3.0 * cond0,
+            "condensate must stay sane: {cond0} -> {cond1}"
+        );
+        assert!(m.state.precip_acc >= 0.0);
+    }
+
+    #[test]
+    fn offloaded_versions_run_in_model() {
+        for v in [SbmVersion::OffloadCollapse2, SbmVersion::OffloadCollapse3] {
+            let mut m = tiny(v);
+            let rep = m.run(3);
+            assert!(rep.coal_entries > 0, "{v:?}");
+            let spec = rep.last_sbm.unwrap().kernel_spec.expect("offloaded");
+            assert_eq!(spec.collapse, if v == SbmVersion::OffloadCollapse2 { 2 } else { 3 });
+        }
+    }
+
+    #[test]
+    fn periodic_refresh_wraps_both_dims() {
+        let cfg = ModelConfig::functional(SbmVersion::Lookup, 0.05, 6);
+        let dd = two_d_decomposition(cfg.case.domain(), 1, cfg.halo);
+        let p = dd.patches[0];
+        let mut f = Field3::for_patch(&p);
+        for j in p.jp.iter() {
+            for i in p.ip.iter() {
+                f.set(i, 1, j, (i * 100 + j) as f32);
+            }
+        }
+        periodic_refresh(p)(&mut f);
+        // West halo mirrors the east edge.
+        assert_eq!(f.get(p.ip.lo - 1, 1, p.jp.lo), f.get(p.ip.hi, 1, p.jp.lo));
+        // South halo mirrors the north edge.
+        assert_eq!(f.get(p.ip.lo, 1, p.jp.lo - 1), f.get(p.ip.lo, 1, p.jp.hi));
+        // Corner propagated.
+        assert_eq!(
+            f.get(p.ip.lo - 1, 1, p.jp.lo - 1),
+            f.get(p.ip.hi, 1, p.jp.hi)
+        );
+    }
+}

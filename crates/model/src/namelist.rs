@@ -1,0 +1,250 @@
+//! WRF-style `namelist.input` parsing for [`ModelConfig`].
+//!
+//! WRF is configured through Fortran namelists; this module accepts the
+//! same shape for the options this reproduction exercises:
+//!
+//! ```text
+//! &domains
+//!   e_we = 425, e_sn = 300, e_vert = 50,
+//!   dx = 12000.0, dt = 5.0,
+//! /
+//! &physics
+//!   mp_physics = 'fsbm_lookup',
+//! /
+//! &parallel
+//!   nproc = 16, numtiles = 1,
+//! /
+//! ```
+//!
+//! Groups and keys not listed are ignored (as WRF ignores unknown
+//! registry entries at this level); malformed syntax is an error.
+
+use crate::config::ModelConfig;
+use fsbm_core::scheme::SbmVersion;
+use std::collections::BTreeMap;
+
+/// A parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamelistError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for NamelistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "namelist error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NamelistError {}
+
+/// A parsed namelist: group → key → raw value string.
+pub type Namelist = BTreeMap<String, BTreeMap<String, String>>;
+
+/// Parses namelist text into groups of key/value strings.
+pub fn parse(text: &str) -> Result<Namelist, NamelistError> {
+    let mut out = Namelist::new();
+    let mut current: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let no_comment = raw.split('!').next().unwrap_or("");
+        let trimmed = no_comment.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(name) = trimmed.strip_prefix('&') {
+            if current.is_some() {
+                return Err(NamelistError {
+                    line,
+                    message: "nested group (missing `/`?)".into(),
+                });
+            }
+            let name = name.trim().to_ascii_lowercase();
+            if name.is_empty() {
+                return Err(NamelistError {
+                    line,
+                    message: "group with no name".into(),
+                });
+            }
+            out.entry(name.clone()).or_default();
+            current = Some(name);
+            continue;
+        }
+        if trimmed == "/" {
+            if current.take().is_none() {
+                return Err(NamelistError {
+                    line,
+                    message: "`/` outside a group".into(),
+                });
+            }
+            continue;
+        }
+        let Some(group) = &current else {
+            return Err(NamelistError {
+                line,
+                message: format!("assignment `{trimmed}` outside any group"),
+            });
+        };
+        // One or more `key = value` pairs separated by commas.
+        for piece in trimmed.trim_end_matches(',').split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = piece.split_once('=') else {
+                return Err(NamelistError {
+                    line,
+                    message: format!("expected `key = value`, got `{piece}`"),
+                });
+            };
+            out.get_mut(group).expect("group exists").insert(
+                k.trim().to_ascii_lowercase(),
+                v.trim().trim_matches('\'').trim_matches('"').to_string(),
+            );
+        }
+    }
+    if current.is_some() {
+        return Err(NamelistError {
+            line: text.lines().count(),
+            message: "unterminated group (missing `/`)".into(),
+        });
+    }
+    Ok(out)
+}
+
+fn get<T: std::str::FromStr>(
+    nl: &Namelist,
+    group: &str,
+    key: &str,
+    default: T,
+) -> Result<T, NamelistError> {
+    match nl.get(group).and_then(|g| g.get(key)) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| NamelistError {
+            line: 0,
+            message: format!("cannot parse &{group} {key} = `{raw}`"),
+        }),
+    }
+}
+
+/// The `mp_physics` names accepted for the four scheme versions.
+pub fn version_from_name(name: &str) -> Option<SbmVersion> {
+    match name.to_ascii_lowercase().as_str() {
+        "fsbm" | "fsbm_baseline" | "30" => Some(SbmVersion::Baseline),
+        "fsbm_lookup" => Some(SbmVersion::Lookup),
+        "fsbm_offload2" | "fsbm_collapse2" => Some(SbmVersion::OffloadCollapse2),
+        "fsbm_offload3" | "fsbm_collapse3" | "fsbm_gpu" => Some(SbmVersion::OffloadCollapse3),
+        _ => None,
+    }
+}
+
+/// Builds a [`ModelConfig`] from namelist text, starting from the paper's
+/// defaults.
+pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
+    let nl = parse(text)?;
+    let mut cfg = ModelConfig::paper_default(SbmVersion::Lookup);
+    cfg.case.nx = get(&nl, "domains", "e_we", cfg.case.nx)?;
+    cfg.case.ny = get(&nl, "domains", "e_sn", cfg.case.ny)?;
+    cfg.case.nz = get(&nl, "domains", "e_vert", cfg.case.nz)?;
+    cfg.case.dx = get(&nl, "domains", "dx", cfg.case.dx)?;
+    cfg.case.dz = get(&nl, "domains", "dz", cfg.case.dz)?;
+    cfg.case.dt = get(&nl, "domains", "dt", cfg.case.dt)?;
+    cfg.case.n_storms = get(&nl, "scenario", "n_storms", cfg.case.n_storms)?;
+    cfg.case.seed = get(&nl, "scenario", "seed", cfg.case.seed)?;
+    cfg.minutes = get(&nl, "domains", "run_minutes", cfg.minutes)?;
+    cfg.ranks = get(&nl, "parallel", "nproc", cfg.ranks)?;
+    cfg.tiles = get(&nl, "parallel", "numtiles", cfg.tiles)?;
+    if let Some(name) = nl.get("physics").and_then(|g| g.get("mp_physics")) {
+        cfg.version = version_from_name(name).ok_or_else(|| NamelistError {
+            line: 0,
+            message: format!("unknown mp_physics `{name}`"),
+        })?;
+    }
+    if cfg.case.nx < 8 || cfg.case.ny < 8 || cfg.case.nz < 4 {
+        return Err(NamelistError {
+            line: 0,
+            message: "domain too small (need e_we, e_sn >= 8 and e_vert >= 4)".into(),
+        });
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+! CONUS-12km at reduced scale
+&domains
+  e_we = 48, e_sn = 36, e_vert = 20,
+  dx = 12000.0, dt = 5.0, run_minutes = 2.0,
+/
+&physics
+  mp_physics = 'fsbm_gpu',
+/
+&parallel
+  nproc = 4, numtiles = 1,
+/
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let cfg = config_from_namelist(SAMPLE).unwrap();
+        assert_eq!(cfg.case.nx, 48);
+        assert_eq!(cfg.case.ny, 36);
+        assert_eq!(cfg.case.nz, 20);
+        assert_eq!(cfg.version, SbmVersion::OffloadCollapse3);
+        assert_eq!(cfg.ranks, 4);
+        assert_eq!(cfg.steps(), 24);
+    }
+
+    #[test]
+    fn defaults_fill_missing_groups() {
+        let cfg = config_from_namelist("&physics\n mp_physics = 'fsbm'\n/\n").unwrap();
+        assert_eq!(cfg.version, SbmVersion::Baseline);
+        assert_eq!(cfg.case.nx, 425);
+        assert_eq!(cfg.ranks, 16);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let nl = parse("! all comments\n\n&a\n x = 1 ! trailing\n/\n").unwrap();
+        assert_eq!(nl["a"]["x"], "1");
+    }
+
+    #[test]
+    fn multiple_pairs_per_line() {
+        let nl = parse("&g\n a = 1, b = 2.5, c = 'hi',\n/\n").unwrap();
+        assert_eq!(nl["g"]["a"], "1");
+        assert_eq!(nl["g"]["b"], "2.5");
+        assert_eq!(nl["g"]["c"], "hi");
+    }
+
+    #[test]
+    fn syntax_errors_reported_with_lines() {
+        assert!(parse("x = 1\n").unwrap_err().message.contains("outside"));
+        assert!(parse("&a\n&b\n/\n").unwrap_err().message.contains("nested"));
+        assert!(parse("&a\n x = 1\n").unwrap_err().message.contains("unterminated"));
+        assert!(parse("/\n").unwrap_err().message.contains("outside"));
+        assert!(parse("&a\n garbage\n/\n").unwrap_err().message.contains("key = value"));
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(config_from_namelist("&domains\n e_we = banana\n/\n").is_err());
+        assert!(config_from_namelist("&physics\n mp_physics = 'wsm6'\n/\n").is_err());
+        assert!(config_from_namelist("&domains\n e_we = 2\n/\n").is_err());
+    }
+
+    #[test]
+    fn version_names() {
+        assert_eq!(version_from_name("FSBM_LOOKUP"), Some(SbmVersion::Lookup));
+        assert_eq!(
+            version_from_name("fsbm_collapse2"),
+            Some(SbmVersion::OffloadCollapse2)
+        );
+        assert_eq!(version_from_name("thompson"), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! Rank runtime: threads + channels with MPI-flavoured semantics.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Message tag (as in MPI, disambiguates concurrent exchanges).
+pub type Tag = u32;
+
+#[derive(Debug)]
+struct Envelope {
+    from: usize,
+    tag: Tag,
+    payload: Vec<f32>,
+}
+
+/// Shared collective state (dissemination happens in shared memory; the
+/// *cost* of collectives is modeled separately by [`crate::cost`]).
+struct Collective {
+    lock: Mutex<CollectiveState>,
+    cv: Condvar,
+    size: usize,
+}
+
+struct CollectiveState {
+    generation: u64,
+    arrived: usize,
+    acc_sum: f64,
+    acc_max: f64,
+    /// Result of the completed generation.
+    result: (f64, f64),
+}
+
+impl Collective {
+    fn new(size: usize) -> Self {
+        Collective {
+            lock: Mutex::new(CollectiveState {
+                generation: 0,
+                arrived: 0,
+                acc_sum: 0.0,
+                acc_max: f64::NEG_INFINITY,
+                result: (0.0, 0.0),
+            }),
+            cv: Condvar::new(),
+            size,
+        }
+    }
+
+    /// All-reduce contributing `x`; returns `(sum, max)` over ranks.
+    fn allreduce(&self, x: f64) -> (f64, f64) {
+        let mut st = self.lock.lock();
+        let my_gen = st.generation;
+        st.arrived += 1;
+        st.acc_sum += x;
+        st.acc_max = st.acc_max.max(x);
+        if st.arrived == self.size {
+            st.result = (st.acc_sum, st.acc_max);
+            st.arrived = 0;
+            st.acc_sum = 0.0;
+            st.acc_max = f64::NEG_INFINITY;
+            st.generation += 1;
+            self.cv.notify_all();
+            st.result
+        } else {
+            while st.generation == my_gen {
+                self.cv.wait(&mut st);
+            }
+            st.result
+        }
+    }
+}
+
+/// A rank's handle to the communicator.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    inbox: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    /// Out-of-order messages awaiting a matching `recv`.
+    pending: Vec<Envelope>,
+    collective: Arc<Collective>,
+}
+
+impl Rank {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends `data` to `to` with `tag` (buffered, non-blocking — MPI
+    /// eager semantics).
+    pub fn send_f32(&self, to: usize, tag: Tag, data: &[f32]) {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        self.peers[to]
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload: data.to_vec(),
+            })
+            .expect("peer hung up");
+    }
+
+    /// Blocking receive of the message from `from` with `tag`; other
+    /// messages arriving meanwhile are queued (MPI matching semantics).
+    pub fn recv_f32(&mut self, from: usize, tag: Tag) -> Vec<f32> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            return self.pending.swap_remove(pos).payload;
+        }
+        loop {
+            let env = self.inbox.recv().expect("communicator closed");
+            if env.from == from && env.tag == tag {
+                return env.payload;
+            }
+            self.pending.push(env);
+        }
+    }
+
+    /// Non-blocking probe for a matching message.
+    pub fn try_recv_f32(&mut self, from: usize, tag: Tag) -> Option<Vec<f32>> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            return Some(self.pending.swap_remove(pos).payload);
+        }
+        while let Ok(env) = self.inbox.try_recv() {
+            if env.from == from && env.tag == tag {
+                return Some(env.payload);
+            }
+            self.pending.push(env);
+        }
+        None
+    }
+
+    /// Sum all-reduce over `f64`.
+    pub fn allreduce_sum(&self, x: f64) -> f64 {
+        self.collective.allreduce(x).0
+    }
+
+    /// Max all-reduce over `f64`.
+    pub fn allreduce_max(&self, x: f64) -> f64 {
+        self.collective.allreduce(x).1
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&self) {
+        let _ = self.collective.allreduce(0.0);
+    }
+}
+
+/// Runs `body` on `n` ranks, one host thread each, and returns the
+/// per-rank results in rank order. Panics in any rank propagate.
+pub fn run_ranks<T, F>(n: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Rank) -> T + Sync,
+{
+    assert!(n > 0);
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let collective = Arc::new(Collective::new(n));
+
+    let mut ranks: Vec<Rank> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Rank {
+            rank,
+            size: n,
+            inbox,
+            peers: senders.clone(),
+            pending: Vec::new(),
+            collective: Arc::clone(&collective),
+        })
+        .collect();
+    drop(senders);
+
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in ranks.drain(..) {
+            let body = &body;
+            handles.push(s.spawn(move |_| body(rank)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+    .expect("scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shift() {
+        let out = run_ranks(4, |mut r| {
+            let next = (r.rank() + 1) % r.size();
+            let prev = (r.rank() + r.size() - 1) % r.size();
+            r.send_f32(next, 7, &[r.rank() as f32]);
+            let got = r.recv_f32(prev, 7);
+            got[0]
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = run_ranks(2, |mut r| {
+            if r.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                r.send_f32(1, 2, &[2.0]);
+                r.send_f32(1, 1, &[1.0]);
+                0.0
+            } else {
+                // Receive tag 1 first: tag 2 must be buffered, not lost.
+                let a = r.recv_f32(0, 1)[0];
+                let b = r.recv_f32(0, 2)[0];
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let out = run_ranks(8, |r| {
+            let s = r.allreduce_sum(r.rank() as f64);
+            let m = r.allreduce_max(r.rank() as f64);
+            (s, m)
+        });
+        for (s, m) in out {
+            assert_eq!(s, 28.0);
+            assert_eq!(m, 7.0);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_use_generations() {
+        let out = run_ranks(3, |r| {
+            let mut total = 0.0;
+            for round in 0..10 {
+                total += r.allreduce_sum(round as f64);
+            }
+            total
+        });
+        // Each round sums 3 * round; total = 3 * 45.
+        for t in out {
+            assert_eq!(t, 135.0);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        run_ranks(6, |r| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            r.barrier();
+            // After the barrier every rank must observe all 6 arrivals.
+            assert_eq!(phase1.load(Ordering::SeqCst), 6);
+        });
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        run_ranks(2, |mut r| {
+            if r.rank() == 1 {
+                assert!(r.try_recv_f32(0, 9).is_none());
+            }
+            r.barrier();
+            if r.rank() == 0 {
+                r.send_f32(1, 9, &[5.0]);
+            } else {
+                // Blocking receive still works after a failed probe.
+                assert_eq!(r.recv_f32(0, 9), vec![5.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_communicator() {
+        let out = run_ranks(1, |r| {
+            r.barrier();
+            r.allreduce_sum(42.0)
+        });
+        assert_eq!(out, vec![42.0]);
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        run_ranks(2, |mut r| {
+            let n = 100_000;
+            if r.rank() == 0 {
+                let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+                r.send_f32(1, 0, &data);
+            } else {
+                let got = r.recv_f32(0, 0);
+                assert_eq!(got.len(), n);
+                assert_eq!(got[n - 1], (n - 1) as f32);
+            }
+        });
+    }
+}

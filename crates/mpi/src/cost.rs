@@ -1,0 +1,188 @@
+//! α–β communication cost model over a node topology.
+//!
+//! The functional runtime in [`crate::comm`] moves data through shared
+//! memory; *modeled* time comes from here. The paper's 2-node CPU result
+//! (Table VII: lookup optimization "does not perform noticeably better
+//! than the baseline due to the dominating cost of MPI communication at
+//! 256 cores") falls out of exactly this model: more ranks mean smaller
+//! patches but more, smaller messages, so latency (α) takes over.
+
+use gpu_sim::machine::Interconnect;
+
+/// Placement of ranks onto nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Total ranks.
+    pub ranks: usize,
+    /// Ranks hosted per node (block placement, Slurm default).
+    pub ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology; `ranks_per_node` must be positive.
+    pub fn new(ranks: usize, ranks_per_node: usize) -> Self {
+        assert!(ranks > 0 && ranks_per_node > 0);
+        Topology {
+            ranks,
+            ranks_per_node,
+        }
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// True when two ranks share a node (messages use shared memory).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Number of nodes in use.
+    pub fn nodes(&self) -> usize {
+        self.ranks.div_ceil(self.ranks_per_node)
+    }
+}
+
+/// Per-rank accumulated modeled communication cost.
+#[derive(Debug, Clone)]
+pub struct CommCost {
+    net: Interconnect,
+    topo: Topology,
+    rank: usize,
+    secs: f64,
+    bytes: u64,
+    messages: u64,
+}
+
+impl CommCost {
+    /// Creates an accumulator for `rank`.
+    pub fn new(net: Interconnect, topo: Topology, rank: usize) -> Self {
+        CommCost {
+            net,
+            topo,
+            rank,
+            secs: 0.0,
+            bytes: 0,
+            messages: 0,
+        }
+    }
+
+    /// Prices a point-to-point message of `bytes` to `peer` and
+    /// accumulates it. Returns the modeled seconds.
+    pub fn p2p(&mut self, peer: usize, bytes: u64) -> f64 {
+        let t = self
+            .net
+            .transfer_secs(bytes, self.topo.same_node(self.rank, peer));
+        self.secs += t;
+        self.bytes += bytes;
+        self.messages += 1;
+        t
+    }
+
+    /// Prices an all-reduce of `bytes` payload over all ranks
+    /// (recursive-doubling: `2·log2(p)` message steps). Returns seconds.
+    pub fn allreduce(&mut self, bytes: u64) -> f64 {
+        let p = self.topo.ranks.max(1) as f64;
+        let steps = p.log2().ceil().max(0.0);
+        // Inter-node unless the whole communicator fits one node.
+        let same = self.topo.nodes() == 1;
+        let t = steps * self.net.transfer_secs(bytes, same);
+        self.secs += t;
+        self.messages += steps as u64;
+        self.bytes += bytes * steps as u64;
+        t
+    }
+
+    /// Prices a barrier (zero-byte all-reduce).
+    pub fn barrier(&mut self) -> f64 {
+        self.allreduce(8)
+    }
+
+    /// Total modeled communication seconds so far.
+    pub fn secs(&self) -> f64 {
+        self.secs
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::SLINGSHOT;
+
+    #[test]
+    fn topology_nodes() {
+        let t = Topology::new(256, 128);
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(127), 0);
+        assert_eq!(t.node_of(128), 1);
+        assert!(t.same_node(0, 127));
+        assert!(!t.same_node(127, 128));
+    }
+
+    #[test]
+    fn intra_node_cheaper() {
+        let t = Topology::new(4, 2);
+        let mut c = CommCost::new(SLINGSHOT, t, 0);
+        let local = c.p2p(1, 100_000);
+        let remote = c.p2p(2, 100_000);
+        assert!(local < remote);
+        assert_eq!(c.messages(), 2);
+        assert_eq!(c.bytes(), 200_000);
+    }
+
+    #[test]
+    fn latency_dominates_many_small_messages() {
+        // 256 small halo messages cost more than 16 large ones of the
+        // same total volume — the 256-core effect.
+        let t16 = Topology::new(16, 4);
+        let t256 = Topology::new(256, 128);
+        let mut few = CommCost::new(SLINGSHOT, t16, 0);
+        let mut many = CommCost::new(SLINGSHOT, t256, 0);
+        let total = 64_000_000u64;
+        for _ in 0..16 {
+            few.p2p(15, total / 16);
+        }
+        for _ in 0..256 {
+            many.p2p(255, total / 256);
+        }
+        // Same volume, but per-message latency piles up.
+        assert!(many.secs() > few.secs() * 0.9);
+        assert!((many.bytes() as i64 - few.bytes() as i64).abs() < 64);
+    }
+
+    #[test]
+    fn allreduce_scales_logarithmically() {
+        let mut a = CommCost::new(SLINGSHOT, Topology::new(16, 4), 0);
+        let mut b = CommCost::new(SLINGSHOT, Topology::new(256, 64), 0);
+        let ta = a.allreduce(8);
+        let tb = b.allreduce(8);
+        assert!((tb / ta - 2.0).abs() < 0.01, "log2(256)/log2(16) = 2");
+    }
+
+    #[test]
+    fn single_node_allreduce_uses_local_params() {
+        let mut single = CommCost::new(SLINGSHOT, Topology::new(16, 16), 0);
+        let mut multi = CommCost::new(SLINGSHOT, Topology::new(16, 4), 0);
+        assert!(single.allreduce(8) < multi.allreduce(8));
+    }
+
+    #[test]
+    fn barrier_counts() {
+        let mut c = CommCost::new(SLINGSHOT, Topology::new(8, 8), 0);
+        let t = c.barrier();
+        assert!(t > 0.0);
+        assert_eq!(c.secs(), t);
+    }
+}

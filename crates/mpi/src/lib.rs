@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! An MPI-like rank runtime for the reproduction.
+//!
+//! WRF's distributed-memory layer (and the multi-rank evaluation of
+//! Section VII-A) needs point-to-point halo exchange, collectives, and a
+//! communication *cost model*: the paper's 256-core result is dominated by
+//! MPI time, and its GPU-sharing results depend on how many ranks feed one
+//! device. Ranks here are host threads connected by crossbeam channels
+//! ([`comm`]); every operation is also priced with an α–β model over a
+//! node topology ([`cost`]); [`placement`] assigns ranks to GPUs
+//! round-robin as on Perlmutter (`MPICH_GPU_SUPPORT` style striping).
+
+pub mod comm;
+pub mod cost;
+pub mod placement;
+
+pub use comm::{run_ranks, Rank, Tag};
+pub use cost::{CommCost, Topology};
+pub use placement::{GpuAssignment, GpuPool};

@@ -1,0 +1,144 @@
+//! Rank → GPU placement, Perlmutter style.
+//!
+//! Section VII-A fixes 16 GPUs (4 nodes × 4) while raising the rank count
+//! to 32 and 64; "for each GPU, the (1/2/4) MPI tasks are distributed in a
+//! round-robin fashion". [`GpuPool`] owns the shared devices and hands
+//! each rank its assignment; the devices' submission timelines then
+//! serialize co-scheduled kernels.
+
+use gpu_sim::device::Device;
+use gpu_sim::error::GpuError;
+use gpu_sim::machine::GpuParams;
+use parking_lot::Mutex;
+
+/// A rank's view of its assigned GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuAssignment {
+    /// Index of the device in the pool.
+    pub device: usize,
+    /// How many ranks share that device.
+    pub sharers: usize,
+}
+
+/// A pool of devices shared by a communicator.
+pub struct GpuPool {
+    devices: Vec<Mutex<Device>>,
+    ranks: usize,
+}
+
+impl GpuPool {
+    /// Creates `n_gpus` devices of the given hardware for `ranks` ranks.
+    pub fn new(params: GpuParams, n_gpus: usize, ranks: usize) -> Self {
+        assert!(n_gpus > 0 && ranks > 0);
+        GpuPool {
+            devices: (0..n_gpus).map(|_| Mutex::new(Device::new(params))).collect(),
+            ranks,
+        }
+    }
+
+    /// Number of devices.
+    pub fn n_gpus(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Round-robin assignment of `rank`.
+    pub fn assignment(&self, rank: usize) -> GpuAssignment {
+        assert!(rank < self.ranks);
+        let g = self.n_gpus();
+        let device = rank % g;
+        // Ranks r with r % g == device, r < ranks.
+        let sharers = (self.ranks - device).div_ceil(g);
+        GpuAssignment { device, sharers }
+    }
+
+    /// Runs `f` with exclusive access to `rank`'s device.
+    pub fn with_device<T>(&self, rank: usize, f: impl FnOnce(&mut Device) -> T) -> T {
+        let a = self.assignment(rank);
+        let mut dev = self.devices[a.device].lock();
+        f(&mut dev)
+    }
+
+    /// Creates a context for every rank with the given stack size,
+    /// returning the first failure (the §VII-A rank-per-GPU limit).
+    pub fn create_all_contexts(&self, stack_bytes: u64) -> Result<(), (usize, GpuError)> {
+        for rank in 0..self.ranks {
+            self.with_device(rank, |d| d.create_context(rank, stack_bytes))
+                .map_err(|e| (rank, e))?;
+        }
+        Ok(())
+    }
+
+    /// Maximum ranks-per-GPU this pool can support with the given
+    /// per-context stack size and per-rank slab bytes before OOM.
+    pub fn max_ranks_per_gpu(params: &GpuParams, stack_bytes: u64, slab_bytes: u64) -> usize {
+        let per_rank = params.stack_pool_bytes(stack_bytes) + slab_bytes;
+        params
+            .hbm_bytes
+            .checked_div(per_rank)
+            .map(|n| n as usize)
+            .unwrap_or(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::A100;
+
+    #[test]
+    fn round_robin_assignment() {
+        let pool = GpuPool::new(A100, 16, 32);
+        assert_eq!(pool.assignment(0).device, 0);
+        assert_eq!(pool.assignment(16).device, 0);
+        assert_eq!(pool.assignment(17).device, 1);
+        assert_eq!(pool.assignment(0).sharers, 2);
+    }
+
+    #[test]
+    fn uneven_sharing_counts() {
+        let pool = GpuPool::new(A100, 16, 40);
+        // 40 ranks on 16 GPUs: devices 0..7 get 3, devices 8..15 get 2.
+        assert_eq!(pool.assignment(0).sharers, 3);
+        assert_eq!(pool.assignment(8).sharers, 2);
+        let total: usize = (0..16).map(|d| pool.assignment(d).sharers).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn contexts_fit_at_one_rank_per_gpu() {
+        let pool = GpuPool::new(A100, 4, 4);
+        assert!(pool.create_all_contexts(65536).is_ok());
+    }
+
+    #[test]
+    fn sixth_rank_per_gpu_ooms_at_64k_stack() {
+        // One GPU shared by 6 ranks with 64 KiB stacks: the 6th context
+        // cannot reserve its ~13.5 GiB pool in 80 GiB.
+        let pool = GpuPool::new(A100, 1, 6);
+        let err = pool.create_all_contexts(65536).unwrap_err();
+        assert_eq!(err.0, 5);
+        assert!(matches!(err.1, GpuError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn max_ranks_per_gpu_matches_paper_limit() {
+        // With the paper's stack setting and ~1.5 GB of slabs per rank,
+        // 5 ranks fit per 80 GB A100 — the observed limit.
+        let m = GpuPool::max_ranks_per_gpu(&A100, 65536, 1_500_000_000);
+        assert_eq!(m, 5);
+    }
+
+    #[test]
+    fn device_access_is_exclusive_and_stateful() {
+        let pool = GpuPool::new(A100, 2, 4);
+        pool.with_device(0, |d| {
+            d.submit(0.0, 1.0);
+        });
+        // Rank 2 shares device 0 with rank 0 and sees its busy timeline.
+        let start = pool.with_device(2, |d| d.submit(0.5, 1.0).0);
+        assert_eq!(start, 1.0);
+        // Rank 1 is on device 1: idle.
+        let start = pool.with_device(1, |d| d.submit(0.5, 1.0).0);
+        assert_eq!(start, 0.5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Stress and property tests of the rank runtime and cost model.
+
+use gpu_sim::machine::SLINGSHOT;
+use mpi_sim::comm::run_ranks;
+use mpi_sim::cost::{CommCost, Topology};
+use proptest::prelude::*;
+
+/// An all-to-all exchange with per-pair tags: every rank receives every
+/// other rank's payload intact, regardless of arrival order.
+#[test]
+fn all_to_all_with_unique_tags() {
+    let n = 8;
+    let sums = run_ranks(n, |mut rank| {
+        let me = rank.rank();
+        for peer in 0..n {
+            if peer != me {
+                rank.send_f32(peer, me as u32, &[me as f32 * 10.0, peer as f32]);
+            }
+        }
+        let mut sum = 0.0;
+        for peer in 0..n {
+            if peer != me {
+                let msg = rank.recv_f32(peer, peer as u32);
+                assert_eq!(msg[0], peer as f32 * 10.0);
+                assert_eq!(msg[1], me as f32);
+                sum += msg[0];
+            }
+        }
+        sum
+    });
+    let expect: f32 = (0..8).map(|p| p as f32 * 10.0).sum();
+    for (me, s) in sums.iter().enumerate() {
+        assert_eq!(*s, expect - me as f32 * 10.0);
+    }
+}
+
+/// Interleaved barriers and reductions across many rounds stay in
+/// lockstep (no generation confusion).
+#[test]
+fn repeated_mixed_collectives() {
+    let outs = run_ranks(6, |rank| {
+        let mut acc = 0.0;
+        for round in 0..50 {
+            if round % 3 == 0 {
+                rank.barrier();
+            }
+            acc += rank.allreduce_sum(rank.rank() as f64 + round as f64);
+        }
+        acc
+    });
+    for o in &outs {
+        assert_eq!(*o, outs[0], "all ranks see identical reductions");
+    }
+}
+
+/// A ring pipeline with wraparound preserves ordering per (peer, tag).
+#[test]
+fn ordered_stream_per_tag() {
+    run_ranks(3, |mut rank| {
+        let next = (rank.rank() + 1) % 3;
+        let prev = (rank.rank() + 2) % 3;
+        for seq in 0..20 {
+            rank.send_f32(next, 7, &[seq as f32]);
+        }
+        for seq in 0..20 {
+            let m = rank.recv_f32(prev, 7);
+            assert_eq!(m[0], seq as f32, "FIFO per (peer, tag)");
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The α–β cost is monotone in bytes and in hops, and intra-node is
+    /// never more expensive than inter-node.
+    #[test]
+    fn cost_monotone(bytes in 1u64..100_000_000, ranks in 2usize..512) {
+        let rpn = (ranks / 2).max(1);
+        let topo = Topology::new(ranks, rpn);
+        let mut c = CommCost::new(SLINGSHOT, topo, 0);
+        let local = c.p2p(1.min(rpn - 1), bytes);
+        let remote_peer = rpn.min(ranks - 1);
+        let remote = c.p2p(remote_peer, bytes);
+        if !topo.same_node(0, remote_peer) {
+            prop_assert!(remote >= local);
+        }
+        let mut c2 = CommCost::new(SLINGSHOT, topo, 0);
+        let t_small = c2.p2p(remote_peer, bytes);
+        let t_big = c2.p2p(remote_peer, bytes * 2);
+        prop_assert!(t_big >= t_small);
+    }
+
+    /// Node assignment partitions ranks: every rank has exactly one node
+    /// and node ids are dense.
+    #[test]
+    fn topology_partitions(ranks in 1usize..300, rpn in 1usize..64) {
+        let topo = Topology::new(ranks, rpn);
+        let nodes = topo.nodes();
+        for r in 0..ranks {
+            let n = topo.node_of(r);
+            prop_assert!(n < nodes);
+        }
+        prop_assert_eq!(topo.node_of(0), 0);
+        prop_assert_eq!(topo.node_of(ranks - 1), nodes - 1);
+    }
+
+    /// Reductions over random contributions equal the sequential answer.
+    #[test]
+    fn allreduce_matches_sequential(vals in proptest::collection::vec(-1.0e6f64..1.0e6, 2..10)) {
+        let n = vals.len();
+        let expect_sum: f64 = vals.iter().sum();
+        let expect_max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let vals_ref = &vals;
+        let outs = run_ranks(n, move |rank| {
+            let x = vals_ref[rank.rank()];
+            (rank.allreduce_sum(x), rank.allreduce_max(x))
+        });
+        for (s, m) in outs {
+            prop_assert!((s - expect_sum).abs() < 1e-6 * expect_sum.abs().max(1.0));
+            prop_assert_eq!(m, expect_max);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! gprof-style flat profile, aggregated across ranks.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Accumulated statistics for one named routine.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionStat {
+    /// Number of recorded calls.
+    pub calls: u64,
+    /// Total self seconds.
+    pub seconds: f64,
+}
+
+/// Thread-safe flat profiler: routines are identified by name, and every
+/// rank/thread records self time into the shared table, exactly like
+/// gprof's post-mortem aggregation of per-rank `gmon.out` files.
+#[derive(Debug, Default)]
+pub struct FlatProfiler {
+    table: Mutex<HashMap<String, RegionStat>>,
+}
+
+impl FlatProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `seconds` of self time for `routine` (one call).
+    pub fn record(&self, routine: &str, seconds: f64) {
+        self.record_calls(routine, seconds, 1);
+    }
+
+    /// Records `seconds` over `calls` invocations of `routine`.
+    pub fn record_calls(&self, routine: &str, seconds: f64, calls: u64) {
+        assert!(seconds >= 0.0, "negative self time for {routine}");
+        let mut t = self.table.lock();
+        let e = t.entry(routine.to_string()).or_default();
+        e.calls += calls;
+        e.seconds += seconds;
+    }
+
+    /// Merges another profiler's table into this one (e.g. per-rank
+    /// profilers merged at the end of a run, like collecting `gmon.out`
+    /// from every rank).
+    pub fn merge(&self, other: &FlatProfiler) {
+        let o = other.table.lock();
+        let mut t = self.table.lock();
+        for (k, v) in o.iter() {
+            let e = t.entry(k.clone()).or_default();
+            e.calls += v.calls;
+            e.seconds += v.seconds;
+        }
+    }
+
+    /// Total recorded seconds across all routines.
+    pub fn total_seconds(&self) -> f64 {
+        self.table.lock().values().map(|v| v.seconds).sum()
+    }
+
+    /// Seconds recorded for one routine (0 if never recorded).
+    pub fn seconds_of(&self, routine: &str) -> f64 {
+        self.table
+            .lock()
+            .get(routine)
+            .map(|v| v.seconds)
+            .unwrap_or(0.0)
+    }
+
+    /// Builds the sorted report.
+    pub fn report(&self) -> FlatReport {
+        let t = self.table.lock();
+        let total: f64 = t.values().map(|v| v.seconds).sum();
+        let mut rows: Vec<FlatRow> = t
+            .iter()
+            .map(|(name, s)| FlatRow {
+                name: name.clone(),
+                calls: s.calls,
+                seconds: s.seconds,
+                percent: if total > 0.0 {
+                    100.0 * s.seconds / total
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| b.seconds.total_cmp(&a.seconds).then(a.name.cmp(&b.name)));
+        FlatReport {
+            total_seconds: total,
+            rows,
+        }
+    }
+}
+
+/// One row of the flat profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatRow {
+    /// Routine name.
+    pub name: String,
+    /// Call count.
+    pub calls: u64,
+    /// Total self seconds.
+    pub seconds: f64,
+    /// Share of the total, in percent.
+    pub percent: f64,
+}
+
+/// A gprof-like flat report, sorted by self time descending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatReport {
+    /// Sum of self seconds over all routines.
+    pub total_seconds: f64,
+    /// Sorted rows.
+    pub rows: Vec<FlatRow>,
+}
+
+impl FlatReport {
+    /// Percentage for one routine (0 if absent).
+    pub fn percent_of(&self, routine: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.name == routine)
+            .map(|r| r.percent)
+            .unwrap_or(0.0)
+    }
+
+    /// The top `n` rows.
+    pub fn top(&self, n: usize) -> &[FlatRow] {
+        &self.rows[..n.min(self.rows.len())]
+    }
+}
+
+impl fmt::Display for FlatReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Flat profile (gprof-style), total {:.3} s", self.total_seconds)?;
+        writeln!(f, "{:>7}  {:>12}  {:>10}  name", "%time", "self secs", "calls")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6.2}%  {:>12.4}  {:>10}  {}",
+                r.percent, r.seconds, r.calls, r.name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_report() {
+        let p = FlatProfiler::new();
+        p.record("fast_sbm", 5.0);
+        p.record("fast_sbm", 5.0);
+        p.record("rk_scalar_tend", 3.0);
+        p.record("rk_update_scalar", 2.0);
+        let r = p.report();
+        assert_eq!(r.total_seconds, 15.0);
+        assert_eq!(r.rows[0].name, "fast_sbm");
+        assert_eq!(r.rows[0].calls, 2);
+        assert!((r.percent_of("fast_sbm") - 100.0 * 10.0 / 15.0).abs() < 1e-12);
+        assert!((r.percent_of("rk_scalar_tend") - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_aggregates_ranks() {
+        let global = FlatProfiler::new();
+        for rank in 0..4 {
+            let local = FlatProfiler::new();
+            // Imbalanced: rank 3 does 4x the FSBM work.
+            local.record("fast_sbm", if rank == 3 { 4.0 } else { 1.0 });
+            local.record("advect", 1.0);
+            global.merge(&local);
+        }
+        let r = global.report();
+        assert_eq!(r.total_seconds, 11.0);
+        assert!((r.percent_of("fast_sbm") - 100.0 * 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report() {
+        let p = FlatProfiler::new();
+        let r = p.report();
+        assert_eq!(r.total_seconds, 0.0);
+        assert!(r.rows.is_empty());
+        assert_eq!(r.percent_of("anything"), 0.0);
+    }
+
+    #[test]
+    fn report_sorted_desc_with_name_tiebreak() {
+        let p = FlatProfiler::new();
+        p.record("b", 1.0);
+        p.record("a", 1.0);
+        p.record("c", 2.0);
+        let report = p.report();
+        let names: Vec<&str> = report.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let p = FlatProfiler::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        p.record("hot", 0.001);
+                    }
+                });
+            }
+        });
+        let r = p.report();
+        assert_eq!(r.rows[0].calls, 8000);
+        assert!((r.total_seconds - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let p = FlatProfiler::new();
+        p.record("fast_sbm", 1.0);
+        let s = p.report().to_string();
+        assert!(s.contains("fast_sbm"));
+        assert!(s.contains("%time"));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative self time")]
+    fn negative_time_panics() {
+        FlatProfiler::new().record("x", -1.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! NVTX-style range markers with an Nsight-Systems-style per-rank report.
+//!
+//! The paper annotates suspect subroutines on a *single selected MPI task*
+//! with NVTX markers and lets Nsight Systems compute each range's time
+//! contribution. [`RangeProfiler`] is the per-rank recorder: ranges may
+//! nest; the report computes inclusive and exclusive times per range name
+//! and the percentage of captured wall time (inclusive), matching the
+//! "Nsight Systems" column of Table I.
+
+use std::fmt;
+
+/// One closed range on the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeEvent {
+    /// NVTX range name.
+    pub name: String,
+    /// Start time (seconds on the recorder's clock).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Nesting depth at which the range was opened (0 = top level).
+    pub depth: usize,
+}
+
+/// Per-rank NVTX-style recorder. Not thread-safe by design: in the paper
+/// each rank records its own markers; merge-free single-rank analysis is
+/// the point of the Nsight Systems column.
+#[derive(Debug, Default)]
+pub struct RangeProfiler {
+    clock: f64,
+    stack: Vec<(String, f64)>,
+    events: Vec<RangeEvent>,
+}
+
+impl RangeProfiler {
+    /// Creates an empty recorder with its clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the recorder's clock by `seconds` (modeled time) without
+    /// opening or closing ranges.
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "clock must be monotonic");
+        self.clock += seconds;
+    }
+
+    /// Current clock value in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Opens a range (NVTX `nvtxRangePushA`).
+    pub fn push(&mut self, name: &str) {
+        self.stack.push((name.to_string(), self.clock));
+    }
+
+    /// Closes the innermost open range (NVTX `nvtxRangePop`). Panics when
+    /// no range is open.
+    pub fn pop(&mut self) {
+        let (name, start) = self.stack.pop().expect("nvtxRangePop with empty stack");
+        let depth = self.stack.len();
+        self.events.push(RangeEvent {
+            name,
+            start,
+            end: self.clock,
+            depth,
+        });
+    }
+
+    /// Convenience: opens `name`, advances the clock by `seconds`, closes.
+    pub fn scoped(&mut self, name: &str, seconds: f64) {
+        self.push(name);
+        self.advance(seconds);
+        self.pop();
+    }
+
+    /// Number of ranges still open.
+    pub fn open_ranges(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// All closed events, in close order.
+    pub fn events(&self) -> &[RangeEvent] {
+        &self.events
+    }
+
+    /// Builds the per-name report over the capture window `[first start,
+    /// clock]`. Panics if ranges are still open.
+    pub fn report(&self) -> RangeReport {
+        assert!(
+            self.stack.is_empty(),
+            "cannot report with {} open ranges",
+            self.stack.len()
+        );
+        let capture = if self.events.is_empty() {
+            0.0
+        } else {
+            let first = self
+                .events
+                .iter()
+                .map(|e| e.start)
+                .fold(f64::INFINITY, f64::min);
+            self.clock - first
+        };
+
+        // Inclusive per name: sum of (end - start) over non-self-nested
+        // instances. To avoid double counting recursive/nested same-name
+        // ranges we only count instances not enclosed by a same-name range.
+        let mut rows: Vec<RangeRow> = Vec::new();
+        let mut names: Vec<&str> = self.events.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        for name in names {
+            let mut inclusive = 0.0;
+            let mut calls = 0u64;
+            for e in self.events.iter().filter(|e| e.name == name) {
+                let enclosed_by_same = self.events.iter().any(|o| {
+                    o.name == name
+                        && o.depth < e.depth
+                        && o.start <= e.start
+                        && o.end >= e.end
+                        && !std::ptr::eq(o, e)
+                });
+                if !enclosed_by_same {
+                    inclusive += e.end - e.start;
+                    calls += 1;
+                }
+            }
+            // Exclusive: inclusive minus time of directly nested children.
+            let mut child = 0.0;
+            for e in self.events.iter().filter(|e| e.name == name) {
+                child += self
+                    .events
+                    .iter()
+                    .filter(|c| {
+                        c.depth == e.depth + 1 && c.start >= e.start && c.end <= e.end
+                    })
+                    .map(|c| c.end - c.start)
+                    .sum::<f64>();
+            }
+            rows.push(RangeRow {
+                name: name.to_string(),
+                calls,
+                inclusive,
+                exclusive: (inclusive - child).max(0.0),
+                percent: if capture > 0.0 {
+                    100.0 * inclusive / capture
+                } else {
+                    0.0
+                },
+            });
+        }
+        rows.sort_by(|a, b| b.inclusive.total_cmp(&a.inclusive).then(a.name.cmp(&b.name)));
+        RangeReport {
+            capture_seconds: capture,
+            rows,
+        }
+    }
+}
+
+impl RangeProfiler {
+    /// Renders the captured events as an Nsight-Systems-style text
+    /// timeline: one lane per distinct range name (ordered by first
+    /// appearance and depth), `width` characters across the capture
+    /// window. Panics if ranges are still open.
+    pub fn render_timeline(&self, width: usize) -> String {
+        assert!(self.stack.is_empty(), "ranges still open");
+        assert!(width >= 10);
+        if self.events.is_empty() {
+            return String::from("(empty capture)\n");
+        }
+        let start = self
+            .events
+            .iter()
+            .map(|e| e.start)
+            .fold(f64::INFINITY, f64::min);
+        let end = self.clock;
+        let span = (end - start).max(1e-12);
+
+        // Lane order: first appearance, shallow ranges first.
+        let mut lanes: Vec<(&str, usize)> = Vec::new();
+        for e in &self.events {
+            if !lanes.iter().any(|(n, _)| *n == e.name) {
+                lanes.push((e.name.as_str(), e.depth));
+            }
+        }
+        lanes.sort_by_key(|&(_, d)| d);
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "timeline: {:.4} s capture, {} events\n",
+            span,
+            self.events.len()
+        ));
+        for (name, depth) in lanes {
+            let mut row = vec![b'.'; width];
+            for e in self.events.iter().filter(|e| e.name == name) {
+                let a = (((e.start - start) / span) * width as f64).floor() as usize;
+                let b = (((e.end - start) / span) * width as f64).ceil() as usize;
+                for c in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *c = b'#';
+                }
+            }
+            out.push_str(&format!(
+                "{:indent$}{:<18} |{}|\n",
+                "",
+                name,
+                String::from_utf8(row).expect("ascii"),
+                indent = depth * 2
+            ));
+        }
+        out
+    }
+}
+
+/// One row of the range report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeRow {
+    /// Range name.
+    pub name: String,
+    /// Top-level (non-self-nested) instance count.
+    pub calls: u64,
+    /// Inclusive seconds (children included).
+    pub inclusive: f64,
+    /// Exclusive seconds (direct children subtracted).
+    pub exclusive: f64,
+    /// Inclusive share of the capture window, percent.
+    pub percent: f64,
+}
+
+/// Nsight-Systems-style per-rank report sorted by inclusive time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeReport {
+    /// Length of the capture window in seconds.
+    pub capture_seconds: f64,
+    /// Sorted rows.
+    pub rows: Vec<RangeRow>,
+}
+
+impl RangeReport {
+    /// Inclusive percentage for a range name (0 if absent).
+    pub fn percent_of(&self, name: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.percent)
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for RangeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "NVTX range summary (nsys-style), capture {:.3} s",
+            self.capture_seconds
+        )?;
+        writeln!(
+            f,
+            "{:>7}  {:>12}  {:>12}  {:>8}  range",
+            "%time", "incl secs", "excl secs", "inst"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6.2}%  {:>12.4}  {:>12.4}  {:>8}  {}",
+                r.percent, r.inclusive, r.exclusive, r.calls, r.name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_sequence() {
+        let mut p = RangeProfiler::new();
+        p.scoped("a", 2.0);
+        p.scoped("b", 3.0);
+        let r = p.report();
+        assert!((r.capture_seconds - 5.0).abs() < 1e-12);
+        assert!((r.percent_of("a") - 40.0).abs() < 1e-9);
+        assert!((r.percent_of("b") - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nesting_inclusive_exclusive() {
+        let mut p = RangeProfiler::new();
+        p.push("solve_em");
+        p.advance(1.0);
+        p.scoped("fast_sbm", 7.0);
+        p.advance(2.0);
+        p.pop();
+        let r = p.report();
+        let solve = r.rows.iter().find(|r| r.name == "solve_em").unwrap();
+        assert!((solve.inclusive - 10.0).abs() < 1e-12);
+        assert!((solve.exclusive - 3.0).abs() < 1e-12);
+        let sbm = r.rows.iter().find(|r| r.name == "fast_sbm").unwrap();
+        assert!((sbm.inclusive - 7.0).abs() < 1e-12);
+        assert!((sbm.percent - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recursive_same_name_not_double_counted() {
+        let mut p = RangeProfiler::new();
+        p.push("r");
+        p.advance(1.0);
+        p.push("r"); // nested same-name
+        p.advance(2.0);
+        p.pop();
+        p.advance(1.0);
+        p.pop();
+        let r = p.report();
+        let row = r.rows.iter().find(|r| r.name == "r").unwrap();
+        assert!((row.inclusive - 4.0).abs() < 1e-12);
+        assert_eq!(row.calls, 1);
+    }
+
+    #[test]
+    fn multiple_instances_sum() {
+        let mut p = RangeProfiler::new();
+        for _ in 0..3 {
+            p.scoped("step", 2.0);
+        }
+        let r = p.report();
+        let row = &r.rows[0];
+        assert_eq!(row.calls, 3);
+        assert!((row.inclusive - 6.0).abs() < 1e-12);
+        assert!((row.percent - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "open ranges")]
+    fn report_with_open_range_panics() {
+        let mut p = RangeProfiler::new();
+        p.push("oops");
+        let _ = p.report();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stack")]
+    fn pop_empty_panics() {
+        RangeProfiler::new().pop();
+    }
+
+    #[test]
+    fn empty_report_ok() {
+        let r = RangeProfiler::new().report();
+        assert_eq!(r.capture_seconds, 0.0);
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn display_contains_names() {
+        let mut p = RangeProfiler::new();
+        p.scoped("fast_sbm", 1.0);
+        let s = p.report().to_string();
+        assert!(s.contains("fast_sbm"));
+        assert!(s.contains("incl secs"));
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+
+    #[test]
+    fn timeline_shows_lanes_in_order() {
+        let mut p = RangeProfiler::new();
+        p.push("solve_em");
+        p.scoped("rk_scalar_tend", 2.0);
+        p.scoped("fast_sbm", 6.0);
+        p.advance(2.0);
+        p.pop();
+        let t = p.render_timeline(40);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].contains("10.0000 s") || lines[0].contains("capture"));
+        // solve_em lane is fully busy; fast_sbm covers ~60%.
+        let solve = lines.iter().find(|l| l.contains("solve_em")).unwrap();
+        assert!(solve.matches('#').count() >= 38, "{solve}");
+        let sbm = lines.iter().find(|l| l.contains("fast_sbm")).unwrap();
+        let busy = sbm.matches('#').count();
+        assert!((20..=28).contains(&busy), "fast_sbm busy cells {busy}");
+        // Nested lanes are indented under their parent.
+        assert!(sbm.starts_with("  "));
+        assert!(!solve.starts_with(' '));
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        let p = RangeProfiler::new();
+        assert!(p.render_timeline(40).contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn open_ranges_panic_timeline() {
+        let mut p = RangeProfiler::new();
+        p.push("x");
+        let _ = p.render_timeline(40);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests of the profiling substrates.
+
+use proptest::prelude::*;
+use prof_sim::{FlatProfiler, RangeProfiler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flat-profile percentages always sum to ~100 (when anything was
+    /// recorded) and rows are sorted by self time.
+    #[test]
+    fn flat_percentages_sum(entries in proptest::collection::vec((0usize..6, 0.001f64..100.0), 1..50)) {
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let p = FlatProfiler::new();
+        for (idx, secs) in &entries {
+            p.record(names[*idx], *secs);
+        }
+        let r = p.report();
+        let total_pct: f64 = r.rows.iter().map(|row| row.percent).sum();
+        prop_assert!((total_pct - 100.0).abs() < 1e-6);
+        for w in r.rows.windows(2) {
+            prop_assert!(w[0].seconds >= w[1].seconds);
+        }
+        let total: f64 = entries.iter().map(|(_, s)| s).sum();
+        prop_assert!((r.total_seconds - total).abs() < 1e-9 * entries.len() as f64);
+    }
+
+    /// Merging per-rank profilers equals recording everything into one.
+    #[test]
+    fn merge_is_associative(entries in proptest::collection::vec((0usize..4, 0usize..3, 0.01f64..10.0), 1..40)) {
+        let names = ["w", "x", "y", "z"];
+        let merged = FlatProfiler::new();
+        let locals: Vec<FlatProfiler> = (0..3).map(|_| FlatProfiler::new()).collect();
+        let direct = FlatProfiler::new();
+        for (name_idx, rank, secs) in &entries {
+            locals[*rank].record(names[*name_idx], *secs);
+            direct.record(names[*name_idx], *secs);
+        }
+        for l in &locals {
+            merged.merge(l);
+        }
+        let a = merged.report();
+        let b = direct.report();
+        prop_assert_eq!(a.rows.len(), b.rows.len());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            prop_assert_eq!(&ra.name, &rb.name);
+            prop_assert!((ra.seconds - rb.seconds).abs() < 1e-9);
+            prop_assert_eq!(ra.calls, rb.calls);
+        }
+    }
+
+    /// Range profiler: inclusive time of a properly nested capture never
+    /// exceeds the capture window, and exclusive ≤ inclusive.
+    #[test]
+    fn ranges_within_capture(durations in proptest::collection::vec(0.001f64..5.0, 1..20)) {
+        let mut p = RangeProfiler::new();
+        p.push("outer");
+        for (i, d) in durations.iter().enumerate() {
+            p.scoped(if i % 2 == 0 { "even" } else { "odd" }, *d);
+        }
+        p.pop();
+        let r = p.report();
+        for row in &r.rows {
+            prop_assert!(row.inclusive <= r.capture_seconds + 1e-9);
+            prop_assert!(row.exclusive <= row.inclusive + 1e-9);
+            prop_assert!(row.percent <= 100.0 + 1e-6);
+        }
+        let outer = r.rows.iter().find(|x| x.name == "outer").unwrap();
+        let total: f64 = durations.iter().sum();
+        prop_assert!((outer.inclusive - total).abs() < 1e-9 * durations.len() as f64);
+        prop_assert!(outer.exclusive < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Section VII-A: multiple MPI ranks sharing GPUs — round-robin
+//! placement, kernel serialization, and the 5-ranks-per-GPU memory wall.
+//!
+//! ```sh
+//! cargo run --release --example multi_rank_gpu
+//! ```
+
+use wrf_offload_repro::prelude::*;
+
+fn main() {
+    // --- The memory wall ------------------------------------------------
+    // With NV_ACC_CUDA_STACKSIZE=65536 each rank's context reserves
+    // ~13.5 GiB of HBM; with ~1.5 GB of temp_arrays slabs per rank, five
+    // ranks fit on an 80 GB A100 and the sixth OOMs — the paper's limit.
+    println!("--- how many ranks fit one A100-80GB? ---");
+    let slab_bytes: u64 = 1_500_000_000;
+    let max = GpuPool::max_ranks_per_gpu(&A100, 65536, slab_bytes);
+    println!("model says: {max} ranks/GPU (paper observed 5)");
+
+    let pool = GpuPool::new(A100, 1, 8);
+    for rank in 0..8usize {
+        let result = pool.with_device(rank, |d| {
+            d.create_context(rank, 65536)
+                .and_then(|()| d.alloc(rank, "temp_arrays", slab_bytes))
+        });
+        match result {
+            Ok(()) => println!("rank {rank}: context + slabs allocated"),
+            Err(e) => {
+                println!("rank {rank}: {e}");
+                break;
+            }
+        }
+    }
+
+    // --- Round-robin sharing and serialization ---------------------------
+    println!("\n--- 64 ranks on 16 GPUs: round-robin placement ---");
+    let pool = GpuPool::new(A100, 16, 64);
+    for rank in [0usize, 15, 16, 17, 63] {
+        let a = pool.assignment(rank);
+        println!(
+            "rank {rank:>2} -> GPU {:>2} (shared by {} ranks)",
+            a.device, a.sharers
+        );
+    }
+
+    // Kernels from co-located ranks serialize on the device timeline.
+    println!("\n--- device timeline with 4 ranks submitting 10 ms kernels ---");
+    let pool = GpuPool::new(A100, 1, 4);
+    for rank in 0..4usize {
+        let (start, end) = pool.with_device(rank, |d| d.submit(0.0, 0.010));
+        println!("rank {rank}: kernel runs {:.1} - {:.1} ms", start * 1e3, end * 1e3);
+    }
+
+    // --- The Table VII sweep ---------------------------------------------
+    println!("\n--- modeled 10-minute runs (Table VII) ---");
+    let coeffs = measure_coeffs(0.08, 24, 3);
+    let traffic = TrafficModel::measure();
+    let pp = PerfParams::default();
+    let run = |version, ranks, gpus| {
+        experiment(
+            &ExperimentConfig {
+                case: ConusParams::full(),
+                version,
+                ranks,
+                gpus,
+                minutes: 10.0,
+            },
+            &coeffs,
+            &pp,
+            &traffic,
+        )
+        .total_secs
+    };
+    println!("{:<12} {:>12} {:>12} {:>9}", "config", "baseline(s)", "gpu(s)", "speedup");
+    for ranks in [16usize, 32, 64] {
+        let b = run(SbmVersion::Baseline, ranks, 0);
+        let g = run(SbmVersion::OffloadCollapse3, ranks, 16);
+        println!("{:<12} {b:>12.1} {g:>12.1} {:>8.2}x", format!("{ranks} ranks"), b / g);
+    }
+    let b = run(SbmVersion::Baseline, 256, 0);
+    let g = run(SbmVersion::OffloadCollapse3, 40, 8);
+    println!("{:<12} {b:>12.1} {g:>12.1} {:>8.2}x", "2 nodes", b / g);
+    println!("(paper: 2.08x, 1.82x, 1.56x, 0.956x)");
+}

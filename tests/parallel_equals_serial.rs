@@ -1,0 +1,81 @@
+//! Domain decomposition must not change the weather: a multi-rank run
+//! with halo exchanges reproduces the single-rank run bit-for-bit.
+
+use wrf_offload_repro::prelude::*;
+
+fn single(cfg: ModelConfig, steps: usize) -> SbmPatchState {
+    let mut m = Model::single_rank(cfg);
+    m.run(steps);
+    m.state
+}
+
+fn assert_matches_single(cfg: ModelConfig, ranks: usize, steps: usize) {
+    let mut cfgn = cfg;
+    cfgn.ranks = ranks;
+    let par = run_parallel(cfgn, steps);
+    let ser = single(cfg, steps);
+    for st in &par.states {
+        let p = st.patch;
+        for j in p.jp.iter() {
+            for k in p.kp.iter() {
+                for i in p.ip.iter() {
+                    assert_eq!(
+                        st.tt.get(i, k, j),
+                        ser.tt.get(i, k, j),
+                        "T mismatch at ({i},{k},{j}) with {ranks} ranks"
+                    );
+                    assert_eq!(
+                        st.qv.get(i, k, j),
+                        ser.qv.get(i, k, j),
+                        "QV mismatch at ({i},{k},{j})"
+                    );
+                    for c in 0..NTYPES {
+                        assert_eq!(
+                            st.ff[c].bin_slice(i, k, j),
+                            ser.ff[c].bin_slice(i, k, j),
+                            "bins mismatch class {c} at ({i},{k},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn two_ranks_match_single_rank_bitwise() {
+    let cfg = ModelConfig::functional(SbmVersion::Lookup, 0.05, 8);
+    assert_matches_single(cfg, 2, 3);
+}
+
+#[test]
+fn four_ranks_match_single_rank_bitwise() {
+    let cfg = ModelConfig::functional(SbmVersion::Lookup, 0.06, 8);
+    assert_matches_single(cfg, 4, 3);
+}
+
+#[test]
+fn work_is_imbalanced_but_total_is_conserved() {
+    // The Table I / §VIII premise: ranks see very different microphysics
+    // loads, but the global work equals the single-rank run's.
+    let cfg = ModelConfig::functional(SbmVersion::Lookup, 0.08, 10);
+    let mut cfg4 = cfg;
+    cfg4.ranks = 4;
+    let par = run_parallel(cfg4, 2);
+    let mut m = Model::single_rank(cfg);
+    let ser = m.run(2);
+
+    let per_rank: Vec<u64> = par
+        .reports
+        .iter()
+        .map(|r| r.sbm_work.coal.flops)
+        .collect();
+    let total: u64 = per_rank.iter().sum();
+    assert_eq!(total, ser.sbm_work.coal.flops, "global collision work");
+    let max = *per_rank.iter().max().unwrap();
+    let min = *per_rank.iter().min().unwrap();
+    assert!(
+        max > min,
+        "storms cluster, so ranks should differ: {per_rank:?}"
+    );
+}

@@ -1,0 +1,96 @@
+//! Tooling-level integration: namelist-driven runs, autocompare, state
+//! I/O, and the diagnostic chain.
+
+use wrf_offload_repro::prelude::*;
+
+#[test]
+fn namelist_drives_a_run() {
+    let nml = r"
+&domains
+  e_we = 20, e_sn = 16, e_vert = 8,
+  run_minutes = 0.5,
+/
+&physics
+  mp_physics = 'fsbm_lookup',
+/
+&scenario
+  n_storms = 3,
+/
+";
+    let cfg = miniwrf::namelist::config_from_namelist(nml).unwrap();
+    assert_eq!(cfg.steps(), 6);
+    let mut m = Model::single_rank(cfg);
+    let rep = m.run(cfg.steps());
+    assert_eq!(rep.steps, 6);
+    assert!(rep.last_sbm.unwrap().active_points > 0);
+}
+
+#[test]
+fn autocompare_reports_full_agreement() {
+    // §VII-B `-gpu=autocompare`: the configured (offloaded) scheme vs a
+    // baseline re-run per step. Our simulated device executes identical
+    // arithmetic, so agreement is total (the paper saw 6-7 digits).
+    let cfg = ModelConfig::functional(SbmVersion::OffloadCollapse3, 0.05, 8);
+    let mut m = Model::single_rank(cfg);
+    for _ in 0..3 {
+        let (rep, digits) = m.step_autocompare();
+        assert!(rep.sbm.active_points > 0);
+        assert!(
+            digits >= 7,
+            "per-step agreement should be at least the paper's 6-7 digits, got {digits}"
+        );
+    }
+}
+
+#[test]
+fn wrfout_roundtrip_through_a_real_run() {
+    let cfg = ModelConfig::functional(SbmVersion::Lookup, 0.05, 8);
+    let mut m = Model::single_rank(cfg);
+    m.run(4);
+    let dir = std::env::temp_dir().join("wrf_offload_repro_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wrfout_roundtrip.bin");
+    wrf_cases::wrfout::save_state(&path, &m.state).unwrap();
+    let back = wrf_cases::wrfout::load_state(&path).unwrap();
+    assert!(diffwrf(&m.state, &back).identical());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn storms_show_up_on_radar() {
+    let cfg = ModelConfig::functional(SbmVersion::Lookup, 0.06, 12);
+    let mut m = Model::single_rank(cfg);
+    m.run(8);
+    let grids = fsbm_core::point::Grids::new();
+    let dbz = fsbm_core::diagnostics::composite_dbz(&mut m.state, &grids);
+    assert_eq!(dbz.len(), m.patch.compute_columns());
+    let max = dbz.iter().cloned().fold(f32::MIN, f32::max);
+    assert!(
+        (20.0..80.0).contains(&max),
+        "storm cores should paint 20-80 dBZ, got {max}"
+    );
+    // Away from the storms there is no meaningful echo (faint numerical
+    // drizzle from the advection stencils stays below ~5 dBZ).
+    let quiet = dbz.iter().filter(|&&v| v < 5.0).count();
+    assert!(
+        quiet > dbz.len() / 8,
+        "much of the domain is echo-free: {quiet}/{}",
+        dbz.len()
+    );
+    // And the map renders with both quiet and loud glyphs.
+    let map = fsbm_core::diagnostics::render_dbz_map(&dbz, m.patch.ip.len());
+    assert!(map.contains(' '));
+    assert!(map.contains('O') || map.contains('#') || map.contains('@'));
+}
+
+#[test]
+fn modernize_then_analyze_pipeline() {
+    // The paper's recommended order: modernize first, then optimize.
+    use codee_sim::{analyze, corpus, modernize};
+    let legacy = corpus::fsbm_subprograms(false);
+    let total_fixes: usize = legacy.iter().map(|s| modernize(s).fixes.len()).sum();
+    assert!(total_fixes >= 8, "the legacy corpus needs work: {total_fixes}");
+    // Modernization does not change the dependence verdicts (it is
+    // interface hygiene): the kernals nest is parallel either way.
+    assert!(analyze(&corpus::kernals_ks_nest()).fully_parallel());
+}
