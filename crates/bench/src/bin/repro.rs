@@ -1,8 +1,10 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
+//! `bench-exec` times the collision stage under the three scheduling
+//! modes at 1/2/4/8 workers and writes `BENCH_executor.json`.
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -49,12 +51,31 @@ fn listings() -> String {
     s
 }
 
+fn bench_exec() -> String {
+    // Reduced-scale sparse CONUS (one storm cluster on a ~68x48 grid
+    // keeps the collision-predicate activity fraction under 0.2),
+    // comparing the seed execution path (static tiles, on-demand
+    // kernels) against the persistent pool and the full v4 path at
+    // 1/2/4/8 workers.
+    let rep = wrf_bench::execbench::bench_exec(0.16, 16, 1, 3, &[1, 2, 4, 8]);
+    let json = rep.to_json();
+    match std::fs::write("BENCH_executor.json", &json) {
+        Ok(()) => eprintln!("[repro] wrote BENCH_executor.json"),
+        Err(e) => eprintln!("[repro] could not write BENCH_executor.json: {e}"),
+    }
+    format!("{}\n{}", rep.rendered(), json)
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let need_ctx = what != "verify" && what != "listings";
+    let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {
         eprintln!("[repro] measuring work coefficients (functional model)...");
-        Some(ReproContext::new())
+        let ctx = ReproContext::new();
+        // One-line scheduling report of the measurement run (prof-sim
+        // format): mode, steals, active fraction, kernel-cache hit rate.
+        eprintln!("[repro] {}", ctx.coeffs.exec.one_line());
+        Some(ctx)
     } else {
         None
     };
@@ -124,10 +145,13 @@ fn main() {
     if matches!(what.as_str(), "listings" | "all") {
         emit("listings", listings());
     }
+    if what == "bench-exec" {
+        emit("bench-exec", bench_exec());
+    }
     if !emitted {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
-             timeline|fig2|fig3|fig4|ablation|future|verify|listings|all"
+             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|all"
         );
         std::process::exit(2);
     }

@@ -10,6 +10,7 @@
 
 pub mod ablations;
 pub mod context;
+pub mod execbench;
 pub mod figures;
 pub mod future;
 pub mod tables;

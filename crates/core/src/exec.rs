@@ -1,0 +1,200 @@
+//! Execution strategy for the functional FSBM plane: how the emulated
+//! device threads are scheduled over the collision iteration space.
+//!
+//! Three strategies are modeled, matching the `bench-exec` arms:
+//!
+//! * **Static tiles** — the classic `schedule(static)` baseline: the
+//!   iteration space is split into one contiguous block per worker and
+//!   nothing rebalances. Storm clustering leaves most workers idle.
+//! * **Work-stealing** — a persistent [`wrf_exec::Executor`] (created
+//!   once per run, not per step) distributes chunked ranges over
+//!   per-worker deques; idle workers steal.
+//! * **Work-stealing + compaction** — the predicate mask produced by the
+//!   fissioned pre-sweep is scanned into a compact active-index list
+//!   first, so the work queue only ever contains points (or columns)
+//!   whose collision predicate fired. On CONUS-like sparsity (≤ 20%
+//!   active) this shrinks the queue ~5× before any scheduling happens.
+
+use wrf_exec::ExecStats;
+
+/// How the offloaded collision loop (and the tiled CPU path) schedules
+/// its iterations across the emulated device threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Contiguous static partition, fresh threads per launch (the seed
+    /// behavior's `schedule(static)` analogue).
+    StaticTiles,
+    /// Persistent work-stealing executor.
+    WorkSteal {
+        /// Chunk size in iterations (`None` = automatic).
+        chunk: Option<u64>,
+        /// Pre-compact the iteration space to the active set before
+        /// enqueueing.
+        compact: bool,
+    },
+}
+
+impl ExecMode {
+    /// The default production mode: work-stealing with automatic chunk
+    /// size and activity compaction.
+    pub const fn work_steal() -> Self {
+        ExecMode::WorkSteal {
+            chunk: None,
+            compact: true,
+        }
+    }
+
+    /// True for the two executor-backed variants.
+    pub fn uses_executor(self) -> bool {
+        matches!(self, ExecMode::WorkSteal { .. })
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::StaticTiles => "static-tiles",
+            ExecMode::WorkSteal { compact: false, .. } => "work-stealing",
+            ExecMode::WorkSteal { compact: true, .. } => "work-stealing+compaction",
+        }
+    }
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::work_steal()
+    }
+}
+
+/// Scans a predicate mask into the compact list of active flat indices
+/// (the activity-compacted work queue for a `collapse(3)` launch).
+pub fn compact_active_points(predicate: &[bool]) -> Vec<u32> {
+    predicate
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &on)| on.then_some(i as u32))
+        .collect()
+}
+
+/// Scans a point predicate laid out as `[column][i]` into the compact
+/// list of active column indices — a column is active when any of its
+/// `ilen` points is (the `collapse(2)` launch unit).
+pub fn compact_active_columns(predicate: &[bool], ilen: usize) -> Vec<u32> {
+    assert!(ilen > 0 && predicate.len() % ilen == 0);
+    predicate
+        .chunks_exact(ilen)
+        .enumerate()
+        .filter_map(|(c, col)| col.iter().any(|&p| p).then_some(c as u32))
+        .collect()
+}
+
+/// One-run executor summary surfaced through `prof-sim` and the repro
+/// driver: the numbers that tell whether the queue was balanced, how
+/// sparse the activity was, and whether the kernel cache earned its keep.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecSummary {
+    /// Scheduling mode label (`static-tiles`, `work-stealing`, ...).
+    pub mode: &'static str,
+    /// Pool width (0 when no executor was created).
+    pub workers: usize,
+    /// Jobs dispatched to the pool.
+    pub epochs: u64,
+    /// Chunks executed across all workers.
+    pub chunks: u64,
+    /// Successful steals across all workers.
+    pub steals: u64,
+    /// Queue occupancy high-water mark (chunks in one deque).
+    pub max_queue: u64,
+    /// Least-busy / most-busy worker busy-time ratio (1.0 = balanced).
+    pub balance: f64,
+    /// Fraction of grid points whose collision predicate fired.
+    pub active_fraction: f64,
+    /// Kernel-cache hit rate (1.0 when the cache is disabled or idle).
+    pub cache_hit_rate: f64,
+}
+
+impl ExecSummary {
+    /// Builds a summary from executor statistics plus scheme-level
+    /// context.
+    pub fn from_stats(
+        mode: &'static str,
+        stats: &ExecStats,
+        active_fraction: f64,
+        cache_hit_rate: f64,
+    ) -> Self {
+        ExecSummary {
+            mode,
+            workers: stats.workers,
+            epochs: stats.epochs,
+            chunks: stats.total_chunks(),
+            steals: stats.total_steals(),
+            max_queue: stats.max_queue,
+            balance: stats.balance(),
+            active_fraction,
+            cache_hit_rate,
+        }
+    }
+
+    /// The one-line run report (rendered by `prof-sim` so every consumer
+    /// prints the same format):
+    /// `exec: work-stealing+compaction workers=4 steals=37 active=12.5% cache-hit=100.0%`.
+    pub fn one_line(&self) -> String {
+        prof_sim::exec_line(
+            self.mode,
+            self.workers,
+            self.epochs,
+            self.chunks,
+            self.steals,
+            self.max_queue,
+            self.balance,
+            self.active_fraction,
+            self.cache_hit_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_points_match_mask() {
+        let pred = [false, true, true, false, false, true];
+        assert_eq!(compact_active_points(&pred), vec![1, 2, 5]);
+        assert!(compact_active_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn compaction_columns_or_over_i() {
+        // 3 columns of ilen = 2: [F,F] [T,F] [F,T]
+        let pred = [false, false, true, false, false, true];
+        assert_eq!(compact_active_columns(&pred, 2), vec![1, 2]);
+        // Fully active and fully idle.
+        assert_eq!(compact_active_columns(&[true; 4], 2), vec![0, 1]);
+        assert!(compact_active_columns(&[false; 4], 2).is_empty());
+    }
+
+    #[test]
+    fn mode_labels_and_default() {
+        assert_eq!(ExecMode::default(), ExecMode::work_steal());
+        assert!(ExecMode::default().uses_executor());
+        assert!(!ExecMode::StaticTiles.uses_executor());
+        assert_eq!(ExecMode::StaticTiles.label(), "static-tiles");
+        assert_eq!(
+            ExecMode::WorkSteal { chunk: Some(8), compact: false }.label(),
+            "work-stealing"
+        );
+        assert_eq!(ExecMode::default().label(), "work-stealing+compaction");
+    }
+
+    #[test]
+    fn summary_line_is_compact() {
+        let ex = wrf_exec::Executor::new(2);
+        ex.run_indexed(10_000, Some(16), |_| {});
+        let s = ExecSummary::from_stats("work-stealing", &ex.stats(), 0.125, 1.0);
+        let line = s.one_line();
+        assert!(line.contains("work-stealing"));
+        assert!(line.contains("workers=2"));
+        assert!(line.contains("active=12.5%"));
+        assert!(line.contains("cache-hit=100.0%"));
+    }
+}

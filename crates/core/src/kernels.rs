@@ -243,9 +243,124 @@ pub fn kernals_ks(
     out.filled_for_p = p;
 }
 
+/// One memoized k-level: the 20 pair tables interpolated to that level's
+/// pressure.
+#[derive(Debug)]
+struct CacheLevel {
+    /// Pressure the level was filled for, Pa.
+    p: f32,
+    /// `cw[pair][i * NKR + j]`, values bitwise-equal to
+    /// [`KernelTables::entry`] at `p`.
+    cw: Vec<Box<[f32]>>,
+}
+
+/// Per-k-level memoization of the interpolated collision kernels.
+///
+/// Pressure in the functional cases varies only with `k`, so the 20
+/// interpolated pair tables are identical for every column at a given
+/// level. [`KernelMode::Cached`] exploits that: each level's tables are
+/// filled once per run (values computed by the same
+/// [`KernelTables::entry`] math, so they are bitwise-identical to
+/// `OnDemand`) and reads are plain loads afterwards. Accesses meter
+/// `fm(4, 2)` exactly like `OnDemand` so every cross-version work-stat
+/// invariant is preserved; only wall-clock changes.
+#[derive(Debug)]
+pub struct KernelCache {
+    levels: Vec<Option<CacheLevel>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl KernelCache {
+    /// An empty cache for `nz` vertical levels.
+    pub fn new(nz: usize) -> Self {
+        KernelCache {
+            levels: (0..nz).map(|_| None).collect(),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of levels the cache covers.
+    pub fn nz(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Fills level `k` for pressure `p` unless already filled for
+    /// exactly that pressure. The fill cost is amortized (a throwaway
+    /// work meter), mirroring a one-time device-side table build; the
+    /// per-access metering stays in [`KernelMode::get`].
+    pub fn ensure_level(&mut self, k: usize, p: f32, tables: &KernelTables) {
+        if k >= self.levels.len() {
+            return;
+        }
+        if let Some(lvl) = &self.levels[k] {
+            if lvl.p == p {
+                return;
+            }
+        }
+        let mut sink = PointWork::ZERO;
+        let cw = (0..COLLISION_PAIRS.len())
+            .map(|pair| {
+                let mut t = vec![0.0f32; NKR * NKR].into_boxed_slice();
+                for i in 0..NKR {
+                    for j in 0..NKR {
+                        t[i * NKR + j] = tables.entry(pair, i, j, p, &mut sink);
+                    }
+                }
+                t
+            })
+            .collect();
+        self.levels[k] = Some(CacheLevel { p, cw });
+    }
+
+    /// Drops every filled level (e.g. when the pressure profile changes).
+    pub fn invalidate(&mut self) {
+        for l in &mut self.levels {
+            *l = None;
+        }
+    }
+
+    /// Cache hits since construction / [`KernelCache::reset_stats`].
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Cache misses (fallback to on-demand computation).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Fraction of accesses served from the cache (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            1.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Zeroes the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, std::sync::atomic::Ordering::Relaxed);
+        self.misses.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Bytes held by filled levels (data-environment accounting).
+    pub fn bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|l| l.cw.len() as u64 * (NKR * NKR * 4) as u64)
+            .sum()
+    }
+}
+
 /// How a `coal_bott_new` invocation obtains kernel values: the dense
-/// per-point tables (baseline) or the on-demand pure function (lookup and
-/// both offload versions).
+/// per-point tables (baseline), the on-demand pure function (lookup and
+/// both offload versions), or the per-k-level memoized tables.
 #[derive(Clone, Copy)]
 pub enum KernelMode<'a> {
     /// Baseline: read the pre-filled global arrays.
@@ -254,6 +369,19 @@ pub enum KernelMode<'a> {
     OnDemand {
         /// The static two-level tables.
         tables: &'a KernelTables,
+        /// Local pressure, Pa.
+        p: f32,
+    },
+    /// Per-k-level memoized tables; falls back to on-demand when the
+    /// level is absent or was filled for a different pressure.
+    Cached {
+        /// The shared per-level cache (pre-filled via
+        /// [`KernelCache::ensure_level`]).
+        cache: &'a KernelCache,
+        /// The static two-level tables (fallback path).
+        tables: &'a KernelTables,
+        /// Vertical level of the access.
+        level: usize,
         /// Local pressure, Pa.
         p: f32,
     },
@@ -266,6 +394,28 @@ impl<'a> KernelMode<'a> {
         match self {
             KernelMode::Dense(t) => t.get(pair, i, j, work),
             KernelMode::OnDemand { tables, p } => tables.entry(pair, i, j, *p, work),
+            KernelMode::Cached {
+                cache,
+                tables,
+                level,
+                p,
+            } => {
+                if let Some(Some(lvl)) = cache.levels.get(*level) {
+                    if lvl.p == *p {
+                        cache
+                            .hits
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        // Meter exactly like `OnDemand` so work statistics
+                        // stay bitwise-identical across kernel modes.
+                        work.fm(4, 2);
+                        return lvl.cw[pair][i * NKR + j];
+                    }
+                }
+                cache
+                    .misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                tables.entry(pair, i, j, *p, work)
+            }
         }
     }
 }
@@ -406,6 +556,109 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_mode_is_bitwise_identical_to_ondemand() {
+        let t = KernelTables::new();
+        let mut cache = KernelCache::new(3);
+        let pressures = [70_000.0f32, 55_000.0, 42_000.0];
+        for (k, &p) in pressures.iter().enumerate() {
+            cache.ensure_level(k, p, &t);
+        }
+        for (k, &p) in pressures.iter().enumerate() {
+            let cm = KernelMode::Cached {
+                cache: &cache,
+                tables: &t,
+                level: k,
+                p,
+            };
+            let om = KernelMode::OnDemand { tables: &t, p };
+            for pair in 0..20 {
+                for i in 0..NKR {
+                    for j in 0..NKR {
+                        let mut wc = PointWork::ZERO;
+                        let mut wo = PointWork::ZERO;
+                        let vc = cm.get(pair, i, j, &mut wc);
+                        let vo = om.get(pair, i, j, &mut wo);
+                        assert_eq!(vc.to_bits(), vo.to_bits());
+                        // Work metering must match exactly too.
+                        assert_eq!((wc.flops, wc.mem_ops), (wo.flops, wo.mem_ops));
+                    }
+                }
+            }
+        }
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.hits(), 3 * 20 * (NKR * NKR) as u64);
+        assert_eq!(cache.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn cache_falls_back_on_pressure_mismatch_and_unfilled_level() {
+        let t = KernelTables::new();
+        let mut cache = KernelCache::new(2);
+        cache.ensure_level(0, 60_000.0, &t);
+        let mut w = PointWork::ZERO;
+        // Filled level, different pressure: value still correct.
+        let cm = KernelMode::Cached {
+            cache: &cache,
+            tables: &t,
+            level: 0,
+            p: 50_000.0,
+        };
+        assert_eq!(
+            cm.get(4, 8, 8, &mut w),
+            t.entry(4, 8, 8, 50_000.0, &mut w)
+        );
+        // Unfilled level.
+        let cm1 = KernelMode::Cached {
+            cache: &cache,
+            tables: &t,
+            level: 1,
+            p: 60_000.0,
+        };
+        assert_eq!(
+            cm1.get(4, 8, 8, &mut w),
+            t.entry(4, 8, 8, 60_000.0, &mut w)
+        );
+        // Out-of-range level.
+        let cm9 = KernelMode::Cached {
+            cache: &cache,
+            tables: &t,
+            level: 9,
+            p: 60_000.0,
+        };
+        assert_eq!(
+            cm9.get(4, 8, 8, &mut w),
+            t.entry(4, 8, 8, 60_000.0, &mut w)
+        );
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
+        cache.reset_stats();
+        assert_eq!(cache.misses(), 0);
+        // Refill for the new pressure, then it hits.
+        cache.ensure_level(0, 50_000.0, &t);
+        let cm = KernelMode::Cached {
+            cache: &cache,
+            tables: &t,
+            level: 0,
+            p: 50_000.0,
+        };
+        cm.get(4, 8, 8, &mut w);
+        assert_eq!(cache.hits(), 1);
+        assert!(cache.bytes() > 0);
+        cache.invalidate();
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn ensure_level_is_idempotent() {
+        let t = KernelTables::new();
+        let mut cache = KernelCache::new(1);
+        cache.ensure_level(0, 60_000.0, &t);
+        let before = cache.bytes();
+        cache.ensure_level(0, 60_000.0, &t);
+        assert_eq!(cache.bytes(), before);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod bins;
 pub mod bulk;
 pub mod constants;
 pub mod diagnostics;
+pub mod exec;
 pub mod kernels;
 pub mod meter;
 pub mod point;
@@ -42,7 +43,10 @@ pub mod types;
 pub mod workload;
 
 pub use bins::BinGrid;
-pub use kernels::{CollisionPair, CollisionTables, KernelMode, KernelTables, COLLISION_PAIRS};
+pub use exec::{ExecMode, ExecSummary};
+pub use kernels::{
+    CollisionPair, CollisionTables, KernelCache, KernelMode, KernelTables, COLLISION_PAIRS,
+};
 pub use meter::PointWork;
 pub use point::{fast_sbm_point, PointBins, PointThermo};
 pub use scheme::{FastSbm, SbmConfig, SbmStepStats, SbmVersion};

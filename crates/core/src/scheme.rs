@@ -20,7 +20,8 @@
 //! their outputs agree to f32 round-off — the property §VII-B verifies
 //! with `diffwrf`.
 
-use crate::kernels::{kernals_ks, CollisionTables, KernelMode, KernelTables};
+use crate::exec::{compact_active_columns, compact_active_points, ExecMode, ExecSummary};
+use crate::kernels::{kernals_ks, CollisionTables, KernelCache, KernelMode, KernelTables};
 use crate::meter::{PointWork, WorkBreakdown};
 use crate::point::{Grids, PointBins};
 use crate::processes::driver::{fast_sbm_coal, fast_sbm_post, fast_sbm_pre, PointOutcome};
@@ -28,9 +29,12 @@ use crate::processes::sedimentation::sedimentation_column;
 use crate::state::SbmPatchState;
 use crate::types::{NKR, NTYPES};
 use crate::workload::warp_efficiency;
-use gpu_sim::launch::{launch_functional, KernelSpec};
+use gpu_sim::launch::{
+    launch_functional_list, launch_functional_on, launch_functional_static, KernelSpec,
+};
 use gpu_sim::syncslice::SyncWriteSlice;
 use std::sync::atomic::{AtomicU64, Ordering};
+use wrf_exec::Executor;
 
 /// Which optimization stage of the paper to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,6 +94,18 @@ pub struct SbmConfig {
     /// shared collision tables become per-tile (`THREADPRIVATE`) copies
     /// when tiled.
     pub tiles: usize,
+    /// How iterations are scheduled onto the emulated device threads
+    /// (and the tiled CPU path): static partition or the persistent
+    /// work-stealing executor, with or without activity compaction.
+    pub sched: ExecMode,
+    /// Memoize the 20 interpolated pair tables per k-level
+    /// ([`KernelMode::Cached`]); bitwise-identical to on-demand, cheaper
+    /// per access when pressure only varies vertically.
+    pub cached_kernels: bool,
+    /// Record per-launch-unit metered collision flops into
+    /// [`SbmStepStats::coal_profile`] (off by default; used by
+    /// `bench-exec` to replay the schedule).
+    pub profile_coal: bool,
 }
 
 impl SbmConfig {
@@ -101,6 +117,9 @@ impl SbmConfig {
             dz: 400.0,
             workers: None,
             tiles: 1,
+            sched: ExecMode::work_steal(),
+            cached_kernels: false,
+            profile_coal: false,
         }
     }
 }
@@ -127,6 +146,15 @@ pub struct SbmStepStats {
     pub kernel_spec: Option<KernelSpec>,
     /// Surface precipitation this step, kg/m² summed over columns.
     pub precip: f64,
+    /// Wall-clock seconds of the collision-stage launch (0 for the CPU
+    /// versions; the metric the `bench-exec` arms compare).
+    pub coal_wall: f64,
+    /// Metered collision flops per launch unit (columns for
+    /// `collapse(2)`, points for `collapse(3)`), collected only when
+    /// [`SbmConfig::profile_coal`] is set. `bench-exec` replays this
+    /// profile through each scheduling policy to compute the makespan a
+    /// multi-worker device would see, independent of host core count.
+    pub coal_profile: Option<Vec<u64>>,
 }
 
 /// The scheme driver holding static tables and (for the baseline) the
@@ -138,6 +166,13 @@ pub struct FastSbm {
     tables: KernelTables,
     /// The baseline's global module state (`cwll`, `cwls`, ...).
     dense: CollisionTables,
+    /// Persistent worker pool, created lazily on the first step that
+    /// needs one and reused for the rest of the run (per rank — each
+    /// rank's scheme owns its own pool).
+    exec: Option<Executor>,
+    /// Per-k-level memoized collision kernels (when
+    /// [`SbmConfig::cached_kernels`] is set).
+    kcache: Option<KernelCache>,
 }
 
 impl FastSbm {
@@ -148,6 +183,90 @@ impl FastSbm {
             grids: Grids::new(),
             tables: KernelTables::new(),
             dense: CollisionTables::new(),
+            exec: None,
+            kcache: None,
+        }
+    }
+
+    /// Creates the persistent executor if this configuration needs one.
+    fn ensure_exec(&mut self) {
+        if self.exec.is_none() {
+            let w = self.cfg.workers.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            });
+            self.exec = Some(Executor::new(w));
+        }
+    }
+
+    /// Fills (or refreshes) the per-level kernel cache from the patch's
+    /// pressure profile. Pressure in the functional cases is a function
+    /// of `k` alone; if a level's pressure ever disagrees at access time
+    /// the cached mode falls back to the on-demand computation, so this
+    /// is an optimization hint, never a correctness requirement.
+    fn ensure_kcache(&mut self, state: &SbmPatchState) {
+        let p = state.patch;
+        let nz = p.kp.len();
+        let tables = &self.tables;
+        let kc = match &mut self.kcache {
+            Some(kc) if kc.nz() == nz => kc,
+            slot => {
+                *slot = Some(KernelCache::new(nz));
+                slot.as_mut().unwrap()
+            }
+        };
+        for (kx, k) in p.kp.iter().enumerate() {
+            kc.ensure_level(kx, state.p.get(p.ip.lo, k, p.jp.lo), tables);
+        }
+    }
+
+    /// Kernel mode for a non-dense collision call at level `k`
+    /// (absolute index; `k0` is the patch's first compute level).
+    #[inline]
+    fn lookup_mode<'a>(
+        kcache: Option<&'a KernelCache>,
+        tables: &'a KernelTables,
+        k: i32,
+        k0: i32,
+        p: f32,
+    ) -> KernelMode<'a> {
+        match kcache {
+            Some(cache) => KernelMode::Cached {
+                cache,
+                tables,
+                level: (k - k0) as usize,
+                p,
+            },
+            None => KernelMode::OnDemand { tables, p },
+        }
+    }
+
+    /// Executor + cache summary for reporting: scheduling mode, pool
+    /// statistics, the step's active-point fraction, and the kernel-cache
+    /// hit rate.
+    pub fn exec_summary(&self, stats: &SbmStepStats) -> ExecSummary {
+        let active_fraction = if stats.points > 0 {
+            stats.coal_points as f64 / stats.points as f64
+        } else {
+            0.0
+        };
+        let cache_hit_rate = self.kcache.as_ref().map_or(1.0, |c| c.hit_rate());
+        match &self.exec {
+            Some(ex) => ExecSummary::from_stats(
+                self.cfg.sched.label(),
+                &ex.stats(),
+                active_fraction,
+                cache_hit_rate,
+            ),
+            None => ExecSummary {
+                mode: self.cfg.sched.label(),
+                workers: 1, // no pool: the caller thread ran everything
+                balance: 1.0,
+                active_fraction,
+                cache_hit_rate,
+                ..Default::default()
+            },
         }
     }
 
@@ -218,6 +337,14 @@ impl FastSbm {
     /// Advances the microphysics on `state` by one step.
     pub fn step(&mut self, state: &mut SbmPatchState) -> SbmStepStats {
         state.snapshot_t_old();
+        if self.cfg.cached_kernels {
+            self.ensure_kcache(state);
+        }
+        if self.cfg.sched.uses_executor()
+            && (self.cfg.version.offloaded() || self.cfg.tiles > 1)
+        {
+            self.ensure_exec();
+        }
         let mut stats = match (self.cfg.version, self.cfg.tiles) {
             (SbmVersion::Baseline, t) if t > 1 => self.step_tiled(state, true),
             (SbmVersion::Lookup, t) if t > 1 => self.step_tiled(state, false),
@@ -262,17 +389,14 @@ impl FastSbm {
                             );
                         } else {
                             let pressure = th.p;
-                            fast_sbm_coal(
-                                &mut view,
-                                &mut th,
-                                &self.grids,
-                                KernelMode::OnDemand {
-                                    tables: &self.tables,
-                                    p: pressure,
-                                },
-                                dt,
-                                &mut out,
+                            let km = Self::lookup_mode(
+                                self.kcache.as_ref(),
+                                &self.tables,
+                                k,
+                                p.kp.lo,
+                                pressure,
                             );
+                            fast_sbm_coal(&mut view, &mut th, &self.grids, km, dt, &mut out);
                         }
                     }
                     fast_sbm_post(&mut view, &mut th, &self.grids, dt, &mut out);
@@ -307,6 +431,8 @@ impl FastSbm {
         };
         let grids = &self.grids;
         let tables = &self.tables;
+        let kcache = self.kcache.as_ref();
+        let kp_lo = patch.kp.lo;
 
         let tile_stats: Vec<SbmStepStats> = {
             let t_old = &state.t_old;
@@ -322,94 +448,102 @@ impl FastSbm {
                 .map(|f| unsafe { SyncWriteSlice::new(f.as_mut_slice()) })
                 .collect();
 
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = tiles
-                    .iter()
-                    .map(|tile| {
-                        let tt_view = &tt_view;
-                        let qv_view = &qv_view;
-                        let ff_views = &ff_views;
-                        let tile = *tile;
-                        scope.spawn(move |_| {
-                            let mut st = empty_stats(tile.points());
-                            let mut bins = PointBins::empty();
-                            // THREADPRIVATE collision tables for the
-                            // baseline.
-                            let mut dense = if dense_tables {
-                                Some(CollisionTables::new())
-                            } else {
-                                None
+            // The per-tile body, shared by both schedulers below.
+            let run_tile = |tile: &wrf_grid::TileSpec| -> SbmStepStats {
+                let mut st = empty_stats(tile.points());
+                let mut bins = PointBins::empty();
+                // THREADPRIVATE collision tables for the baseline.
+                let mut dense = if dense_tables {
+                    Some(CollisionTables::new())
+                } else {
+                    None
+                };
+                for j in tile.jt.iter() {
+                    for k in tile.kt.iter() {
+                        for i in tile.it.iter() {
+                            let idx3 = meta.flat3(i, k, j);
+                            let told = t_old.get(i, k, j);
+                            let mut th = crate::point::PointThermo {
+                                t: tt_view.get(idx3),
+                                qv: qv_view.get(idx3),
+                                p: p_field.get(i, k, j),
+                                rho: rho_field.get(i, k, j),
                             };
-                            for j in tile.jt.iter() {
-                                for k in tile.kt.iter() {
-                                    for i in tile.it.iter() {
-                                        let idx3 = meta.flat3(i, k, j);
-                                        let told = t_old.get(i, k, j);
-                                        let mut th = crate::point::PointThermo {
-                                            t: tt_view.get(idx3),
-                                            qv: qv_view.get(idx3),
-                                            p: p_field.get(i, k, j),
-                                            rho: rho_field.get(i, k, j),
-                                        };
-                                        for (c, v) in ff_views.iter().enumerate() {
-                                            bins.n[c].copy_from_slice(
-                                                v.subslice_mut(meta.flat4(i, k, j), NKR),
-                                            );
-                                        }
-                                        let mut view = bins.view();
-                                        let mut out = fast_sbm_pre(
-                                            &mut view, &mut th, grids, dt, told,
-                                        );
-                                        if out.coal_called {
-                                            let pressure = th.p;
-                                            if let Some(dense) = dense.as_mut() {
-                                                let mut kw = PointWork::ZERO;
-                                                kernals_ks(tables, pressure, dense, &mut kw);
-                                                out.work.kernals = kw;
-                                                fast_sbm_coal(
-                                                    &mut view,
-                                                    &mut th,
-                                                    grids,
-                                                    KernelMode::Dense(dense),
-                                                    dt,
-                                                    &mut out,
-                                                );
-                                            } else {
-                                                fast_sbm_coal(
-                                                    &mut view,
-                                                    &mut th,
-                                                    grids,
-                                                    KernelMode::OnDemand {
-                                                        tables,
-                                                        p: pressure,
-                                                    },
-                                                    dt,
-                                                    &mut out,
-                                                );
-                                            }
-                                        }
-                                        fast_sbm_post(&mut view, &mut th, grids, dt, &mut out);
-                                        drop(view);
-                                        for (c, v) in ff_views.iter().enumerate() {
-                                            v.subslice_mut(meta.flat4(i, k, j), NKR)
-                                                .copy_from_slice(&bins.n[c]);
-                                        }
-                                        tt_view.set(idx3, th.t);
-                                        qv_view.set(idx3, th.qv);
-                                        accumulate(&mut st, &out);
-                                    }
+                            for (c, v) in ff_views.iter().enumerate() {
+                                bins.n[c].copy_from_slice(
+                                    v.subslice_mut(meta.flat4(i, k, j), NKR),
+                                );
+                            }
+                            let mut view = bins.view();
+                            let mut out = fast_sbm_pre(&mut view, &mut th, grids, dt, told);
+                            if out.coal_called {
+                                let pressure = th.p;
+                                if let Some(dense) = dense.as_mut() {
+                                    let mut kw = PointWork::ZERO;
+                                    kernals_ks(tables, pressure, dense, &mut kw);
+                                    out.work.kernals = kw;
+                                    fast_sbm_coal(
+                                        &mut view,
+                                        &mut th,
+                                        grids,
+                                        KernelMode::Dense(dense),
+                                        dt,
+                                        &mut out,
+                                    );
+                                } else {
+                                    let km = Self::lookup_mode(
+                                        kcache, tables, k, kp_lo, pressure,
+                                    );
+                                    fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
                                 }
                             }
-                            st
+                            fast_sbm_post(&mut view, &mut th, grids, dt, &mut out);
+                            drop(view);
+                            for (c, v) in ff_views.iter().enumerate() {
+                                v.subslice_mut(meta.flat4(i, k, j), NKR)
+                                    .copy_from_slice(&bins.n[c]);
+                            }
+                            tt_view.set(idx3, th.t);
+                            qv_view.set(idx3, th.qv);
+                            accumulate(&mut st, &out);
+                        }
+                    }
+                }
+                st
+            };
+
+            match self.exec.as_ref() {
+                // Persistent pool: one chunk per tile on the stealing
+                // deques instead of a fresh thread per tile per step.
+                Some(exec) if self.cfg.sched.uses_executor() => {
+                    let slots: Vec<std::sync::Mutex<SbmStepStats>> = tiles
+                        .iter()
+                        .map(|t| std::sync::Mutex::new(empty_stats(t.points())))
+                        .collect();
+                    exec.run_indexed(tiles.len() as u64, Some(1), |t| {
+                        let st = run_tile(&tiles[t as usize]);
+                        *slots[t as usize].lock().unwrap() = st;
+                    });
+                    slots
+                        .into_iter()
+                        .map(|m| m.into_inner().unwrap())
+                        .collect()
+                }
+                _ => crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = tiles
+                        .iter()
+                        .map(|tile| {
+                            let run_tile = &run_tile;
+                            scope.spawn(move |_| run_tile(tile))
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("tile thread panicked"))
-                    .collect()
-            })
-            .expect("tile scope failed")
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("tile thread panicked"))
+                        .collect()
+                })
+                .expect("tile scope failed"),
+            }
         };
         for ts in tile_stats {
             stats.active_points += ts.active_points;
@@ -459,6 +593,8 @@ impl FastSbm {
         stats.warp_efficiency = coal_stats.warp_eff;
         stats.kernel_spec = Some(coal_stats.spec.clone());
         stats.coal_entries = coal_stats.entries;
+        stats.coal_wall = coal_stats.wall;
+        stats.coal_profile = coal_stats.profile;
         debug_assert!(coal_stats.coal_points as usize <= points);
         stats.work.coal = PointWork {
             flops: coal_stats.flops,
@@ -539,6 +675,12 @@ impl FastSbm {
         let flops = AtomicU64::new(0);
         let mem_ops = AtomicU64::new(0);
         let coal_points = AtomicU64::new(0);
+        // Per-launch-unit metered flops, only when profiling is on.
+        let profile: Option<Vec<AtomicU64>> = self
+            .cfg
+            .profile_coal
+            .then(|| (0..iters).map(|_| AtomicU64::new(0)).collect());
+        let wall;
 
         {
             // Disjoint-write views (the Codee-proven independence).
@@ -582,6 +724,8 @@ impl FastSbm {
 
             let grids = &self.grids;
             let tables = &self.tables;
+            let kcache = self.kcache.as_ref();
+            let kp_lo = p.kp.lo;
 
             let run_point = |i: i32, k: i32, j: i32, use_slabs: bool| {
                 let pth = gpu_sim::launch::KernelSpec::new; // no-op anchor
@@ -600,7 +744,7 @@ impl FastSbm {
                     coal_called: true,
                     ..Default::default()
                 };
-                let km = KernelMode::OnDemand { tables, p: th_p };
+                let km = Self::lookup_mode(kcache, tables, k, kp_lo, th_p);
                 if use_slabs {
                     // Listing 8: operate in place on slab slices.
                     let mut slices: Vec<&mut [f32]> = ff_views
@@ -633,8 +777,13 @@ impl FastSbm {
                 (out.coal_entries, out.work.coal)
             };
 
-            if collapse == 2 {
-                launch_functional((jlen * klen) as u64, self.cfg.workers, |idx| {
+            // Launch geometry (`iters`, warp efficiency) is always
+            // reported from the *full* iteration space — compaction
+            // changes how host threads are scheduled, not what the
+            // modeled device launch looks like.
+            wall = if collapse == 2 {
+                let total = (jlen * klen) as u64;
+                let body = |idx: u64| {
                     let jk = idx as usize;
                     let (jx, kx) = (jk / klen, jk % klen);
                     let j = p.jp.lo + jx as i32;
@@ -655,9 +804,27 @@ impl FastSbm {
                     flops.fetch_add(w.flops, Ordering::Relaxed);
                     mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
                     coal_points.fetch_add(pts, Ordering::Relaxed);
-                });
+                    if let Some(pr) = &profile {
+                        pr[jk].fetch_add(w.flops, Ordering::Relaxed);
+                    }
+                };
+                match self.cfg.sched {
+                    ExecMode::StaticTiles => {
+                        launch_functional_static(total, self.cfg.workers, body)
+                    }
+                    ExecMode::WorkSteal { chunk, compact } => {
+                        let exec = self.exec.as_ref().expect("executor created in step()");
+                        if compact {
+                            let cols = compact_active_columns(predicate, ilen);
+                            launch_functional_list(exec, &cols, chunk, body)
+                        } else {
+                            launch_functional_on(exec, total, chunk, body)
+                        }
+                    }
+                }
             } else {
-                launch_functional((jlen * klen * ilen) as u64, self.cfg.workers, |idx| {
+                let total = (jlen * klen * ilen) as u64;
+                let body = |idx: u64| {
                     let idx = idx as usize;
                     if !predicate[idx] {
                         return;
@@ -673,8 +840,25 @@ impl FastSbm {
                     flops.fetch_add(w.flops, Ordering::Relaxed);
                     mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
                     coal_points.fetch_add(1, Ordering::Relaxed);
-                });
-            }
+                    if let Some(pr) = &profile {
+                        pr[idx].fetch_add(w.flops, Ordering::Relaxed);
+                    }
+                };
+                match self.cfg.sched {
+                    ExecMode::StaticTiles => {
+                        launch_functional_static(total, self.cfg.workers, body)
+                    }
+                    ExecMode::WorkSteal { chunk, compact } => {
+                        let exec = self.exec.as_ref().expect("executor created in step()");
+                        if compact {
+                            let pts = compact_active_points(predicate);
+                            launch_functional_list(exec, &pts, chunk, body)
+                        } else {
+                            launch_functional_on(exec, total, chunk, body)
+                        }
+                    }
+                }
+            };
         }
 
         CoalKernelStats {
@@ -685,6 +869,8 @@ impl FastSbm {
             flops: flops.into_inner(),
             mem_ops: mem_ops.into_inner(),
             coal_points: coal_points.into_inner(),
+            wall,
+            profile: profile.map(|v| v.into_iter().map(AtomicU64::into_inner).collect()),
         }
     }
 
@@ -771,6 +957,8 @@ struct CoalKernelStats {
     flops: u64,
     mem_ops: u64,
     coal_points: u64,
+    wall: f64,
+    profile: Option<Vec<u64>>,
 }
 
 fn empty_stats(points: usize) -> SbmStepStats {
@@ -784,6 +972,8 @@ fn empty_stats(points: usize) -> SbmStepStats {
         warp_efficiency: 1.0,
         kernel_spec: None,
         precip: 0.0,
+        coal_wall: 0.0,
+        coal_profile: None,
     }
 }
 
@@ -936,6 +1126,65 @@ mod tests {
         assert_eq!(s3.coal_iters, s2.coal_iters * 10);
         assert!(s2.warp_efficiency > 0.0 && s2.warp_efficiency <= 1.0);
         assert!(s3.warp_efficiency > 0.0 && s3.warp_efficiency <= 1.0);
+    }
+
+    #[test]
+    fn exec_modes_and_kernel_cache_are_bitwise_identical() {
+        for version in [SbmVersion::OffloadCollapse2, SbmVersion::OffloadCollapse3] {
+            // Reference: the static partition with no cache.
+            let mut ref_state = test_state();
+            let mut cfg = SbmConfig::new(version);
+            cfg.workers = Some(4);
+            cfg.sched = ExecMode::StaticTiles;
+            let mut reference = FastSbm::new(cfg);
+            let mut ref_stats = Vec::new();
+            for _ in 0..3 {
+                ref_stats.push(reference.step(&mut ref_state));
+            }
+
+            let variants = [
+                (ExecMode::WorkSteal { chunk: None, compact: false }, false),
+                (ExecMode::WorkSteal { chunk: None, compact: true }, false),
+                (ExecMode::WorkSteal { chunk: Some(1), compact: true }, false),
+                (ExecMode::WorkSteal { chunk: None, compact: true }, true),
+                (ExecMode::StaticTiles, true),
+            ];
+            for (sched, cached) in variants {
+                let mut st = test_state();
+                let mut cfg = SbmConfig::new(version);
+                cfg.workers = Some(4);
+                cfg.sched = sched;
+                cfg.cached_kernels = cached;
+                let mut scheme = FastSbm::new(cfg);
+                for (step, want) in ref_stats.iter().enumerate() {
+                    let got = scheme.step(&mut st);
+                    assert_eq!(
+                        got.coal_entries, want.coal_entries,
+                        "{version:?} {sched:?} cached={cached} step {step}"
+                    );
+                    assert_eq!(got.work.total(), want.work.total());
+                    assert_eq!(got.coal_iters, want.coal_iters);
+                    assert_eq!(got.warp_efficiency, want.warp_efficiency);
+                }
+                assert_eq!(
+                    st.tt.as_slice(),
+                    ref_state.tt.as_slice(),
+                    "{version:?} {sched:?} cached={cached}: temperatures"
+                );
+                for c in 0..NTYPES {
+                    assert_eq!(
+                        st.ff[c].as_slice(),
+                        ref_state.ff[c].as_slice(),
+                        "{version:?} {sched:?} cached={cached}: class {c} bins"
+                    );
+                }
+                if cached && sched.uses_executor() {
+                    let summary = scheme.exec_summary(&ref_stats[2]);
+                    assert_eq!(summary.cache_hit_rate, 1.0, "pressure is k-only here");
+                    assert!(summary.workers >= 1);
+                }
+            }
+        }
     }
 
     #[test]

@@ -273,6 +273,83 @@ where
     start.elapsed().as_secs_f64()
 }
 
+/// [`launch_functional`] on a persistent [`wrf_exec::Executor`]: the
+/// device-thread emulation backend without per-launch thread spawns.
+/// Iterations are distributed as chunked ranges to the executor's
+/// work-stealing deques (`chunk = None` → the executor's automatic
+/// size). Returns wall-clock seconds.
+pub fn launch_functional_on<F>(
+    exec: &wrf_exec::Executor,
+    iters: u64,
+    chunk: Option<u64>,
+    body: F,
+) -> f64
+where
+    F: Fn(u64) + Sync,
+{
+    exec.run_indexed(iters, chunk, body)
+}
+
+/// Compacted launch: executes `body(active[x])` for every entry of a
+/// pre-scanned active-index list on the persistent executor. The
+/// iteration space shrinks from the full grid to the active set, so no
+/// device thread is ever parked on an empty (cloud-free) point — the
+/// work-queue analogue of warp-compaction. Returns wall-clock seconds.
+pub fn launch_functional_list<F>(
+    exec: &wrf_exec::Executor,
+    active: &[u32],
+    chunk: Option<u64>,
+    body: F,
+) -> f64
+where
+    F: Fn(u64) + Sync,
+{
+    exec.run_ranges(active.len() as u64, chunk, |lo, hi| {
+        for x in lo..hi {
+            body(active[x as usize] as u64);
+        }
+    })
+}
+
+/// Static contiguous partition with per-launch scoped threads: worker
+/// `w` owns iterations `[w·per, (w+1)·per)` and nothing rebalances. This
+/// is the classic `schedule(static)` baseline the executor's
+/// work-stealing arm is benchmarked against. Returns wall-clock seconds.
+pub fn launch_functional_static<F>(iters: u64, workers: Option<usize>, body: F) -> f64
+where
+    F: Fn(u64) + Sync,
+{
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1);
+    let start = std::time::Instant::now();
+    if workers == 1 || iters < 256 {
+        for i in 0..iters {
+            body(i);
+        }
+        return start.elapsed().as_secs_f64();
+    }
+    let per = iters.div_ceil(workers as u64);
+    crossbeam::thread::scope(|s| {
+        for w in 0..workers as u64 {
+            let body = &body;
+            s.spawn(move |_| {
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(iters);
+                for i in lo..hi {
+                    body(i);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    start.elapsed().as_secs_f64()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +493,44 @@ mod tests {
     #[test]
     fn functional_zero_iters_is_noop() {
         launch_functional(0, Some(4), |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn executor_backend_covers_all_iterations() {
+        let exec = wrf_exec::Executor::new(4);
+        let hits = (0..10_000).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        launch_functional_on(&exec, 10_000, None, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn compacted_launch_hits_only_the_active_set() {
+        let exec = wrf_exec::Executor::new(4);
+        let hits = (0..1000).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let active: Vec<u32> = (0..1000).filter(|i| i % 7 == 0).collect();
+        launch_functional_list(&exec, &active, Some(8), |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let expected = u64::from(i % 7 == 0);
+            assert_eq!(h.load(Ordering::Relaxed), expected, "index {i}");
+        }
+    }
+
+    #[test]
+    fn static_partition_covers_all_iterations() {
+        let hits = (0..10_000).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        launch_functional_static(10_000, Some(8), |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // Serial path too.
+        let sum = AtomicU64::new(0);
+        launch_functional_static(100, Some(1), |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
     }
 }

@@ -1,5 +1,6 @@
 //! Namelist-style model configuration.
 
+use fsbm_core::exec::ExecMode;
 use fsbm_core::scheme::SbmVersion;
 use wrf_cases::ConusParams;
 
@@ -22,6 +23,16 @@ pub struct ModelConfig {
     pub device_workers: Option<usize>,
     /// Simulation length in minutes (the paper runs 10).
     pub minutes: f64,
+    /// Device-thread scheduling for the functional plane (static
+    /// partition vs the persistent work-stealing executor).
+    pub sched: ExecMode,
+    /// Memoize per-k-level collision kernels (bitwise-identical to the
+    /// on-demand path).
+    pub cached_kernels: bool,
+    /// Collect the per-launch-unit collision work profile
+    /// (`SbmStepStats::coal_profile`) for schedule replay in
+    /// `bench-exec`; off by default.
+    pub profile_coal: bool,
 }
 
 impl ModelConfig {
@@ -36,6 +47,9 @@ impl ModelConfig {
             halo: 3,
             device_workers: None,
             minutes: 10.0,
+            sched: ExecMode::work_steal(),
+            cached_kernels: false,
+            profile_coal: false,
         }
     }
 
@@ -52,6 +66,9 @@ impl ModelConfig {
             halo: 3,
             device_workers: Some(4),
             minutes: 1.0,
+            sched: ExecMode::work_steal(),
+            cached_kernels: true,
+            profile_coal: false,
         }
     }
 

@@ -46,6 +46,11 @@ pub struct RunReport {
     pub coal_entries: u64,
     /// Wall seconds (dynamics, microphysics).
     pub wall: (f64, f64),
+    /// Wall seconds inside the collision-stage launches alone.
+    pub coal_wall: f64,
+    /// Executor/cache summary of the run (workers, steals, activity,
+    /// kernel-cache hit rate).
+    pub exec: Option<fsbm_core::exec::ExecSummary>,
 }
 
 /// A one-patch functional model instance.
@@ -84,6 +89,9 @@ impl Model {
         sbm_cfg.dz = cfg.case.dz;
         sbm_cfg.workers = cfg.device_workers;
         sbm_cfg.tiles = cfg.tiles.max(1);
+        sbm_cfg.sched = cfg.sched;
+        sbm_cfg.cached_kernels = cfg.cached_kernels;
+        sbm_cfg.profile_coal = cfg.profile_coal;
         Model {
             cfg,
             case,
@@ -364,9 +372,19 @@ impl Model {
             rep.coal_entries += s.sbm.coal_entries;
             rep.wall.0 += s.wall_dynamics;
             rep.wall.1 += s.wall_sbm;
+            rep.coal_wall += s.sbm.coal_wall;
             rep.last_sbm = Some(s.sbm);
         }
+        if let Some(last) = &rep.last_sbm {
+            rep.exec = Some(self.sbm.exec_summary(last));
+        }
         rep
+    }
+
+    /// Executor/cache summary for the given step's stats (see
+    /// [`FastSbm::exec_summary`]).
+    pub fn exec_summary(&self, stats: &SbmStepStats) -> fsbm_core::exec::ExecSummary {
+        self.sbm.exec_summary(stats)
     }
 }
 

@@ -108,7 +108,11 @@ pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
             report.coal_entries += s.sbm.coal_entries;
             report.wall.0 += s.wall_dynamics;
             report.wall.1 += s.wall_sbm;
+            report.coal_wall += s.sbm.coal_wall;
             report.last_sbm = Some(s.sbm);
+        }
+        if let Some(last) = &report.last_sbm {
+            report.exec = Some(model.exec_summary(last));
         }
         (model.state, report)
     });

@@ -1,0 +1,58 @@
+//! Executor-summary reporting: the one-line scheduling report printed
+//! after every functional run.
+//!
+//! The paper infers imbalance indirectly (gprof-vs-nsys disagreement,
+//! Table I); the v4 executor makes it observable: steal counts, queue
+//! occupancy, busy-time balance, the active-column fraction that drives
+//! the compacted work queue, and the collision-kernel cache hit rate all
+//! come out of the run itself. This module owns the canonical rendering
+//! so `repro`, tests, and the scheme crate all print the same line.
+
+/// Renders the canonical one-line executor summary.
+///
+/// `balance` is the least-busy / most-busy worker busy-time ratio
+/// (1.0 = perfectly balanced); `active_fraction` and `cache_hit_rate`
+/// are in `[0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn exec_line(
+    mode: &str,
+    workers: usize,
+    epochs: u64,
+    chunks: u64,
+    steals: u64,
+    max_queue: u64,
+    balance: f64,
+    active_fraction: f64,
+    cache_hit_rate: f64,
+) -> String {
+    format!(
+        "exec: {mode} workers={workers} epochs={epochs} chunks={chunks} \
+         steals={steals} maxq={max_queue} balance={balance:.2} \
+         active={:.1}% cache-hit={:.1}%",
+        active_fraction * 100.0,
+        cache_hit_rate * 100.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_contains_every_field() {
+        let line = exec_line("work-stealing+compaction", 4, 12, 96, 7, 9, 0.83, 0.125, 0.999);
+        assert!(line.starts_with("exec: work-stealing+compaction"));
+        for needle in [
+            "workers=4",
+            "epochs=12",
+            "chunks=96",
+            "steals=7",
+            "maxq=9",
+            "balance=0.83",
+            "active=12.5%",
+            "cache-hit=99.9%",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+}

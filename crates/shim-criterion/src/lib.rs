@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's `harness = false` benches
+//! use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::iter`/`iter_batched`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup + timed-batches measurement loop that prints mean time per
+//! iteration. No statistics, plots, or saved baselines; results are
+//! indicative, not criterion-grade.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Target number of measured samples per benchmark.
+    sample_size: usize,
+    /// Upper bound on measurement wall-time per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            c: self,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks one function in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        run_bench(name, samples, self.c.measurement_time, f);
+        self
+    }
+
+    /// Ends the group (printing nothing extra).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(name: &str, samples: usize, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        budget,
+        samples: samples.max(1),
+    };
+    f(&mut b);
+    let per_iter = if b.iters > 0 {
+        b.total.as_secs_f64() / b.iters as f64
+    } else {
+        0.0
+    };
+    println!(
+        "  {name}: {:.3} µs/iter ({} iters, {:.3} s total)",
+        per_iter * 1e6,
+        b.iters,
+        b.total.as_secs_f64()
+    );
+}
+
+/// Per-benchmark measurement state handed to the closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One calibration call, then sample batches until the budget or
+        // the sample target is reached.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        self.total += once;
+        self.iters += 1;
+        let per_batch = 1.max(
+            (self.budget.as_nanos() / (self.samples as u128).max(1))
+                .checked_div(once.as_nanos().max(1))
+                .unwrap_or(1),
+        ) as u64;
+        for _ in 0..self.samples {
+            if self.total >= self.budget {
+                break;
+            }
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.total += t.elapsed();
+            self.iters += per_batch;
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            if self.total >= self.budget && self.iters > 0 {
+                break;
+            }
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(50),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_function("add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64))
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the handful of crossbeam APIs the repo uses are reimplemented here on
+//! top of `std`: scoped threads (`crossbeam::thread::scope`) and MPMC-ish
+//! channels (`crossbeam::channel::unbounded`). The semantics the callers
+//! rely on — scoped borrows, join-with-panic-payload, buffered
+//! non-blocking sends — are preserved; performance characteristics are
+//! `std`'s.
+
+/// Scoped threads with the `crossbeam::thread` calling convention.
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// A scope handle; `spawn` closures receive a reference to it (the
+    /// crossbeam convention), although every caller here ignores it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope
+        /// reference, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let handle = self.inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    _marker: PhantomData,
+                };
+                f(&scope)
+            });
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, non-`'static` threads can
+    /// be spawned. Returns `Ok(result)`; panics from unjoined threads
+    /// propagate as in `std::thread::scope` (crossbeam instead reports
+    /// them through `Err`, but every caller in this workspace joins all
+    /// handles explicitly and `.expect`s the scope result).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope {
+                inner: s,
+                _marker: PhantomData,
+            };
+            f(&scope)
+        }))
+    }
+}
+
+/// Unbounded channels with the `crossbeam::channel` calling convention.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        cv: Condvar,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    /// Sending half (cloneable, usable from any thread).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders are gone and the queue is drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.senders += 1;
+            drop(q);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.senders -= 1;
+            if q.senders == 0 {
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Buffered non-blocking send (crossbeam unbounded semantics).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap();
+            if !q.receiver_alive {
+                return Err(SendError(value));
+            }
+            q.items.push_back(value);
+            self.shared.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.receiver_alive = false;
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors when every sender has hung up and the
+        /// queue is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.items.pop_front() {
+                    return Ok(v);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.cv.wait(q).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            if let Some(v) = q.items.pop_front() {
+                Ok(v)
+            } else if q.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = vec![1, 2, 3];
+        let out = crate::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 6);
+    }
+
+    #[test]
+    fn channel_roundtrip_and_disconnect() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(crate::channel::TryRecvError::Empty)
+        ));
+        drop(tx);
+        drop(tx2);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn channel_blocks_until_send() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.send(7).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 7);
+        });
+    }
+}

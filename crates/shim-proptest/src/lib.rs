@@ -1,0 +1,320 @@
+//! Offline mini property-testing harness with proptest's calling
+//! convention.
+//!
+//! The workspace's property tests are written against the `proptest!`
+//! macro with range/tuple/`collection::vec`/`any` strategies and
+//! `prop_assert*` assertions. This shim runs each property for
+//! `ProptestConfig::cases` deterministic pseudo-random cases (seeded from
+//! the property's name, so failures reproduce across runs). It does not
+//! shrink failing inputs — the failing values are printed instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::RngCore;
+
+/// Test-runner configuration (the subset the workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of test-case values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: std::fmt::Debug;
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::SampleRange::sample(self.clone(), rng)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::SampleRange::sample(self.clone(), rng)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        rand::SampleRange::sample(self.clone(), rng)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rand::SampleRange::sample(self.clone(), rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Marker strategy produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy over a type's full value domain (proptest's `any::<T>()`).
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Length bounds for [`vec`] (half-open, like proptest's
+    /// `SizeRange`). Integer-literal ranges of any width convert.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    macro_rules! impl_size_from {
+        ($($t:ty),*) => {$(
+            impl From<std::ops::Range<$t>> for SizeRange {
+                fn from(r: std::ops::Range<$t>) -> Self {
+                    SizeRange { lo: r.start as usize, hi: r.end as usize }
+                }
+            }
+            impl From<std::ops::RangeInclusive<$t>> for SizeRange {
+                fn from(r: std::ops::RangeInclusive<$t>) -> Self {
+                    SizeRange { lo: *r.start() as usize, hi: *r.end() as usize + 1 }
+                }
+            }
+            impl From<$t> for SizeRange {
+                fn from(n: $t) -> Self {
+                    SizeRange { lo: n as usize, hi: n as usize + 1 }
+                }
+            }
+        )*};
+    }
+    impl_size_from!(i32, u32, usize);
+
+    /// Strategy producing `Vec`s of `elem` with a length drawn from
+    /// `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<E> {
+        elem: E,
+        len: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, length_range)`.
+    pub fn vec<E, L>(elem: E, len: L) -> VecStrategy<E>
+    where
+        E: Strategy,
+        L: Into<SizeRange>,
+    {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    impl<E> Strategy for VecStrategy<E>
+    where
+        E: Strategy,
+    {
+        type Value = Vec<E::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.lo + 1 >= self.len.hi {
+                self.len.lo
+            } else {
+                rng.gen_range(self.len.lo..self.len.hi)
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-property rng seeded from the property name.
+pub fn rng_for(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Any, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// The `proptest!` block: expands each property into a `#[test]` running
+/// `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs:",
+                        case + 1,
+                        cfg.cases,
+                        stringify!($name),
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::RngCore;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3i32..9, f in 0.5f32..1.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        /// Vec strategy respects the length range and element strategy.
+        #[test]
+        fn vecs_in_bounds(v in collection::vec((0usize..5, any::<bool>()), 1..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            for (n, _b) in &v {
+                prop_assert!(*n < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let mut a = crate::rng_for("x");
+        let mut b = crate::rng_for("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

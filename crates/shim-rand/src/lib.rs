@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the slice of the rand 0.8 API this workspace uses:
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over numeric
+//! ranges, and [`rngs::StdRng`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — deterministic, fast, and statistically strong enough for
+//! scenario generation. The *stream differs* from upstream rand's
+//! ChaCha-based `StdRng`; scenarios seeded by it are reproducible within
+//! this workspace but not bit-compatible with upstream rand.
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range a value can be uniformly sampled from (the subset of rand's
+/// `SampleRange` this workspace needs).
+pub trait SampleRange<T> {
+    /// Samples uniformly from the range using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Core entropy source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (blanket-implemented for every core rng).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniform value of a supported type (`f32`/`f64` in `[0,1)`,
+    /// `bool` fair coin, integers over the full domain).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Generates one value.
+    fn generate(rng: &mut dyn RngCore) -> Self;
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits into [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    // 24 high bits into [0, 1).
+    (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+impl Standard for f64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+impl Standard for f32 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        unit_f32(rng.next_u64())
+    }
+}
+impl Standard for bool {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for u64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Types uniformly samplable between two bounds (mirrors rand's
+/// `SampleUniform` so range-type inference flows from the use site).
+pub trait SampleUniform: Sized + PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift mapping (Lemire); the bias over a 64-bit
+                // source is negligible for the spans used here.
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f32 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * unit_f32(rng.next_u64())
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(lo <= hi, "empty range");
+        lo + (hi - lo) * unit_f32(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(lo <= hi, "empty range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: std::array::from_fn(|_| splitmix64(&mut sm)),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_hit_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = r.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = r.gen_range(-3i32..5);
+            assert!((-3..5).contains(&i));
+            let u = r.gen_range(0usize..=9);
+            assert!(u <= 9);
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

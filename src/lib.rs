@@ -53,6 +53,8 @@ pub use wrf_grid;
 /// The most commonly used types, re-exported.
 pub mod prelude {
     pub use codee_sim::{analyze, rewrite_offload, screening};
+    pub use fsbm_core::exec::{ExecMode, ExecSummary};
+    pub use fsbm_core::kernels::{KernelCache, KernelMode, KernelTables};
     pub use fsbm_core::scheme::{FastSbm, SbmConfig, SbmStepStats, SbmVersion};
     pub use fsbm_core::state::SbmPatchState;
     pub use fsbm_core::types::{HydroClass, NKR, NTYPES};
