@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# CI entry point. The GitHub workflow (.github/workflows/ci.yml) invokes
+# this script one step at a time, so running it locally reproduces CI
+# exactly:
+#
+#   ./ci.sh            # every step, in workflow order
+#   ./ci.sh build      # one step (build|test|clippy|docs|fmt|gate)
+#
+# Everything runs offline: the workspace path-maps all external
+# dependencies to vendored shim crates, so no registry access is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+export CARGO_TERM_COLOR="${CARGO_TERM_COLOR:-always}"
+
+step_build() {
+    cargo build --release --workspace
+}
+
+step_test() {
+    cargo test -q
+}
+
+step_clippy() {
+    cargo clippy --all-targets --workspace -- -D warnings
+}
+
+# Documentation coverage is part of the public-API contract for the
+# scheme, executor, and profiler crates: warn-by-default in the source,
+# promoted to deny here.
+step_docs() {
+    cargo clippy -q -p fsbm-core -p wrf-exec -p prof-sim -- \
+        -D warnings -D missing-docs
+}
+
+step_fmt() {
+    cargo fmt --all --check
+}
+
+# The reproduction gate: golden verification (every scheme version x
+# scheduling mode x worker count vs the committed fixtures under
+# goldens/) plus the perf-regression check vs BENCH_executor.json.
+# Host wall-clock tolerances are loose — CI runners are noisy and slow —
+# while the deterministic replay metrics stay tight. Writes
+# gate_report.json either way; a nonzero exit means a real violation.
+step_gate() {
+    cargo run --release -q -p wrf-bench --bin repro -- gate \
+        --loose-tol 0.8 --host-factor 10
+}
+
+usage() {
+    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|all]" >&2
+    exit 2
+}
+
+run_step() {
+    echo "==> ci.sh: $1"
+    "step_$1"
+}
+
+case "${1:-all}" in
+    build|test|clippy|docs|fmt|gate) run_step "$1" ;;
+    all)
+        for s in build test clippy docs fmt gate; do
+            run_step "$s"
+        done
+        echo "==> ci.sh: all steps passed"
+        ;;
+    *) usage ;;
+esac

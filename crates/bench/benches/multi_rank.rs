@@ -19,12 +19,7 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.bench_function("experiment_gpu_40ranks_8gpus", |bch| {
-        bch.iter(|| {
-            black_box(
-                ctx.run(SbmVersion::OffloadCollapse3, 40, 8)
-                    .total_secs,
-            )
-        });
+        bch.iter(|| black_box(ctx.run(SbmVersion::OffloadCollapse3, 40, 8).total_secs));
     });
 
     // Table I: profile construction.

@@ -39,15 +39,17 @@ fn critical_c3_work(ctx: &ReproContext) -> (KernelSpec, KernelWork) {
     let mut best: Option<(u64, RankWork)> = None;
     for p in &dd.patches {
         let w = RankWork::extrapolate(&case, p, &ctx.coeffs, SbmVersion::OffloadCollapse3, &ctx.pp);
-        if best.as_ref().map(|(c, _)| w.coal_points > *c).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(c, _)| w.coal_points > *c)
+            .unwrap_or(true)
+        {
             best = Some((w.coal_points, w));
         }
     }
     let work = best.expect("16 patches").1;
     let spec = work.spec.clone().expect("offloaded");
-    let (r, wr) = ctx
-        .traffic
-        .dram_bytes(3, work.sbm.coal.mem_ops as f64);
+    let (r, wr) = ctx.traffic.dram_bytes(3, work.sbm.coal.mem_ops as f64);
     let kw = fsbm_core::workload::kernel_work(work.coal_iters, work.sbm.coal, r, wr, work.warp_eff);
     (spec, kw)
 }
@@ -56,10 +58,13 @@ fn critical_c3_work(ctx: &ReproContext) -> (KernelSpec, KernelWork) {
 pub fn ablation_registers(ctx: &ReproContext) -> (Vec<SweepRow>, String) {
     let (base_spec, kw) = critical_c3_work(ctx);
     let mut rows = Vec::new();
-    let mut s = String::from(
-        "Ablation: register limiting of the collapse(3) kernel (-maxregcount)\n",
+    let mut s =
+        String::from("Ablation: register limiting of the collapse(3) kernel (-maxregcount)\n");
+    let _ = writeln!(
+        s,
+        "{:>8} {:>10} {:>12} {:>8}",
+        "regs", "time ms", "occupancy %", "waves"
     );
-    let _ = writeln!(s, "{:>8} {:>10} {:>12} {:>8}", "regs", "time ms", "occupancy %", "waves");
     for regs in [255u32, 200, 168, 128, 96, 80, 64, 48, 32] {
         let spec = KernelSpec {
             regs_per_thread: regs,
@@ -103,14 +108,16 @@ pub fn ablation_latency_knee(ctx: &ReproContext) -> (Vec<(f64, f64)>, String) {
         .expect("patches");
     let spec2 = w2.spec.clone().expect("offloaded");
     let (r2, wr2) = ctx.traffic.dram_bytes(2, w2.sbm.coal.mem_ops as f64);
-    let kw2 =
-        fsbm_core::workload::kernel_work(w2.coal_iters, w2.sbm.coal, r2, wr2, w2.warp_eff);
+    let kw2 = fsbm_core::workload::kernel_work(w2.coal_iters, w2.sbm.coal, r2, wr2, w2.warp_eff);
 
     let mut out = Vec::new();
-    let mut s = String::from(
-        "Ablation: latency-hiding knee (warps/SM needed to reach peak issue)\n",
+    let mut s =
+        String::from("Ablation: latency-hiding knee (warps/SM needed to reach peak issue)\n");
+    let _ = writeln!(
+        s,
+        "{:>8} {:>12} {:>12} {:>10}",
+        "knee", "c2 ms", "c3 ms", "c2/c3"
     );
-    let _ = writeln!(s, "{:>8} {:>12} {:>12} {:>10}", "knee", "c2 ms", "c3 ms", "c2/c3");
     for knee in [8.0f64, 16.0, 32.0, 48.0, 64.0] {
         let calib = Calibration {
             latency_hiding_warps: knee,

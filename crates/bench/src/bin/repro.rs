@@ -1,10 +1,13 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|gate|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
 //! modes at 1/2/4/8 workers and writes `BENCH_executor.json`.
+//! `gate` runs the reproduction gate (golden verification + perf
+//! regression, see `wrf-gate`) and exits nonzero on any violation;
+//! `gate --bless` regenerates the golden fixtures under `goldens/`.
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -66,8 +69,118 @@ fn bench_exec() -> String {
     format!("{}\n{}", rep.rendered(), json)
 }
 
+/// Parses `repro gate` flags into a [`wrf_gate::GateConfig`].
+fn gate_config(args: &[String]) -> Result<wrf_gate::GateConfig, String> {
+    let mut cfg = wrf_gate::GateConfig::default();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bless" => cfg.bless = true,
+            "--skip-perf" => cfg.skip_perf = true,
+            "--skip-golden" => cfg.skip_golden = true,
+            "--goldens" => cfg.goldens_dir = value(&mut it, arg)?.into(),
+            "--baseline" => cfg.baseline_json = value(&mut it, arg)?.into(),
+            "--report" => cfg.report_path = value(&mut it, arg)?.into(),
+            "--perturb" => {
+                cfg.perturb = Some(
+                    value(&mut it, arg)?
+                        .parse()
+                        .map_err(|e| format!("--perturb: {e}"))?,
+                )
+            }
+            "--min-state-digits" => {
+                cfg.policy.min_state_digits = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--min-state-digits: {e}"))?
+            }
+            "--min-micro-digits" => {
+                cfg.policy.min_micro_digits = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--min-micro-digits: {e}"))?
+            }
+            "--tight-tol" => {
+                cfg.tol.tight_rel = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--tight-tol: {e}"))?
+            }
+            "--loose-tol" => {
+                cfg.tol.loose_rel = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--loose-tol: {e}"))?
+            }
+            "--host-factor" => {
+                cfg.tol.host_factor = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--host-factor: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown gate flag {other}; flags: --bless --skip-perf --skip-golden \
+                     --goldens DIR --baseline PATH --report PATH --perturb EPS \
+                     --min-state-digits N --min-micro-digits N --tight-tol X \
+                     --loose-tol X --host-factor X"
+                ))
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Runs the reproduction gate and returns the process exit code.
+fn gate(args: &[String]) -> i32 {
+    let cfg = match gate_config(args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("repro gate: {e}");
+            return 2;
+        }
+    };
+    if !cfg.bless && !cfg.skip_golden {
+        eprintln!("[repro] gate: running the golden matrix (4 versions x 2 modes x workers)...");
+    }
+    let outcome = wrf_gate::run(&cfg, |case| {
+        eprintln!(
+            "[repro] gate: re-running bench-exec (scale {} nz {} storms {} steps {})...",
+            case.scale, case.nz, case.n_storms, case.steps
+        );
+        wrf_bench::execbench::bench_exec(
+            case.scale,
+            case.nz,
+            case.n_storms,
+            case.steps,
+            &case.workers,
+        )
+        .to_json()
+    });
+    match outcome {
+        Ok(out) => {
+            print!("{}", out.rendered);
+            if !cfg.bless {
+                eprintln!(
+                    "[repro] gate report written to {}",
+                    cfg.report_path.display()
+                );
+            }
+            out.exit_code
+        }
+        Err(e) => {
+            eprintln!("repro gate: {e}");
+            2
+        }
+    }
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if what == "gate" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(gate(&args));
+    }
     let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {
         eprintln!("[repro] measuring work coefficients (functional model)...");
@@ -93,11 +206,9 @@ fn main() {
         emit("table1", table1(ctx.unwrap()).rendered);
     }
     if matches!(what.as_str(), "timeline" | "all") {
-        let exp = ctx.unwrap().run(
-            fsbm_core::scheme::SbmVersion::Baseline,
-            16,
-            0,
-        );
+        let exp = ctx
+            .unwrap()
+            .run(fsbm_core::scheme::SbmVersion::Baseline, 16, 0);
         emit(
             "timeline",
             format!(
@@ -151,7 +262,7 @@ fn main() {
     if !emitted {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
-             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|all"
+             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|gate|all"
         );
         std::process::exit(2);
     }

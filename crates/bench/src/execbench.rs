@@ -19,7 +19,13 @@
 //! (steals, chunks, cache hits) and the raw host wall time.
 //!
 //! The output is machine-readable JSON (`BENCH_executor.json`) so the
-//! bench trajectory can be tracked across commits.
+//! bench trajectory can be tracked across commits. The committed copy is
+//! the *perf baseline* enforced by `repro gate` (`wrf-gate`): the gate
+//! re-runs this benchmark with the case parameters embedded in the
+//! committed document and compares row by row — deterministic replay
+//! metrics under tight tolerances, host wall-clock under loose ones.
+//! Regenerate the baseline with `repro bench-exec` when an intentional
+//! performance change lands.
 
 use fsbm_core::exec::{ExecMode, ExecSummary};
 use fsbm_core::scheme::SbmVersion;
@@ -184,6 +190,7 @@ fn reference(scale: f64, nz: i32, n_storms: usize, steps: usize) -> Reference {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // private helper mirroring the bench case knobs
 fn measure(
     mode: ExecMode,
     cached: bool,

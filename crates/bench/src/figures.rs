@@ -25,7 +25,12 @@ pub fn fig2() -> String {
     let steps = 60;
 
     // Bulk (Kessler).
-    let mut bulk = BulkState { qv: qv0, qc: 0.0, qr: 0.0, t };
+    let mut bulk = BulkState {
+        qv: qv0,
+        qc: 0.0,
+        qr: 0.0,
+        t,
+    };
     let params = KesslerParams::default();
     let mut w_bulk = PointWork::ZERO;
     for _ in 0..steps {
@@ -36,7 +41,12 @@ pub fn fig2() -> String {
     let grids = Grids::new();
     let tables = KernelTables::new();
     let mut bins = PointBins::empty();
-    let mut th = PointThermo { t, qv: qv0, p, rho: 1.0 };
+    let mut th = PointThermo {
+        t,
+        qv: qv0,
+        p,
+        rho: 1.0,
+    };
     let mut w_bin = PointWork::ZERO;
     for _ in 0..steps {
         let mut view = bins.view();
@@ -70,12 +80,20 @@ pub fn fig2() -> String {
         w_bin.flops,
         w_bin.flops / w_bulk.flops.max(1)
     );
-    let _ = writeln!(s, "  bin-resolved droplet spectrum (what bulk cannot represent):");
+    let _ = writeln!(
+        s,
+        "  bin-resolved droplet spectrum (what bulk cannot represent):"
+    );
     let gw = grids.of(HydroClass::Water);
     for (b, &n) in view.class(HydroClass::Water).iter().enumerate() {
         if n > 1.0 {
             let bar = "#".repeat((n.log10().max(0.0) * 3.0) as usize);
-            let _ = writeln!(s, "    r={:>7.1} um  n={:>10.3e}/kg {bar}", gw.radius[b] * 1e6, n);
+            let _ = writeln!(
+                s,
+                "    r={:>7.1} um  n={:>10.3e}/kg {bar}",
+                gw.radius[b] * 1e6,
+                n
+            );
         }
     }
     s
@@ -92,10 +110,7 @@ pub fn fig3(ctx: &ReproContext) -> (Vec<RooflinePoint>, String) {
     ] {
         let exp = ctx.run(version, 16, 16);
         let launch = exp.critical().launch.clone().expect("offloaded");
-        points.push(RooflinePoint::from_launch(
-            &format!("{label} f32"),
-            &launch,
-        ));
+        points.push(RooflinePoint::from_launch(&format!("{label} f32"), &launch));
         // Double-precision variant: same kernel with its FLOPs priced at
         // the FP64 rate and doubled memory traffic (the paper builds WRF
         // both ways; Fig. 3 shows both point pairs).
@@ -135,9 +150,8 @@ pub fn fig3(ctx: &ReproContext) -> (Vec<RooflinePoint>, String) {
 /// lookup CPU bars).
 pub fn fig4(ctx: &ReproContext) -> (Vec<Table7Row>, String) {
     let (rows, _) = table7(ctx);
-    let mut s = String::from(
-        "Figure 4: total elapsed time by configuration (baseline / lookup / GPU)\n",
-    );
+    let mut s =
+        String::from("Figure 4: total elapsed time by configuration (baseline / lookup / GPU)\n");
     let max = rows
         .iter()
         .map(|r| r.baseline.max(r.lookup).max(r.gpu))
@@ -170,8 +184,14 @@ mod tests {
         let (points, s) = fig3(ctx);
         assert_eq!(points.len(), 4);
         let roof = Roofline::of(&ctx.pp.gpu);
-        let c2 = points.iter().find(|p| p.label == "collapse(2) f32").unwrap();
-        let c3 = points.iter().find(|p| p.label == "collapse(3) f32").unwrap();
+        let c2 = points
+            .iter()
+            .find(|p| p.label == "collapse(2) f32")
+            .unwrap();
+        let c3 = points
+            .iter()
+            .find(|p| p.label == "collapse(3) f32")
+            .unwrap();
         // Figure 3's two signatures: the full collapse lifts achieved
         // GFLOP/s sharply while *lowering* arithmetic intensity, and the
         // collapse(3) point sits in the memory-bound region. (Our cache
@@ -183,7 +203,12 @@ mod tests {
             "collapse(3) AI {} should be left of the ridge",
             c3.ai
         );
-        assert!(c3.ai < c2.ai, "full collapse lowers AI: {} vs {}", c2.ai, c3.ai);
+        assert!(
+            c3.ai < c2.ai,
+            "full collapse lowers AI: {} vs {}",
+            c2.ai,
+            c3.ai
+        );
         assert!(
             c3.gflops > c2.gflops * 3.0,
             "full collapse lifts GFLOP/s: {} vs {}",

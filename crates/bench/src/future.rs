@@ -117,7 +117,10 @@ mod tests {
             p.additional_speedup > 1.02,
             "offloading condensation should help: {p:?}"
         );
-        assert!(p.additional_speedup < 3.0, "but it is Amdahl-bounded: {p:?}");
+        assert!(
+            p.additional_speedup < 3.0,
+            "but it is Amdahl-bounded: {p:?}"
+        );
         assert!(p.cond_kernel_ms < 1000.0);
         assert!(s.contains("onecond"));
     }

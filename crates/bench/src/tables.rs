@@ -91,10 +91,7 @@ pub fn table1(ctx: &ReproContext) -> TableData {
         ("rk_update_scalar", 6.361, 1.504),
     ];
     let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "Table I: time contribution (%) of the top hotspots"
-    );
+    let _ = writeln!(s, "Table I: time contribution (%) of the top hotspots");
     let _ = writeln!(
         s,
         "{:<18} {:>8} {:>8} {:>12} {:>12}",
@@ -366,7 +363,12 @@ mod tests {
     #[test]
     fn table6_shape() {
         let (p2, p3, t) = table6(ctx());
-        assert!(p3.time_ms < p2.time_ms / 3.0, "{} vs {}", p2.time_ms, p3.time_ms);
+        assert!(
+            p3.time_ms < p2.time_ms / 3.0,
+            "{} vs {}",
+            p2.time_ms,
+            p3.time_ms
+        );
         assert!(p3.achieved_occupancy_pct > p2.achieved_occupancy_pct * 4.0);
         assert!(p2.l1_hit_pct > p3.l1_hit_pct);
         assert!(p2.l2_hit_pct > p3.l2_hit_pct);
@@ -381,10 +383,7 @@ mod tests {
         // GPU wins by roughly 2x whenever it has a GPU per few ranks
         // (paper: 2.08 / 1.82 / 1.56)...
         for r in &rows[..3] {
-            assert!(
-                (1.2..3.4).contains(&r.speedup),
-                "GPU should win ~2x: {r:?}"
-            );
+            assert!((1.2..3.4).contains(&r.speedup), "GPU should win ~2x: {r:?}");
         }
         // ...and loses (or roughly ties) at equal 2-node resources
         // (paper: 0.956). The within-family decay from 16 to 64 ranks is

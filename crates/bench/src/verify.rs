@@ -1,4 +1,9 @@
 //! §VII-B output verification: the four versions agree (`diffwrf`).
+//!
+//! This is the *demonstration* surface (`repro verify`); the *enforced*
+//! form of the same claim is `repro gate`, which pins every version ×
+//! scheduling mode to the committed golden fixtures under `goldens/`
+//! (see the `wrf-gate` crate and DESIGN.md §5.6).
 
 use fsbm_core::scheme::SbmVersion;
 use miniwrf::config::ModelConfig;
@@ -17,9 +22,7 @@ pub fn verify_versions(scale: f64, nz: i32, steps: usize) -> (Vec<(String, DiffR
     };
     let baseline = run(SbmVersion::Baseline);
     let mut out = Vec::new();
-    let mut s = format!(
-        "diffwrf verification after {steps} steps (vs baseline):\n"
-    );
+    let mut s = format!("diffwrf verification after {steps} steps (vs baseline):\n");
     for v in [
         SbmVersion::Lookup,
         SbmVersion::OffloadCollapse2,
@@ -29,10 +32,11 @@ pub fn verify_versions(scale: f64, nz: i32, steps: usize) -> (Vec<(String, DiffR
         let report = diffwrf(&baseline, &st);
         let _ = writeln!(
             s,
-            "  {:<34} state digits >= {:<2} microphysics digits >= {}",
+            "  {:<34} state digits >= {:<2} microphysics digits >= {:<2} bitwise {}",
             v.label(),
             report.min_state_digits(),
-            report.min_microphysics_digits()
+            report.min_microphysics_digits(),
+            if report.identical() { "yes" } else { "no" }
         );
         out.push((v.label().to_string(), report));
     }
@@ -63,5 +67,6 @@ mod tests {
             );
         }
         assert!(s.contains("diffwrf"));
+        assert!(s.contains("bitwise yes"));
     }
 }

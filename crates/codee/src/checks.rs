@@ -122,10 +122,7 @@ pub fn run_subprogram_checks(subs: &[Subprogram]) -> Vec<Finding> {
                     check: "PWR068",
                     severity: check("PWR068").severity,
                     location: loc.clone(),
-                    message: format!(
-                        "dummy argument `{arg}` of `{}` is assumed-size",
-                        s.name
-                    ),
+                    message: format!("dummy argument `{arg}` of `{}` is assumed-size", s.name),
                 });
             }
         }
@@ -230,10 +227,7 @@ mod tests {
             file: "module_mp_fast_sbm.f90".into(),
             loc: 900,
             implicit_none: false,
-            args: vec![
-                ("tt".into(), false, false),
-                ("qq".into(), true, true),
-            ],
+            args: vec![("tt".into(), false, false), ("qq".into(), true, true)],
             automatic_bytes: 0,
             writes_module_vars: false,
             pure_decl: false,

@@ -14,8 +14,8 @@ pub const NKR: i64 = 33;
 /// graupel `g`, hail `h`, three ice-crystal habits `i1..i3`).
 pub fn collision_array_names() -> Vec<String> {
     [
-        "cwll", "cwls", "cwlg", "cwlh", "cwli1", "cwli2", "cwli3", "cwsl", "cwss", "cwsg",
-        "cwsi1", "cwsi2", "cwsi3", "cwgl", "cwgs", "cwgg", "cwhl", "cwi1l", "cwi2l", "cwi3l",
+        "cwll", "cwls", "cwlg", "cwlh", "cwli1", "cwli2", "cwli3", "cwsl", "cwss", "cwsg", "cwsi1",
+        "cwsi2", "cwsi3", "cwgl", "cwgs", "cwgg", "cwhl", "cwi1l", "cwi2l", "cwi3l",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -65,8 +65,16 @@ pub fn kernals_ks_nest() -> LoopNest {
             vec![Affine::var("i"), Affine::var("j")],
         )));
         decls.push(ArrayDecl::new(c, &[(1, NKR), (1, NKR)], Scope::Global));
-        decls.push(ArrayDecl::new(&t750.0, &[(1, NKR), (1, NKR), (1, 2)], Scope::Global));
-        decls.push(ArrayDecl::new(&t750.1, &[(1, NKR), (1, NKR), (1, 2)], Scope::Global));
+        decls.push(ArrayDecl::new(
+            &t750.0,
+            &[(1, NKR), (1, NKR), (1, 2)],
+            Scope::Global,
+        ));
+        decls.push(ArrayDecl::new(
+            &t750.1,
+            &[(1, NKR), (1, NKR), (1, 2)],
+            Scope::Global,
+        ));
     }
     LoopNest {
         id: "module_mp_fast_sbm.f90:6293".into(),
@@ -114,7 +122,11 @@ pub fn grid_loop_baseline() -> LoopNest {
         .iter()
         .map(|c| ArrayDecl::new(c, &[(1, NKR), (1, NKR)], Scope::Global))
         .collect();
-    decls.push(ArrayDecl::new("t_old", &[(1, 106), (1, 50), (1, 75)], Scope::Dummy));
+    decls.push(ArrayDecl::new(
+        "t_old",
+        &[(1, 106), (1, 50), (1, 75)],
+        Scope::Dummy,
+    ));
 
     LoopNest {
         id: "module_mp_fast_sbm.f90:2486".into(),
@@ -151,7 +163,10 @@ pub fn grid_loop_baseline() -> LoopNest {
 pub fn grid_loop_lookup() -> LoopNest {
     let mut coal_accesses = per_point_state_accesses(true);
     for t in kernel_table_names() {
-        let mut r = ArrayRef::read(&t, vec![Affine::unknown(), Affine::unknown(), Affine::constant(1)]);
+        let mut r = ArrayRef::read(
+            &t,
+            vec![Affine::unknown(), Affine::unknown(), Affine::constant(1)],
+        );
         r.guarded = true;
         coal_accesses.push(r);
     }
@@ -189,7 +204,10 @@ pub fn coal_fission_loop() -> LoopNest {
     let ikj = || vec![Affine::var("i"), Affine::var("k"), Affine::var("j")];
     let mut coal = per_point_state_accesses(true);
     for t in kernel_table_names().into_iter().take(6) {
-        let mut r = ArrayRef::read(&t, vec![Affine::unknown(), Affine::unknown(), Affine::constant(1)]);
+        let mut r = ArrayRef::read(
+            &t,
+            vec![Affine::unknown(), Affine::unknown(), Affine::constant(1)],
+        );
         r.guarded = true;
         coal.push(r);
     }
@@ -262,10 +280,7 @@ pub fn fsbm_subprograms(slab_refactor: bool) -> Vec<Subprogram> {
             file: file.clone(),
             loc: 800,
             implicit_none: false,
-            args: vec![
-                ("tps".into(), false, true),
-                ("qps".into(), false, true),
-            ],
+            args: vec![("tps".into(), false, true), ("qps".into(), false, true)],
             automatic_bytes: 4 * 1024,
             writes_module_vars: false,
             pure_decl: false,
@@ -324,10 +339,7 @@ pub fn dynamics_subprograms() -> Vec<Subprogram> {
             file: file.clone(),
             loc: 240,
             implicit_none: true,
-            args: vec![
-                ("scalar".into(), true, false),
-                ("tend".into(), true, false),
-            ],
+            args: vec![("scalar".into(), true, false), ("tend".into(), true, false)],
             automatic_bytes: 0,
             writes_module_vars: false,
             pure_decl: true,

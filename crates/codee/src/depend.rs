@@ -97,11 +97,9 @@ fn may_conflict_across(a: &ArrayRef, b: &ArrayRef, var: &str, trips: i64) -> boo
         // Other-variable coefficient mismatches act as a free offset; be
         // conservative and skip the dimension unless they match.
         let others_match = {
-            let mut vs: BTreeSet<&String> =
-                sa.terms.keys().chain(sb.terms.keys()).collect();
+            let mut vs: BTreeSet<&String> = sa.terms.keys().chain(sb.terms.keys()).collect();
             vs.remove(&var.to_string());
-            vs.iter()
-                .all(|v| sa.coeff(v) == sb.coeff(v))
+            vs.iter().all(|v| sa.coeff(v) == sb.coeff(v))
         };
         if !others_match {
             continue;
@@ -206,9 +204,8 @@ pub fn analyze(nest: &LoopNest) -> LoopAnalysis {
             if r.write {
                 return true;
             }
-            mine.iter().any(|(widx, w)| {
-                w.write && !w.guarded && widx < idx && w.subs == r.subs
-            })
+            mine.iter()
+                .any(|(widx, w)| w.write && !w.guarded && widx < idx && w.subs == r.subs)
         });
         if write_first && reads_covered {
             dead_on_entry.push(name.to_string());

@@ -73,7 +73,9 @@ pub fn modernize(sub: &Subprogram) -> Modernized {
         let shape = if *assumed_size {
             fixes.push(Fix {
                 check: "PWR068",
-                description: format!("convert assumed-size `{name}(*)` to assumed-shape `{name}(:)`"),
+                description: format!(
+                    "convert assumed-size `{name}(*)` to assumed-shape `{name}(:)`"
+                ),
             });
             "(:)"
         } else {

@@ -39,7 +39,12 @@ pub fn rewrite_offload(nest: &LoopNest) -> Result<String, RewriteBlocked> {
             reasons: a
                 .dependences
                 .iter()
-                .map(|d| format!("{:?} dependence on `{}` carried by `{}`", d.kind, d.array, d.var))
+                .map(|d| {
+                    format!(
+                        "{:?} dependence on `{}` carried by `{}`",
+                        d.kind, d.array, d.var
+                    )
+                })
                 .collect(),
         });
     }

@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn display_renders() {
-        let r = screening(&corpus::fsbm_subprograms(true), &[corpus::kernals_ks_nest()]);
+        let r = screening(
+            &corpus::fsbm_subprograms(true),
+            &[corpus::kernals_ks_nest()],
+        );
         let s = r.to_string();
         assert!(s.contains("CODEE SCREENING REPORT"));
         assert!(s.contains("PWR050"));

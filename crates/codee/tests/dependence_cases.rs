@@ -31,7 +31,10 @@ fn coupled_diagonal_recurrence_blocks_both() {
         ],
     );
     let r = analyze(&n);
-    assert!(r.carried_by("i").iter().any(|d| d.kind == DependenceKind::Flow));
+    assert!(r
+        .carried_by("i")
+        .iter()
+        .any(|d| d.kind == DependenceKind::Flow));
     assert!(!r.carried_by("j").is_empty());
     assert_eq!(r.collapsible, 0);
 }
@@ -76,7 +79,10 @@ fn inplace_transpose_is_conservative() {
         ],
     );
     let r = analyze(&n);
-    assert!(!r.fully_parallel(), "in-place transpose must not parallelize");
+    assert!(
+        !r.fully_parallel(),
+        "in-place transpose must not parallelize"
+    );
 }
 
 /// Red-black style `a(2i) = f(a(2i+1))`: even writes never meet odd
@@ -118,9 +124,9 @@ fn histogram_by_outer_index() {
 fn guarded_identity_write_parallel_but_live() {
     let n = nest(
         vec![LoopVar::new("i", 1, 100)],
-        vec![
-            Stmt::Access(ArrayRef::write("a", vec![Affine::var("i")]).guarded()),
-        ],
+        vec![Stmt::Access(
+            ArrayRef::write("a", vec![Affine::var("i")]).guarded(),
+        )],
     );
     let r = analyze(&n);
     assert!(r.fully_parallel());

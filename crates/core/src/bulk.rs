@@ -108,10 +108,10 @@ pub fn total_water(st: &BulkState) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::KernelMode;
     use crate::kernels::KernelTables;
     use crate::point::{Grids, PointBins, PointThermo};
     use crate::processes::driver::fast_sbm_point;
-    use crate::kernels::KernelMode;
 
     fn saturated_state(t: f32, p: f32, factor: f32) -> BulkState {
         BulkState {
@@ -228,10 +228,7 @@ mod tests {
                 &mut view,
                 &mut th,
                 &grids,
-                KernelMode::OnDemand {
-                    tables: &tables,
-                    p,
-                },
+                KernelMode::OnDemand { tables: &tables, p },
                 5.0,
                 told,
             );

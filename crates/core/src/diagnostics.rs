@@ -38,8 +38,7 @@ pub fn reflectivity(bins: &BinsView<'_>, grids: &Grids, rho_air: f32) -> f32 {
             1.0
         };
         let s = bins.class(c);
-        for k in 0..NKR {
-            let n = s[k];
+        for (k, &n) in s.iter().enumerate().take(NKR) {
             if n <= 0.0 {
                 continue;
             }
@@ -133,10 +132,7 @@ mod tests {
         rain.n[0][k_big] = 1.0e8 * gw.mass[k_small] / gw.mass[k_big];
         let z_cloud = reflectivity(&cloud.view(), &g, 1.0);
         let z_rain = reflectivity(&rain.view(), &g, 1.0);
-        assert!(
-            z_rain > z_cloud * 1.0e3,
-            "rain {z_rain} vs cloud {z_cloud}"
-        );
+        assert!(z_rain > z_cloud * 1.0e3, "rain {z_rain} vs cloud {z_cloud}");
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub fn compact_active_points(predicate: &[bool]) -> Vec<u32> {
 /// list of active column indices — a column is active when any of its
 /// `ilen` points is (the `collapse(2)` launch unit).
 pub fn compact_active_columns(predicate: &[bool], ilen: usize) -> Vec<u32> {
-    assert!(ilen > 0 && predicate.len() % ilen == 0);
+    assert!(ilen > 0 && predicate.len().is_multiple_of(ilen));
     predicate
         .chunks_exact(ilen)
         .enumerate()
@@ -180,7 +180,11 @@ mod tests {
         assert!(!ExecMode::StaticTiles.uses_executor());
         assert_eq!(ExecMode::StaticTiles.label(), "static-tiles");
         assert_eq!(
-            ExecMode::WorkSteal { chunk: Some(8), compact: false }.label(),
+            ExecMode::WorkSteal {
+                chunk: Some(8),
+                compact: false
+            }
+            .label(),
             "work-stealing"
         );
         assert_eq!(ExecMode::default().label(), "work-stealing+compaction");

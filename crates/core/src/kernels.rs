@@ -33,26 +33,106 @@ use HydroClass::*;
 /// The 20 interactions whose kernels `kernals_ks` tabulates (the `cwll`,
 /// `cwls`, `cwlg`, ... arrays of Listing 3/4).
 pub const COLLISION_PAIRS: [CollisionPair; 20] = [
-    CollisionPair { a: Water, b: Water, outcome: Water },
-    CollisionPair { a: Water, b: Snow, outcome: Snow },
-    CollisionPair { a: Water, b: Graupel, outcome: Graupel },
-    CollisionPair { a: Water, b: Hail, outcome: Hail },
-    CollisionPair { a: Water, b: IceColumns, outcome: Graupel },
-    CollisionPair { a: Water, b: IcePlates, outcome: Graupel },
-    CollisionPair { a: Water, b: IceDendrites, outcome: Graupel },
-    CollisionPair { a: Snow, b: Snow, outcome: Snow },
-    CollisionPair { a: Snow, b: Graupel, outcome: Graupel },
-    CollisionPair { a: Snow, b: Hail, outcome: Hail },
-    CollisionPair { a: Snow, b: IceColumns, outcome: Snow },
-    CollisionPair { a: Snow, b: IcePlates, outcome: Snow },
-    CollisionPair { a: Snow, b: IceDendrites, outcome: Snow },
-    CollisionPair { a: IceColumns, b: IceColumns, outcome: Snow },
-    CollisionPair { a: IcePlates, b: IcePlates, outcome: Snow },
-    CollisionPair { a: IceDendrites, b: IceDendrites, outcome: Snow },
-    CollisionPair { a: IceColumns, b: IcePlates, outcome: Snow },
-    CollisionPair { a: IceColumns, b: IceDendrites, outcome: Snow },
-    CollisionPair { a: IcePlates, b: IceDendrites, outcome: Snow },
-    CollisionPair { a: Graupel, b: Hail, outcome: Hail },
+    CollisionPair {
+        a: Water,
+        b: Water,
+        outcome: Water,
+    },
+    CollisionPair {
+        a: Water,
+        b: Snow,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: Water,
+        b: Graupel,
+        outcome: Graupel,
+    },
+    CollisionPair {
+        a: Water,
+        b: Hail,
+        outcome: Hail,
+    },
+    CollisionPair {
+        a: Water,
+        b: IceColumns,
+        outcome: Graupel,
+    },
+    CollisionPair {
+        a: Water,
+        b: IcePlates,
+        outcome: Graupel,
+    },
+    CollisionPair {
+        a: Water,
+        b: IceDendrites,
+        outcome: Graupel,
+    },
+    CollisionPair {
+        a: Snow,
+        b: Snow,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: Snow,
+        b: Graupel,
+        outcome: Graupel,
+    },
+    CollisionPair {
+        a: Snow,
+        b: Hail,
+        outcome: Hail,
+    },
+    CollisionPair {
+        a: Snow,
+        b: IceColumns,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: Snow,
+        b: IcePlates,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: Snow,
+        b: IceDendrites,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: IceColumns,
+        b: IceColumns,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: IcePlates,
+        b: IcePlates,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: IceDendrites,
+        b: IceDendrites,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: IceColumns,
+        b: IcePlates,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: IceColumns,
+        b: IceDendrites,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: IcePlates,
+        b: IceDendrites,
+        outcome: Snow,
+    },
+    CollisionPair {
+        a: Graupel,
+        b: Hail,
+        outcome: Hail,
+    },
 ];
 
 /// FSBM-style table name of pair `p` (`cwls` = water×snow, ...).
@@ -79,7 +159,7 @@ pub fn collection_efficiency(a: HydroClass, b: HydroClass, ra: f32, rb: f32) -> 
             let ratio = (r_small / r_large.max(1e-9)).min(1.0);
             (e * (1.0 - 0.5 * ratio * ratio * ratio)).clamp(0.0, 1.0)
         }
-        (true, true) => 0.2,  // aggregation plateau
+        (true, true) => 0.2, // aggregation plateau
         _ => {
             // Riming: efficient once droplets exceed ~10 µm.
             let rw = if a.is_ice() { rb } else { ra };
@@ -92,13 +172,7 @@ pub fn collection_efficiency(a: HydroClass, b: HydroClass, ra: f32, rb: f32) -> 
 /// `K = E · π (r_a + r_b)² · |v_a − v_b|` in m³/s, with fall speeds at
 /// air density `rho_air`.
 #[inline]
-pub fn gravitational_kernel(
-    ga: &BinGrid,
-    gb: &BinGrid,
-    i: usize,
-    j: usize,
-    rho_air: f32,
-) -> f32 {
+pub fn gravitational_kernel(ga: &BinGrid, gb: &BinGrid, i: usize, j: usize, rho_air: f32) -> f32 {
     let ra = ga.radius[i];
     let rb = gb.radius[j];
     let va = ga.vt_at(i, rho_air);
@@ -225,12 +299,7 @@ impl Default for CollisionTables {
 /// (Listing 3). The baseline calls this for **every grid point** inside
 /// `coal_bott_new`; its cost and its write-to-global-state are the twin
 /// problems Section VI-A removes.
-pub fn kernals_ks(
-    tables: &KernelTables,
-    p: f32,
-    out: &mut CollisionTables,
-    work: &mut PointWork,
-) {
+pub fn kernals_ks(tables: &KernelTables, p: f32, out: &mut CollisionTables, work: &mut PointWork) {
     for pair in 0..COLLISION_PAIRS.len() {
         for j in 0..NKR {
             for i in 0..NKR {
@@ -606,10 +675,7 @@ mod tests {
             level: 0,
             p: 50_000.0,
         };
-        assert_eq!(
-            cm.get(4, 8, 8, &mut w),
-            t.entry(4, 8, 8, 50_000.0, &mut w)
-        );
+        assert_eq!(cm.get(4, 8, 8, &mut w), t.entry(4, 8, 8, 50_000.0, &mut w));
         // Unfilled level.
         let cm1 = KernelMode::Cached {
             cache: &cache,
@@ -617,10 +683,7 @@ mod tests {
             level: 1,
             p: 60_000.0,
         };
-        assert_eq!(
-            cm1.get(4, 8, 8, &mut w),
-            t.entry(4, 8, 8, 60_000.0, &mut w)
-        );
+        assert_eq!(cm1.get(4, 8, 8, &mut w), t.entry(4, 8, 8, 60_000.0, &mut w));
         // Out-of-range level.
         let cm9 = KernelMode::Cached {
             cache: &cache,
@@ -628,10 +691,7 @@ mod tests {
             level: 9,
             p: 60_000.0,
         };
-        assert_eq!(
-            cm9.get(4, 8, 8, &mut w),
-            t.entry(4, 8, 8, 60_000.0, &mut w)
-        );
+        assert_eq!(cm9.get(4, 8, 8, &mut w), t.entry(4, 8, 8, 60_000.0, &mut w));
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 3);
         cache.reset_stats();

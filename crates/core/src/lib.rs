@@ -31,6 +31,7 @@ pub mod bins;
 pub mod bulk;
 pub mod constants;
 pub mod diagnostics;
+pub mod digest;
 pub mod exec;
 pub mod kernels;
 pub mod meter;
@@ -43,6 +44,7 @@ pub mod types;
 pub mod workload;
 
 pub use bins::BinGrid;
+pub use digest::{FieldDigest, MomentDigest, StateDigest};
 pub use exec::{ExecMode, ExecSummary};
 pub use kernels::{
     CollisionPair, CollisionTables, KernelCache, KernelMode, KernelTables, COLLISION_PAIRS,

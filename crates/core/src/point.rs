@@ -82,9 +82,7 @@ impl PointBins {
     pub fn view(&mut self) -> BinsView<'_> {
         let mut it = self.n.iter_mut();
         BinsView {
-            n: std::array::from_fn(|_| {
-                it.next().expect("NTYPES slices").as_mut_slice()
-            }),
+            n: std::array::from_fn(|_| it.next().expect("NTYPES slices").as_mut_slice()),
         }
     }
 }
@@ -171,13 +169,7 @@ impl<'a> BinsView<'a> {
 /// **both number and mass are conserved** (Kovetz–Olund linear
 /// remapping). Masses beyond the top bin put all mass in the top bin
 /// (conserving mass, not number, as FSBM does at the grid edge).
-pub fn deposit_mass(
-    target: &mut [f32],
-    grid: &BinGrid,
-    m: f32,
-    number: f32,
-    w: &mut PointWork,
-) {
+pub fn deposit_mass(target: &mut [f32], grid: &BinGrid, m: f32, number: f32, w: &mut PointWork) {
     if number <= 0.0 || m <= 0.0 {
         return;
     }
@@ -271,11 +263,7 @@ mod tests {
         let m = gw.mass[10] * 1.37;
         deposit_mass(&mut target, gw, m, 1000.0, &mut w);
         let n: f32 = target.iter().sum();
-        let q: f32 = target
-            .iter()
-            .zip(&gw.mass)
-            .map(|(n, m)| n * m)
-            .sum();
+        let q: f32 = target.iter().zip(&gw.mass).map(|(n, m)| n * m).sum();
         assert!((n - 1000.0).abs() < 1e-2);
         assert!((q - 1000.0 * m).abs() / (1000.0 * m) < 1e-5);
         // Only the bracketing bins are touched.
@@ -303,11 +291,7 @@ mod tests {
         let mut w = PointWork::ZERO;
         let m = gw.mass[NKR - 1] * 3.0;
         deposit_mass(&mut target, gw, m, 5.0, &mut w);
-        let q: f32 = target
-            .iter()
-            .zip(&gw.mass)
-            .map(|(n, m)| n * m)
-            .sum();
+        let q: f32 = target.iter().zip(&gw.mass).map(|(n, m)| n * m).sum();
         assert!((q - 5.0 * m).abs() / (5.0 * m) < 1e-5);
         assert!(target[NKR - 1] > 5.0); // number inflated, mass conserved
     }
@@ -338,7 +322,11 @@ mod tests {
                 for (b, &v) in target.iter().enumerate() {
                     assert!(v >= 0.0, "bin {b} = {v} for k={k} nudge={nudge}");
                 }
-                let q: f64 = target.iter().zip(&gw.mass).map(|(n, mm)| (*n as f64) * (*mm as f64)).sum();
+                let q: f64 = target
+                    .iter()
+                    .zip(&gw.mass)
+                    .map(|(n, mm)| (*n as f64) * (*mm as f64))
+                    .sum();
                 let expect = 8.1e7 * m as f64;
                 assert!((q - expect).abs() / expect < 1e-4);
             }
@@ -377,8 +365,6 @@ mod tests {
         let mut e = vec![0.0f32; NKR];
         let mut f = vec![0.0f32; NKR];
         let mut g = vec![0.0f32; 5];
-        let _ = BinsView::from_slices([
-            &mut a, &mut b, &mut c, &mut d, &mut e, &mut f, &mut g,
-        ]);
+        let _ = BinsView::from_slices([&mut a, &mut b, &mut c, &mut d, &mut e, &mut f, &mut g]);
     }
 }

@@ -14,7 +14,7 @@
 //! all 20 collision arrays are used"), and only occupied bin ranges are
 //! visited ("not every entry of an array is used").
 
-use crate::constants::{L_F, CP, T_0};
+use crate::constants::{CP, L_F, T_0};
 use crate::kernels::{KernelMode, COLLISION_PAIRS};
 use crate::meter::PointWork;
 use crate::point::{deposit_mass, BinsView, Grids, PointThermo};

@@ -37,7 +37,13 @@ pub fn freezing_melting(
     }
 }
 
-fn freeze(bins: &mut BinsView<'_>, th: &mut PointThermo, grids: &Grids, dt: f32, w: &mut PointWork) {
+fn freeze(
+    bins: &mut BinsView<'_>,
+    th: &mut PointThermo,
+    grids: &Grids,
+    dt: f32,
+    w: &mut PointWork,
+) {
     let gw = grids.of(HydroClass::Water);
     let supercool = T_0 - th.t;
     let homogeneous = th.t < T_HOM;

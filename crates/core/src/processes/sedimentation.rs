@@ -97,7 +97,10 @@ mod tests {
         }
         let after = column_mass(&col);
         let balance = (after + precip_total - before).abs() / before;
-        assert!(balance < 1e-3, "imbalance {balance}: {before} -> {after} + {precip_total}");
+        assert!(
+            balance < 1e-3,
+            "imbalance {balance}: {before} -> {after} + {precip_total}"
+        );
         assert!(precip_total > 0.0, "rain must reach the surface");
     }
 

@@ -285,10 +285,7 @@ impl FastSbm {
     /// the collision kernel's spec plus the `temp_arrays` slab bytes —
     /// what a rank's context must satisfy before its first launch. CPU
     /// versions need nothing and return `None`.
-    pub fn device_requirements(
-        &self,
-        state: &SbmPatchState,
-    ) -> Option<(KernelSpec, u64)> {
+    pub fn device_requirements(&self, state: &SbmPatchState) -> Option<(KernelSpec, u64)> {
         match self.cfg.version {
             SbmVersion::OffloadCollapse2 => Some((
                 KernelSpec {
@@ -340,9 +337,7 @@ impl FastSbm {
         if self.cfg.cached_kernels {
             self.ensure_kcache(state);
         }
-        if self.cfg.sched.uses_executor()
-            && (self.cfg.version.offloaded() || self.cfg.tiles > 1)
-        {
+        if self.cfg.sched.uses_executor() && (self.cfg.version.offloaded() || self.cfg.tiles > 1) {
             self.ensure_exec();
         }
         let mut stats = match (self.cfg.version, self.cfg.tiles) {
@@ -470,9 +465,7 @@ impl FastSbm {
                                 rho: rho_field.get(i, k, j),
                             };
                             for (c, v) in ff_views.iter().enumerate() {
-                                bins.n[c].copy_from_slice(
-                                    v.subslice_mut(meta.flat4(i, k, j), NKR),
-                                );
+                                bins.n[c].copy_from_slice(v.subslice_mut(meta.flat4(i, k, j), NKR));
                             }
                             let mut view = bins.view();
                             let mut out = fast_sbm_pre(&mut view, &mut th, grids, dt, told);
@@ -491,9 +484,7 @@ impl FastSbm {
                                         &mut out,
                                     );
                                 } else {
-                                    let km = Self::lookup_mode(
-                                        kcache, tables, k, kp_lo, pressure,
-                                    );
+                                    let km = Self::lookup_mode(kcache, tables, k, kp_lo, pressure);
                                     fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
                                 }
                             }
@@ -524,10 +515,7 @@ impl FastSbm {
                         let st = run_tile(&tiles[t as usize]);
                         *slots[t as usize].lock().unwrap() = st;
                     });
-                    slots
-                        .into_iter()
-                        .map(|m| m.into_inner().unwrap())
-                        .collect()
+                    slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
                 }
                 _ => crossbeam::thread::scope(|scope| {
                     let handles: Vec<_> = tiles
@@ -753,9 +741,9 @@ impl FastSbm {
                         .map(|(v, m)| v.subslice_mut(m.flat4(i, k, j), NKR))
                         .collect();
                     let mut it = slices.drain(..);
-                    let mut view = crate::point::BinsView::from_slices(
-                        std::array::from_fn(|_| it.next().expect("7 slabs")),
-                    );
+                    let mut view = crate::point::BinsView::from_slices(std::array::from_fn(|_| {
+                        it.next().expect("7 slabs")
+                    }));
                     fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
                 } else {
                     // Listing 7: automatic (stack) arrays + copy in/out.
@@ -1084,10 +1072,7 @@ mod tests {
         ] {
             let (st, s) = run_version(v, 3);
             let d = max_rel_diff(&base, &st);
-            assert!(
-                d < 1e-5,
-                "{v:?} diverges from baseline by {d}"
-            );
+            assert!(d < 1e-5, "{v:?} diverges from baseline by {d}");
             assert_eq!(s.active_points, sbase.active_points, "{v:?}");
             assert_eq!(s.coal_points, sbase.coal_points, "{v:?}");
             assert_eq!(s.coal_entries, sbase.coal_entries, "{v:?}");
@@ -1143,10 +1128,34 @@ mod tests {
             }
 
             let variants = [
-                (ExecMode::WorkSteal { chunk: None, compact: false }, false),
-                (ExecMode::WorkSteal { chunk: None, compact: true }, false),
-                (ExecMode::WorkSteal { chunk: Some(1), compact: true }, false),
-                (ExecMode::WorkSteal { chunk: None, compact: true }, true),
+                (
+                    ExecMode::WorkSteal {
+                        chunk: None,
+                        compact: false,
+                    },
+                    false,
+                ),
+                (
+                    ExecMode::WorkSteal {
+                        chunk: None,
+                        compact: true,
+                    },
+                    false,
+                ),
+                (
+                    ExecMode::WorkSteal {
+                        chunk: Some(1),
+                        compact: true,
+                    },
+                    false,
+                ),
+                (
+                    ExecMode::WorkSteal {
+                        chunk: None,
+                        compact: true,
+                    },
+                    true,
+                ),
                 (ExecMode::StaticTiles, true),
             ];
             for (sched, cached) in variants {

@@ -58,7 +58,11 @@ pub fn growth_coefficient(t: f32, p: f32, over_ice: bool) -> f32 {
     // Thermal conductivity of air, W/(m·K).
     let ka = 2.4e-2 * (t / T_0);
     let l = if over_ice { L_S } else { L_V };
-    let es = if over_ice { esat_ice(t) } else { esat_liquid(t) };
+    let es = if over_ice {
+        esat_ice(t)
+    } else {
+        esat_liquid(t)
+    };
     let rho_vs = es / (R_V * t);
     // 1/G = L²/(ka Rv T²) + Rv T/(Dv es) in vapor-density form.
     let fk = (l / (R_V * t) - 1.0) * l / (ka * t);

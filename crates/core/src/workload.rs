@@ -146,8 +146,7 @@ pub fn coal_memory_trace(layout: CoalLayout, tp: &TraceParams) -> Vec<MemAccess>
                                 let _ = t;
                                 out.push(MemAccess {
                                     addr: TABLE_BASE
-                                        + (pair as u64 * (NKR * NKR) as u64
-                                            + (b * NKR + b) as u64)
+                                        + (pair as u64 * (NKR * NKR) as u64 + (b * NKR + b) as u64)
                                             * 4,
                                     bytes: 4,
                                     write: false,
@@ -194,8 +193,7 @@ pub fn coal_memory_trace(layout: CoalLayout, tp: &TraceParams) -> Vec<MemAccess>
                             let _ = t;
                             out.push(MemAccess {
                                 addr: TABLE_BASE
-                                    + (pair as u64 * (NKR * NKR) as u64 + (b * NKR + b) as u64)
-                                        * 4,
+                                    + (pair as u64 * (NKR * NKR) as u64 + (b * NKR + b) as u64) * 4,
                                 bytes: 4,
                                 write: false,
                             });

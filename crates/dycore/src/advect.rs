@@ -57,14 +57,38 @@ pub fn rk_scalar_tend(
                 // x-direction interfaces at i−1/2 and i+1/2.
                 let u_m = 0.5 * (wind.u.get(i - 1, k, j) + wind.u.get(i, k, j));
                 let u_p = 0.5 * (wind.u.get(i, k, j) + wind.u.get(i + 1, k, j));
-                let fx_m = flux3(q(i - 2, k, j), q(i - 1, k, j), q(i, k, j), q(i + 1, k, j), u_m);
-                let fx_p = flux3(q(i - 1, k, j), q(i, k, j), q(i + 1, k, j), q(i + 2, k, j), u_p);
+                let fx_m = flux3(
+                    q(i - 2, k, j),
+                    q(i - 1, k, j),
+                    q(i, k, j),
+                    q(i + 1, k, j),
+                    u_m,
+                );
+                let fx_p = flux3(
+                    q(i - 1, k, j),
+                    q(i, k, j),
+                    q(i + 1, k, j),
+                    q(i + 2, k, j),
+                    u_p,
+                );
 
                 // y-direction.
                 let v_m = 0.5 * (wind.v.get(i, k, j - 1) + wind.v.get(i, k, j));
                 let v_p = 0.5 * (wind.v.get(i, k, j) + wind.v.get(i, k, j + 1));
-                let fy_m = flux3(q(i, k, j - 2), q(i, k, j - 1), q(i, k, j), q(i, k, j + 1), v_m);
-                let fy_p = flux3(q(i, k, j - 1), q(i, k, j), q(i, k, j + 1), q(i, k, j + 2), v_p);
+                let fy_m = flux3(
+                    q(i, k, j - 2),
+                    q(i, k, j - 1),
+                    q(i, k, j),
+                    q(i, k, j + 1),
+                    v_m,
+                );
+                let fy_p = flux3(
+                    q(i, k, j - 1),
+                    q(i, k, j),
+                    q(i, k, j + 1),
+                    q(i, k, j + 2),
+                    v_p,
+                );
 
                 // z-direction: second-order centered with clamped ends.
                 let w_m = 0.5 * (wind.w.get(i, (k - 1).max(kl), j) + wind.w.get(i, k, j));

@@ -26,10 +26,7 @@ pub fn horizontal_diffusion(
 ) {
     assert!(patch.halo >= 1, "diffusion needs one halo cell");
     let alpha = kh * dt / (dx * dx);
-    assert!(
-        alpha <= 0.25,
-        "diffusive CFL violated: K dt/dx^2 = {alpha}"
-    );
+    assert!(alpha <= 0.25, "diffusive CFL violated: K dt/dx^2 = {alpha}");
     // Two-pass (tendency then update) to keep the stencil symmetric and
     // independent of sweep order.
     let mut tend = Field3::for_patch(patch);
@@ -37,7 +34,8 @@ pub fn horizontal_diffusion(
         for k in patch.kp.iter() {
             for i in patch.ip.iter() {
                 let c = scalar.get(i, k, j);
-                let lap = scalar.get(i - 1, k, j) + scalar.get(i + 1, k, j)
+                let lap = scalar.get(i - 1, k, j)
+                    + scalar.get(i + 1, k, j)
                     + scalar.get(i, k, j - 1)
                     + scalar.get(i, k, j + 1)
                     - 4.0 * c;
@@ -78,7 +76,10 @@ mod tests {
         let after = f.compute_sum(&p);
         // Interior spike: no flux through the (zero) halo yet, so the
         // compute-region sum is conserved and the peak decays.
-        assert!((after - before).abs() / before < 1e-4, "{before} -> {after}");
+        assert!(
+            (after - before).abs() / before < 1e-4,
+            "{before} -> {after}"
+        );
         assert!(f.get(8, 2, 8) < 100.0);
         assert!(f.get(7, 2, 8) > 0.0);
     }

@@ -55,12 +55,28 @@ pub fn rk3_advect_scalar(
     // Stage 1: φ* = φⁿ + Δt/3 · L(φⁿ)
     refresh(scalar);
     rk_scalar_tend(scalar, wind, patch, dx, dy, dz, tend, &mut work.tend);
-    rk_update_scalar(scratch, &base, tend, dt / 3.0, patch, positive, &mut work.update);
+    rk_update_scalar(
+        scratch,
+        &base,
+        tend,
+        dt / 3.0,
+        patch,
+        positive,
+        &mut work.update,
+    );
 
     // Stage 2: φ** = φⁿ + Δt/2 · L(φ*)
     refresh(scratch);
     rk_scalar_tend(scratch, wind, patch, dx, dy, dz, tend, &mut work.tend);
-    rk_update_scalar(scratch, &base, tend, dt / 2.0, patch, positive, &mut work.update);
+    rk_update_scalar(
+        scratch,
+        &base,
+        tend,
+        dt / 2.0,
+        patch,
+        positive,
+        &mut work.update,
+    );
 
     // Stage 3: φⁿ⁺¹ = φⁿ + Δt · L(φ**)
     refresh(scratch);

@@ -85,10 +85,7 @@ pub fn storm_wind(
                 let u_over = a * kz * (kx * x).sin() * (kz * z).cos();
                 let w = -a * kx * (kx * x).cos() * (kz * z).sin();
                 // Modulate cells in j so the storm line is finite.
-                let jmod = 0.5
-                    * (1.0
-                        + (2.0 * std::f32::consts::PI * (j as f32) / 40.0)
-                            .sin());
+                let jmod = 0.5 * (1.0 + (2.0 * std::f32::consts::PI * (j as f32) / 40.0).sin());
                 wind.u
                     .set(i, k, j, sp.u_surface + sp.u_shear * zfrac + u_over * jmod);
                 wind.v.set(i, k, j, 2.0 * (1.0 - zfrac));
@@ -165,13 +162,12 @@ mod tests {
         let mut w1 = Wind::calm(&p);
         storm_wind(&mut w0, &p, &StormWind::default(), 0.0, 500.0, 400.0);
         storm_wind(&mut w1, &p, &StormWind::default(), 300.0, 500.0, 400.0);
-        let diff: f32 = w0
-            .w
-            .as_slice()
-            .iter()
-            .zip(w1.w.as_slice())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 =
+            w0.w.as_slice()
+                .iter()
+                .zip(w1.w.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
         assert!(diff > 1.0, "the pattern must move");
     }
 

@@ -313,10 +313,7 @@ impl Executor {
 
         // Recover from poison: a propagated worker panic in a previous
         // run poisons this lock, but the pool itself stays consistent.
-        let _serialized = self
-            .run_lock
-            .lock()
-            .unwrap_or_else(|p| p.into_inner());
+        let _serialized = self.run_lock.lock().unwrap_or_else(|p| p.into_inner());
         let nchunks = total.div_ceil(chunk);
         let per = nchunks.div_ceil(w);
         let mut maxq = 0usize;

@@ -1,0 +1,229 @@
+//! The committed golden-fixture format (`goldens/*.golden`).
+//!
+//! One fixture pins one scheme version's end-of-run [`StateDigest`] on
+//! the deterministic gate case. The format is line-oriented text so
+//! diffs are reviewable: a header identifying the case, one `field` line
+//! per variable (with its strided raw samples as hex bit patterns on a
+//! following `samples` line), one `moment` line per scalar moment, and a
+//! terminating `end`. All `f64` statistics are printed with 17
+//! significant digits (lossless round-trip); `f32` extrema and samples
+//! are stored as raw bit patterns (lossless by construction).
+
+use fsbm_core::digest::{FieldDigest, MomentDigest, StateDigest};
+use std::fmt::Write as _;
+
+/// Magic first line of every fixture.
+pub const MAGIC: &str = "wrf-gate golden v1";
+
+/// A golden fixture: a digest plus the identity of the run it pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenFixture {
+    /// Scheme-version label (`SbmVersion::label()`).
+    pub version: String,
+    /// Human-readable case description (scale, nz, steps, seed).
+    pub case: String,
+    /// The pinned digest.
+    pub digest: StateDigest,
+}
+
+impl GoldenFixture {
+    /// Renders the committable fixture text.
+    pub fn rendered(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{MAGIC}");
+        let _ = writeln!(s, "version {}", self.version);
+        let _ = writeln!(s, "case {}", self.case);
+        for f in &self.digest.fields {
+            let _ = writeln!(
+                s,
+                "field name={} len={} checksum={:016x} sum={:e} l2={:e} min={:08x} max={:08x} stride={}",
+                f.name,
+                f.len,
+                f.checksum,
+                F64(f.sum),
+                F64(f.l2),
+                f.min.to_bits(),
+                f.max.to_bits(),
+                f.stride,
+            );
+            let hex: Vec<String> = f.samples.iter().map(|b| format!("{b:08x}")).collect();
+            let _ = writeln!(s, "samples {}", hex.join(","));
+        }
+        for m in &self.digest.moments {
+            let _ = writeln!(s, "moment name={} value={:e}", m.name, F64(m.value));
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parses a fixture file.
+    pub fn parse(text: &str) -> Result<GoldenFixture, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines.next().ok_or("empty fixture")?;
+        if first.trim() != MAGIC {
+            return Err(format!("bad magic line: {first:?}"));
+        }
+        let mut version = None;
+        let mut case = None;
+        let mut fields: Vec<FieldDigest> = Vec::new();
+        let mut moments = Vec::new();
+        let mut saw_end = false;
+        for (n, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}", n + 1);
+            let (kw, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match kw {
+                "version" => version = Some(rest.to_string()),
+                "case" => case = Some(rest.to_string()),
+                "field" => {
+                    let kv = parse_kv(rest).map_err(|e| err(&e))?;
+                    let get = |k: &str| -> Result<&str, String> {
+                        kv.iter()
+                            .find(|(key, _)| *key == k)
+                            .map(|(_, v)| *v)
+                            .ok_or_else(|| err(&format!("field missing {k}=")))
+                    };
+                    fields.push(FieldDigest {
+                        name: get("name")?.to_string(),
+                        len: get("len")?.parse().map_err(|_| err("bad len"))?,
+                        checksum: u64::from_str_radix(get("checksum")?, 16)
+                            .map_err(|_| err("bad checksum"))?,
+                        sum: get("sum")?.parse().map_err(|_| err("bad sum"))?,
+                        l2: get("l2")?.parse().map_err(|_| err("bad l2"))?,
+                        min: f32::from_bits(
+                            u32::from_str_radix(get("min")?, 16).map_err(|_| err("bad min"))?,
+                        ),
+                        max: f32::from_bits(
+                            u32::from_str_radix(get("max")?, 16).map_err(|_| err("bad max"))?,
+                        ),
+                        stride: get("stride")?.parse().map_err(|_| err("bad stride"))?,
+                        samples: Vec::new(),
+                    });
+                }
+                "samples" => {
+                    let f = fields
+                        .last_mut()
+                        .ok_or_else(|| err("samples before any field"))?;
+                    if rest.is_empty() {
+                        continue;
+                    }
+                    f.samples = rest
+                        .split(',')
+                        .map(|h| u32::from_str_radix(h, 16))
+                        .collect::<Result<Vec<u32>, _>>()
+                        .map_err(|_| err("bad sample hex"))?;
+                }
+                "moment" => {
+                    let kv = parse_kv(rest).map_err(|e| err(&e))?;
+                    let get = |k: &str| -> Result<&str, String> {
+                        kv.iter()
+                            .find(|(key, _)| *key == k)
+                            .map(|(_, v)| *v)
+                            .ok_or_else(|| err(&format!("moment missing {k}=")))
+                    };
+                    moments.push(MomentDigest {
+                        name: get("name")?.to_string(),
+                        value: get("value")?.parse().map_err(|_| err("bad value"))?,
+                    });
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                _ => return Err(err(&format!("unknown keyword {kw:?}"))),
+            }
+        }
+        if !saw_end {
+            return Err("fixture missing `end` terminator (truncated?)".to_string());
+        }
+        Ok(GoldenFixture {
+            version: version.ok_or("fixture missing version")?,
+            case: case.ok_or("fixture missing case")?,
+            digest: StateDigest { fields, moments },
+        })
+    }
+}
+
+/// `{:e}` wrapper printing `f64` with enough digits to round-trip.
+struct F64(f64);
+
+impl std::fmt::LowerExp for F64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.16e}", self.0)
+    }
+}
+
+/// Splits `k=v k=v …` (values contain no spaces).
+fn parse_kv(rest: &str) -> Result<Vec<(&str, &str)>, String> {
+    rest.split_whitespace()
+        .map(|tok| {
+            tok.split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {tok:?}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsbm_core::digest::FieldDigest;
+
+    fn fixture() -> GoldenFixture {
+        let values: Vec<f32> = (0..300).map(|i| (i as f32).sin() * 1.0e-4).collect();
+        GoldenFixture {
+            version: "baseline".to_string(),
+            case: "scale=0.05 nz=8 steps=4".to_string(),
+            digest: StateDigest {
+                fields: vec![
+                    FieldDigest::of("T", &values),
+                    FieldDigest::of("RAINNC", &[]),
+                ],
+                moments: vec![MomentDigest {
+                    name: "M1_FF1".to_string(),
+                    value: 1.234567890123456e-7,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_losslessly() {
+        let f = fixture();
+        let text = f.rendered();
+        let back = GoldenFixture::parse(&text).expect("parse");
+        assert_eq!(f, back);
+        // And the round-trip is a fixed point of rendering.
+        assert_eq!(text, back.rendered());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let f = fixture();
+        let text = f.rendered();
+        assert!(GoldenFixture::parse(&text.replace(MAGIC, "nope")).is_err());
+        assert!(GoldenFixture::parse(text.trim_end_matches("end\n")).is_err());
+        assert!(GoldenFixture::parse(&text.replace("len=300", "len=abc")).is_err());
+        let mut missing_version = text.clone();
+        missing_version = missing_version.replace("version baseline\n", "");
+        assert!(GoldenFixture::parse(&missing_version).is_err());
+    }
+
+    #[test]
+    fn special_floats_survive() {
+        let f = GoldenFixture {
+            version: "x".into(),
+            case: "c".into(),
+            digest: StateDigest {
+                fields: vec![FieldDigest::of("W", &[-0.0, f32::MIN_POSITIVE, 3.5e37])],
+                moments: vec![],
+            },
+        };
+        let back = GoldenFixture::parse(&f.rendered()).unwrap();
+        let w = back.digest.field("W").unwrap();
+        assert_eq!(w.samples, f.digest.field("W").unwrap().samples);
+        assert_eq!(w.min.to_bits(), (-0.0f32).to_bits());
+    }
+}

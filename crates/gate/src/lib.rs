@@ -1,0 +1,189 @@
+#![warn(missing_docs)]
+
+//! `wrf-gate` — the reproduction gate (`repro gate`).
+//!
+//! The paper defends its port on two fronts: `diffwrf` digit agreement
+//! between CPU and GPU outputs (§VII-B) and measured performance tables
+//! (Tables III–VII). This crate turns both defenses into an *enforced*
+//! gate over the repository:
+//!
+//! * **Golden verification** ([`golden`]) — the deterministic gate case
+//!   is run across every scheme version × scheduling mode × worker
+//!   count, end states are digested ([`fsbm_core::digest`]) and compared
+//!   against committed fixtures (`goldens/*.golden`, [`fixture`]) with
+//!   diffwrf-style statistics: digits of agreement, max abs/rel error,
+//!   RMSE, ULP distance.
+//! * **Perf regression** ([`perf`]) — the `bench-exec` schedule replay
+//!   is re-run and compared row by row against the committed
+//!   `BENCH_executor.json` under a tolerance policy: deterministic
+//!   modeled metrics get tight bounds, host wall-clock gets loose
+//!   one-sided bounds, nondeterministic scheduler internals are
+//!   report-only.
+//!
+//! The outcome is a machine-readable `gate_report.json` plus a human
+//! table ([`report`]); any violation makes `repro gate` exit nonzero.
+//! `repro gate --bless` regenerates the golden fixtures.
+
+pub mod fixture;
+pub mod golden;
+pub mod json;
+pub mod perf;
+pub mod report;
+
+pub use fixture::GoldenFixture;
+pub use golden::{GoldenPolicy, GoldenRunSpec};
+pub use perf::{BenchCase, Tolerances};
+pub use report::GateReport;
+
+use std::path::{Path, PathBuf};
+
+/// Configuration of one gate invocation.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Directory holding the committed golden fixtures.
+    pub goldens_dir: PathBuf,
+    /// Path of the committed benchmark baseline.
+    pub baseline_json: PathBuf,
+    /// Where to write the machine-readable report.
+    pub report_path: PathBuf,
+    /// Regenerate the golden fixtures instead of gating.
+    pub bless: bool,
+    /// Skip the golden half.
+    pub skip_golden: bool,
+    /// Skip the perf half.
+    pub skip_perf: bool,
+    /// Self-test hook: perturb every candidate state by this relative
+    /// amount so the gate demonstrably fails.
+    pub perturb: Option<f32>,
+    /// Golden thresholds.
+    pub policy: GoldenPolicy,
+    /// Perf tolerances.
+    pub tol: Tolerances,
+    /// Worker counts of the golden matrix.
+    pub worker_counts: Vec<usize>,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            goldens_dir: PathBuf::from("goldens"),
+            baseline_json: PathBuf::from("BENCH_executor.json"),
+            report_path: PathBuf::from("gate_report.json"),
+            bless: false,
+            skip_golden: false,
+            skip_perf: false,
+            perturb: None,
+            policy: GoldenPolicy::default(),
+            tol: Tolerances::default(),
+            worker_counts: vec![1, 3],
+        }
+    }
+}
+
+/// The outcome handed back to the CLI.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// The merged report (already written to `report_path`).
+    pub report: GateReport,
+    /// The human-readable rendering.
+    pub rendered: String,
+    /// Process exit code: 0 on pass, 1 on violation.
+    pub exit_code: i32,
+}
+
+/// Loads every committed fixture from `dir`.
+pub fn load_fixtures(dir: &Path) -> Result<Vec<GoldenFixture>, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read goldens dir {}: {e}", dir.display()))?;
+    let mut fixtures = Vec::new();
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "golden"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        let text =
+            std::fs::read_to_string(&p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        fixtures.push(GoldenFixture::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?);
+    }
+    if fixtures.is_empty() {
+        return Err(format!(
+            "no *.golden fixtures in {} — run `repro gate --bless`",
+            dir.display()
+        ));
+    }
+    Ok(fixtures)
+}
+
+/// Writes the four golden fixtures into `dir`.
+pub fn bless(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for version in fsbm_core::scheme::SbmVersion::ALL {
+        let fixture = golden::bless_fixture(version);
+        let path = dir.join(format!("{}.golden", golden::version_slug(version)));
+        std::fs::write(&path, fixture.rendered())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Runs the configured gate. `bench` produces a candidate benchmark
+/// JSON document for the given case (normally by re-running
+/// `wrf_bench::execbench::bench_exec`); it is only invoked when the perf
+/// half is enabled, and is injected as a closure so this crate stays
+/// independent of the bench harness.
+pub fn run(
+    cfg: &GateConfig,
+    bench: impl FnOnce(&BenchCase) -> String,
+) -> Result<GateOutcome, String> {
+    if cfg.bless {
+        let written = bless(&cfg.goldens_dir)?;
+        let rendered = written
+            .iter()
+            .map(|p| format!("blessed {}", p.display()))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        return Ok(GateOutcome {
+            report: GateReport::default(),
+            rendered,
+            exit_code: 0,
+        });
+    }
+
+    let mut report = GateReport::default();
+    if !cfg.skip_golden {
+        let fixtures = load_fixtures(&cfg.goldens_dir)?;
+        let specs = golden::gate_matrix(&cfg.worker_counts);
+        report.golden = Some(golden::run_golden_gate(
+            &specs,
+            &fixtures,
+            &cfg.policy,
+            cfg.perturb,
+        )?);
+    }
+    if !cfg.skip_perf {
+        let baseline = std::fs::read_to_string(&cfg.baseline_json).map_err(|e| {
+            format!(
+                "cannot read perf baseline {}: {e}",
+                cfg.baseline_json.display()
+            )
+        })?;
+        let case = perf::parse_case(&baseline)?;
+        let candidate = bench(&case);
+        report.perf = Some(perf::compare_benchmarks(&baseline, &candidate, &cfg.tol));
+    }
+
+    let json = report.to_json();
+    std::fs::write(&cfg.report_path, &json)
+        .map_err(|e| format!("write {}: {e}", cfg.report_path.display()))?;
+    let rendered = report.rendered();
+    let exit_code = if report.pass() { 0 } else { 1 };
+    Ok(GateOutcome {
+        report,
+        rendered,
+        exit_code,
+    })
+}

@@ -1,0 +1,262 @@
+//! The merged gate report: `gate_report.json` plus the human table.
+
+use crate::golden::GoldenGateReport;
+use crate::json::escape;
+use crate::perf::PerfGateReport;
+use prof_sim::TextTable;
+use std::fmt::Write as _;
+
+/// The complete outcome of a `repro gate` run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Golden-verification half (absent when skipped).
+    pub golden: Option<GoldenGateReport>,
+    /// Perf-regression half (absent when skipped).
+    pub perf: Option<PerfGateReport>,
+}
+
+impl GateReport {
+    /// True when every enabled half passed.
+    pub fn pass(&self) -> bool {
+        self.golden.as_ref().is_none_or(|g| g.pass()) && self.perf.as_ref().is_none_or(|p| p.pass())
+    }
+
+    /// Every violation across both halves.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if let Some(g) = &self.golden {
+            v.extend(g.violations());
+        }
+        if let Some(p) = &self.perf {
+            v.extend(p.violations());
+        }
+        v
+    }
+
+    /// Renders the machine-readable `gate_report.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"gate\": \"wrf-gate\",\n  \"format\": 1,\n");
+        let _ = writeln!(s, "  \"pass\": {},", self.pass());
+        if let Some(g) = &self.golden {
+            let _ = writeln!(s, "  \"golden\": {{\n    \"pass\": {},", g.pass());
+            s.push_str("    \"checks\": [\n");
+            for (n, c) in g.checks.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "      {{\"version\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \
+                     \"vs\": \"{}\", \"bitwise\": {}, \"min_digits\": {}, \
+                     \"worst_field\": \"{}\", \"worst_digits\": {}, \"worst_ulp\": {}, \
+                     \"pass\": {}}}{}",
+                    escape(c.version),
+                    escape(c.mode),
+                    c.workers,
+                    c.vs,
+                    c.bitwise,
+                    c.min_digits,
+                    escape(&c.worst_field),
+                    c.worst_digits,
+                    c.worst_ulp,
+                    c.pass,
+                    if n + 1 < g.checks.len() { "," } else { "" }
+                );
+            }
+            s.push_str("    ]\n  },\n");
+        }
+        if let Some(p) = &self.perf {
+            let _ = writeln!(s, "  \"perf\": {{\n    \"pass\": {},", p.pass());
+            s.push_str("    \"checks\": [\n");
+            for (n, c) in p.checks.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "      {{\"row\": \"{}\", \"metric\": \"{}\", \"class\": \"{}\", \
+                     \"golden\": {:.6}, \"candidate\": {:.6}, \"limit\": {}, \"pass\": {}}}{}",
+                    escape(&c.row),
+                    c.metric,
+                    c.class,
+                    c.golden,
+                    c.candidate,
+                    if c.limit.is_finite() {
+                        format!("{:.6}", c.limit)
+                    } else {
+                        "null".to_string()
+                    },
+                    c.pass,
+                    if n + 1 < p.checks.len() { "," } else { "" }
+                );
+            }
+            s.push_str("    ],\n");
+            s.push_str("    \"structural\": [");
+            for (n, v) in p.structural.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "\"{}\"{}",
+                    escape(v),
+                    if n + 1 < p.structural.len() { ", " } else { "" }
+                );
+            }
+            s.push_str("]\n  },\n");
+        }
+        s.push_str("  \"violations\": [\n");
+        let violations = self.violations();
+        for (n, v) in violations.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    \"{}\"{}",
+                escape(v),
+                if n + 1 < violations.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the human-readable report.
+    pub fn rendered(&self) -> String {
+        let mut s = String::new();
+        if let Some(g) = &self.golden {
+            s.push_str(
+                "=== repro gate: golden verification (diffwrf digits vs committed fixtures) ===\n",
+            );
+            let mut t = TextTable::new(&[
+                "version",
+                "mode",
+                "workers",
+                "vs",
+                "bitwise",
+                "min digits",
+                "worst field",
+                "ulp",
+                "result",
+            ]);
+            for c in &g.checks {
+                t.push_row(vec![
+                    c.version.to_string(),
+                    c.mode.to_string(),
+                    c.workers.to_string(),
+                    c.vs.to_string(),
+                    if c.bitwise { "yes" } else { "no" }.to_string(),
+                    c.min_digits.to_string(),
+                    c.worst_field.clone(),
+                    c.worst_ulp.to_string(),
+                    if c.pass { "pass" } else { "FAIL" }.to_string(),
+                ]);
+            }
+            s.push_str(&t.rendered());
+            s.push('\n');
+        }
+        if let Some(p) = &self.perf {
+            s.push_str("=== repro gate: perf regression vs BENCH_executor.json ===\n");
+            let mut t =
+                TextTable::new(&["row", "metric", "class", "golden", "candidate", "result"]);
+            for c in &p.checks {
+                t.push_row(vec![
+                    c.row.clone(),
+                    c.metric.to_string(),
+                    c.class.to_string(),
+                    format!("{:.4}", c.golden),
+                    format!("{:.4}", c.candidate),
+                    if c.pass { "pass" } else { "FAIL" }.to_string(),
+                ]);
+            }
+            s.push_str(&t.rendered());
+            s.push('\n');
+        }
+        let violations = self.violations();
+        if violations.is_empty() {
+            s.push_str("gate: PASS\n");
+        } else {
+            let _ = writeln!(s, "gate: FAIL ({} violations)", violations.len());
+            for v in &violations {
+                let _ = writeln!(s, "  - {v}");
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::GoldenCheck;
+    use crate::perf::PerfCheck;
+
+    fn sample_report(pass: bool) -> GateReport {
+        GateReport {
+            golden: Some(GoldenGateReport {
+                checks: vec![GoldenCheck {
+                    version: "baseline",
+                    mode: "static-tiles",
+                    workers: 1,
+                    vs: "self",
+                    bitwise: pass,
+                    min_digits: if pass { 15 } else { 2 },
+                    worst_field: "FF1".into(),
+                    worst_digits: if pass { 15 } else { 2 },
+                    worst_ulp: 0,
+                    pass,
+                    violations: if pass {
+                        vec![]
+                    } else {
+                        vec!["FF1: 2 digits < required 5".into()]
+                    },
+                }],
+            }),
+            perf: Some(PerfGateReport {
+                checks: vec![PerfCheck {
+                    row: "static-tiles@1".into(),
+                    metric: "steps_per_s",
+                    class: "loose",
+                    golden: 4.09,
+                    candidate: 4.11,
+                    limit: 0.5,
+                    pass: true,
+                }],
+                structural: vec![],
+            }),
+        }
+    }
+
+    #[test]
+    fn passing_report_renders_and_serializes() {
+        let r = sample_report(true);
+        assert!(r.pass());
+        let json = r.to_json();
+        assert!(json.contains("\"pass\": true"));
+        assert!(json.contains("\"worst_field\": \"FF1\""));
+        // The JSON is parseable by our own reader.
+        let parsed = crate::json::Json::parse(&json).expect("valid JSON");
+        assert_eq!(parsed.get("gate").unwrap().as_str(), Some("wrf-gate"));
+        let text = r.rendered();
+        assert!(text.contains("gate: PASS"));
+        assert!(text.contains("min digits"));
+    }
+
+    #[test]
+    fn failing_report_lists_violations() {
+        let r = sample_report(false);
+        assert!(!r.pass());
+        let text = r.rendered();
+        assert!(text.contains("gate: FAIL"));
+        assert!(text.contains("FF1"));
+        let json = r.to_json();
+        assert!(json.contains("\"pass\": false"));
+        let parsed = crate::json::Json::parse(&json).unwrap();
+        assert!(!parsed
+            .get("violations")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn skipped_halves_are_absent() {
+        let r = GateReport::default();
+        assert!(r.pass());
+        let json = r.to_json();
+        assert!(!json.contains("golden"));
+        assert!(!json.contains("perf"));
+    }
+}

@@ -220,10 +220,7 @@ pub fn scaled_l2(fraction: f64) -> CacheConfig {
     assert!(fraction > 0.0 && fraction <= 1.0);
     let bytes = ((A100_L2.bytes as f64 * fraction) as u64)
         .max(A100_L2.ways as u64 * A100_L2.line as u64 * 16);
-    CacheConfig {
-        bytes,
-        ..A100_L2
-    }
+    CacheConfig { bytes, ..A100_L2 }
 }
 
 impl CacheSim {
@@ -347,7 +344,12 @@ mod tests {
     #[test]
     fn repeated_access_hits() {
         let mut c = CacheLevel::new(tiny(1024, 4));
-        assert_eq!(c.access_line(64, false), Probe::Miss { dirty_writeback: false });
+        assert_eq!(
+            c.access_line(64, false),
+            Probe::Miss {
+                dirty_writeback: false
+            }
+        );
         assert_eq!(c.access_line(64, false), Probe::Hit);
         assert_eq!(c.access_line(80, false), Probe::Hit); // same 32B line
         assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
@@ -360,7 +362,7 @@ mod tests {
         c.access_line(0, false);
         c.access_line(32, false);
         c.access_line(0, false); // refresh line 0
-        // New line evicts line 32 (older).
+                                 // New line evicts line 32 (older).
         c.access_line(64, false);
         assert_eq!(c.access_line(0, false), Probe::Hit);
         assert!(matches!(c.access_line(32, false), Probe::Miss { .. }));
@@ -374,7 +376,12 @@ mod tests {
         // Evicts dirty line 0.
         c.access_line(32, false);
         let p = c.access_line(64, false);
-        assert_eq!(p, Probe::Miss { dirty_writeback: true });
+        assert_eq!(
+            p,
+            Probe::Miss {
+                dirty_writeback: true
+            }
+        );
     }
 
     #[test]

@@ -73,6 +73,8 @@ mod tests {
             limit: 1024,
         };
         assert!(e.to_string().contains("NV_ACC_CUDA_STACKSIZE"));
-        assert!(GpuError::NotPresent("cwlg".into()).to_string().contains("cwlg"));
+        assert!(GpuError::NotPresent("cwlg".into())
+            .to_string()
+            .contains("cwlg"));
     }
 }

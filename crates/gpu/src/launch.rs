@@ -203,12 +203,10 @@ pub fn launch_modeled_with(
     // memory slots pay the exposed memory latency, arithmetic slots the
     // ALU latency, divided by the chain overlap a thread can sustain.
     let per_thread_mem = work.mem_ops / work.iters as f64;
-    let per_thread_alu = (thread_slots - work.mem_ops * calib.cycles_per_mem_op)
-        .max(0.0)
-        / work.iters as f64;
+    let per_thread_alu =
+        (thread_slots - work.mem_ops * calib.cycles_per_mem_op).max(0.0) / work.iters as f64;
     let latency_secs = occ.waves as f64
-        * (per_thread_mem * calib.mem_latency_cycles
-            + per_thread_alu * calib.alu_latency_cycles)
+        * (per_thread_mem * calib.mem_latency_cycles + per_thread_alu * calib.alu_latency_cycles)
         / (gpu.clock_hz() * calib.thread_ilp);
 
     let (body, bound) = if latency_secs >= compute_secs && latency_secs >= mem_secs {

@@ -57,10 +57,7 @@ impl fmt::Display for KernelProfile {
 /// Renders two profiles side by side, Table-VI style.
 pub fn comparison_table(a: &KernelProfile, b: &KernelProfile) -> String {
     let mut s = String::new();
-    s.push_str(&format!(
-        "{:<26} {:>14} {:>26}\n",
-        "Metric", a.name, b.name
-    ));
+    s.push_str(&format!("{:<26} {:>14} {:>26}\n", "Metric", a.name, b.name));
     let rows: [(&str, f64, f64); 6] = [
         ("Time (ms)", a.time_ms, b.time_ms),
         (

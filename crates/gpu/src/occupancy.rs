@@ -63,9 +63,8 @@ pub fn occupancy_for(
     let warps_per_block = block_threads.div_ceil(gpu.warp);
 
     // Register allocation is per warp, rounded to the allocation granule.
-    let regs_per_warp =
-        (regs_per_thread.max(32) * gpu.warp).div_ceil(gpu.reg_alloc_granularity)
-            * gpu.reg_alloc_granularity;
+    let regs_per_warp = (regs_per_thread.max(32) * gpu.warp).div_ceil(gpu.reg_alloc_granularity)
+        * gpu.reg_alloc_granularity;
     let regs_per_block = regs_per_warp * warps_per_block;
 
     let by_regs = gpu
@@ -90,8 +89,7 @@ pub fn occupancy_for(
         Limiter::Blocks
     };
 
-    let theoretical =
-        (resident * block_threads) as f64 / gpu.max_threads_per_sm as f64;
+    let theoretical = (resident * block_threads) as f64 / gpu.max_threads_per_sm as f64;
 
     // Device-wide achieved occupancy: total warp-residency the grid can
     // sustain, averaged over all SMs. Grids smaller than one wave leave

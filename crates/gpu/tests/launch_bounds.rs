@@ -75,7 +75,11 @@ fn dense_math_is_compute_bound() {
     assert_eq!(s.bound, Bound::Compute);
     // Achieved GFLOP/s stays below the sustained fraction of the
     // datasheet peak (the FP-pipe ceiling).
-    assert!(s.gflops() <= 19_500.0 * 0.35 * 1.01, "gflops = {}", s.gflops());
+    assert!(
+        s.gflops() <= 19_500.0 * 0.35 * 1.01,
+        "gflops = {}",
+        s.gflops()
+    );
     assert!(s.gflops() > 100.0);
 }
 
@@ -94,7 +98,10 @@ fn waves_scale_time() {
     let a = launch_modeled(&A100, &spec(80), &mk(500_000)).unwrap();
     let b = launch_modeled(&A100, &spec(80), &mk(2_000_000)).unwrap();
     let ratio = b.time_secs / a.time_secs;
-    assert!((3.0..5.0).contains(&ratio), "4x work → ~4x time, got {ratio}");
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "4x work → ~4x time, got {ratio}"
+    );
 }
 
 /// Register pressure lengthens grid-saturating kernels (fewer resident

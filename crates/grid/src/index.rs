@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn span_split_even() {
         let parts = Span::new(1, 12).split(3);
-        assert_eq!(parts, vec![Span::new(1, 4), Span::new(5, 8), Span::new(9, 12)]);
+        assert_eq!(
+            parts,
+            vec![Span::new(1, 4), Span::new(5, 8), Span::new(9, 12)]
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Diagnostic dump of the performance model (calibration aid).
 
 use fsbm_core::scheme::SbmVersion;
-use miniwrf::perfmodel::{
-    experiment, measure_coeffs, ExperimentConfig, PerfParams, TrafficModel,
-};
+use miniwrf::perfmodel::{experiment, measure_coeffs, ExperimentConfig, PerfParams, TrafficModel};
 use wrf_cases::ConusParams;
 
 fn main() {

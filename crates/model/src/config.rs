@@ -72,6 +72,30 @@ impl ModelConfig {
         }
     }
 
+    /// The deterministic reproduction-gate case (`repro gate`): a small
+    /// storm scenario whose end-of-run state is pinned by the golden
+    /// fixtures under `goldens/`. Everything about it is fixed — scale,
+    /// levels, storm count, seed — so any digest drift is a physics
+    /// change, not a scenario change. Run it for [`Self::GATE_STEPS`]
+    /// steps.
+    pub fn gate(version: SbmVersion, sched: ExecMode, workers: usize) -> Self {
+        let mut cfg = Self::functional(version, Self::GATE_SCALE, Self::GATE_NZ);
+        cfg.sched = sched;
+        cfg.device_workers = Some(workers.max(1));
+        // The kernel cache is bitwise-identical to the on-demand path
+        // (PR 1 invariant); keep it on only for the work-stealing arms so
+        // the gate exercises both kernel paths.
+        cfg.cached_kernels = matches!(sched, ExecMode::WorkSteal { .. });
+        cfg
+    }
+
+    /// Horizontal scale of the gate case.
+    pub const GATE_SCALE: f64 = 0.05;
+    /// Vertical levels of the gate case.
+    pub const GATE_NZ: i32 = 8;
+    /// Steps the gate case is integrated for before digesting.
+    pub const GATE_STEPS: usize = 4;
+
     /// Number of time steps in the configured run.
     pub fn steps(&self) -> usize {
         ((self.minutes * 60.0) / self.case.dt as f64).round() as usize

@@ -10,7 +10,6 @@
 use crate::perfmodel::{ExperimentResult, RankStepTime};
 use prof_sim::{FlatProfiler, FlatReport, RangeProfiler, RangeReport};
 
-
 /// The routine names of Table I plus the residual categories.
 pub const ROUTINES: [&str; 5] = [
     "fast_sbm",
@@ -36,7 +35,11 @@ pub fn gprof_view(exp: &ExperimentResult) -> FlatReport {
     let prof = FlatProfiler::new();
     for rank in &exp.per_rank {
         for name in ROUTINES {
-            prof.record_calls(name, routine_secs(rank, name) * exp.steps as f64, exp.steps as u64);
+            prof.record_calls(
+                name,
+                routine_secs(rank, name) * exp.steps as f64,
+                exp.steps as u64,
+            );
         }
     }
     prof.report()

@@ -148,10 +148,7 @@ impl Model {
 
     /// Advances one step with the supplied halo refresh (the multi-rank
     /// driver passes the MPI exchange here).
-    pub fn step_with_refresh(
-        &mut self,
-        refresh: &mut dyn FnMut(&mut Field3<f32>),
-    ) -> StepReport {
+    pub fn step_with_refresh(&mut self, refresh: &mut dyn FnMut(&mut Field3<f32>)) -> StepReport {
         let masks = self.occupied_masks();
         self.step_with_refresh_and_masks(refresh, &masks)
     }
@@ -188,8 +185,7 @@ impl Model {
                 for i in self.patch.im.iter() {
                     let t = self.state.tt.get(i, k, j);
                     let p = self.state.p.get(i, k, j);
-                    self.scratch2
-                        .set(i, k, j, t * (100_000.0 / p).powf(KAPPA));
+                    self.scratch2.set(i, k, j, t * (100_000.0 / p).powf(KAPPA));
                     wind_extra.fm(3, 3);
                 }
             }
@@ -212,9 +208,7 @@ impl Model {
                 for i in self.patch.im.iter() {
                     let th = self.scratch2.get(i, k, j);
                     let p = self.state.p.get(i, k, j);
-                    self.state
-                        .tt
-                        .set(i, k, j, th * (p / 100_000.0).powf(KAPPA));
+                    self.state.tt.set(i, k, j, th * (p / 100_000.0).powf(KAPPA));
                     wind_extra.fm(3, 3);
                 }
             }
@@ -279,8 +273,7 @@ impl Model {
                 for j in self.patch.jm.iter() {
                     for k in self.patch.km.iter() {
                         for i in self.patch.im.iter() {
-                            self.state.ff[c].bin_slice_mut(i, k, j)[b] =
-                                self.scratch2.get(i, k, j);
+                            self.state.ff[c].bin_slice_mut(i, k, j)[b] = self.scratch2.get(i, k, j);
                         }
                     }
                 }
@@ -357,7 +350,10 @@ impl Model {
         };
         ref_model.step();
         let diff = wrf_cases::diffwrf::diffwrf(&self.state, &ref_model.state);
-        (report, diff.min_microphysics_digits().min(diff.min_state_digits()))
+        (
+            report,
+            diff.min_microphysics_digits().min(diff.min_state_digits()),
+        )
     }
 
     /// Runs `steps` steps, accumulating a report.
@@ -442,11 +438,7 @@ mod tests {
         let s = m.step();
         // 1 (qv) + occupied bins; far fewer than the full 232.
         assert!(s.scalars_advected > 5);
-        assert!(
-            s.scalars_advected < 120,
-            "advected {}",
-            s.scalars_advected
-        );
+        assert!(s.scalars_advected < 120, "advected {}", s.scalars_advected);
     }
 
     #[test]
@@ -471,7 +463,14 @@ mod tests {
             let rep = m.run(3);
             assert!(rep.coal_entries > 0, "{v:?}");
             let spec = rep.last_sbm.unwrap().kernel_spec.expect("offloaded");
-            assert_eq!(spec.collapse, if v == SbmVersion::OffloadCollapse2 { 2 } else { 3 });
+            assert_eq!(
+                spec.collapse,
+                if v == SbmVersion::OffloadCollapse2 {
+                    2
+                } else {
+                    3
+                }
+            );
         }
     }
 

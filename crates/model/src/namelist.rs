@@ -226,9 +226,15 @@ mod tests {
     fn syntax_errors_reported_with_lines() {
         assert!(parse("x = 1\n").unwrap_err().message.contains("outside"));
         assert!(parse("&a\n&b\n/\n").unwrap_err().message.contains("nested"));
-        assert!(parse("&a\n x = 1\n").unwrap_err().message.contains("unterminated"));
+        assert!(parse("&a\n x = 1\n")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
         assert!(parse("/\n").unwrap_err().message.contains("outside"));
-        assert!(parse("&a\n garbage\n/\n").unwrap_err().message.contains("key = value"));
+        assert!(parse("&a\n garbage\n/\n")
+            .unwrap_err()
+            .message
+            .contains("key = value"));
     }
 
     #[test]

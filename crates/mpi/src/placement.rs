@@ -31,7 +31,9 @@ impl GpuPool {
     pub fn new(params: GpuParams, n_gpus: usize, ranks: usize) -> Self {
         assert!(n_gpus > 0 && ranks > 0);
         GpuPool {
-            devices: (0..n_gpus).map(|_| Mutex::new(Device::new(params))).collect(),
+            devices: (0..n_gpus)
+                .map(|_| Mutex::new(Device::new(params)))
+                .collect(),
             ranks,
         }
     }

@@ -40,7 +40,17 @@ mod tests {
 
     #[test]
     fn line_contains_every_field() {
-        let line = exec_line("work-stealing+compaction", 4, 12, 96, 7, 9, 0.83, 0.125, 0.999);
+        let line = exec_line(
+            "work-stealing+compaction",
+            4,
+            12,
+            96,
+            7,
+            9,
+            0.83,
+            0.125,
+            0.999,
+        );
         assert!(line.starts_with("exec: work-stealing+compaction"));
         for needle in [
             "workers=4",
@@ -54,5 +64,27 @@ mod tests {
         ] {
             assert!(line.contains(needle), "missing {needle} in {line}");
         }
+    }
+
+    #[test]
+    fn percentages_round_half_up_to_one_decimal() {
+        // 0.12345 → 12.345 % → rendered "12.3%"; 0.9999 → "100.0%" — the
+        // gate's rendered tables rely on this exact formatting.
+        let line = exec_line("static-tiles", 1, 1, 1, 0, 0, 1.0, 0.12345, 0.9999);
+        assert!(line.contains("active=12.3%"), "{line}");
+        assert!(line.contains("cache-hit=100.0%"), "{line}");
+        assert!(line.contains("balance=1.00"), "{line}");
+    }
+
+    #[test]
+    fn serial_degenerate_line_is_well_formed() {
+        // A serial run with no stealing and a cold cache still renders
+        // every field (no division-by-zero or NaN leakage upstream).
+        let line = exec_line("static-tiles", 1, 0, 0, 0, 0, 0.0, 0.0, 0.0);
+        assert_eq!(
+            line,
+            "exec: static-tiles workers=1 epochs=0 chunks=0 steals=0 \
+             maxq=0 balance=0.00 active=0.0% cache-hit=0.0%"
+        );
     }
 }

@@ -133,8 +133,16 @@ impl FlatReport {
 
 impl fmt::Display for FlatReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Flat profile (gprof-style), total {:.3} s", self.total_seconds)?;
-        writeln!(f, "{:>7}  {:>12}  {:>10}  name", "%time", "self secs", "calls")?;
+        writeln!(
+            f,
+            "Flat profile (gprof-style), total {:.3} s",
+            self.total_seconds
+        )?;
+        writeln!(
+            f,
+            "{:>7}  {:>12}  {:>10}  name",
+            "%time", "self secs", "calls"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

@@ -18,10 +18,12 @@
 pub mod exec;
 pub mod flat;
 pub mod ranges;
+pub mod table;
 
 pub use exec::exec_line;
 pub use flat::{FlatProfiler, FlatReport, FlatRow};
 pub use ranges::{RangeProfiler, RangeReport, RangeRow};
+pub use table::TextTable;
 
 use std::time::Instant;
 

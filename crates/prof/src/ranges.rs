@@ -133,9 +133,7 @@ impl RangeProfiler {
                 child += self
                     .events
                     .iter()
-                    .filter(|c| {
-                        c.depth == e.depth + 1 && c.start >= e.start && c.end <= e.end
-                    })
+                    .filter(|c| c.depth == e.depth + 1 && c.start >= e.start && c.end <= e.end)
                     .map(|c| c.end - c.start)
                     .sum::<f64>();
             }
@@ -151,7 +149,11 @@ impl RangeProfiler {
                 },
             });
         }
-        rows.sort_by(|a, b| b.inclusive.total_cmp(&a.inclusive).then(a.name.cmp(&b.name)));
+        rows.sort_by(|a, b| {
+            b.inclusive
+                .total_cmp(&a.inclusive)
+                .then(a.name.cmp(&b.name))
+        });
         RangeReport {
             capture_seconds: capture,
             rows,

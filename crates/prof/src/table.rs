@@ -1,0 +1,115 @@
+//! Plain-text table rendering shared by the reporting surfaces.
+//!
+//! The repro tables, the executor one-liner, and the `wrf-gate` reports
+//! all print fixed-width text tables; this module owns the column-width
+//! arithmetic so every consumer aligns the same way: first column
+//! left-aligned (row labels), all others right-aligned (numbers).
+
+/// A fixed-schema text table: a header row plus data rows.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row. Shorter rows are padded with empty cells;
+    /// longer rows are truncated to the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        cells.truncate(self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: header, separator, rows; first column
+    /// left-aligned, the rest right-aligned, two spaces between columns.
+    pub fn rendered(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (c, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                if c == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            // Trim trailing pad of the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(&["row", "value", "ok"]);
+        t.push_row(vec!["longer-label".into(), "3.14".into(), "yes".into()]);
+        t.push_row(vec!["x".into(), "12345.678".into(), "no".into()]);
+        let s = t.rendered();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("row"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric column: both rows end at the same offset.
+        assert!(lines[2].contains("3.14"));
+        assert!(lines[3].contains("12345.678"));
+        assert_eq!(
+            lines[2].find("yes").map(|i| i + 3),
+            lines[3].find("no").map(|i| i + 2)
+        );
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.push_row(vec!["1".into()]);
+        t.push_row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.rendered();
+        assert!(!s.contains('3'));
+    }
+}

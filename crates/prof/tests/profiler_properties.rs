@@ -1,7 +1,7 @@
 //! Property tests of the profiling substrates.
 
-use proptest::prelude::*;
 use prof_sim::{FlatProfiler, RangeProfiler};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

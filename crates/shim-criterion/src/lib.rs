@@ -54,12 +54,13 @@ impl Criterion {
         }
     }
 
-    /// Benchmarks a single function outside a group.
-    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    /// Benchmarks a single function outside a group. Accepts anything
+    /// string-like, as real criterion's `IntoBenchmarkId` does.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, self.sample_size, self.measurement_time, f);
+        run_bench(name.as_ref(), self.sample_size, self.measurement_time, f);
         self
     }
 }
@@ -77,13 +78,14 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
-    /// Benchmarks one function in the group.
-    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    /// Benchmarks one function in the group. Accepts anything
+    /// string-like, as real criterion's `IntoBenchmarkId` does.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let samples = self.sample_size.unwrap_or(self.c.sample_size);
-        run_bench(name, samples, self.c.measurement_time, f);
+        run_bench(name.as_ref(), samples, self.c.measurement_time, f);
         self
     }
 
@@ -206,9 +208,8 @@ mod tests {
             measurement_time: Duration::from_millis(50),
         };
         let mut g = c.benchmark_group("g");
-        g.sample_size(2).bench_function("add", |b| {
-            b.iter(|| black_box(1u64) + black_box(2u64))
-        });
+        g.sample_size(2)
+            .bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
         g.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
         });

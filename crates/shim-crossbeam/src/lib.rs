@@ -207,7 +207,7 @@ pub mod channel {
 mod tests {
     #[test]
     fn scope_spawns_and_joins() {
-        let data = vec![1, 2, 3];
+        let data = [1, 2, 3];
         let out = crate::thread::scope(|s| {
             let h = s.spawn(|_| data.iter().sum::<i32>());
             h.join().unwrap()

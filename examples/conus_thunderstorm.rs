@@ -13,7 +13,10 @@ fn main() {
     cfg.minutes = 2.0;
     let steps = cfg.steps();
 
-    println!("=== single-rank run: {} steps of {}s ===", steps, cfg.case.dt);
+    println!(
+        "=== single-rank run: {} steps of {}s ===",
+        steps, cfg.case.dt
+    );
     let mut model = Model::single_rank(cfg);
     let grids = fsbm_core::point::Grids::new();
     let mut w = fsbm_core::meter::PointWork::ZERO;
@@ -66,7 +69,12 @@ fn main() {
     for (b, &n) in spectrum.iter().enumerate() {
         if n > 1.0 {
             let bar = "#".repeat(((n.log10().max(0.0)) * 4.0) as usize);
-            println!("  r={:>7.1} um  n={:>10.3e} /kg {}", gw.radius[b] * 1e6, n, bar);
+            println!(
+                "  r={:>7.1} um  n={:>10.3e} /kg {}",
+                gw.radius[b] * 1e6,
+                n,
+                bar
+            );
         }
     }
 

@@ -41,8 +41,14 @@ fn main() {
     let traffic = TrafficModel::measure();
     let pp = PerfParams::default();
     for (version, label) in [
-        (SbmVersion::OffloadCollapse2, "collapse(2), automatic arrays"),
-        (SbmVersion::OffloadCollapse3, "collapse(3), temp_arrays slabs"),
+        (
+            SbmVersion::OffloadCollapse2,
+            "collapse(2), automatic arrays",
+        ),
+        (
+            SbmVersion::OffloadCollapse3,
+            "collapse(3), temp_arrays slabs",
+        ),
     ] {
         let exp = experiment(
             &ExperimentConfig {

@@ -48,7 +48,11 @@ fn main() {
     let pool = GpuPool::new(A100, 1, 4);
     for rank in 0..4usize {
         let (start, end) = pool.with_device(rank, |d| d.submit(0.0, 0.010));
-        println!("rank {rank}: kernel runs {:.1} - {:.1} ms", start * 1e3, end * 1e3);
+        println!(
+            "rank {rank}: kernel runs {:.1} - {:.1} ms",
+            start * 1e3,
+            end * 1e3
+        );
     }
 
     // --- The Table VII sweep ---------------------------------------------
@@ -71,11 +75,18 @@ fn main() {
         )
         .total_secs
     };
-    println!("{:<12} {:>12} {:>12} {:>9}", "config", "baseline(s)", "gpu(s)", "speedup");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9}",
+        "config", "baseline(s)", "gpu(s)", "speedup"
+    );
     for ranks in [16usize, 32, 64] {
         let b = run(SbmVersion::Baseline, ranks, 0);
         let g = run(SbmVersion::OffloadCollapse3, ranks, 16);
-        println!("{:<12} {b:>12.1} {g:>12.1} {:>8.2}x", format!("{ranks} ranks"), b / g);
+        println!(
+            "{:<12} {b:>12.1} {g:>12.1} {:>8.2}x",
+            format!("{ranks} ranks"),
+            b / g
+        );
     }
     let b = run(SbmVersion::Baseline, 256, 0);
     let g = run(SbmVersion::OffloadCollapse3, 40, 8);

@@ -32,7 +32,10 @@ fn main() {
         100.0 * act.active_fraction()
     );
 
-    println!("\n{:>5} {:>9} {:>9} {:>11} {:>12}", "step", "active", "coal", "entries", "precip kg/m2");
+    println!(
+        "\n{:>5} {:>9} {:>9} {:>11} {:>12}",
+        "step", "active", "coal", "entries", "precip kg/m2"
+    );
     for step in 1..=12 {
         let r = model.step();
         println!(
@@ -45,7 +48,13 @@ fn main() {
         );
     }
 
-    println!("\ntotal condensate: {:.3e} (kg/kg · points)", model.state.total_condensate_sum());
-    println!("accumulated surface precipitation: {:.4} kg/m² (column-summed)", model.state.precip_acc);
+    println!(
+        "\ntotal condensate: {:.3e} (kg/kg · points)",
+        model.state.total_condensate_sum()
+    );
+    println!(
+        "accumulated surface precipitation: {:.4} kg/m² (column-summed)",
+        model.state.precip_acc
+    );
     println!("\nNext: `cargo run --release -p wrf-bench --bin repro all` regenerates the paper's tables.");
 }

@@ -23,6 +23,7 @@
 //! | [`codee_sim`] | dependence analysis, Open-Catalog checks, directive rewriting |
 //! | [`wrf_cases`] | synthetic CONUS-12km scenario + `diffwrf` |
 //! | [`miniwrf`]   | integrated model driver + the full-scale performance model |
+//! | [`wrf_gate`]  | reproduction gate: golden verification + perf regression (`repro gate`) |
 //!
 //! ## Quick start
 //!
@@ -48,6 +49,7 @@ pub use mpi_sim;
 pub use prof_sim;
 pub use wrf_cases;
 pub use wrf_dycore;
+pub use wrf_gate;
 pub use wrf_grid;
 
 /// The most commonly used types, re-exported.

@@ -1,0 +1,201 @@
+//! End-to-end tests of the reproduction gate (`repro gate`).
+//!
+//! These exercise the same paths the CI gate runs, on reduced matrices:
+//! golden fixtures round-trip through the committed text format, a clean
+//! tree passes bitwise, a perturbed run fails naming the worst field by
+//! digits of agreement, and the perf gate trips on a degraded
+//! `steps_per_s` while tolerating host-timing noise.
+
+use wrf_offload_repro::fsbm_core::exec::ExecMode;
+use wrf_offload_repro::fsbm_core::scheme::SbmVersion;
+use wrf_offload_repro::wrf_gate::golden::{
+    bless_fixture, check_against, run_golden_gate, GoldenPolicy, GoldenRunSpec,
+};
+use wrf_offload_repro::wrf_gate::perf::{compare_benchmarks, parse_case, Tolerances};
+use wrf_offload_repro::wrf_gate::report::GateReport;
+use wrf_offload_repro::wrf_gate::GoldenFixture;
+
+/// A reduced golden matrix: two versions, both modes, two worker counts.
+fn reduced_matrix() -> Vec<GoldenRunSpec> {
+    let mut specs = Vec::new();
+    for version in [SbmVersion::Baseline, SbmVersion::OffloadCollapse2] {
+        for mode in [ExecMode::StaticTiles, ExecMode::work_steal()] {
+            for workers in [1usize, 2] {
+                specs.push(GoldenRunSpec {
+                    version,
+                    mode,
+                    workers,
+                });
+            }
+        }
+    }
+    specs
+}
+
+fn fixtures() -> Vec<GoldenFixture> {
+    // Round-trip through the committed text format so the fixtures the
+    // comparisons see are exactly what a checkout would parse.
+    [SbmVersion::Baseline, SbmVersion::OffloadCollapse2]
+        .into_iter()
+        .map(|v| GoldenFixture::parse(&bless_fixture(v).rendered()).expect("fixture round-trip"))
+        .collect()
+}
+
+#[test]
+fn clean_tree_passes_the_golden_gate_bitwise() {
+    let report = run_golden_gate(
+        &reduced_matrix(),
+        &fixtures(),
+        &GoldenPolicy::default(),
+        None,
+    )
+    .expect("gate runs");
+    assert!(report.pass(), "violations: {:?}", report.violations());
+    // Every run — any version, any mode, any worker count — reproduces
+    // its fixture bit for bit (the §VII-B claim, strengthened).
+    assert!(report
+        .checks
+        .iter()
+        .all(|c| c.bitwise && c.min_digits == 15));
+    // Cross-version comparisons are present, not just same-version.
+    assert!(report.checks.iter().any(|c| c.vs == "baseline"));
+}
+
+#[test]
+fn perturbed_run_fails_and_names_the_worst_field() {
+    // Perturb in the 4th significant digit: far below eyeball
+    // visibility, far above bitwise.
+    let report = run_golden_gate(
+        &reduced_matrix()[..2],
+        &fixtures(),
+        &GoldenPolicy::default(),
+        Some(5.0e-4),
+    )
+    .expect("gate runs");
+    assert!(!report.pass());
+    let check = &report.checks[0];
+    // The perturbation hits the liquid-water distribution; the worst
+    // field by digits of agreement must be FF1 or its moments.
+    assert!(
+        check.worst_field.contains("FF1"),
+        "worst field {}",
+        check.worst_field
+    );
+    assert!(check.worst_digits <= 4, "digits {}", check.worst_digits);
+    assert!(!check.bitwise);
+    let v = report.violations().join("\n");
+    assert!(v.contains("FF1"), "violations must name the field: {v}");
+}
+
+#[test]
+fn golden_gate_requires_a_baseline_fixture() {
+    let only_c2: Vec<GoldenFixture> = fixtures()
+        .into_iter()
+        .filter(|f| f.version != SbmVersion::Baseline.label())
+        .collect();
+    let err = run_golden_gate(
+        &reduced_matrix()[..1],
+        &only_c2,
+        &GoldenPolicy::default(),
+        None,
+    )
+    .unwrap_err();
+    assert!(err.contains("--bless"), "{err}");
+}
+
+#[test]
+fn committed_goldens_match_current_physics() {
+    // The four committed fixtures under goldens/ must reproduce from a
+    // fresh serial run — the same check `repro gate` performs, reduced
+    // to the canonical (static-tiles, 1 worker) runs.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens");
+    let fixtures = wrf_offload_repro::wrf_gate::load_fixtures(&dir).expect("committed fixtures");
+    assert_eq!(fixtures.len(), 4);
+    let policy = GoldenPolicy::default();
+    for version in SbmVersion::ALL {
+        let fixture = fixtures
+            .iter()
+            .find(|f| f.version == version.label())
+            .expect("fixture per version");
+        let spec = GoldenRunSpec {
+            version,
+            mode: ExecMode::StaticTiles,
+            workers: 1,
+        };
+        let digest = wrf_offload_repro::wrf_gate::golden::run_digest(&spec, None);
+        let check = check_against(&spec, "self", &fixture.digest, &digest, &policy);
+        assert!(
+            check.pass,
+            "{}: committed golden diverged: {:?}",
+            version.label(),
+            check.violations
+        );
+        assert!(check.bitwise, "{}: not bitwise", version.label());
+    }
+}
+
+#[test]
+fn perf_gate_passes_against_the_committed_baseline_shape() {
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_executor.json"),
+    )
+    .expect("committed baseline");
+    // The committed document parses, exposes its case, and self-compares
+    // clean (the degenerate candidate = baseline case).
+    let case = parse_case(&baseline).expect("case parses");
+    assert_eq!(case.workers, vec![1, 2, 4, 8]);
+    assert!(case.steps >= 1);
+    let report = compare_benchmarks(&baseline, &baseline, &Tolerances::default());
+    assert!(report.pass(), "violations: {:?}", report.violations());
+}
+
+#[test]
+fn degraded_steps_per_s_fails_with_the_offending_row_named() {
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_executor.json"),
+    )
+    .expect("committed baseline");
+    // Halve the 8-worker compacted-stealing throughput: a real executor
+    // regression. (String surgery keeps every other row identical.)
+    let degraded = baseline.replace("\"steps_per_s\": 31.06", "\"steps_per_s\": 9.10");
+    assert_ne!(
+        degraded, baseline,
+        "baseline shape changed; update this test"
+    );
+    let report = compare_benchmarks(&baseline, &degraded, &Tolerances::default());
+    assert!(!report.pass());
+    let v = report.violations().join("\n");
+    assert!(
+        v.contains("work-stealing+compaction@8"),
+        "must name the offending row: {v}"
+    );
+    assert!(v.contains("steps_per_s"), "{v}");
+}
+
+#[test]
+fn gate_report_merges_and_serializes() {
+    let golden = run_golden_gate(
+        &reduced_matrix()[..1],
+        &fixtures(),
+        &GoldenPolicy::default(),
+        None,
+    )
+    .unwrap();
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_executor.json"),
+    )
+    .unwrap();
+    let perf = compare_benchmarks(&baseline, &baseline, &Tolerances::default());
+    let report = GateReport {
+        golden: Some(golden),
+        perf: Some(perf),
+    };
+    assert!(report.pass());
+    let json = report.to_json();
+    let parsed = wrf_offload_repro::wrf_gate::json::Json::parse(&json).expect("valid JSON");
+    assert_eq!(parsed.get("pass").unwrap().as_bool(), Some(true));
+    assert!(parsed.get("golden").is_some());
+    assert!(parsed.get("perf").is_some());
+    let text = report.rendered();
+    assert!(text.contains("gate: PASS"));
+}

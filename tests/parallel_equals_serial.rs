@@ -135,7 +135,11 @@ fn cached_kernels_equal_ondemand_exactly() {
         let mut m_cached = Model::single_rank(cached);
         let rep_cached = m_cached.run(3);
 
-        assert_states_equal(&m_cached.state, &m_ref.state, &format!("{version:?} cached"));
+        assert_states_equal(
+            &m_cached.state,
+            &m_ref.state,
+            &format!("{version:?} cached"),
+        );
         assert_eq!(
             rep_cached.sbm_work, rep_ref.sbm_work,
             "metered work must not depend on the kernel cache ({version:?})"
@@ -175,11 +179,7 @@ fn work_is_imbalanced_but_total_is_conserved() {
     let mut m = Model::single_rank(cfg);
     let ser = m.run(2);
 
-    let per_rank: Vec<u64> = par
-        .reports
-        .iter()
-        .map(|r| r.sbm_work.coal.flops)
-        .collect();
+    let per_rank: Vec<u64> = par.reports.iter().map(|r| r.sbm_work.coal.flops).collect();
     let total: u64 = per_rank.iter().sum();
     assert_eq!(total, ser.sbm_work.coal.flops, "global collision work");
     let max = *per_rank.iter().max().unwrap();

@@ -89,7 +89,10 @@ fn modernize_then_analyze_pipeline() {
     use codee_sim::{analyze, corpus, modernize};
     let legacy = corpus::fsbm_subprograms(false);
     let total_fixes: usize = legacy.iter().map(|s| modernize(s).fixes.len()).sum();
-    assert!(total_fixes >= 8, "the legacy corpus needs work: {total_fixes}");
+    assert!(
+        total_fixes >= 8,
+        "the legacy corpus needs work: {total_fixes}"
+    );
     // Modernization does not change the dependence verdicts (it is
     // interface hygiene): the kernals nest is parallel either way.
     assert!(analyze(&corpus::kernals_ks_nest()).fully_parallel());

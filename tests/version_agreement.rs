@@ -23,10 +23,7 @@ fn all_versions_agree_bitwise_after_8_steps() {
     ] {
         let (st, rep) = run(v, 8);
         let r = diffwrf(&base, &st);
-        assert!(
-            r.identical(),
-            "{v:?} diverges from baseline:\n{r}"
-        );
+        assert!(r.identical(), "{v:?} diverges from baseline:\n{r}");
         assert_eq!(
             rep.coal_entries, base_rep.coal_entries,
             "{v:?}: kernel entry counts must match"
