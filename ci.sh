@@ -49,8 +49,19 @@ step_gate() {
         --loose-tol 0.8 --host-factor 10
 }
 
+# The communication gate: the multi-rank gate case must produce
+# bitwise-identical digests under blocking and overlapped halo
+# exchanges for every scheme version, and the replayed α–β cost model
+# must hide >= 50% of posted halo time behind interior tendencies at
+# 16 ranks. Writes BENCH_comm.json (per-rank overlap stats) next to
+# gate_report.json. Everything checked is deterministic modeled
+# accounting — no wall-clock tolerances needed.
+step_comm() {
+    cargo run --release -q -p wrf-bench --bin repro -- comm
+}
+
 usage() {
-    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|all]" >&2
+    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|comm|all]" >&2
     exit 2
 }
 
@@ -60,9 +71,9 @@ run_step() {
 }
 
 case "${1:-all}" in
-    build|test|clippy|docs|fmt|gate) run_step "$1" ;;
+    build|test|clippy|docs|fmt|gate|comm) run_step "$1" ;;
     all)
-        for s in build test clippy docs fmt gate; do
+        for s in build test clippy docs fmt gate comm; do
             run_step "$s"
         done
         echo "==> ci.sh: all steps passed"

@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|gate|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|gate|comm|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
@@ -8,6 +8,9 @@
 //! `gate` runs the reproduction gate (golden verification + perf
 //! regression, see `wrf-gate`) and exits nonzero on any violation;
 //! `gate --bless` regenerates the golden fixtures under `goldens/`.
+//! `comm` runs the communication gate (Blocking vs Overlapped digest
+//! equivalence for every version, plus the 16-rank overlap bench) and
+//! writes `BENCH_comm.json` with per-rank overlap stats.
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -175,11 +178,99 @@ fn gate(args: &[String]) -> i32 {
     }
 }
 
+/// Parses `repro comm` flags into a [`wrf_gate::CommGateConfig`] plus
+/// the report path.
+fn comm_config(args: &[String]) -> Result<(wrf_gate::CommGateConfig, String), String> {
+    let mut cfg = wrf_gate::CommGateConfig::default();
+    let mut report = "BENCH_comm.json".to_string();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        let parse_err = |e: String| format!("{arg}: {e}");
+        match arg.as_str() {
+            "--ranks" => {
+                cfg.ranks = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--bench-ranks" => {
+                cfg.bench_ranks = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--bench-scale" => {
+                cfg.bench_scale = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseFloatError| parse_err(e.to_string()))?
+            }
+            "--bench-steps" => {
+                cfg.bench_steps = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--min-hidden" => {
+                cfg.min_hidden_fraction = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseFloatError| parse_err(e.to_string()))?
+            }
+            "--report" => report = value(&mut it, arg)?,
+            other => {
+                return Err(format!(
+                    "unknown comm flag {other}; flags: --ranks N --bench-ranks N \
+                     --bench-scale X --bench-steps N --min-hidden X --report PATH"
+                ))
+            }
+        }
+    }
+    Ok((cfg, report))
+}
+
+/// Runs the communication gate and returns the process exit code.
+fn comm(args: &[String]) -> i32 {
+    let (cfg, report_path) = match comm_config(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repro comm: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "[repro] comm: gate case x {} versions x 2 modes at {} ranks, then overlap bench \
+         (scale {} ranks {})...",
+        fsbm_core::scheme::SbmVersion::ALL.len(),
+        cfg.ranks,
+        cfg.bench_scale,
+        cfg.bench_ranks
+    );
+    let rep = wrf_gate::run_comm_gate(&cfg);
+    print!("{}", rep.rendered());
+    match std::fs::write(&report_path, rep.to_json()) {
+        Ok(()) => eprintln!("[repro] comm report written to {report_path}"),
+        Err(e) => eprintln!("[repro] could not write {report_path}: {e}"),
+    }
+    for v in rep.violations() {
+        eprintln!("repro comm: VIOLATION: {v}");
+    }
+    if rep.pass() {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if what == "gate" {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(gate(&args));
+    }
+    if what == "comm" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(comm(&args));
     }
     let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {
@@ -262,7 +353,7 @@ fn main() {
     if !emitted {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
-             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|gate|all"
+             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|gate|comm|all"
         );
         std::process::exit(2);
     }

@@ -5,7 +5,15 @@
 
 use crate::wind::Wind;
 use fsbm_core::meter::PointWork;
-use wrf_grid::{Field3, PatchSpec};
+use gpu_sim::syncslice::SyncWriteSlice;
+use wrf_exec::Executor;
+use wrf_grid::{Field3, PatchSpec, Region};
+
+/// Horizontal half-width of the tendency stencil: `flux3` reads `±2`
+/// cells in `i` and `j`, which is also the halo depth a refresh must
+/// provide and the shrink [`wrf_grid::interior_split`] needs for
+/// overlap-safe interiors.
+pub const STENCIL_WIDTH: i32 = 2;
 
 /// Metered FLOPs per grid point per scalar per tendency evaluation
 /// (exported so the performance model prices full-scale transport with
@@ -32,6 +40,78 @@ fn flux3(qm2: f32, qm1: f32, q0: f32, qp1: f32, vel: f32) -> f32 {
     vel * (sym + sign * diss)
 }
 
+/// The per-point flux-divergence tendency at `(i, k, j)` — the body
+/// shared by the serial, region, and pool-parallel tendency drivers, so
+/// every execution strategy produces bitwise-identical values.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tend_point(
+    scalar: &Field3<f32>,
+    wind: &Wind,
+    i: i32,
+    k: i32,
+    j: i32,
+    kl: i32,
+    kh: i32,
+    dx: f32,
+    dy: f32,
+    dz: f32,
+) -> f32 {
+    let q = |ii: i32, kk: i32, jj: i32| scalar.get(ii, kk.clamp(kl, kh), jj);
+
+    // x-direction interfaces at i−1/2 and i+1/2.
+    let u_m = 0.5 * (wind.u.get(i - 1, k, j) + wind.u.get(i, k, j));
+    let u_p = 0.5 * (wind.u.get(i, k, j) + wind.u.get(i + 1, k, j));
+    let fx_m = flux3(
+        q(i - 2, k, j),
+        q(i - 1, k, j),
+        q(i, k, j),
+        q(i + 1, k, j),
+        u_m,
+    );
+    let fx_p = flux3(
+        q(i - 1, k, j),
+        q(i, k, j),
+        q(i + 1, k, j),
+        q(i + 2, k, j),
+        u_p,
+    );
+
+    // y-direction.
+    let v_m = 0.5 * (wind.v.get(i, k, j - 1) + wind.v.get(i, k, j));
+    let v_p = 0.5 * (wind.v.get(i, k, j) + wind.v.get(i, k, j + 1));
+    let fy_m = flux3(
+        q(i, k, j - 2),
+        q(i, k, j - 1),
+        q(i, k, j),
+        q(i, k, j + 1),
+        v_m,
+    );
+    let fy_p = flux3(
+        q(i, k, j - 1),
+        q(i, k, j),
+        q(i, k, j + 1),
+        q(i, k, j + 2),
+        v_p,
+    );
+
+    // z-direction: second-order centered with clamped ends.
+    let w_m = 0.5 * (wind.w.get(i, (k - 1).max(kl), j) + wind.w.get(i, k, j));
+    let w_p = 0.5 * (wind.w.get(i, k, j) + wind.w.get(i, (k + 1).min(kh), j));
+    let fz_m = if k == kl {
+        0.0
+    } else {
+        w_m * 0.5 * (q(i, k - 1, j) + q(i, k, j))
+    };
+    let fz_p = if k == kh {
+        0.0
+    } else {
+        w_p * 0.5 * (q(i, k, j) + q(i, k + 1, j))
+    };
+
+    -((fx_p - fx_m) / dx + (fy_p - fy_m) / dy + (fz_p - fz_m) / dz)
+}
+
 /// Computes the advective tendency `−∇·(v q)` of `scalar` into `tend`
 /// over the compute region of `patch`. Requires 2 halo cells in `i`/`j`.
 /// Velocities are cell-centered (an intentional simplification of WRF's
@@ -47,73 +127,90 @@ pub fn rk_scalar_tend(
     tend: &mut Field3<f32>,
     work: &mut PointWork,
 ) {
+    let whole = Region {
+        i: patch.ip,
+        j: patch.jp,
+    };
+    rk_scalar_tend_region(scalar, wind, patch, &whole, dx, dy, dz, tend, work);
+}
+
+/// Tendency over one horizontal sub-rectangle of the patch (full `k`
+/// extent) — the building block of the interior/boundary split used for
+/// comm–compute overlap. Identical per-point arithmetic to
+/// [`rk_scalar_tend`], so a cover of disjoint regions reproduces the
+/// full sweep bit for bit, with the same total metered work.
+#[allow(clippy::too_many_arguments)]
+pub fn rk_scalar_tend_region(
+    scalar: &Field3<f32>,
+    wind: &Wind,
+    patch: &PatchSpec,
+    region: &Region,
+    dx: f32,
+    dy: f32,
+    dz: f32,
+    tend: &mut Field3<f32>,
+    work: &mut PointWork,
+) {
     assert!(patch.halo >= 2, "third-order stencils need 2 halo cells");
     let (kl, kh) = (patch.kp.lo, patch.kp.hi);
-    for j in patch.jp.iter() {
+    for j in region.j.iter() {
         for k in patch.kp.iter() {
-            for i in patch.ip.iter() {
-                let q = |ii: i32, kk: i32, jj: i32| scalar.get(ii, kk.clamp(kl, kh), jj);
-
-                // x-direction interfaces at i−1/2 and i+1/2.
-                let u_m = 0.5 * (wind.u.get(i - 1, k, j) + wind.u.get(i, k, j));
-                let u_p = 0.5 * (wind.u.get(i, k, j) + wind.u.get(i + 1, k, j));
-                let fx_m = flux3(
-                    q(i - 2, k, j),
-                    q(i - 1, k, j),
-                    q(i, k, j),
-                    q(i + 1, k, j),
-                    u_m,
-                );
-                let fx_p = flux3(
-                    q(i - 1, k, j),
-                    q(i, k, j),
-                    q(i + 1, k, j),
-                    q(i + 2, k, j),
-                    u_p,
-                );
-
-                // y-direction.
-                let v_m = 0.5 * (wind.v.get(i, k, j - 1) + wind.v.get(i, k, j));
-                let v_p = 0.5 * (wind.v.get(i, k, j) + wind.v.get(i, k, j + 1));
-                let fy_m = flux3(
-                    q(i, k, j - 2),
-                    q(i, k, j - 1),
-                    q(i, k, j),
-                    q(i, k, j + 1),
-                    v_m,
-                );
-                let fy_p = flux3(
-                    q(i, k, j - 1),
-                    q(i, k, j),
-                    q(i, k, j + 1),
-                    q(i, k, j + 2),
-                    v_p,
-                );
-
-                // z-direction: second-order centered with clamped ends.
-                let w_m = 0.5 * (wind.w.get(i, (k - 1).max(kl), j) + wind.w.get(i, k, j));
-                let w_p = 0.5 * (wind.w.get(i, k, j) + wind.w.get(i, (k + 1).min(kh), j));
-                let fz_m = if k == kl {
-                    0.0
-                } else {
-                    w_m * 0.5 * (q(i, k - 1, j) + q(i, k, j))
-                };
-                let fz_p = if k == kh {
-                    0.0
-                } else {
-                    w_p * 0.5 * (q(i, k, j) + q(i, k + 1, j))
-                };
-
-                tend.set(
-                    i,
-                    k,
-                    j,
-                    -((fx_p - fx_m) / dx + (fy_p - fy_m) / dy + (fz_p - fz_m) / dz),
-                );
+            for i in region.i.iter() {
+                let v = tend_point(scalar, wind, i, k, j, kl, kh, dx, dy, dz);
+                tend.set(i, k, j, v);
                 work.fm(TEND_FLOPS_PER_POINT, TEND_MEMOPS_PER_POINT);
             }
         }
     }
+}
+
+/// [`rk_scalar_tend_region`] parallelized over `j`-planes on the
+/// persistent work-stealing pool. Each index owns one `j`-plane, every
+/// `tend` cell is written by exactly one plane, and the per-point
+/// arithmetic is shared with the serial path — so results are bitwise
+/// identical under every worker count, and the metered work (a fixed
+/// per-point count) is accumulated once for the whole region.
+#[allow(clippy::too_many_arguments)]
+pub fn rk_scalar_tend_region_pool(
+    scalar: &Field3<f32>,
+    wind: &Wind,
+    patch: &PatchSpec,
+    region: &Region,
+    dx: f32,
+    dy: f32,
+    dz: f32,
+    tend: &mut Field3<f32>,
+    pool: &Executor,
+    work: &mut PointWork,
+) {
+    assert!(patch.halo >= 2, "third-order stencils need 2 halo cells");
+    if region.is_empty() {
+        return;
+    }
+    let (kl, kh) = (patch.kp.lo, patch.kp.hi);
+    let (ti, tk, tj) = (tend.ispan(), tend.kspan(), tend.jspan());
+    let flat = move |i: i32, k: i32, j: i32| -> usize {
+        (i - ti.lo) as usize + ti.len() * ((k - tk.lo) as usize + tk.len() * (j - tj.lo) as usize)
+    };
+    // SAFETY: plane `j` writes only indices with that `j` coordinate;
+    // planes are disjoint and `run_indexed` hands each index to exactly
+    // one worker.
+    let view = unsafe { SyncWriteSlice::new(tend.as_mut_slice()) };
+    let j_lo = region.j.lo;
+    pool.run_indexed(region.j.len() as u64, Some(1), |jj| {
+        let j = j_lo + jj as i32;
+        for k in patch.kp.iter() {
+            for i in region.i.iter() {
+                let v = tend_point(scalar, wind, i, k, j, kl, kh, dx, dy, dz);
+                view.set(flat(i, k, j), v);
+            }
+        }
+    });
+    let points = (region.columns() * patch.kp.len()) as u64;
+    work.fm(
+        points * TEND_FLOPS_PER_POINT,
+        points * TEND_MEMOPS_PER_POINT,
+    );
 }
 
 /// RK3 stage update: `out = base + dt_stage · tend`, with WRF-style

@@ -26,7 +26,10 @@ pub mod diffusion;
 pub mod rk3;
 pub mod wind;
 
-pub use advect::{rk_scalar_tend, rk_update_scalar};
+pub use advect::{
+    rk_scalar_tend, rk_scalar_tend_region, rk_scalar_tend_region_pool, rk_update_scalar,
+    STENCIL_WIDTH,
+};
 pub use diffusion::horizontal_diffusion;
-pub use rk3::{rk3_advect_scalar, HaloRefresh, Rk3Work};
+pub use rk3::{rk3_advect_scalar, rk3_advect_scalar_overlapped, HaloEngine, HaloRefresh, Rk3Work};
 pub use wind::{storm_wind, Wind};

@@ -27,11 +27,20 @@
 //! every worker count and chunk size — the property the FSBM plane's
 //! tests assert.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Locks ignoring poison: a panic that unwound through a lock holder
+/// never leaves the executor's own data inconsistent (chunk deques are
+/// only mutated between epochs; control state is scalar), and the pool
+/// must stay usable after a propagated job panic.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// A half-open index range handed to one worker at a time.
 type Chunk = (u64, u64);
@@ -67,6 +76,9 @@ struct Shared {
     remaining: AtomicU64,
     /// A worker body panicked this epoch.
     panicked: AtomicBool,
+    /// The first panic payload captured this epoch, rethrown verbatim
+    /// by `run_ranges` so callers see the original message.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
     // ---- statistics (monotonic since construction / `reset_stats`) ----
     steals: Vec<AtomicU64>,
     executed: Vec<AtomicU64>,
@@ -89,6 +101,7 @@ impl Shared {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             remaining: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
             steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -105,14 +118,14 @@ impl Shared {
         loop {
             let mut stolen = false;
             let task = {
-                let own = self.deques[w].lock().unwrap().pop_back();
+                let own = lock_clean(&self.deques[w]).pop_back();
                 match own {
                     Some(t) => Some(t),
                     None => {
                         let mut found = None;
                         for off in 1..n {
                             let v = (w + off) % n;
-                            if let Some(t) = self.deques[v].lock().unwrap().pop_front() {
+                            if let Some(t) = lock_clean(&self.deques[v]).pop_front() {
                                 stolen = true;
                                 found = Some(t);
                                 break;
@@ -128,13 +141,20 @@ impl Shared {
                         self.steals[w].fetch_add(1, Ordering::Relaxed);
                     }
                     let t0 = Instant::now();
-                    if catch_unwind(AssertUnwindSafe(|| body(lo, hi))).is_err() {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(lo, hi))) {
+                        // Keep the first payload; later ones are dropped
+                        // (as with rayon/OpenMP, one representative
+                        // panic propagates).
+                        let mut slot = lock_clean(&self.panic_payload);
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
                         self.panicked.store(true, Ordering::Relaxed);
                     }
                     self.busy_ns[w].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     self.executed[w].fetch_add(1, Ordering::Relaxed);
                     if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        let _g = self.ctl.lock().unwrap();
+                        let _g = lock_clean(&self.ctl);
                         self.done_cv.notify_all();
                     }
                 }
@@ -155,7 +175,7 @@ fn worker_loop(shared: Arc<Shared>, w: usize) {
     let mut seen = 0u64;
     loop {
         let body_ptr = {
-            let mut g = shared.ctl.lock().unwrap();
+            let mut g = lock_clean(&shared.ctl);
             loop {
                 if g.shutdown {
                     return;
@@ -164,7 +184,7 @@ fn worker_loop(shared: Arc<Shared>, w: usize) {
                     seen = g.epoch;
                     break g.job.as_ref().map(|j| j.body);
                 }
-                g = shared.work_cv.wait(g).unwrap();
+                g = shared.work_cv.wait(g).unwrap_or_else(|p| p.into_inner());
             }
         };
         if let Some(ptr) = body_ptr {
@@ -320,7 +340,7 @@ impl Executor {
         for wi in 0..self.workers {
             let c0 = wi as u64 * per;
             let c1 = ((wi as u64 + 1) * per).min(nchunks);
-            let mut dq = self.shared.deques[wi].lock().unwrap();
+            let mut dq = lock_clean(&self.shared.deques[wi]);
             for c in c0..c1 {
                 let lo = c * chunk;
                 let hi = (lo + chunk).min(total);
@@ -339,7 +359,7 @@ impl Executor {
         // SAFETY: lifetime erasure only; see `Job`.
         let erased: *const (dyn Fn(u64, u64) + Sync) = unsafe { std::mem::transmute(wide) };
         {
-            let mut g = self.shared.ctl.lock().unwrap();
+            let mut g = lock_clean(&self.shared.ctl);
             g.job = Some(Job { body: erased });
             g.epoch += 1;
             self.shared.work_cv.notify_all();
@@ -350,14 +370,24 @@ impl Executor {
 
         // Wait for stragglers, then retire the job pointer.
         {
-            let mut g = self.shared.ctl.lock().unwrap();
+            let mut g = lock_clean(&self.shared.ctl);
             while self.shared.remaining.load(Ordering::Acquire) > 0 {
-                g = self.shared.done_cv.wait(g).unwrap();
+                g = self
+                    .shared
+                    .done_cv
+                    .wait(g)
+                    .unwrap_or_else(|p| p.into_inner());
             }
             g.job = None;
         }
         if self.shared.panicked.swap(false, Ordering::Relaxed) {
-            panic!("executor worker panicked");
+            // Rethrow the captured payload so the caller sees the
+            // worker's original panic message, not a generic shim.
+            let payload = lock_clean(&self.shared.panic_payload).take();
+            match payload {
+                Some(p) => resume_unwind(p),
+                None => panic!("executor worker panicked"),
+            }
         }
         start.elapsed().as_secs_f64()
     }
@@ -422,7 +452,7 @@ impl Executor {
 impl Drop for Executor {
     fn drop(&mut self) {
         {
-            let mut g = self.shared.ctl.lock().unwrap();
+            let mut g = lock_clean(&self.shared.ctl);
             g.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -533,13 +563,43 @@ mod tests {
                 }
             });
         }));
-        assert!(r.is_err());
-        // Pool is still usable after the panic.
+        // The original payload is rethrown, not a generic wrapper.
+        let payload = r.expect_err("panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        // Pool is still usable after the panic: no poisoned locks, no
+        // stale panic flag or payload.
         let sum = AtomicU64::new(0);
         ex.run_indexed(100, None, |i| {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn formatted_panic_payload_survives_roundtrip() {
+        let ex = Executor::new(3);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ex.run_indexed(256, Some(1), |i| {
+                if i == 13 {
+                    panic!("bad index {i}");
+                }
+            });
+        }));
+        let payload = r.expect_err("panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<String>().map(String::as_str),
+            Some("bad index 13")
+        );
+        // Back-to-back panics each surface their own payload.
+        let r2 = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ex.run_indexed(256, Some(1), |i| {
+                if i == 77 {
+                    panic!("second failure");
+                }
+            });
+        }));
+        let p2 = r2.expect_err("second panic propagates");
+        assert_eq!(p2.downcast_ref::<&str>(), Some(&"second failure"));
     }
 
     #[test]

@@ -24,12 +24,14 @@
 //! table ([`report`]); any violation makes `repro gate` exit nonzero.
 //! `repro gate --bless` regenerates the golden fixtures.
 
+pub mod comm;
 pub mod fixture;
 pub mod golden;
 pub mod json;
 pub mod perf;
 pub mod report;
 
+pub use comm::{run_comm_gate, CommGateConfig, CommGateReport};
 pub use fixture::GoldenFixture;
 pub use golden::{GoldenPolicy, GoldenRunSpec};
 pub use perf::{BenchCase, Tolerances};

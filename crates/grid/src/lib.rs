@@ -20,8 +20,10 @@ pub mod decomp;
 pub mod field;
 pub mod halo;
 pub mod index;
+pub mod overlap;
 
 pub use decomp::{split_patch_into_tiles, two_d_decomposition, DomainDecomp};
 pub use field::{Field3, Field4};
 pub use halo::{pack_halo, unpack_halo, HaloSide};
 pub use index::{Domain, PatchSpec, Span, TileSpec};
+pub use overlap::{interior_split, InteriorSplit, Region};

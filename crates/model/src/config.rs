@@ -2,6 +2,7 @@
 
 use fsbm_core::exec::ExecMode;
 use fsbm_core::scheme::SbmVersion;
+use mpi_sim::CommMode;
 use wrf_cases::ConusParams;
 
 /// Configuration of a model run (the subset of WRF's `namelist.input`
@@ -26,6 +27,10 @@ pub struct ModelConfig {
     /// Device-thread scheduling for the functional plane (static
     /// partition vs the persistent work-stealing executor).
     pub sched: ExecMode,
+    /// Halo-exchange execution: blocking four-side exchanges (WRF's
+    /// stock behaviour) or the nonblocking engine overlapping interior
+    /// tendencies with in-flight messages. Bitwise-identical results.
+    pub comm: CommMode,
     /// Memoize per-k-level collision kernels (bitwise-identical to the
     /// on-demand path).
     pub cached_kernels: bool,
@@ -48,6 +53,7 @@ impl ModelConfig {
             device_workers: None,
             minutes: 10.0,
             sched: ExecMode::work_steal(),
+            comm: CommMode::Blocking,
             cached_kernels: false,
             profile_coal: false,
         }
@@ -67,6 +73,7 @@ impl ModelConfig {
             device_workers: Some(4),
             minutes: 1.0,
             sched: ExecMode::work_steal(),
+            comm: CommMode::Blocking,
             cached_kernels: true,
             profile_coal: false,
         }

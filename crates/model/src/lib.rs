@@ -30,7 +30,7 @@ pub mod perfmodel;
 pub use config::ModelConfig;
 pub use model::{Model, RunReport, StepReport};
 pub use namelist::config_from_namelist;
-pub use parallel::run_parallel;
+pub use parallel::{run_parallel, CommStats, ParallelRun};
 pub use perfmodel::{
     cpu_rank_step_time, experiment, gpu_rank_step_time, measure_coeffs, ExperimentResult,
     MeasuredCoeffs, PerfParams, RankStepTime, RankWork,

@@ -8,8 +8,9 @@ use fsbm_core::types::{NKR, NTYPES};
 use prof_sim::Stopwatch;
 use wrf_cases::ConusCase;
 use wrf_dycore::diffusion::horizontal_diffusion;
-use wrf_dycore::rk3::{rk3_advect_scalar, Rk3Work};
+use wrf_dycore::rk3::{rk3_advect_scalar, rk3_advect_scalar_overlapped, HaloEngine, Rk3Work};
 use wrf_dycore::wind::{storm_wind, StormWind, Wind};
+use wrf_exec::Executor;
 use wrf_grid::{two_d_decomposition, Field3, PatchSpec};
 
 /// Per-step report of the functional model.
@@ -51,6 +52,20 @@ pub struct RunReport {
     /// Executor/cache summary of the run (workers, steals, activity,
     /// kernel-cache hit rate).
     pub exec: Option<fsbm_core::exec::ExecSummary>,
+    /// Modeled halo-communication summary (multi-rank runs only).
+    pub comm: Option<crate::parallel::CommStats>,
+}
+
+/// How one step advances its scalars: WRF's stock blocking refresh
+/// before every tendency, or the split-phase engine overlapping halo
+/// messages with interior compute. Both drive the identical per-point
+/// arithmetic, so results are bitwise-equal.
+enum Advance<'a> {
+    Blocking(&'a mut dyn FnMut(&mut Field3<f32>)),
+    Overlapped {
+        engine: &'a mut dyn HaloEngine,
+        pool: &'a Executor,
+    },
 }
 
 /// A one-patch functional model instance.
@@ -160,6 +175,25 @@ impl Model {
         refresh: &mut dyn FnMut(&mut Field3<f32>),
         masks: &[[bool; NKR]; NTYPES],
     ) -> StepReport {
+        self.step_inner(Advance::Blocking(refresh), masks)
+    }
+
+    /// Advances one step with split-phase halo exchanges: each refresh
+    /// is posted nonblocking through `engine` while the interior
+    /// tendency runs on `pool`, and only the boundary frame waits for
+    /// the messages. Bitwise-identical to
+    /// [`Self::step_with_refresh_and_masks`] with the same exchange
+    /// data.
+    pub fn step_overlapped_with_masks(
+        &mut self,
+        engine: &mut dyn HaloEngine,
+        pool: &Executor,
+        masks: &[[bool; NKR]; NTYPES],
+    ) -> StepReport {
+        self.step_inner(Advance::Overlapped { engine, pool }, masks)
+    }
+
+    fn step_inner(&mut self, mut adv: Advance<'_>, masks: &[[bool; NKR]; NTYPES]) -> StepReport {
         let sw = Stopwatch::start();
         let sp = self.wind_params();
         let wind_work = storm_wind(
@@ -190,18 +224,17 @@ impl Model {
                 }
             }
         }
-        rk3 += rk3_advect_scalar(
+        rk3 += advect_one(
+            &mut adv,
             &mut self.scratch2,
             &self.wind,
             &self.patch,
-            dx,
             dx,
             dz,
             dt,
             false,
             &mut self.scratch,
             &mut self.tendency,
-            refresh,
         );
         for j in self.patch.jm.iter() {
             for k in self.patch.km.iter() {
@@ -216,22 +249,31 @@ impl Model {
         advected += 1;
 
         // Vapor.
-        rk3 += rk3_advect_scalar(
+        rk3 += advect_one(
+            &mut adv,
             &mut self.state.qv,
             &self.wind,
             &self.patch,
-            dx,
             dx,
             dz,
             dt,
             true,
             &mut self.scratch,
             &mut self.tendency,
-            refresh,
         );
         // Weak second-order horizontal diffusion on the moisture field
-        // (WRF diff_opt=1-style hygiene on the kinematic core).
-        refresh(&mut self.state.qv);
+        // (WRF diff_opt=1-style hygiene on the kinematic core). The
+        // refresh before it has no tendency to hide behind, so the
+        // overlapped path runs its rounds back-to-back.
+        match &mut adv {
+            Advance::Blocking(refresh) => refresh(&mut self.state.qv),
+            Advance::Overlapped { engine, .. } => {
+                for r in 0..engine.rounds() {
+                    engine.post(r, &self.state.qv);
+                    engine.finish(r, &mut self.state.qv);
+                }
+            }
+        }
         horizontal_diffusion(
             &mut self.state.qv,
             &self.patch,
@@ -257,18 +299,17 @@ impl Model {
                         }
                     }
                 }
-                rk3 += rk3_advect_scalar(
+                rk3 += advect_one(
+                    &mut adv,
                     &mut self.scratch2,
                     &self.wind,
                     &self.patch,
-                    dx,
                     dx,
                     dz,
                     dt,
                     true,
                     &mut self.scratch,
                     &mut self.tendency,
-                    refresh,
                 );
                 for j in self.patch.jm.iter() {
                     for k in self.patch.km.iter() {
@@ -381,6 +422,31 @@ impl Model {
     /// [`FastSbm::exec_summary`]).
     pub fn exec_summary(&self, stats: &SbmStepStats) -> fsbm_core::exec::ExecSummary {
         self.sbm.exec_summary(stats)
+    }
+}
+
+/// Advances one scalar with whichever strategy `adv` carries; `dy`
+/// equals `dx` everywhere in this model.
+#[allow(clippy::too_many_arguments)]
+fn advect_one(
+    adv: &mut Advance<'_>,
+    scalar: &mut Field3<f32>,
+    wind: &Wind,
+    patch: &PatchSpec,
+    dx: f32,
+    dz: f32,
+    dt: f32,
+    positive: bool,
+    scratch: &mut Field3<f32>,
+    tend: &mut Field3<f32>,
+) -> Rk3Work {
+    match adv {
+        Advance::Blocking(refresh) => rk3_advect_scalar(
+            scalar, wind, patch, dx, dx, dz, dt, positive, scratch, tend, *refresh,
+        ),
+        Advance::Overlapped { engine, pool } => rk3_advect_scalar_overlapped(
+            scalar, wind, patch, dx, dx, dz, dt, positive, scratch, tend, *engine, pool,
+        ),
     }
 }
 

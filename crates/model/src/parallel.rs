@@ -6,13 +6,32 @@
 //! occupied-bin masks are OR-reduced across ranks before each step so
 //! all ranks advect an identical scalar sequence (the exchanges must
 //! pair up deterministically).
+//!
+//! Two exchange engines drive the same arithmetic:
+//! * [`CommMode::Blocking`] — pack, send, and block on all four sides
+//!   before any tendency work, as stock WRF does. This is the behaviour
+//!   behind the paper's Table VII observation that at 256 cores the run
+//!   is "dominated by the cost of MPI communication".
+//! * [`CommMode::Overlapped`] — `isend`/`irecv` each round, advance the
+//!   interior core's tendencies on the work-stealing pool while the
+//!   strips are in flight, then unpack and finish the boundary frame.
+//!   Results are bitwise-identical; only the modeled α–β cost moves off
+//!   the critical path (tracked per rank in [`CommStats`]).
 
 use crate::config::ModelConfig;
-use crate::model::{Model, RunReport};
+use crate::model::{Model, RunReport, StepReport};
+use crate::perfmodel::PerfParams;
+use fsbm_core::meter::PointWork;
 use fsbm_core::state::SbmPatchState;
 use fsbm_core::types::{NKR, NTYPES};
-use mpi_sim::comm::{run_ranks, Rank};
-use wrf_grid::{pack_halo, two_d_decomposition, unpack_halo, DomainDecomp, Field3, HaloSide};
+use gpu_sim::machine::SLINGSHOT;
+use mpi_sim::comm::{run_ranks, CommMode, Rank, RecvRequest};
+use mpi_sim::cost::{CommCost, OverlapStats, Topology};
+use wrf_dycore::HaloEngine;
+use wrf_exec::Executor;
+use wrf_grid::{
+    pack_halo, two_d_decomposition, unpack_halo, DomainDecomp, Field3, HaloSide, PatchSpec,
+};
 
 /// Output of a parallel run, rank-ordered.
 pub struct ParallelRun {
@@ -22,14 +41,44 @@ pub struct ParallelRun {
     pub reports: Vec<RunReport>,
 }
 
-/// One halo exchange of `field` with the four periodic neighbours.
-/// `tag_base` must advance identically on every rank.
+/// Per-rank modeled halo-communication summary (α–β cost model over the
+/// run's topology; the functional payload moves through shared memory
+/// regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommStats {
+    /// Exchange engine the run used.
+    pub mode: CommMode,
+    /// Halo messages this rank sent.
+    pub msgs: u64,
+    /// Halo bytes this rank sent.
+    pub bytes: u64,
+    /// Modeled seconds on the critical path (blocking sends, plus the
+    /// exposed remainder of nonblocking ones).
+    pub secs: f64,
+    /// Nonblocking post/complete/hidden accounting (zero when blocking).
+    pub overlap: OverlapStats,
+}
+
+/// Tag slots reserved per refresh: 2 phases × 2 sides, with headroom.
+const TAGS_PER_REFRESH: u64 = 16;
+
+/// Direction-coded tag so a two-patch dimension (both neighbours are
+/// the same rank) stays unambiguous. `tag_base` advances once per
+/// refresh, identically on every rank; 64-bit so long runs never wrap
+/// (the old `u32` space aliased after ~2²⁸ refreshes).
+fn side_tag(tag_base: u64, phase: usize, s_idx: usize) -> u64 {
+    tag_base * TAGS_PER_REFRESH + phase as u64 * 4 + s_idx as u64
+}
+
+/// One blocking halo exchange of `field` with the four periodic
+/// neighbours, priced as four eagerly-sent messages on `cost`.
 fn exchange_halos(
     field: &mut Field3<f32>,
     rank: &mut Rank,
     dd: &DomainDecomp,
     me: usize,
-    tag_base: u32,
+    tag_base: u64,
+    cost: &mut CommCost,
 ) {
     let patch = dd.patches[me];
     // Phase 1: west/east; phase 2: south/north (carries corners).
@@ -46,20 +95,114 @@ fn exchange_halos(
             let peer = dd.neighbor_periodic(me, di, dj);
             buf.clear();
             pack_halo(field, &patch, side, &mut buf);
-            // Direction-coded tag so a two-patch dimension (both
-            // neighbours are the same rank) stays unambiguous.
-            let tag = tag_base * 16 + phase as u32 * 4 + s_idx as u32;
-            rank.send_f32(peer, tag, &buf);
+            cost.p2p(peer, (buf.len() * 4) as u64);
+            rank.send_f32(peer, side_tag(tag_base, phase, s_idx), &buf);
         }
         for (s_idx, &side) in sides.iter().enumerate() {
             let (di, dj) = side.offset();
             let peer = dd.neighbor_periodic(me, di, dj);
             // The peer sent toward us with the *opposite* side's index.
-            let opp_idx = 1 - s_idx;
-            let tag = tag_base * 16 + phase as u32 * 4 + opp_idx as u32;
+            let tag = side_tag(tag_base, phase, 1 - s_idx);
             let data = rank.recv_f32(peer, tag);
             unpack_halo(field, &patch, side, &data);
         }
+    }
+}
+
+/// The nonblocking exchange engine: each refresh becomes two dependent
+/// rounds (W/E then S/N, as `HALO_EM_*` orders them so corners ride the
+/// second round). `post` prices and launches both sides of a round and
+/// leaves the receives pending; tendency work reported through `absorb`
+/// hides the in-flight cost; `finish` waits, unpacks into halo cells
+/// only, and settles the round with [`CommCost::complete_all`].
+struct MpiHaloEngine<'a> {
+    rank: &'a mut Rank,
+    dd: &'a DomainDecomp,
+    me: usize,
+    patch: PatchSpec,
+    cost: &'a mut CommCost,
+    /// Modeled seconds per absorbed tendency flop (the perf model's
+    /// sustained advection rate), keeping the hidden/exposed ledger
+    /// deterministic — no wall clocks.
+    secs_per_flop: f64,
+    /// Refresh counter shared with the step loop; `post(0, ..)` claims
+    /// the next base, mirroring the blocking path's per-refresh advance.
+    next_tag: &'a mut u64,
+    tag_base: u64,
+    pending: Vec<(HaloSide, RecvRequest)>,
+    buf: Vec<f32>,
+}
+
+impl<'a> MpiHaloEngine<'a> {
+    fn new(
+        rank: &'a mut Rank,
+        dd: &'a DomainDecomp,
+        me: usize,
+        cost: &'a mut CommCost,
+        secs_per_flop: f64,
+        next_tag: &'a mut u64,
+    ) -> Self {
+        let patch = dd.patches[me];
+        MpiHaloEngine {
+            rank,
+            dd,
+            me,
+            patch,
+            cost,
+            secs_per_flop,
+            next_tag,
+            tag_base: 0,
+            pending: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl HaloEngine for MpiHaloEngine<'_> {
+    fn rounds(&self) -> usize {
+        2
+    }
+
+    fn post(&mut self, round: usize, field: &Field3<f32>) {
+        if round == 0 {
+            self.tag_base = *self.next_tag;
+            *self.next_tag += 1;
+        }
+        assert!(self.pending.is_empty(), "round {round} posted over pending");
+        let sides = if round == 0 {
+            [HaloSide::West, HaloSide::East]
+        } else {
+            [HaloSide::South, HaloSide::North]
+        };
+        for (s_idx, &side) in sides.iter().enumerate() {
+            let (di, dj) = side.offset();
+            let peer = self.dd.neighbor_periodic(self.me, di, dj);
+            self.buf.clear();
+            pack_halo(field, &self.patch, side, &mut self.buf);
+            self.cost.post_p2p(peer, (self.buf.len() * 4) as u64);
+            self.rank
+                .isend_f32(peer, side_tag(self.tag_base, round, s_idx), &self.buf);
+        }
+        for (s_idx, &side) in sides.iter().enumerate() {
+            let (di, dj) = side.offset();
+            let peer = self.dd.neighbor_periodic(self.me, di, dj);
+            let tag = side_tag(self.tag_base, round, 1 - s_idx);
+            let req = self.rank.irecv_f32(peer, tag);
+            self.pending.push((side, req));
+        }
+    }
+
+    fn finish(&mut self, _round: usize, field: &mut Field3<f32>) {
+        for (side, req) in self.pending.drain(..) {
+            let data = self.rank.wait(req);
+            unpack_halo(field, &self.patch, side, &data);
+        }
+        self.cost.complete_all();
+    }
+
+    fn absorb(&mut self, work: PointWork) {
+        self.cost
+            .absorb_compute(work.flops as f64 * self.secs_per_flop);
     }
 }
 
@@ -78,42 +221,79 @@ fn allreduce_masks(rank: &Rank, local: [[bool; NKR]; NTYPES]) -> [[bool; NKR]; N
     out
 }
 
+fn accumulate(report: &mut RunReport, s: StepReport) {
+    report.steps += 1;
+    report.rk3 += s.rk3;
+    report.sbm_work += s.sbm.work;
+    report.precip += s.sbm.precip;
+    report.coal_entries += s.sbm.coal_entries;
+    report.wall.0 += s.wall_dynamics;
+    report.wall.1 += s.wall_sbm;
+    report.coal_wall += s.sbm.coal_wall;
+    report.last_sbm = Some(s.sbm);
+}
+
 /// Runs `cfg` on `cfg.ranks` ranks for `steps` steps and returns the
-/// final states and reports.
+/// final states and reports. `cfg.comm` selects the exchange engine;
+/// both produce bitwise-identical states.
 pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
     let dd = two_d_decomposition(cfg.case.domain(), cfg.ranks, cfg.halo);
     let dd_ref = &dd;
+    // Block placement, 128-core Perlmutter CPU nodes (§IV).
+    let topo = Topology::new(cfg.ranks, cfg.ranks.min(128));
+    let secs_per_flop = 1.0 / PerfParams::default().adv_flops_per_core;
     let mut results: Vec<(SbmPatchState, RunReport)> = run_ranks(cfg.ranks, move |mut rank| {
         let me = rank.rank();
         let patch = dd_ref.patches[me];
         let mut model = Model::for_patch(cfg, patch);
         let mut report = RunReport::default();
-        let mut tag = 0u32;
-        for _ in 0..steps {
-            let masks = allreduce_masks(&rank, model.occupied_masks());
-            let s = {
-                let rank_cell = &mut rank;
-                let tag_cell = &mut tag;
-                let mut refresh = |f: &mut Field3<f32>| {
-                    let t = *tag_cell;
-                    *tag_cell += 1;
-                    exchange_halos(f, rank_cell, dd_ref, me, t);
-                };
-                model.step_with_refresh_and_masks(&mut refresh, &masks)
-            };
-            report.steps += 1;
-            report.rk3 += s.rk3;
-            report.sbm_work += s.sbm.work;
-            report.precip += s.sbm.precip;
-            report.coal_entries += s.sbm.coal_entries;
-            report.wall.0 += s.wall_dynamics;
-            report.wall.1 += s.wall_sbm;
-            report.coal_wall += s.sbm.coal_wall;
-            report.last_sbm = Some(s.sbm);
+        let mut cost = CommCost::new(SLINGSHOT, topo, me);
+        let mut tag = 0u64;
+        match cfg.comm {
+            CommMode::Blocking => {
+                for _ in 0..steps {
+                    let masks = allreduce_masks(&rank, model.occupied_masks());
+                    let s = {
+                        let rank_cell = &mut rank;
+                        let tag_cell = &mut tag;
+                        let cost_cell = &mut cost;
+                        let mut refresh = |f: &mut Field3<f32>| {
+                            let t = *tag_cell;
+                            *tag_cell += 1;
+                            exchange_halos(f, rank_cell, dd_ref, me, t, cost_cell);
+                        };
+                        model.step_with_refresh_and_masks(&mut refresh, &masks)
+                    };
+                    accumulate(&mut report, s);
+                }
+            }
+            CommMode::Overlapped => {
+                let pool = Executor::new(cfg.device_workers.unwrap_or(1).max(1));
+                for _ in 0..steps {
+                    let masks = allreduce_masks(&rank, model.occupied_masks());
+                    let mut engine = MpiHaloEngine::new(
+                        &mut rank,
+                        dd_ref,
+                        me,
+                        &mut cost,
+                        secs_per_flop,
+                        &mut tag,
+                    );
+                    let s = model.step_overlapped_with_masks(&mut engine, &pool, &masks);
+                    accumulate(&mut report, s);
+                }
+            }
         }
         if let Some(last) = &report.last_sbm {
             report.exec = Some(model.exec_summary(last));
         }
+        report.comm = Some(CommStats {
+            mode: cfg.comm,
+            msgs: cost.messages(),
+            bytes: cost.bytes(),
+            secs: cost.secs(),
+            overlap: *cost.overlap(),
+        });
         (model.state, report)
     });
     let (states, reports) = results.drain(..).unzip();
@@ -124,6 +304,8 @@ pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
 mod tests {
     use super::*;
     use fsbm_core::scheme::SbmVersion;
+    use proptest::prelude::*;
+    use wrf_grid::Domain;
 
     #[test]
     fn four_ranks_run_and_rain() {
@@ -142,5 +324,218 @@ mod tests {
         let max = *works.iter().max().unwrap();
         let min = *works.iter().min().unwrap();
         assert!(max > min, "imbalance expected: {works:?}");
+        // Blocking runs price every message on the critical path.
+        let comm = out.reports[0].comm.expect("multi-rank run prices comm");
+        assert_eq!(comm.mode, CommMode::Blocking);
+        assert!(comm.msgs > 0 && comm.secs > 0.0);
+        assert_eq!(comm.overlap, OverlapStats::default());
+    }
+
+    /// Regression for the halo tag overflow: `tag_base * 16` used to be
+    /// `u32` arithmetic, which overflows (and aliases exchanges) once
+    /// the refresh counter passes 2²⁸. The exchange must pair correctly
+    /// with bases far beyond that point.
+    #[test]
+    fn halo_tags_survive_refresh_counts_past_u32() {
+        let dd = two_d_decomposition(Domain::new(16, 4, 16), 4, 2);
+        let dd_ref = &dd;
+        let old_overflow_base = u64::from(u32::MAX) / TAGS_PER_REFRESH + 1;
+        run_ranks(4, move |mut rank| {
+            let me = rank.rank();
+            let p = dd_ref.patches[me];
+            let mut f = Field3::for_patch(&p);
+            for j in p.jp.iter() {
+                for k in p.kp.iter() {
+                    for i in p.ip.iter() {
+                        f.set(i, k, j, me as f32);
+                    }
+                }
+            }
+            let mut cost = CommCost::new(SLINGSHOT, Topology::new(4, 4), me);
+            for adv in 0..3u64 {
+                exchange_halos(
+                    &mut f,
+                    &mut rank,
+                    dd_ref,
+                    me,
+                    old_overflow_base + adv,
+                    &mut cost,
+                );
+            }
+            // Every halo strip carries the right neighbour's rank id.
+            for (side, h) in [
+                (HaloSide::West, (-1, 0)),
+                (HaloSide::East, (1, 0)),
+                (HaloSide::South, (0, -1)),
+                (HaloSide::North, (0, 1)),
+            ] {
+                let peer = dd_ref.neighbor_periodic(me, h.0, h.1);
+                let (i, j) = match side {
+                    HaloSide::West => (p.ip.lo - 1, p.jp.lo),
+                    HaloSide::East => (p.ip.hi + 1, p.jp.lo),
+                    HaloSide::South => (p.ip.lo, p.jp.lo - 1),
+                    HaloSide::North => (p.ip.lo, p.jp.hi + 1),
+                };
+                assert_eq!(
+                    f.get(i, p.kp.lo, j),
+                    peer as f32,
+                    "{side:?} halo of rank {me}"
+                );
+            }
+        });
+    }
+
+    /// Bitwise comparison of two same-patch states over T, QV, and bins.
+    fn assert_states_bitwise(got: &SbmPatchState, want: &SbmPatchState, what: &str) {
+        let p = got.patch;
+        for j in p.jp.iter() {
+            for k in p.kp.iter() {
+                for i in p.ip.iter() {
+                    assert_eq!(
+                        got.tt.get(i, k, j).to_bits(),
+                        want.tt.get(i, k, j).to_bits(),
+                        "T mismatch at ({i},{k},{j}): {what}"
+                    );
+                    assert_eq!(
+                        got.qv.get(i, k, j).to_bits(),
+                        want.qv.get(i, k, j).to_bits(),
+                        "QV mismatch at ({i},{k},{j}): {what}"
+                    );
+                    for c in 0..NTYPES {
+                        assert_eq!(
+                            got.ff[c].bin_slice(i, k, j),
+                            want.ff[c].bin_slice(i, k, j),
+                            "bins mismatch class {c} at ({i},{k},{j}): {what}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_matches_blocking_bitwise() {
+        let mut cfg = ModelConfig::functional(SbmVersion::Lookup, 0.06, 8);
+        cfg.ranks = 4;
+        let blocking = run_parallel(cfg, 3);
+        cfg.comm = CommMode::Overlapped;
+        let overlapped = run_parallel(cfg, 3);
+        for (r, (got, want)) in overlapped
+            .states
+            .iter()
+            .zip(blocking.states.iter())
+            .enumerate()
+        {
+            assert_states_bitwise(got, want, &format!("rank {r}"));
+        }
+        // Same metered work, and every posted message completed with a
+        // real slice of its cost hidden behind interior tendencies.
+        for (o, b) in overlapped.reports.iter().zip(blocking.reports.iter()) {
+            assert_eq!(o.rk3, b.rk3);
+            let oc = o.comm.expect("comm stats");
+            let bc = b.comm.expect("comm stats");
+            assert_eq!(oc.msgs, bc.msgs);
+            assert_eq!(oc.bytes, bc.bytes);
+            assert_eq!(oc.overlap.posted, oc.msgs);
+            assert_eq!(oc.overlap.completed, oc.msgs);
+            assert!(oc.overlap.hidden_secs > 0.0, "nothing hidden: {oc:?}");
+            assert!(oc.secs < bc.secs, "overlap must shorten comm: {oc:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// Over random decomposition shapes — including thin patches
+        /// whose interior core is empty and two/one-patch dimensions
+        /// where a rank is its own neighbour — the overlapped engine
+        /// reproduces the blocking run bit for bit.
+        #[test]
+        fn comm_modes_agree_over_decompositions(
+            ranks_ix in 0usize..4,
+            scale_step in 0u32..4,
+            nz in 6i32..9,
+        ) {
+            let ranks = [1usize, 2, 3, 6][ranks_ix];
+            let scale = 0.05 + scale_step as f64 * 0.01;
+            let mut cfg = ModelConfig::functional(SbmVersion::Lookup, scale, nz);
+            cfg.ranks = ranks;
+            let blocking = run_parallel(cfg, 2);
+            cfg.comm = CommMode::Overlapped;
+            let overlapped = run_parallel(cfg, 2);
+            for (r, (got, want)) in overlapped
+                .states
+                .iter()
+                .zip(blocking.states.iter())
+                .enumerate()
+            {
+                assert_states_bitwise(
+                    got,
+                    want,
+                    &format!("ranks={ranks} scale={scale} nz={nz} rank {r}"),
+                );
+            }
+        }
+
+        /// No two in-flight messages may share a (src, dst, tag)
+        /// triple. Worst-case skew is forced by posting *every* send of
+        /// many refreshes eagerly before draining the receives in
+        /// scrambled order: payloads encode (src, refresh, phase, side),
+        /// so any tag collision matches the wrong envelope and fails the
+        /// payload check. Tag bases start beyond the old `u32` overflow
+        /// point.
+        #[test]
+        fn inflight_tags_never_collide(
+            ranks_ix in 0usize..3,
+            nx in 12i32..24,
+            ny in 12i32..24,
+            refreshes in 1u64..5,
+        ) {
+            let ranks = [2usize, 4, 6][ranks_ix];
+            let dd = two_d_decomposition(Domain::new(nx, 4, ny), ranks, 2);
+            let dd_ref = &dd;
+            let base0 = u64::from(u32::MAX) / TAGS_PER_REFRESH + 7;
+            let sides = [
+                [HaloSide::West, HaloSide::East],
+                [HaloSide::South, HaloSide::North],
+            ];
+            run_ranks(ranks, move |mut rank| {
+                let me = rank.rank();
+                for t in 0..refreshes {
+                    for (phase, pair) in sides.iter().enumerate() {
+                        for (s_idx, &side) in pair.iter().enumerate() {
+                            let (di, dj) = side.offset();
+                            let peer = dd_ref.neighbor_periodic(me, di, dj);
+                            let payload =
+                                [me as f32, t as f32, phase as f32, s_idx as f32];
+                            rank.isend_f32(
+                                peer,
+                                side_tag(base0 + t, phase, s_idx),
+                                &payload,
+                            );
+                        }
+                    }
+                }
+                for t in (0..refreshes).rev() {
+                    for (phase, pair) in sides.iter().enumerate().rev() {
+                        for (s_idx, &side) in pair.iter().enumerate() {
+                            let (di, dj) = side.offset();
+                            let peer = dd_ref.neighbor_periodic(me, di, dj);
+                            // The peer sent toward us with the opposite
+                            // side's index.
+                            let opp = 1 - s_idx;
+                            let req = rank
+                                .irecv_f32(peer, side_tag(base0 + t, phase, opp));
+                            let data = rank.wait(req);
+                            assert_eq!(
+                                data,
+                                vec![peer as f32, t as f32, phase as f32, opp as f32],
+                                "rank {me} refresh {t} phase {phase} side {side:?}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
     }
 }

@@ -5,7 +5,51 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// Message tag (as in MPI, disambiguates concurrent exchanges).
-pub type Tag = u32;
+///
+/// 64-bit: halo engines derive tags from a per-exchange counter that
+/// advances every refresh of every scalar of every step, so a 32-bit
+/// space overflows on long runs (232 scalars × 4 refreshes × 16 slots
+/// per exchange ≈ 15k tags/step wraps `u32` within ~290k steps, and
+/// wrapped tags alias between steps).
+pub type Tag = u64;
+
+/// How halo exchanges are executed by the model layers above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommMode {
+    /// Post a full four-side exchange and block before computing
+    /// anything — the paper's Table VII baseline behaviour.
+    #[default]
+    Blocking,
+    /// `isend`/`irecv` the halos, advance interior tendencies on the
+    /// executor pool while messages are in flight, then unpack and
+    /// finish the boundary frame on completion.
+    Overlapped,
+}
+
+impl CommMode {
+    /// Stable lowercase name (used in reports and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommMode::Blocking => "blocking",
+            CommMode::Overlapped => "overlapped",
+        }
+    }
+
+    /// Parses `name()` output back; `None` for unknown strings.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "blocking" => Some(CommMode::Blocking),
+            "overlapped" => Some(CommMode::Overlapped),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CommMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 #[derive(Debug)]
 struct Envelope {
@@ -142,6 +186,63 @@ impl Rank {
         None
     }
 
+    /// Nonblocking send: identical transport to [`Rank::send_f32`]
+    /// (buffered eager push), named separately so call sites document
+    /// intent and the cost model can account the post separately from
+    /// the completion.
+    pub fn isend_f32(&self, to: usize, tag: Tag, data: &[f32]) {
+        self.send_f32(to, tag, data);
+    }
+
+    /// Posts a nonblocking receive for (`from`, `tag`). The returned
+    /// request completes on [`Rank::wait`] / [`Rank::test`] /
+    /// [`Rank::wait_all`]; a message that already arrived is captured
+    /// immediately.
+    pub fn irecv_f32(&mut self, from: usize, tag: Tag) -> RecvRequest {
+        assert!(from < self.size, "irecv from rank {from} of {}", self.size);
+        let data = self.match_pending(from, tag);
+        RecvRequest { from, tag, data }
+    }
+
+    fn match_pending(&mut self, from: usize, tag: Tag) -> Option<Vec<f32>> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            return Some(self.pending.swap_remove(pos).payload);
+        }
+        while let Ok(env) = self.inbox.try_recv() {
+            if env.from == from && env.tag == tag {
+                return Some(env.payload);
+            }
+            self.pending.push(env);
+        }
+        None
+    }
+
+    /// Nonblocking completion check; fills the request's payload when
+    /// the matching message has arrived.
+    pub fn test(&mut self, req: &mut RecvRequest) -> bool {
+        if req.data.is_none() {
+            req.data = self.match_pending(req.from, req.tag);
+        }
+        req.data.is_some()
+    }
+
+    /// Blocks until `req` completes and returns its payload.
+    pub fn wait(&mut self, mut req: RecvRequest) -> Vec<f32> {
+        if let Some(data) = req.data.take() {
+            return data;
+        }
+        self.recv_f32(req.from, req.tag)
+    }
+
+    /// Waits for every request, returning payloads in request order.
+    pub fn wait_all(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<f32>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
     /// Sum all-reduce over `f64`.
     pub fn allreduce_sum(&self, x: f64) -> f64 {
         self.collective.allreduce(x).0
@@ -155,6 +256,32 @@ impl Rank {
     /// Barrier across all ranks.
     pub fn barrier(&self) {
         let _ = self.collective.allreduce(0.0);
+    }
+}
+
+/// Handle to an in-flight nonblocking receive posted by
+/// [`Rank::irecv_f32`].
+#[derive(Debug)]
+pub struct RecvRequest {
+    from: usize,
+    tag: Tag,
+    data: Option<Vec<f32>>,
+}
+
+impl RecvRequest {
+    /// Source rank this request matches.
+    pub fn from(&self) -> usize {
+        self.from
+    }
+
+    /// Tag this request matches.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// True once the matching message has been captured.
+    pub fn is_complete(&self) -> bool {
+        self.data.is_some()
     }
 }
 
@@ -300,6 +427,119 @@ mod tests {
             r.allreduce_sum(42.0)
         });
         assert_eq!(out, vec![42.0]);
+    }
+
+    #[test]
+    fn irecv_wait_roundtrip() {
+        let out = run_ranks(2, |mut r| {
+            if r.rank() == 0 {
+                r.isend_f32(1, 3, &[1.0, 2.0]);
+                0.0
+            } else {
+                let req = r.irecv_f32(0, 3);
+                let got = r.wait(req);
+                got[0] * 10.0 + got[1]
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn irecv_posted_before_send_completes_on_wait() {
+        run_ranks(2, |mut r| {
+            if r.rank() == 1 {
+                // Post before the sender has sent anything.
+                let req = r.irecv_f32(0, 5);
+                r.barrier();
+                assert_eq!(r.wait(req), vec![7.0]);
+            } else {
+                r.barrier();
+                r.isend_f32(1, 5, &[7.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        run_ranks(2, |mut r| {
+            if r.rank() == 1 {
+                let mut req = r.irecv_f32(0, 4);
+                assert!(!r.test(&mut req));
+                r.barrier();
+                // Sender has now pushed; poll until delivery.
+                while !r.test(&mut req) {
+                    std::thread::yield_now();
+                }
+                assert!(req.is_complete());
+                assert_eq!(r.wait(req), vec![9.0]);
+            } else {
+                r.barrier();
+                r.isend_f32(1, 4, &[9.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn wait_all_preserves_request_order() {
+        let out = run_ranks(2, |mut r| {
+            if r.rank() == 0 {
+                // Deliver out of order relative to the posted requests.
+                r.isend_f32(1, 11, &[2.0]);
+                r.isend_f32(1, 10, &[1.0]);
+                0.0
+            } else {
+                let reqs = vec![r.irecv_f32(0, 10), r.irecv_f32(0, 11)];
+                let got = r.wait_all(reqs);
+                got[0][0] * 10.0 + got[1][0]
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn nonblocking_and_blocking_recv_coexist() {
+        run_ranks(2, |mut r| {
+            if r.rank() == 0 {
+                r.isend_f32(1, 20, &[1.0]);
+                r.send_f32(1, 21, &[2.0]);
+            } else {
+                let req = r.irecv_f32(0, 20);
+                // Blocking recv of the *other* tag must buffer, not
+                // steal, the message the request matches.
+                assert_eq!(r.recv_f32(0, 21), vec![2.0]);
+                assert_eq!(r.wait(req), vec![1.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn tags_beyond_u32_do_not_alias() {
+        // Regression for the halo tag overflow: tags past u32::MAX must
+        // stay distinct from their 32-bit-wrapped aliases.
+        let big: Tag = u64::from(u32::MAX) + 16;
+        let alias: Tag = 15; // what (big) would wrap to in u32 arithmetic
+        let out = run_ranks(2, |mut r| {
+            if r.rank() == 0 {
+                r.send_f32(1, big, &[64.0]);
+                r.send_f32(1, alias, &[32.0]);
+                0.0
+            } else {
+                let hi = r.recv_f32(0, big)[0];
+                let lo = r.recv_f32(0, alias)[0];
+                hi - lo
+            }
+        });
+        assert_eq!(out[1], 32.0);
+    }
+
+    #[test]
+    fn comm_mode_names_round_trip() {
+        for m in [CommMode::Blocking, CommMode::Overlapped] {
+            assert_eq!(CommMode::parse(m.name()), Some(m));
+            assert_eq!(format!("{m}"), m.name());
+        }
+        assert_eq!(CommMode::parse("sideways"), None);
+        assert_eq!(CommMode::default(), CommMode::Blocking);
     }
 
     #[test]

@@ -44,6 +44,45 @@ impl Topology {
     }
 }
 
+/// Overlap accounting for nonblocking exchanges: how much of the
+/// modeled message time was hidden behind interior compute between the
+/// post and the completion, and how much stayed exposed on the
+/// critical path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Messages posted nonblocking.
+    pub posted: u64,
+    /// Messages completed (waited on).
+    pub completed: u64,
+    /// Total modeled seconds of posted messages.
+    pub posted_secs: f64,
+    /// Seconds hidden behind compute absorbed while in flight.
+    pub hidden_secs: f64,
+    /// Seconds left exposed on the critical path (charged to `secs`).
+    pub exposed_secs: f64,
+}
+
+impl OverlapStats {
+    /// Fraction of posted message time hidden behind compute; zero when
+    /// nothing was posted.
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.posted_secs > 0.0 {
+            self.hidden_secs / self.posted_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulates another rank's stats (for communicator-wide totals).
+    pub fn merge(&mut self, other: &OverlapStats) {
+        self.posted += other.posted;
+        self.completed += other.completed;
+        self.posted_secs += other.posted_secs;
+        self.hidden_secs += other.hidden_secs;
+        self.exposed_secs += other.exposed_secs;
+    }
+}
+
 /// Per-rank accumulated modeled communication cost.
 #[derive(Debug, Clone)]
 pub struct CommCost {
@@ -53,6 +92,12 @@ pub struct CommCost {
     secs: f64,
     bytes: u64,
     messages: u64,
+    /// Modeled cost of posted-but-uncompleted messages.
+    in_flight_secs: f64,
+    in_flight_msgs: u64,
+    /// Interior compute seconds absorbed since the oldest open post.
+    absorbed_secs: f64,
+    overlap: OverlapStats,
 }
 
 impl CommCost {
@@ -65,6 +110,10 @@ impl CommCost {
             secs: 0.0,
             bytes: 0,
             messages: 0,
+            in_flight_secs: 0.0,
+            in_flight_msgs: 0,
+            absorbed_secs: 0.0,
+            overlap: OverlapStats::default(),
         }
     }
 
@@ -78,6 +127,59 @@ impl CommCost {
         self.bytes += bytes;
         self.messages += 1;
         t
+    }
+
+    /// Prices a *nonblocking* point-to-point message of `bytes` to
+    /// `peer`. The cost is held in flight rather than charged to
+    /// `secs`; [`CommCost::complete_all`] later charges only the part
+    /// not hidden behind compute absorbed via
+    /// [`CommCost::absorb_compute`]. Returns the modeled seconds.
+    pub fn post_p2p(&mut self, peer: usize, bytes: u64) -> f64 {
+        let t = self
+            .net
+            .transfer_secs(bytes, self.topo.same_node(self.rank, peer));
+        self.bytes += bytes;
+        self.messages += 1;
+        self.in_flight_secs += t;
+        self.in_flight_msgs += 1;
+        self.overlap.posted += 1;
+        self.overlap.posted_secs += t;
+        t
+    }
+
+    /// Records `secs` of interior compute performed while messages are
+    /// in flight; this time is available to hide their cost. Compute
+    /// with nothing in flight hides nothing and is discarded.
+    pub fn absorb_compute(&mut self, secs: f64) {
+        if self.in_flight_msgs > 0 {
+            self.absorbed_secs += secs;
+        }
+    }
+
+    /// Completes every in-flight message: the modeled cost hidden by
+    /// absorbed compute vanishes from the critical path, the remainder
+    /// is charged to `secs`. Returns the exposed (charged) seconds.
+    pub fn complete_all(&mut self) -> f64 {
+        let hidden = self.in_flight_secs.min(self.absorbed_secs);
+        let exposed = self.in_flight_secs - hidden;
+        self.secs += exposed;
+        self.overlap.completed += self.in_flight_msgs;
+        self.overlap.hidden_secs += hidden;
+        self.overlap.exposed_secs += exposed;
+        self.in_flight_secs = 0.0;
+        self.in_flight_msgs = 0;
+        self.absorbed_secs = 0.0;
+        exposed
+    }
+
+    /// Messages currently posted but not completed.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight_msgs
+    }
+
+    /// Overlap accounting accumulated so far.
+    pub fn overlap(&self) -> &OverlapStats {
+        &self.overlap
     }
 
     /// Prices an all-reduce of `bytes` payload over all ranks
@@ -176,6 +278,86 @@ mod tests {
         let mut single = CommCost::new(SLINGSHOT, Topology::new(16, 16), 0);
         let mut multi = CommCost::new(SLINGSHOT, Topology::new(16, 4), 0);
         assert!(single.allreduce(8) < multi.allreduce(8));
+    }
+
+    #[test]
+    fn fully_absorbed_posts_cost_nothing() {
+        let mut c = CommCost::new(SLINGSHOT, Topology::new(4, 4), 0);
+        let t = c.post_p2p(1, 100_000);
+        assert!(t > 0.0);
+        assert_eq!(c.secs(), 0.0, "posted cost stays off the path");
+        c.absorb_compute(t * 10.0);
+        let exposed = c.complete_all();
+        assert_eq!(exposed, 0.0);
+        assert_eq!(c.secs(), 0.0);
+        let o = c.overlap();
+        assert_eq!(o.posted, 1);
+        assert_eq!(o.completed, 1);
+        assert!((o.hidden_secs - t).abs() < 1e-15);
+        assert_eq!(o.exposed_secs, 0.0);
+        assert!((o.hidden_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unabsorbed_posts_charge_like_blocking() {
+        let t = Topology::new(4, 2);
+        let mut blocking = CommCost::new(SLINGSHOT, t, 0);
+        let mut overlapped = CommCost::new(SLINGSHOT, t, 0);
+        for peer in [1, 2, 3] {
+            blocking.p2p(peer, 50_000);
+            overlapped.post_p2p(peer, 50_000);
+        }
+        overlapped.complete_all();
+        assert!((blocking.secs() - overlapped.secs()).abs() < 1e-15);
+        assert_eq!(blocking.bytes(), overlapped.bytes());
+        assert_eq!(blocking.messages(), overlapped.messages());
+        assert_eq!(overlapped.overlap().hidden_fraction(), 0.0);
+    }
+
+    #[test]
+    fn partial_absorption_splits_hidden_and_exposed() {
+        let mut c = CommCost::new(SLINGSHOT, Topology::new(2, 1), 0);
+        let t = c.post_p2p(1, 1_000_000);
+        c.absorb_compute(t / 2.0);
+        let exposed = c.complete_all();
+        assert!((exposed - t / 2.0).abs() < 1e-15);
+        assert!((c.overlap().hidden_fraction() - 0.5).abs() < 1e-12);
+        assert!((c.secs() - t / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compute_outside_flight_window_hides_nothing() {
+        let mut c = CommCost::new(SLINGSHOT, Topology::new(2, 2), 0);
+        c.absorb_compute(1.0); // nothing posted: discarded
+        let t = c.post_p2p(1, 100_000);
+        let exposed = c.complete_all();
+        assert!((exposed - t).abs() < 1e-15);
+        c.absorb_compute(1.0); // nothing in flight again
+        assert_eq!(c.in_flight(), 0);
+        let t2 = c.post_p2p(1, 100_000);
+        assert_eq!(c.in_flight(), 1);
+        assert!((c.complete_all() - t2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlap_stats_merge_accumulates() {
+        let mut a = OverlapStats {
+            posted: 2,
+            completed: 2,
+            posted_secs: 1.0,
+            hidden_secs: 0.75,
+            exposed_secs: 0.25,
+        };
+        let b = OverlapStats {
+            posted: 1,
+            completed: 1,
+            posted_secs: 1.0,
+            hidden_secs: 0.25,
+            exposed_secs: 0.75,
+        };
+        a.merge(&b);
+        assert_eq!(a.posted, 3);
+        assert!((a.hidden_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]

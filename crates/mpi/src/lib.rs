@@ -15,6 +15,6 @@ pub mod comm;
 pub mod cost;
 pub mod placement;
 
-pub use comm::{run_ranks, Rank, Tag};
-pub use cost::{CommCost, Topology};
+pub use comm::{run_ranks, CommMode, Rank, RecvRequest, Tag};
+pub use cost::{CommCost, OverlapStats, Topology};
 pub use placement::{GpuAssignment, GpuPool};

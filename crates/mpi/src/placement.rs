@@ -72,13 +72,16 @@ impl GpuPool {
 
     /// Maximum ranks-per-GPU this pool can support with the given
     /// per-context stack size and per-rank slab bytes before OOM.
-    pub fn max_ranks_per_gpu(params: &GpuParams, stack_bytes: u64, slab_bytes: u64) -> usize {
+    /// Returns `None` when the per-rank footprint is zero: memory does
+    /// not bound the rank count then, and the old `usize::MAX` sentinel
+    /// overflowed any arithmetic callers did with it.
+    pub fn max_ranks_per_gpu(
+        params: &GpuParams,
+        stack_bytes: u64,
+        slab_bytes: u64,
+    ) -> Option<usize> {
         let per_rank = params.stack_pool_bytes(stack_bytes) + slab_bytes;
-        params
-            .hbm_bytes
-            .checked_div(per_rank)
-            .map(|n| n as usize)
-            .unwrap_or(usize::MAX)
+        params.hbm_bytes.checked_div(per_rank).map(|n| n as usize)
     }
 }
 
@@ -127,7 +130,18 @@ mod tests {
         // With the paper's stack setting and ~1.5 GB of slabs per rank,
         // 5 ranks fit per 80 GB A100 — the observed limit.
         let m = GpuPool::max_ranks_per_gpu(&A100, 65536, 1_500_000_000);
-        assert_eq!(m, 5);
+        assert_eq!(m, Some(5));
+    }
+
+    #[test]
+    fn zero_footprint_is_unbounded_not_max() {
+        // A rank with no stack pool and no slabs consumes nothing:
+        // memory imposes no limit, reported as None rather than the old
+        // usize::MAX sentinel.
+        assert_eq!(GpuPool::max_ranks_per_gpu(&A100, 0, 0), None);
+        // A slab-only footprint still divides normally.
+        let m = GpuPool::max_ranks_per_gpu(&A100, 0, 8_000_000_000);
+        assert_eq!(m, Some(10));
     }
 
     #[test]

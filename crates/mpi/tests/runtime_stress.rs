@@ -14,13 +14,13 @@ fn all_to_all_with_unique_tags() {
         let me = rank.rank();
         for peer in 0..n {
             if peer != me {
-                rank.send_f32(peer, me as u32, &[me as f32 * 10.0, peer as f32]);
+                rank.send_f32(peer, me as u64, &[me as f32 * 10.0, peer as f32]);
             }
         }
         let mut sum = 0.0;
         for peer in 0..n {
             if peer != me {
-                let msg = rank.recv_f32(peer, peer as u32);
+                let msg = rank.recv_f32(peer, peer as u64);
                 assert_eq!(msg[0], peer as f32 * 10.0);
                 assert_eq!(msg[1], me as f32);
                 sum += msg[0];

@@ -15,11 +15,13 @@
 //! [`Stopwatch`]) or the modeled times produced by `gpu-sim`/`mpi-sim`,
 //! so the same reports work for functional runs and performance-model runs.
 
+pub mod comm;
 pub mod exec;
 pub mod flat;
 pub mod ranges;
 pub mod table;
 
+pub use comm::comm_line;
 pub use exec::exec_line;
 pub use flat::{FlatProfiler, FlatReport, FlatRow};
 pub use ranges::{RangeProfiler, RangeReport, RangeRow};

@@ -14,7 +14,8 @@ fn main() {
     // ranks fit on an 80 GB A100 and the sixth OOMs — the paper's limit.
     println!("--- how many ranks fit one A100-80GB? ---");
     let slab_bytes: u64 = 1_500_000_000;
-    let max = GpuPool::max_ranks_per_gpu(&A100, 65536, slab_bytes);
+    let max =
+        GpuPool::max_ranks_per_gpu(&A100, 65536, slab_bytes).expect("nonzero per-rank footprint");
     println!("model says: {max} ranks/GPU (paper observed 5)");
 
     let pool = GpuPool::new(A100, 1, 8);
