@@ -60,8 +60,19 @@ step_comm() {
     cargo run --release -q -p wrf-bench --bin repro -- comm
 }
 
+# The fault gate: for every scheme version x comm mode, kill a rank
+# mid-run, let the supervisor relaunch from the newest complete
+# checkpoint set, and require the recovered digests to match an
+# uninterrupted golden run bit for bit. Writes BENCH_fault.json.
+# The failure-detection timeout is wall-clock, but only bounds how long
+# survivors wait before reporting the scripted kill — recovery
+# correctness itself is deterministic.
+step_fault() {
+    cargo run --release -q -p wrf-bench --bin repro -- fault
+}
+
 usage() {
-    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|comm|all]" >&2
+    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|comm|fault|all]" >&2
     exit 2
 }
 
@@ -71,9 +82,9 @@ run_step() {
 }
 
 case "${1:-all}" in
-    build|test|clippy|docs|fmt|gate|comm) run_step "$1" ;;
+    build|test|clippy|docs|fmt|gate|comm|fault) run_step "$1" ;;
     all)
-        for s in build test clippy docs fmt gate comm; do
+        for s in build test clippy docs fmt gate comm fault; do
             run_step "$s"
         done
         echo "==> ci.sh: all steps passed"

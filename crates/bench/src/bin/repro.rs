@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|gate|comm|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|gate|comm|fault|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
@@ -11,6 +11,10 @@
 //! `comm` runs the communication gate (Blocking vs Overlapped digest
 //! equivalence for every version, plus the 16-rank overlap bench) and
 //! writes `BENCH_comm.json` with per-rank overlap stats.
+//! `fault` runs the fault gate (kill a rank mid-run, recover from the
+//! newest checkpoint set, require bitwise agreement with an
+//! uninterrupted run for every version x comm mode) and writes
+//! `BENCH_fault.json`.
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -262,6 +266,98 @@ fn comm(args: &[String]) -> i32 {
     }
 }
 
+/// Parses `repro fault` flags into a [`wrf_gate::FaultGateConfig`] plus
+/// the report path.
+fn fault_config(args: &[String]) -> Result<(wrf_gate::FaultGateConfig, String), String> {
+    let mut cfg = wrf_gate::FaultGateConfig::default();
+    let mut report = "BENCH_fault.json".to_string();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        let parse_err = |e: String| format!("{arg}: {e}");
+        match arg.as_str() {
+            "--ranks" => {
+                cfg.ranks = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--interval" => {
+                cfg.interval = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--kill-rank" => {
+                cfg.kill_rank = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--kill-step" => {
+                cfg.kill_step = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--max-attempts" => {
+                cfg.max_attempts = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--timeout-ms" => {
+                cfg.timeout = std::time::Duration::from_millis(
+                    value(&mut it, arg)?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?,
+                )
+            }
+            "--report" => report = value(&mut it, arg)?,
+            other => {
+                return Err(format!(
+                    "unknown fault flag {other}; flags: --ranks N --interval N \
+                     --kill-rank N --kill-step N --max-attempts N --timeout-ms N \
+                     --report PATH"
+                ))
+            }
+        }
+    }
+    Ok((cfg, report))
+}
+
+/// Runs the fault gate and returns the process exit code.
+fn fault(args: &[String]) -> i32 {
+    let (cfg, report_path) = match fault_config(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repro fault: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "[repro] fault: kill rank {} at step {}, recover, for {} versions x 2 comm modes \
+         at {} ranks...",
+        cfg.kill_rank,
+        cfg.kill_step,
+        fsbm_core::scheme::SbmVersion::ALL.len(),
+        cfg.ranks
+    );
+    let rep = wrf_gate::run_fault_gate(&cfg);
+    print!("{}", rep.rendered());
+    match std::fs::write(&report_path, rep.to_json()) {
+        Ok(()) => eprintln!("[repro] fault report written to {report_path}"),
+        Err(e) => eprintln!("[repro] could not write {report_path}: {e}"),
+    }
+    for v in rep.violations() {
+        eprintln!("repro fault: VIOLATION: {v}");
+    }
+    if rep.pass() {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if what == "gate" {
@@ -271,6 +367,10 @@ fn main() {
     if what == "comm" {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(comm(&args));
+    }
+    if what == "fault" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(fault(&args));
     }
     let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {
@@ -353,7 +453,7 @@ fn main() {
     if !emitted {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
-             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|gate|comm|all"
+             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|gate|comm|fault|all"
         );
         std::process::exit(2);
     }

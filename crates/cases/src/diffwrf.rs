@@ -22,13 +22,23 @@ pub struct FieldDiff {
     pub max_abs: f64,
     /// RMS of the differences.
     pub rms: f64,
+    /// Value pairs where either side is non-finite and the bits differ.
+    /// Any such pair forces `max_rel`/`max_abs` to infinity and
+    /// `digits` to 0: a NaN that appears in only one run is the
+    /// strongest possible disagreement, not a value to ignore.
+    pub nonfinite: usize,
     /// Agreed significant digits: `floor(−log₁₀ max_rel)`, 15 when
-    /// bit-identical.
+    /// bit-identical, 0 when any pair disagrees non-finitely.
     pub digits: u32,
 }
 
 fn digits_of(max_rel: f64) -> u32 {
-    if max_rel <= 0.0 {
+    if !max_rel.is_finite() {
+        // NaN or infinite max_rel means a non-finite disagreement;
+        // `<= 0.0` would read NaN as "15 digits", the worst direction
+        // to be wrong in.
+        0
+    } else if max_rel <= 0.0 {
         15
     } else {
         (-max_rel.log10()).floor().clamp(0.0, 15.0) as u32
@@ -40,7 +50,20 @@ fn diff_slices(name: &str, a: &[f32], b: &[f32], scale: f32) -> FieldDiff {
     let mut max_rel = 0.0f64;
     let mut max_abs = 0.0f64;
     let mut sq = 0.0f64;
+    let mut nonfinite = 0usize;
     for (&x, &y) in a.iter().zip(b) {
+        if x.to_bits() == y.to_bits() {
+            // Bit-identical — including two NaNs with the same payload,
+            // which `(x - y).abs()` would otherwise turn into NaN and
+            // `f64::max` would then silently discard.
+            continue;
+        }
+        if !x.is_finite() || !y.is_finite() {
+            nonfinite += 1;
+            max_rel = f64::INFINITY;
+            max_abs = f64::INFINITY;
+            continue;
+        }
         let d = (x - y).abs() as f64;
         max_abs = max_abs.max(d);
         sq += d * d;
@@ -52,6 +75,7 @@ fn diff_slices(name: &str, a: &[f32], b: &[f32], scale: f32) -> FieldDiff {
         max_rel,
         max_abs,
         rms: (sq / a.len().max(1) as f64).sqrt(),
+        nonfinite,
         digits: digits_of(max_rel),
     }
 }
@@ -92,7 +116,9 @@ impl DiffReport {
 
     /// True when every field is bit-identical.
     pub fn identical(&self) -> bool {
-        self.fields.iter().all(|f| f.max_abs == 0.0)
+        self.fields
+            .iter()
+            .all(|f| f.max_abs == 0.0 && f.nonfinite == 0)
     }
 }
 
@@ -210,6 +236,58 @@ mod tests {
         let r = diffwrf(&a, &b);
         assert!(r.min_microphysics_digits() <= 3);
         assert_eq!(r.min_state_digits(), 15);
+    }
+
+    #[test]
+    fn all_zero_fields_report_full_agreement() {
+        let mut a = state();
+        for v in a.rainnc.iter_mut() {
+            *v = 0.0;
+        }
+        let b = a.clone();
+        let r = diffwrf(&a, &b);
+        let rain = r.field("RAINNC").unwrap();
+        // 0/0 must not produce NaN digits: identical zeros are 15.
+        assert_eq!(rain.digits, 15);
+        assert_eq!(rain.nonfinite, 0);
+        assert!(r.identical());
+    }
+
+    #[test]
+    fn nan_payload_is_not_silently_identical() {
+        let a = state();
+        let mut b = a.clone();
+        b.tt.as_mut_slice()[0] = f32::NAN;
+        let r = diffwrf(&a, &b);
+        let t = r.field("T").unwrap();
+        assert_eq!(t.digits, 0, "a NaN in one run must read as 0 digits");
+        assert_eq!(t.nonfinite, 1);
+        assert!(t.max_rel.is_infinite());
+        assert!(!r.identical());
+    }
+
+    #[test]
+    fn matching_nan_payloads_are_identical() {
+        let mut a = state();
+        a.qv.as_mut_slice()[3] = f32::NAN;
+        let b = a.clone();
+        let r = diffwrf(&a, &b);
+        let q = r.field("QVAPOR").unwrap();
+        assert_eq!(q.digits, 15);
+        assert_eq!(q.nonfinite, 0);
+        assert!(r.identical());
+    }
+
+    #[test]
+    fn infinity_mismatch_detected() {
+        let a = state();
+        let mut b = a.clone();
+        b.tt.as_mut_slice()[7] = f32::INFINITY;
+        let r = diffwrf(&a, &b);
+        let t = r.field("T").unwrap();
+        assert_eq!(t.digits, 0);
+        assert_eq!(t.nonfinite, 1);
+        assert!(!r.identical());
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! The fault gate (`repro fault`): bitwise recovery from rank death.
+//!
+//! The enforced claim: for every scheme version × comm mode, a run in
+//! which a rank is killed mid-integration and the supervisor relaunches
+//! from the newest complete checkpoint set produces per-rank digests
+//! *bitwise-identical* to an uninterrupted golden run. Checkpointing,
+//! failure detection, and relaunch may cost wall time, but they may not
+//! change a bit of the weather — the §VII-B `diffwrf` bar applied to
+//! fault tolerance.
+//!
+//! Each check scripts one kill through an [`mpi_sim::FaultPlan`] at a
+//! step strictly after the first checkpoint of half the runs (and
+//! before it for none — the interval and kill step are chosen so the
+//! relaunch genuinely resumes from disk, not from a cold start). The
+//! outcome is `BENCH_fault.json` next to the other gate artifacts; any
+//! violation makes `repro fault` exit nonzero.
+
+use crate::golden::compare_digests;
+use crate::json::escape;
+use fsbm_core::exec::ExecMode;
+use fsbm_core::scheme::SbmVersion;
+use miniwrf::config::ModelConfig;
+use miniwrf::parallel::run_parallel;
+use miniwrf::restart::{run_parallel_restartable, RestartConfig};
+use mpi_sim::{CommMode, FaultPlan};
+use prof_sim::{recovery_line, TextTable};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of one fault-gate invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultGateConfig {
+    /// Ranks of every run.
+    pub ranks: usize,
+    /// Steps integrated (the gate case's pinned length).
+    pub steps: usize,
+    /// Steps between checkpoints.
+    pub interval: usize,
+    /// The rank the fault plan kills.
+    pub kill_rank: usize,
+    /// The 0-based step at which it dies.
+    pub kill_step: u64,
+    /// Supervisor relaunch budget.
+    pub max_attempts: usize,
+    /// Failure-detection timeout per rank. Short, because the gate
+    /// *wants* a failure: every millisecond here is paid once per
+    /// surviving rank per faulted arm.
+    pub timeout: Duration,
+}
+
+impl Default for FaultGateConfig {
+    fn default() -> Self {
+        FaultGateConfig {
+            ranks: 4,
+            steps: ModelConfig::GATE_STEPS,
+            interval: 2,
+            kill_rank: 1,
+            // Dies beginning step 2 (0-based): the step-2 checkpoint
+            // exists, so recovery must resume from disk and replay
+            // steps 2..4 — exercising both the write and read paths.
+            kill_step: 2,
+            max_attempts: 3,
+            timeout: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// One version × comm-mode recovery check.
+#[derive(Debug, Clone)]
+pub struct FaultCheck {
+    /// Scheme version under test.
+    pub version: &'static str,
+    /// Comm mode of both runs.
+    pub mode: &'static str,
+    /// Supervisor launches (must be ≥ 2 — the fault has to fire).
+    pub attempts: usize,
+    /// Checkpoint step the relaunch resumed from.
+    pub restarted_from: Option<u64>,
+    /// Steps integrated twice.
+    pub steps_replayed: u64,
+    /// Restart files written across attempts.
+    pub checkpoint_writes: u64,
+    /// Wall seconds thrown away on failed attempts.
+    pub recovery_secs: f64,
+    /// True when every rank's recovered digest matched the golden
+    /// bit for bit.
+    pub bitwise: bool,
+    /// Minimum agreed digits across ranks and fields.
+    pub min_digits: u32,
+    /// Worst-agreeing field (empty when bitwise).
+    pub worst_field: String,
+    /// True when the check passed.
+    pub pass: bool,
+    /// Failure details (empty when passing).
+    pub violations: Vec<String>,
+}
+
+/// The fault gate's full outcome.
+#[derive(Debug, Clone)]
+pub struct FaultGateReport {
+    /// Configuration the gate ran with.
+    pub cfg: FaultGateConfig,
+    /// Per version × mode checks.
+    pub checks: Vec<FaultCheck>,
+}
+
+impl FaultGateReport {
+    /// True when every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// All violation strings.
+    pub fn violations(&self) -> Vec<String> {
+        self.checks
+            .iter()
+            .flat_map(|c| {
+                c.violations
+                    .iter()
+                    .map(move |x| format!("fault: {} {}: {x}", c.version, c.mode))
+            })
+            .collect()
+    }
+
+    /// Human-readable rendering: recovery table plus per-check
+    /// recovery lines.
+    pub fn rendered(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "=== repro fault: kill rank {} at step {}, checkpoint every {} of {} steps, {} ranks ===",
+            self.cfg.kill_rank, self.cfg.kill_step, self.cfg.interval, self.cfg.steps, self.cfg.ranks
+        );
+        let mut t = TextTable::new(&[
+            "version",
+            "comm",
+            "attempts",
+            "resumed from",
+            "replayed",
+            "bitwise",
+            "result",
+        ]);
+        for c in &self.checks {
+            t.push_row(vec![
+                c.version.to_string(),
+                c.mode.to_string(),
+                c.attempts.to_string(),
+                c.restarted_from
+                    .map_or("-".to_string(), |s| format!("step {s}")),
+                c.steps_replayed.to_string(),
+                if c.bitwise { "yes" } else { "no" }.to_string(),
+                if c.pass { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        s.push_str(&t.rendered());
+        s.push('\n');
+        for c in &self.checks {
+            let _ = writeln!(
+                s,
+                "{} {}: {}",
+                c.version,
+                c.mode,
+                recovery_line(
+                    c.attempts,
+                    c.restarted_from,
+                    c.steps_replayed,
+                    c.checkpoint_writes,
+                    c.recovery_secs,
+                )
+            );
+        }
+        let _ = writeln!(
+            s,
+            "fault gate: {}",
+            if self.pass() { "pass" } else { "FAIL" }
+        );
+        s
+    }
+
+    /// Renders the machine-readable `BENCH_fault.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"fault\",\n  \"format\": 1,\n");
+        let _ = writeln!(s, "  \"pass\": {},", self.pass());
+        let _ = writeln!(
+            s,
+            "  \"case\": {{\"ranks\": {}, \"steps\": {}, \"interval\": {}, \
+             \"kill_rank\": {}, \"kill_step\": {}, \"timeout_ms\": {}}},",
+            self.cfg.ranks,
+            self.cfg.steps,
+            self.cfg.interval,
+            self.cfg.kill_rank,
+            self.cfg.kill_step,
+            self.cfg.timeout.as_millis()
+        );
+        s.push_str("  \"checks\": [\n");
+        for (n, c) in self.checks.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"version\": \"{}\", \"mode\": \"{}\", \"attempts\": {}, \
+                 \"restarted_from\": {}, \"steps_replayed\": {}, \
+                 \"checkpoint_writes\": {}, \"recovery_secs\": {:.6}, \
+                 \"bitwise\": {}, \"min_digits\": {}, \"worst_field\": \"{}\", \
+                 \"pass\": {}}}{}",
+                escape(c.version),
+                escape(c.mode),
+                c.attempts,
+                c.restarted_from
+                    .map_or("null".to_string(), |v| v.to_string()),
+                c.steps_replayed,
+                c.checkpoint_writes,
+                c.recovery_secs,
+                c.bitwise,
+                c.min_digits,
+                escape(&c.worst_field),
+                c.pass,
+                if n + 1 < self.checks.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Runs the fault gate: for every scheme version × comm mode, one
+/// golden run and one supervised run with a scripted kill, compared
+/// digest-for-digest.
+pub fn run_fault_gate(gcfg: &FaultGateConfig) -> FaultGateReport {
+    let mut checks = Vec::new();
+    for version in SbmVersion::ALL {
+        for mode in [CommMode::Blocking, CommMode::Overlapped] {
+            let mut cfg = ModelConfig::gate(version, ExecMode::work_steal(), 3);
+            cfg.ranks = gcfg.ranks;
+            cfg.comm = mode;
+            let golden = run_parallel(cfg, gcfg.steps);
+            let dir = std::env::temp_dir().join(format!(
+                "wrf_fault_gate_{}_{}_{}",
+                version.label(),
+                mode.name(),
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let rcfg = RestartConfig {
+                dir: dir.clone(),
+                interval: gcfg.interval,
+                max_attempts: gcfg.max_attempts,
+                timeout: gcfg.timeout,
+            };
+            let plan = Arc::new(FaultPlan::new().kill_rank_at(gcfg.kill_rank, gcfg.kill_step));
+            let outcome = run_parallel_restartable(cfg, gcfg.steps, &rcfg, Some(plan));
+            let _ = std::fs::remove_dir_all(&dir);
+            let check = match outcome {
+                Ok((run, stats)) => {
+                    let mut bitwise = true;
+                    let mut min_digits = 15u32;
+                    let mut worst_field = String::new();
+                    for (g, r) in golden.states.iter().zip(run.states.iter()) {
+                        let cmp = compare_digests(&g.digest(), &r.digest());
+                        if !cmp.bitwise() {
+                            bitwise = false;
+                        }
+                        if cmp.min_digits() < min_digits {
+                            min_digits = cmp.min_digits();
+                            worst_field = cmp.worst().map(|f| f.name.clone()).unwrap_or_default();
+                        }
+                    }
+                    let mut violations = Vec::new();
+                    if !bitwise {
+                        violations.push(format!(
+                            "recovered digests differ from uninterrupted golden \
+                             (min digits {min_digits}, worst {worst_field})"
+                        ));
+                    }
+                    if stats.attempts < 2 {
+                        violations
+                            .push(format!("fault never fired: {} attempt(s)", stats.attempts));
+                    }
+                    FaultCheck {
+                        version: version.label(),
+                        mode: mode.name(),
+                        attempts: stats.attempts,
+                        restarted_from: stats.restarts_from.last().copied(),
+                        steps_replayed: stats.steps_replayed,
+                        checkpoint_writes: stats.checkpoint_writes,
+                        recovery_secs: stats.recovery_wall_secs,
+                        bitwise,
+                        min_digits,
+                        worst_field,
+                        pass: violations.is_empty(),
+                        violations,
+                    }
+                }
+                Err(e) => FaultCheck {
+                    version: version.label(),
+                    mode: mode.name(),
+                    attempts: gcfg.max_attempts,
+                    restarted_from: None,
+                    steps_replayed: 0,
+                    checkpoint_writes: 0,
+                    recovery_secs: 0.0,
+                    bitwise: false,
+                    min_digits: 0,
+                    worst_field: String::new(),
+                    pass: false,
+                    violations: vec![format!("supervisor failed to recover: {e}")],
+                },
+            };
+            checks.push(check);
+        }
+    }
+    FaultGateReport { cfg: *gcfg, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(bitwise: bool, attempts: usize) -> FaultCheck {
+        FaultCheck {
+            version: "baseline",
+            mode: "blocking",
+            attempts,
+            restarted_from: Some(2),
+            steps_replayed: 2,
+            checkpoint_writes: 4,
+            recovery_secs: 0.25,
+            bitwise,
+            min_digits: if bitwise { 15 } else { 3 },
+            worst_field: if bitwise { String::new() } else { "T".into() },
+            pass: bitwise && attempts >= 2,
+            violations: if bitwise && attempts >= 2 {
+                Vec::new()
+            } else {
+                vec!["recovered digests differ".into()]
+            },
+        }
+    }
+
+    #[test]
+    fn divergent_recovery_fails_the_gate() {
+        let good = FaultGateReport {
+            cfg: FaultGateConfig::default(),
+            checks: vec![check(true, 2)],
+        };
+        assert!(good.pass());
+        assert!(good.violations().is_empty());
+        let bad = FaultGateReport {
+            cfg: FaultGateConfig::default(),
+            checks: vec![check(true, 2), check(false, 2)],
+        };
+        assert!(!bad.pass());
+        assert!(bad.violations()[0].contains("fault: baseline blocking"));
+    }
+
+    #[test]
+    fn json_and_rendering_carry_the_verdict() {
+        let rep = FaultGateReport {
+            cfg: FaultGateConfig::default(),
+            checks: vec![check(true, 2)],
+        };
+        let json = rep.to_json();
+        assert!(json.contains("\"bench\": \"fault\""));
+        assert!(json.contains("\"pass\": true"));
+        assert!(json.contains("\"restarted_from\": 2"));
+        assert!(json.contains("\"bitwise\": true"));
+        let text = rep.rendered();
+        assert!(text.contains("recovery: attempts=2"));
+        assert!(text.contains("from=step2"));
+        assert!(text.contains("fault gate: pass"));
+    }
+
+    /// The real thing, reduced: one version × one mode through the full
+    /// kill → detect → relaunch → compare pipeline. The `repro fault`
+    /// binary covers the whole matrix; the unit test keeps CI honest if
+    /// that step is skipped.
+    #[test]
+    fn single_arm_recovers_bitwise() {
+        let gcfg = FaultGateConfig {
+            timeout: Duration::from_millis(400),
+            ..FaultGateConfig::default()
+        };
+        let version = SbmVersion::Lookup;
+        let mut cfg = ModelConfig::gate(version, ExecMode::work_steal(), 2);
+        cfg.ranks = gcfg.ranks;
+        let golden = run_parallel(cfg, gcfg.steps);
+        let dir = std::env::temp_dir().join(format!("wrf_fault_unit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rcfg = RestartConfig {
+            dir: dir.clone(),
+            interval: gcfg.interval,
+            max_attempts: gcfg.max_attempts,
+            timeout: gcfg.timeout,
+        };
+        let plan = Arc::new(FaultPlan::new().kill_rank_at(gcfg.kill_rank, gcfg.kill_step));
+        let (run, stats) = run_parallel_restartable(cfg, gcfg.steps, &rcfg, Some(plan)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.restarts_from, vec![2]);
+        for (g, r) in golden.states.iter().zip(run.states.iter()) {
+            assert!(compare_digests(&g.digest(), &r.digest()).bitwise());
+        }
+    }
+}

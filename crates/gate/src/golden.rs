@@ -36,9 +36,13 @@ pub struct FieldComparison {
     pub digits: u32,
 }
 
-/// Digit count from a maximum relative error.
+/// Digit count from a maximum relative error. A non-finite `max_rel`
+/// (NaN or infinity, from a non-finite disagreement) is 0 digits —
+/// `<= 0.0` would read NaN as full agreement, the dangerous direction.
 pub fn digits_of(max_rel: f64) -> u32 {
-    if max_rel <= 0.0 {
+    if !max_rel.is_finite() {
+        0
+    } else if max_rel <= 0.0 {
         15
     } else {
         (-max_rel.log10()).floor().clamp(0.0, 15.0) as u32
@@ -61,7 +65,17 @@ fn denom_floor(name: &str) -> f64 {
 }
 
 fn rel(a: f64, b: f64, floor: f64) -> f64 {
+    if a.to_bits() == b.to_bits() {
+        // Bit-identical, including matching NaN payloads and equal
+        // infinities: `(a - b)` would yield NaN for those and the
+        // caller's `f64::max` would silently drop it.
+        return 0.0;
+    }
     let d = (a - b).abs();
+    if !d.is_finite() {
+        // A NaN or infinity on one side only is total disagreement.
+        return f64::INFINITY;
+    }
     if d == 0.0 {
         0.0
     } else {
@@ -127,7 +141,18 @@ pub fn compare_digests(golden: &StateDigest, candidate: &StateDigest) -> DigestC
         let mut max_ulp = 0u32;
         let mut sq = 0.0f64;
         for (&gb, &cb) in g.samples.iter().zip(&c.samples) {
+            if gb == cb {
+                continue;
+            }
             let (x, y) = (f32::from_bits(gb), f32::from_bits(cb));
+            if !x.is_finite() || !y.is_finite() {
+                // Non-finite on one side: force the worst verdict
+                // rather than letting NaN vanish inside f64::max.
+                max_rel = f64::INFINITY;
+                max_abs = f64::INFINITY;
+                max_ulp = u32::MAX;
+                continue;
+            }
             let d = (x as f64 - y as f64).abs();
             max_abs = max_abs.max(d);
             sq += d * d;
@@ -487,5 +512,7 @@ mod tests {
         assert_eq!(digits_of(1.0e-6), 6);
         assert_eq!(digits_of(0.5), 0);
         assert_eq!(digits_of(2.0), 0);
+        assert_eq!(digits_of(f64::NAN), 0, "NaN must not read as agreement");
+        assert_eq!(digits_of(f64::INFINITY), 0);
     }
 }

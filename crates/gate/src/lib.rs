@@ -25,6 +25,7 @@
 //! `repro gate --bless` regenerates the golden fixtures.
 
 pub mod comm;
+pub mod fault;
 pub mod fixture;
 pub mod golden;
 pub mod json;
@@ -32,6 +33,7 @@ pub mod perf;
 pub mod report;
 
 pub use comm::{run_comm_gate, CommGateConfig, CommGateReport};
+pub use fault::{run_fault_gate, FaultGateConfig, FaultGateReport};
 pub use fixture::GoldenFixture;
 pub use golden::{GoldenPolicy, GoldenRunSpec};
 pub use perf::{BenchCase, Tolerances};

@@ -12,6 +12,7 @@
 use miniwrf::model::Model;
 use miniwrf::namelist::config_from_namelist;
 use miniwrf::parallel::run_parallel;
+use miniwrf::restart::{run_parallel_restartable, RestartConfig};
 use wrf_cases::wrfout::save_state;
 
 fn main() {
@@ -50,7 +51,33 @@ fn main() {
     );
 
     if cfg.ranks > 1 {
-        let out = run_parallel(cfg, steps);
+        // With &time_control restart_interval > 0, run under the
+        // fault-tolerant supervisor: periodic per-rank restart files
+        // and automatic relaunch from the newest complete set.
+        let out = if cfg.restart_interval > 0 {
+            let rcfg = RestartConfig::new("restart", cfg.restart_interval);
+            match run_parallel_restartable(cfg, steps, &rcfg, None) {
+                Ok((out, stats)) => {
+                    println!(
+                        "{}",
+                        prof_sim::recovery_line(
+                            stats.attempts,
+                            stats.restarts_from.last().copied(),
+                            stats.steps_replayed,
+                            stats.checkpoint_writes,
+                            stats.recovery_wall_secs,
+                        )
+                    );
+                    out
+                }
+                Err(e) => {
+                    eprintln!("miniwrf: supervised run failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            run_parallel(cfg, steps)
+        };
         let precip: f64 = out.reports.iter().map(|r| r.precip).sum();
         let entries: u64 = out.reports.iter().map(|r| r.coal_entries).sum();
         println!("steps: {steps}");

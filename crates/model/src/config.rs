@@ -38,6 +38,10 @@ pub struct ModelConfig {
     /// (`SbmStepStats::coal_profile`) for schedule replay in
     /// `bench-exec`; off by default.
     pub profile_coal: bool,
+    /// Steps between WRF-style restart checkpoints (namelist
+    /// `restart_interval`, here in steps rather than minutes). 0
+    /// disables checkpointing.
+    pub restart_interval: usize,
 }
 
 impl ModelConfig {
@@ -56,6 +60,7 @@ impl ModelConfig {
             comm: CommMode::Blocking,
             cached_kernels: false,
             profile_coal: false,
+            restart_interval: 0,
         }
     }
 
@@ -76,6 +81,7 @@ impl ModelConfig {
             comm: CommMode::Blocking,
             cached_kernels: true,
             profile_coal: false,
+            restart_interval: 0,
         }
     }
 

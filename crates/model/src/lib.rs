@@ -26,12 +26,14 @@ pub mod model;
 pub mod namelist;
 pub mod parallel;
 pub mod perfmodel;
+pub mod restart;
 
 pub use config::ModelConfig;
 pub use model::{Model, RunReport, StepReport};
 pub use namelist::config_from_namelist;
-pub use parallel::{run_parallel, CommStats, ParallelRun};
+pub use parallel::{run_parallel, CommStats, ParallelRun, RankFailure};
 pub use perfmodel::{
     cpu_rank_step_time, experiment, gpu_rank_step_time, measure_coeffs, ExperimentResult,
     MeasuredCoeffs, PerfParams, RankStepTime, RankWork,
 };
+pub use restart::{find_latest_checkpoint, run_parallel_restartable, RecoveryStats, RestartConfig};

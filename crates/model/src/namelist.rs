@@ -43,14 +43,32 @@ impl std::error::Error for NamelistError {}
 /// A parsed namelist: group → key → raw value string.
 pub type Namelist = BTreeMap<String, BTreeMap<String, String>>;
 
+/// Removes a trailing `!` comment, but only outside quoted strings:
+/// Fortran namelists allow `!` inside character literals, so
+/// `title = 'conus!12km'  ! the real comment` keeps its value intact.
+fn strip_comment(raw: &str) -> &str {
+    let mut in_quote: Option<char> = None;
+    for (pos, c) in raw.char_indices() {
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None => match c {
+                '\'' | '"' => in_quote = Some(c),
+                '!' => return &raw[..pos],
+                _ => {}
+            },
+        }
+    }
+    raw
+}
+
 /// Parses namelist text into groups of key/value strings.
 pub fn parse(text: &str) -> Result<Namelist, NamelistError> {
     let mut out = Namelist::new();
     let mut current: Option<String> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
-        let no_comment = raw.split('!').next().unwrap_or("");
-        let trimmed = no_comment.trim();
+        let trimmed = strip_comment(raw).trim();
         if trimmed.is_empty() {
             continue;
         }
@@ -154,6 +172,14 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
     cfg.case.n_storms = get(&nl, "scenario", "n_storms", cfg.case.n_storms)?;
     cfg.case.seed = get(&nl, "scenario", "seed", cfg.case.seed)?;
     cfg.minutes = get(&nl, "domains", "run_minutes", cfg.minutes)?;
+    // WRF keeps restart cadence in &time_control (there in minutes;
+    // here in steps, matching the step-driven mini model). 0 = off.
+    cfg.restart_interval = get(
+        &nl,
+        "time_control",
+        "restart_interval",
+        cfg.restart_interval,
+    )?;
     cfg.ranks = get(&nl, "parallel", "nproc", cfg.ranks)?;
     cfg.tiles = get(&nl, "parallel", "numtiles", cfg.tiles)?;
     if let Some(name) = nl.get("physics").and_then(|g| g.get("mp_physics")) {
@@ -212,6 +238,31 @@ mod tests {
     fn comments_and_blank_lines_ignored() {
         let nl = parse("! all comments\n\n&a\n x = 1 ! trailing\n/\n").unwrap();
         assert_eq!(nl["a"]["x"], "1");
+    }
+
+    #[test]
+    fn bang_inside_quotes_is_not_a_comment() {
+        let nl = parse("&g\n title = 'conus!12km'\n/\n").unwrap();
+        assert_eq!(nl["g"]["title"], "conus!12km");
+        // Double quotes too, and a real comment after the string.
+        let nl = parse("&g\n t = \"a!b\" ! comment, x = 9\n/\n").unwrap();
+        assert_eq!(nl["g"]["t"], "a!b");
+        assert!(!nl["g"].contains_key("x"));
+        // An unterminated quote swallows the rest of the line rather
+        // than resurrecting the comment.
+        assert_eq!(
+            strip_comment("v = 'open ! not a comment"),
+            "v = 'open ! not a comment"
+        );
+    }
+
+    #[test]
+    fn restart_interval_parsed_from_time_control() {
+        let cfg = config_from_namelist("&time_control\n restart_interval = 6\n/\n").unwrap();
+        assert_eq!(cfg.restart_interval, 6);
+        // Default off.
+        let cfg = config_from_namelist("").unwrap();
+        assert_eq!(cfg.restart_interval, 0);
     }
 
     #[test]

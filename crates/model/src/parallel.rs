@@ -25,8 +25,11 @@ use fsbm_core::meter::PointWork;
 use fsbm_core::state::SbmPatchState;
 use fsbm_core::types::{NKR, NTYPES};
 use gpu_sim::machine::SLINGSHOT;
-use mpi_sim::comm::{run_ranks, CommMode, Rank, RecvRequest};
+use mpi_sim::comm::{run_ranks_with_faults, CommError, CommMode, Rank, RecvRequest};
 use mpi_sim::cost::{CommCost, OverlapStats, Topology};
+use mpi_sim::{FaultPlan, DEFAULT_TIMEOUT};
+use std::sync::Arc;
+use std::time::Duration;
 use wrf_dycore::HaloEngine;
 use wrf_exec::Executor;
 use wrf_grid::{
@@ -34,12 +37,42 @@ use wrf_grid::{
 };
 
 /// Output of a parallel run, rank-ordered.
+#[derive(Debug)]
 pub struct ParallelRun {
     /// Final state of every rank's patch.
     pub states: Vec<SbmPatchState>,
     /// Per-rank run reports.
     pub reports: Vec<RunReport>,
 }
+
+/// A rank that could not finish its attempt: either it was killed by a
+/// fault plan, or it detected a peer's death through a timed-out
+/// receive/collective. Carries the full (rank, step, error) context the
+/// supervisor logs before relaunching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFailure {
+    /// The reporting rank.
+    pub rank: usize,
+    /// The 0-based step it was executing.
+    pub step: u64,
+    /// What it observed.
+    pub error: CommError,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} failed at step {}: {}",
+            self.rank, self.step, self.error
+        )
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+/// Per-rank resume point: (completed steps, model clock bits, state).
+pub(crate) type StartPoint = (u64, f32, SbmPatchState);
 
 /// Per-rank modeled halo-communication summary (α–β cost model over the
 /// run's topology; the functional payload moves through shared memory
@@ -71,7 +104,9 @@ fn side_tag(tag_base: u64, phase: usize, s_idx: usize) -> u64 {
 }
 
 /// One blocking halo exchange of `field` with the four periodic
-/// neighbours, priced as four eagerly-sent messages on `cost`.
+/// neighbours, priced as four eagerly-sent messages on `cost`. A dead
+/// or unresponsive peer surfaces as `Err` with full context instead of
+/// the blind `expect` this path used to carry.
 fn exchange_halos(
     field: &mut Field3<f32>,
     rank: &mut Rank,
@@ -79,7 +114,7 @@ fn exchange_halos(
     me: usize,
     tag_base: u64,
     cost: &mut CommCost,
-) {
+) -> Result<(), CommError> {
     let patch = dd.patches[me];
     // Phase 1: west/east; phase 2: south/north (carries corners).
     for (phase, sides) in [
@@ -96,17 +131,18 @@ fn exchange_halos(
             buf.clear();
             pack_halo(field, &patch, side, &mut buf);
             cost.p2p(peer, (buf.len() * 4) as u64);
-            rank.send_f32(peer, side_tag(tag_base, phase, s_idx), &buf);
+            rank.send_f32_checked(peer, side_tag(tag_base, phase, s_idx), &buf)?;
         }
         for (s_idx, &side) in sides.iter().enumerate() {
             let (di, dj) = side.offset();
             let peer = dd.neighbor_periodic(me, di, dj);
             // The peer sent toward us with the *opposite* side's index.
             let tag = side_tag(tag_base, phase, 1 - s_idx);
-            let data = rank.recv_f32(peer, tag);
+            let data = rank.recv_f32_checked(peer, tag)?;
             unpack_halo(field, &patch, side, &data);
         }
     }
+    Ok(())
 }
 
 /// The nonblocking exchange engine: each refresh becomes two dependent
@@ -131,6 +167,11 @@ struct MpiHaloEngine<'a> {
     tag_base: u64,
     pending: Vec<(HaloSide, RecvRequest)>,
     buf: Vec<f32>,
+    /// First communication error of the step. The `HaloEngine` trait's
+    /// hooks return `()`, so the error is latched here and every later
+    /// hook short-circuits — without the latch, a dead peer would cost
+    /// one full timeout per remaining scalar rather than one total.
+    error: Option<CommError>,
 }
 
 impl<'a> MpiHaloEngine<'a> {
@@ -154,6 +195,7 @@ impl<'a> MpiHaloEngine<'a> {
             tag_base: 0,
             pending: Vec::new(),
             buf: Vec::new(),
+            error: None,
         }
     }
 }
@@ -168,6 +210,9 @@ impl HaloEngine for MpiHaloEngine<'_> {
             self.tag_base = *self.next_tag;
             *self.next_tag += 1;
         }
+        if self.error.is_some() {
+            return;
+        }
         assert!(self.pending.is_empty(), "round {round} posted over pending");
         let sides = if round == 0 {
             [HaloSide::West, HaloSide::East]
@@ -180,8 +225,13 @@ impl HaloEngine for MpiHaloEngine<'_> {
             self.buf.clear();
             pack_halo(field, &self.patch, side, &mut self.buf);
             self.cost.post_p2p(peer, (self.buf.len() * 4) as u64);
-            self.rank
-                .isend_f32(peer, side_tag(self.tag_base, round, s_idx), &self.buf);
+            if let Err(e) =
+                self.rank
+                    .isend_f32_checked(peer, side_tag(self.tag_base, round, s_idx), &self.buf)
+            {
+                self.error = Some(e);
+                return;
+            }
         }
         for (s_idx, &side) in sides.iter().enumerate() {
             let (di, dj) = side.offset();
@@ -193,9 +243,19 @@ impl HaloEngine for MpiHaloEngine<'_> {
     }
 
     fn finish(&mut self, _round: usize, field: &mut Field3<f32>) {
-        for (side, req) in self.pending.drain(..) {
-            let data = self.rank.wait(req);
-            unpack_halo(field, &self.patch, side, &data);
+        if self.error.is_some() {
+            self.pending.clear();
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        for (side, req) in pending.drain(..) {
+            if self.error.is_some() {
+                break;
+            }
+            match self.rank.wait_checked(req) {
+                Ok(data) => unpack_halo(field, &self.patch, side, &data),
+                Err(e) => self.error = Some(e),
+            }
         }
         self.cost.complete_all();
     }
@@ -209,16 +269,22 @@ impl HaloEngine for MpiHaloEngine<'_> {
 /// OR-reduces the occupied-bin masks across all ranks: one 0/1 max
 /// all-reduce per (class, bin). 231 tiny collectives per step is cheap in
 /// the shared-memory runtime; the priced communication cost of the real
-/// run uses a single packed reduction (see `perfmodel`).
-fn allreduce_masks(rank: &Rank, local: [[bool; NKR]; NTYPES]) -> [[bool; NKR]; NTYPES] {
+/// run uses a single packed reduction (see `perfmodel`). Because this
+/// runs at the top of every step on every rank, it doubles as the
+/// failure detector: a dead rank stalls the reduction and every
+/// survivor sees `CollectiveTimeout` within one timeout period.
+fn allreduce_masks(
+    rank: &Rank,
+    local: [[bool; NKR]; NTYPES],
+) -> Result<[[bool; NKR]; NTYPES], CommError> {
     let mut out = local;
     for (c, row) in out.iter_mut().enumerate() {
         for (b, slot) in row.iter_mut().enumerate() {
             let v = if local[c][b] { 1.0 } else { 0.0 };
-            *slot = rank.allreduce_max(v) > 0.5;
+            *slot = rank.allreduce_max_checked(v)? > 0.5;
         }
     }
-    out
+    Ok(out)
 }
 
 fn accumulate(report: &mut RunReport, s: StepReport) {
@@ -233,44 +299,97 @@ fn accumulate(report: &mut RunReport, s: StepReport) {
     report.last_sbm = Some(s.sbm);
 }
 
-/// Runs `cfg` on `cfg.ranks` ranks for `steps` steps and returns the
-/// final states and reports. `cfg.comm` selects the exchange engine;
-/// both produce bitwise-identical states.
-pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
+/// What a rank should write while it runs: restart files under `dir`
+/// every `interval` completed steps.
+pub(crate) struct CheckpointSpec<'a> {
+    /// Directory the per-rank restart files live in.
+    pub dir: &'a std::path::Path,
+    /// Steps between checkpoints (> 0).
+    pub interval: usize,
+    /// Shared counter of restart files written (supervisor ledger).
+    pub writes: &'a std::sync::atomic::AtomicU64,
+}
+
+/// One supervised attempt at integrating `steps` total steps on
+/// `cfg.ranks` ranks. Every communication is checked: a rank that is
+/// killed by `plan`, or that detects a dead peer through a timed-out
+/// receive or collective, returns a [`RankFailure`] instead of
+/// panicking or hanging — the supervisor in [`crate::restart`] decides
+/// what happens next. `start` resumes each rank from a checkpoint
+/// (completed steps, clock, state); `checkpoint` enables periodic
+/// restart writes. The normal path ([`run_parallel`]) is this function
+/// with everything off, so faulted and fault-free runs share every
+/// arithmetic instruction.
+pub(crate) fn run_attempt(
+    cfg: ModelConfig,
+    steps: usize,
+    start: Option<&[StartPoint]>,
+    checkpoint: Option<CheckpointSpec<'_>>,
+    plan: Option<Arc<FaultPlan>>,
+    timeout: Duration,
+) -> Vec<Result<(SbmPatchState, RunReport), RankFailure>> {
     let dd = two_d_decomposition(cfg.case.domain(), cfg.ranks, cfg.halo);
     let dd_ref = &dd;
+    let checkpoint = checkpoint.as_ref();
     // Block placement, 128-core Perlmutter CPU nodes (§IV).
     let topo = Topology::new(cfg.ranks, cfg.ranks.min(128));
     let secs_per_flop = 1.0 / PerfParams::default().adv_flops_per_core;
-    let mut results: Vec<(SbmPatchState, RunReport)> = run_ranks(cfg.ranks, move |mut rank| {
+    run_ranks_with_faults(cfg.ranks, plan, timeout, move |mut rank| {
         let me = rank.rank();
         let patch = dd_ref.patches[me];
         let mut model = Model::for_patch(cfg, patch);
+        let mut start_step = 0u64;
+        if let Some(points) = start {
+            let (done, time, state) = &points[me];
+            start_step = *done;
+            model.time = *time;
+            model.state = state.clone();
+        }
         let mut report = RunReport::default();
         let mut cost = CommCost::new(SLINGSHOT, topo, me);
         let mut tag = 0u64;
-        match cfg.comm {
-            CommMode::Blocking => {
-                for _ in 0..steps {
-                    let masks = allreduce_masks(&rank, model.occupied_masks());
+        let fail = |step: u64, error: CommError| RankFailure {
+            rank: me,
+            step,
+            error,
+        };
+        let pool = matches!(cfg.comm, CommMode::Overlapped)
+            .then(|| Executor::new(cfg.device_workers.unwrap_or(1).max(1)));
+        for step in start_step..steps as u64 {
+            // The kill hook, and the failure detector: see
+            // `allreduce_masks`.
+            rank.begin_step(step).map_err(|e| fail(step, e))?;
+            let masks =
+                allreduce_masks(&rank, model.occupied_masks()).map_err(|e| fail(step, e))?;
+            let s = match cfg.comm {
+                CommMode::Blocking => {
+                    // The refresh closure returns `()`, so the first
+                    // comm error is latched and all later refreshes
+                    // no-op — one timeout total, not one per scalar.
+                    let mut latched: Option<CommError> = None;
                     let s = {
                         let rank_cell = &mut rank;
                         let tag_cell = &mut tag;
                         let cost_cell = &mut cost;
+                        let latch = &mut latched;
                         let mut refresh = |f: &mut Field3<f32>| {
                             let t = *tag_cell;
                             *tag_cell += 1;
-                            exchange_halos(f, rank_cell, dd_ref, me, t, cost_cell);
+                            if latch.is_some() {
+                                return;
+                            }
+                            if let Err(e) = exchange_halos(f, rank_cell, dd_ref, me, t, cost_cell) {
+                                *latch = Some(e);
+                            }
                         };
                         model.step_with_refresh_and_masks(&mut refresh, &masks)
                     };
-                    accumulate(&mut report, s);
+                    if let Some(e) = latched {
+                        return Err(fail(step, e));
+                    }
+                    s
                 }
-            }
-            CommMode::Overlapped => {
-                let pool = Executor::new(cfg.device_workers.unwrap_or(1).max(1));
-                for _ in 0..steps {
-                    let masks = allreduce_masks(&rank, model.occupied_masks());
+                CommMode::Overlapped => {
                     let mut engine = MpiHaloEngine::new(
                         &mut rank,
                         dd_ref,
@@ -279,8 +398,34 @@ pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
                         secs_per_flop,
                         &mut tag,
                     );
-                    let s = model.step_overlapped_with_masks(&mut engine, &pool, &masks);
-                    accumulate(&mut report, s);
+                    let s = model.step_overlapped_with_masks(
+                        &mut engine,
+                        pool.as_ref().expect("overlapped pool"),
+                        &masks,
+                    );
+                    if let Some(e) = engine.error.take() {
+                        return Err(fail(step, e));
+                    }
+                    s
+                }
+            };
+            accumulate(&mut report, s);
+            let done = step + 1;
+            if let Some(spec) = checkpoint {
+                if spec.interval > 0 && done % spec.interval as u64 == 0 && (done as usize) < steps
+                {
+                    crate::restart::write_rank_checkpoint(
+                        spec.dir,
+                        me,
+                        done,
+                        model.time,
+                        &model.state,
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("rank {me}: writing checkpoint at step {done} failed: {e}")
+                    });
+                    spec.writes
+                        .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 }
             }
         }
@@ -294,9 +439,29 @@ pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
             secs: cost.secs(),
             overlap: *cost.overlap(),
         });
-        (model.state, report)
-    });
-    let (states, reports) = results.drain(..).unzip();
+        Ok((model.state, report))
+    })
+}
+
+/// Runs `cfg` on `cfg.ranks` ranks for `steps` steps and returns the
+/// final states and reports. `cfg.comm` selects the exchange engine;
+/// both produce bitwise-identical states. This is the fault-free face
+/// of [`run_attempt`]: no kills are scripted and every rank gets the
+/// default generous timeout, so an `Err` here means the runtime itself
+/// broke — reported with its context rather than a blind `expect`.
+pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
+    let results = run_attempt(cfg, steps, None, None, None, DEFAULT_TIMEOUT);
+    let mut states = Vec::with_capacity(results.len());
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok((state, report)) => {
+                states.push(state);
+                reports.push(report);
+            }
+            Err(f) => panic!("run_parallel without faults cannot fail, yet: {f}"),
+        }
+    }
     ParallelRun { states, reports }
 }
 
@@ -304,6 +469,7 @@ pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
 mod tests {
     use super::*;
     use fsbm_core::scheme::SbmVersion;
+    use mpi_sim::comm::run_ranks;
     use proptest::prelude::*;
     use wrf_grid::Domain;
 
@@ -360,7 +526,8 @@ mod tests {
                     me,
                     old_overflow_base + adv,
                     &mut cost,
-                );
+                )
+                .unwrap();
             }
             // Every halo strip carries the right neighbour's rank id.
             for (side, h) in [

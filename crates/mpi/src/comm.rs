@@ -1,8 +1,154 @@
 //! Rank runtime: threads + channels with MPI-flavoured semantics.
+//!
+//! Every operation exists in two forms: the legacy infallible form
+//! (`send_f32`, `recv_f32`, ...) that panics with full (rank, peer,
+//! tag, step) context on a dead communicator, and a checked form
+//! (`send_f32_checked`, `recv_f32_checked`, `wait_checked`,
+//! `allreduce_sum_checked`, ...) returning [`CommError`] so a dead or
+//! silent peer is a *detectable* condition a supervisor can recover
+//! from. Checked receives and collectives are bounded by the rank's
+//! [`Rank::timeout`]; fault injection ([`crate::fault::FaultPlan`])
+//! hooks into [`Rank::begin_step`] (kills) and the send path
+//! (drop/delay).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::fault::{FaultAction, FaultPlan};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default bound on checked receives and collectives: generous enough
+/// that a healthy run never trips it, short enough that a test suite
+/// noticing a dead peer does not hang.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A detected communication failure, with enough context to name the
+/// failing edge: who was waiting, on whom, for what, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A checked receive saw nothing from `peer` within the timeout.
+    RecvTimeout {
+        /// The waiting rank.
+        rank: usize,
+        /// The rank the message was expected from.
+        peer: usize,
+        /// The tag the receive was matching.
+        tag: Tag,
+        /// The waiting rank's current model step.
+        step: u64,
+        /// How long the receive waited.
+        waited: Duration,
+    },
+    /// The channel toward `peer` is closed — the peer's thread exited
+    /// (finished, was killed, or panicked).
+    PeerHungUp {
+        /// The rank that observed the closed channel.
+        rank: usize,
+        /// The dead peer.
+        peer: usize,
+        /// The tag of the attempted exchange (`None` for receives that
+        /// lost *all* senders at once).
+        tag: Option<Tag>,
+        /// The observing rank's current model step.
+        step: u64,
+    },
+    /// A collective did not complete within the timeout — at least one
+    /// rank never arrived.
+    CollectiveTimeout {
+        /// The waiting rank.
+        rank: usize,
+        /// The waiting rank's current model step.
+        step: u64,
+        /// Ranks that had arrived when the wait gave up.
+        arrived: usize,
+        /// Communicator size.
+        size: usize,
+        /// How long the collective waited.
+        waited: Duration,
+    },
+    /// This rank was killed by the fault plan (reported by
+    /// [`Rank::begin_step`] so the run loop can unwind cleanly).
+    Killed {
+        /// The killed rank.
+        rank: usize,
+        /// The step at which the kill fired.
+        step: u64,
+    },
+}
+
+impl CommError {
+    /// The rank that detected (or suffered) the failure.
+    pub fn rank(&self) -> usize {
+        match *self {
+            CommError::RecvTimeout { rank, .. }
+            | CommError::PeerHungUp { rank, .. }
+            | CommError::CollectiveTimeout { rank, .. }
+            | CommError::Killed { rank, .. } => rank,
+        }
+    }
+
+    /// The model step the failure was detected at.
+    pub fn step(&self) -> u64 {
+        match *self {
+            CommError::RecvTimeout { step, .. }
+            | CommError::PeerHungUp { step, .. }
+            | CommError::CollectiveTimeout { step, .. }
+            | CommError::Killed { step, .. } => step,
+        }
+    }
+
+    /// True for the injected-kill variant (the victim's own error, as
+    /// opposed to a survivor's detection of it).
+    pub fn is_kill(&self) -> bool {
+        matches!(self, CommError::Killed { .. })
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RecvTimeout {
+                rank,
+                peer,
+                tag,
+                step,
+                waited,
+            } => write!(
+                f,
+                "rank {rank} timed out after {:.1}s waiting for rank {peer} tag {tag} at step {step}",
+                waited.as_secs_f64()
+            ),
+            CommError::PeerHungUp {
+                rank,
+                peer,
+                tag,
+                step,
+            } => match tag {
+                Some(tag) => write!(
+                    f,
+                    "rank {rank}: peer rank {peer} hung up (tag {tag}, step {step})"
+                ),
+                None => write!(f, "rank {rank}: all peers hung up (step {step})"),
+            },
+            CommError::CollectiveTimeout {
+                rank,
+                step,
+                arrived,
+                size,
+                waited,
+            } => write!(
+                f,
+                "rank {rank}: collective at step {step} timed out after {:.1}s ({arrived}/{size} ranks arrived)",
+                waited.as_secs_f64()
+            ),
+            CommError::Killed { rank, step } => {
+                write!(f, "rank {rank} killed by fault plan at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Message tag (as in MPI, disambiguates concurrent exchanges).
 ///
@@ -92,6 +238,18 @@ impl Collective {
 
     /// All-reduce contributing `x`; returns `(sum, max)` over ranks.
     fn allreduce(&self, x: f64) -> (f64, f64) {
+        self.allreduce_timeout(x, None)
+            .expect("unbounded allreduce cannot time out")
+    }
+
+    /// All-reduce bounded by `timeout` (`None` waits forever). On
+    /// timeout the partial arrival count is reported; the communicator
+    /// is then poisoned for further collectives and must be torn down.
+    fn allreduce_timeout(
+        &self,
+        x: f64,
+        timeout: Option<Duration>,
+    ) -> Result<(f64, f64), (usize, Duration)> {
         let mut st = self.lock.lock();
         let my_gen = st.generation;
         st.arrived += 1;
@@ -104,14 +262,32 @@ impl Collective {
             st.acc_max = f64::NEG_INFINITY;
             st.generation += 1;
             self.cv.notify_all();
-            st.result
+            Ok(st.result)
         } else {
+            let start = Instant::now();
             while st.generation == my_gen {
-                self.cv.wait(&mut st);
+                match timeout {
+                    None => self.cv.wait(&mut st),
+                    Some(limit) => {
+                        let elapsed = start.elapsed();
+                        if elapsed >= limit {
+                            return Err((st.arrived, elapsed));
+                        }
+                        let _ = self.cv.wait_for(&mut st, limit - elapsed);
+                    }
+                }
             }
-            st.result
+            Ok(st.result)
         }
     }
+}
+
+/// A delayed message held back by a fault: delivered once `remaining`
+/// further sends have been issued by this rank.
+struct DelayedMsg {
+    remaining: u32,
+    to: usize,
+    env: Envelope,
 }
 
 /// A rank's handle to the communicator.
@@ -123,6 +299,16 @@ pub struct Rank {
     /// Out-of-order messages awaiting a matching `recv`.
     pending: Vec<Envelope>,
     collective: Arc<Collective>,
+    /// Bound on checked receives and collectives.
+    timeout: Duration,
+    /// Current model step (set by [`Rank::begin_step`]; carried in
+    /// every [`CommError`] for context).
+    step: u64,
+    /// Scripted failures, shared across the communicator.
+    plan: Option<Arc<FaultPlan>>,
+    /// Messages held back by `FaultAction::Delay` (interior mutability
+    /// so the send path stays `&self`).
+    delayed: Mutex<Vec<DelayedMsg>>,
 }
 
 impl Rank {
@@ -136,21 +322,116 @@ impl Rank {
         self.size
     }
 
+    /// Sets the bound on checked receives and collectives.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// The current bound on checked receives and collectives.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The step last announced through [`Rank::begin_step`].
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Announces that this rank is entering model step `step`: records
+    /// it for error context and fires any matching kill fault. A killed
+    /// rank must unwind (drop its `Rank`) so peers detect the death
+    /// through hung-up channels and timeouts.
+    pub fn begin_step(&mut self, step: u64) -> Result<(), CommError> {
+        self.step = step;
+        if let Some(plan) = &self.plan {
+            if plan.should_kill(self.rank, step) {
+                return Err(CommError::Killed {
+                    rank: self.rank,
+                    step,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes `env` to `to`, mapping a closed channel to
+    /// [`CommError::PeerHungUp`].
+    fn push_to(&self, to: usize, env: Envelope) -> Result<(), CommError> {
+        let tag = env.tag;
+        self.peers[to].send(env).map_err(|_| CommError::PeerHungUp {
+            rank: self.rank,
+            peer: to,
+            tag: Some(tag),
+            step: self.step,
+        })
+    }
+
+    /// Ages the delay queue by one send slot and delivers matured
+    /// messages. Delivery failures are swallowed: a delayed message to
+    /// a now-dead peer is simply lost, like its real-network analogue.
+    fn age_delayed(&self) {
+        let mut matured = Vec::new();
+        {
+            let mut q = self.delayed.lock();
+            let mut i = 0;
+            while i < q.len() {
+                if q[i].remaining == 0 {
+                    let d = q.swap_remove(i);
+                    matured.push(d);
+                } else {
+                    q[i].remaining -= 1;
+                    i += 1;
+                }
+            }
+        }
+        for d in matured {
+            let _ = self.push_to(d.to, d.env);
+        }
+    }
+
     /// Sends `data` to `to` with `tag` (buffered, non-blocking — MPI
-    /// eager semantics).
-    pub fn send_f32(&self, to: usize, tag: Tag, data: &[f32]) {
+    /// eager semantics), reporting a dead peer instead of panicking.
+    /// Messages matched by an armed fault plan may be dropped or
+    /// delayed here.
+    pub fn send_f32_checked(&self, to: usize, tag: Tag, data: &[f32]) -> Result<(), CommError> {
         assert!(to < self.size, "send to rank {to} of {}", self.size);
-        self.peers[to]
-            .send(Envelope {
-                from: self.rank,
-                tag,
-                payload: data.to_vec(),
-            })
-            .expect("peer hung up");
+        let env = Envelope {
+            from: self.rank,
+            tag,
+            payload: data.to_vec(),
+        };
+        let action = self
+            .plan
+            .as_ref()
+            .and_then(|p| p.on_send(self.rank, to, tag));
+        let result = match action {
+            Some(FaultAction::Drop) => Ok(()),
+            Some(FaultAction::Delay(slots)) => {
+                self.delayed.lock().push(DelayedMsg {
+                    remaining: slots,
+                    to,
+                    env,
+                });
+                Ok(())
+            }
+            None => self.push_to(to, env),
+        };
+        self.age_delayed();
+        result
+    }
+
+    /// Sends `data` to `to` with `tag` (buffered, non-blocking — MPI
+    /// eager semantics). Panics with full context if the peer is dead;
+    /// use [`Rank::send_f32_checked`] where death must be recoverable.
+    pub fn send_f32(&self, to: usize, tag: Tag, data: &[f32]) {
+        self.send_f32_checked(to, tag, data)
+            .unwrap_or_else(|e| panic!("mpi_sim send failed: {e}"));
     }
 
     /// Blocking receive of the message from `from` with `tag`; other
     /// messages arriving meanwhile are queued (MPI matching semantics).
+    /// Waits forever; panics with full context if every sender is gone.
+    /// Use [`Rank::recv_f32_checked`] where death must be recoverable.
     pub fn recv_f32(&mut self, from: usize, tag: Tag) -> Vec<f32> {
         if let Some(pos) = self
             .pending
@@ -160,11 +441,72 @@ impl Rank {
             return self.pending.swap_remove(pos).payload;
         }
         loop {
-            let env = self.inbox.recv().expect("communicator closed");
+            let env = self.inbox.recv().unwrap_or_else(|_| {
+                panic!(
+                    "mpi_sim recv failed: {}",
+                    CommError::PeerHungUp {
+                        rank: self.rank,
+                        peer: from,
+                        tag: Some(tag),
+                        step: self.step,
+                    }
+                )
+            });
             if env.from == from && env.tag == tag {
                 return env.payload;
             }
             self.pending.push(env);
+        }
+    }
+
+    /// Receive of the message from `from` with `tag`, bounded by the
+    /// rank's timeout: a silent peer becomes [`CommError::RecvTimeout`],
+    /// a dead communicator [`CommError::PeerHungUp`].
+    pub fn recv_f32_checked(&mut self, from: usize, tag: Tag) -> Result<Vec<f32>, CommError> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            return Ok(self.pending.swap_remove(pos).payload);
+        }
+        let start = Instant::now();
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= self.timeout {
+                return Err(CommError::RecvTimeout {
+                    rank: self.rank,
+                    peer: from,
+                    tag,
+                    step: self.step,
+                    waited: elapsed,
+                });
+            }
+            match self.inbox.recv_timeout(self.timeout - elapsed) {
+                Ok(env) => {
+                    if env.from == from && env.tag == tag {
+                        return Ok(env.payload);
+                    }
+                    self.pending.push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::RecvTimeout {
+                        rank: self.rank,
+                        peer: from,
+                        tag,
+                        step: self.step,
+                        waited: start.elapsed(),
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerHungUp {
+                        rank: self.rank,
+                        peer: from,
+                        tag: Some(tag),
+                        step: self.step,
+                    });
+                }
+            }
         }
     }
 
@@ -192,6 +534,11 @@ impl Rank {
     /// the completion.
     pub fn isend_f32(&self, to: usize, tag: Tag, data: &[f32]) {
         self.send_f32(to, tag, data);
+    }
+
+    /// Checked nonblocking send (see [`Rank::send_f32_checked`]).
+    pub fn isend_f32_checked(&self, to: usize, tag: Tag, data: &[f32]) -> Result<(), CommError> {
+        self.send_f32_checked(to, tag, data)
     }
 
     /// Posts a nonblocking receive for (`from`, `tag`). The returned
@@ -238,9 +585,39 @@ impl Rank {
         self.recv_f32(req.from, req.tag)
     }
 
+    /// Timeout-bounded completion of `req` (see
+    /// [`Rank::recv_f32_checked`]).
+    pub fn wait_checked(&mut self, mut req: RecvRequest) -> Result<Vec<f32>, CommError> {
+        if let Some(data) = req.data.take() {
+            return Ok(data);
+        }
+        self.recv_f32_checked(req.from, req.tag)
+    }
+
     /// Waits for every request, returning payloads in request order.
     pub fn wait_all(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<f32>> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Timeout-bounded [`Rank::wait_all`]: fails on the first request
+    /// whose peer is dead or silent.
+    pub fn wait_all_checked(&mut self, reqs: Vec<RecvRequest>) -> Result<Vec<Vec<f32>>, CommError> {
+        reqs.into_iter().map(|r| self.wait_checked(r)).collect()
+    }
+
+    /// One timeout-bounded all-reduce round, mapping a stalled
+    /// collective (a dead rank never arrives) to
+    /// [`CommError::CollectiveTimeout`].
+    fn allreduce_checked(&self, x: f64) -> Result<(f64, f64), CommError> {
+        self.collective
+            .allreduce_timeout(x, Some(self.timeout))
+            .map_err(|(arrived, waited)| CommError::CollectiveTimeout {
+                rank: self.rank,
+                step: self.step,
+                arrived,
+                size: self.size,
+                waited,
+            })
     }
 
     /// Sum all-reduce over `f64`.
@@ -253,9 +630,24 @@ impl Rank {
         self.collective.allreduce(x).1
     }
 
+    /// Timeout-bounded sum all-reduce.
+    pub fn allreduce_sum_checked(&self, x: f64) -> Result<f64, CommError> {
+        Ok(self.allreduce_checked(x)?.0)
+    }
+
+    /// Timeout-bounded max all-reduce.
+    pub fn allreduce_max_checked(&self, x: f64) -> Result<f64, CommError> {
+        Ok(self.allreduce_checked(x)?.1)
+    }
+
     /// Barrier across all ranks.
     pub fn barrier(&self) {
         let _ = self.collective.allreduce(0.0);
+    }
+
+    /// Timeout-bounded barrier.
+    pub fn barrier_checked(&self) -> Result<(), CommError> {
+        self.allreduce_checked(0.0).map(|_| ())
     }
 }
 
@@ -286,8 +678,26 @@ impl RecvRequest {
 }
 
 /// Runs `body` on `n` ranks, one host thread each, and returns the
-/// per-rank results in rank order. Panics in any rank propagate.
+/// per-rank results in rank order. Panics in any rank propagate with
+/// the rank id attached.
 pub fn run_ranks<T, F>(n: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Rank) -> T + Sync,
+{
+    run_ranks_with_faults(n, None, DEFAULT_TIMEOUT, body)
+}
+
+/// [`run_ranks`] with a shared fault plan and a bound for checked
+/// receives/collectives. A `None` plan injects nothing; the body is
+/// expected to use the checked operations and return a `Result` so an
+/// injected death surfaces as data, not a panic.
+pub fn run_ranks_with_faults<T, F>(
+    n: usize,
+    plan: Option<Arc<FaultPlan>>,
+    timeout: Duration,
+    body: F,
+) -> Vec<T>
 where
     T: Send,
     F: Fn(Rank) -> T + Sync,
@@ -312,11 +722,15 @@ where
             peers: senders.clone(),
             pending: Vec::new(),
             collective: Arc::clone(&collective),
+            timeout,
+            step: 0,
+            plan: plan.clone(),
+            delayed: Mutex::new(Vec::new()),
         })
         .collect();
     drop(senders);
 
-    crossbeam::thread::scope(|s| {
+    match crossbeam::thread::scope(|s| {
         let mut handles = Vec::with_capacity(n);
         for rank in ranks.drain(..) {
             let body = &body;
@@ -324,10 +738,22 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    panic!("rank {rank} panicked: {msg}")
+                })
+            })
             .collect()
-    })
-    .expect("scope failed")
+    }) {
+        Ok(out) => out,
+        Err(_) => panic!("mpi_sim: rank scope tore down uncleanly"),
+    }
 }
 
 #[cfg(test)]
@@ -540,6 +966,180 @@ mod tests {
         }
         assert_eq!(CommMode::parse("sideways"), None);
         assert_eq!(CommMode::default(), CommMode::Blocking);
+    }
+
+    #[test]
+    fn checked_recv_times_out_with_context() {
+        let out = run_ranks_with_faults(2, None, Duration::from_millis(40), |mut r| {
+            if r.rank() == 1 {
+                r.begin_step(7).unwrap();
+                // Nobody ever sends tag 99.
+                match r.recv_f32_checked(0, 99) {
+                    Err(CommError::RecvTimeout {
+                        rank,
+                        peer,
+                        tag,
+                        step,
+                        ..
+                    }) => {
+                        assert_eq!((rank, peer, tag, step), (1, 0, 99, 7));
+                        true
+                    }
+                    other => panic!("expected timeout, got {other:?}"),
+                }
+            } else {
+                true
+            }
+        });
+        assert!(out.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn killed_rank_is_detected_by_survivors() {
+        let plan = Arc::new(FaultPlan::new().kill_rank_at(1, 2));
+        let out = run_ranks_with_faults(
+            3,
+            Some(Arc::clone(&plan)),
+            Duration::from_millis(120),
+            |mut r| -> Result<u64, CommError> {
+                for step in 0..4u64 {
+                    r.begin_step(step)?;
+                    // A collective every step, as the model's mask
+                    // OR-reduce does.
+                    r.allreduce_sum_checked(1.0)?;
+                }
+                Ok(r.step())
+            },
+        );
+        assert_eq!(out[1], Err(CommError::Killed { rank: 1, step: 2 }));
+        for (rank, res) in out.iter().enumerate() {
+            if rank == 1 {
+                continue;
+            }
+            // Survivors reach step 2's collective, which can never
+            // complete, and report the stall rather than hanging.
+            match res {
+                Err(CommError::CollectiveTimeout { rank: r, step, .. }) => {
+                    assert_eq!(*r, rank);
+                    assert_eq!(*step, 2);
+                }
+                other => panic!("survivor {rank} saw {other:?}"),
+            }
+        }
+        // The kill is spent: a fresh launch with the same plan is clean.
+        let retry = run_ranks_with_faults(
+            3,
+            Some(plan),
+            Duration::from_millis(120),
+            |mut r| -> Result<u64, CommError> {
+                for step in 0..4u64 {
+                    r.begin_step(step)?;
+                    r.allreduce_sum_checked(1.0)?;
+                }
+                Ok(4)
+            },
+        );
+        assert!(retry.iter().all(|r| *r == Ok(4)));
+    }
+
+    #[test]
+    fn dropped_message_times_out_receiver() {
+        let plan =
+            Arc::new(FaultPlan::new().on_message(Some(0), Some(1), Some(5), FaultAction::Drop, 1));
+        let out = run_ranks_with_faults(2, Some(plan), Duration::from_millis(40), |mut r| {
+            if r.rank() == 0 {
+                r.send_f32_checked(1, 5, &[1.0]).unwrap(); // dropped
+                r.send_f32_checked(1, 6, &[2.0]).unwrap(); // delivered
+                0.0
+            } else {
+                assert_eq!(r.recv_f32_checked(0, 6).unwrap(), vec![2.0]);
+                match r.recv_f32_checked(0, 5) {
+                    Err(CommError::RecvTimeout { tag: 5, .. }) => 1.0,
+                    other => panic!("expected drop-induced timeout, got {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out[1], 1.0);
+    }
+
+    #[test]
+    fn delayed_message_arrives_after_later_sends() {
+        let plan = Arc::new(FaultPlan::new().on_message(
+            Some(0),
+            Some(1),
+            Some(10),
+            FaultAction::Delay(2),
+            1,
+        ));
+        run_ranks_with_faults(2, Some(plan), Duration::from_millis(500), |mut r| {
+            if r.rank() == 0 {
+                r.send_f32_checked(1, 10, &[1.0]).unwrap(); // held
+                r.send_f32_checked(1, 11, &[2.0]).unwrap();
+                r.send_f32_checked(1, 12, &[3.0]).unwrap(); // matures the hold
+            } else {
+                // All three arrive despite the reorder; matching is by tag.
+                assert_eq!(r.recv_f32_checked(0, 11).unwrap(), vec![2.0]);
+                assert_eq!(r.recv_f32_checked(0, 12).unwrap(), vec![3.0]);
+                assert_eq!(r.recv_f32_checked(0, 10).unwrap(), vec![1.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn send_to_dead_peer_reports_hangup() {
+        let out = run_ranks_with_faults(2, None, Duration::from_millis(400), |mut r| {
+            if r.rank() == 0 {
+                // Rank 1 exits immediately; wait for that, then send.
+                while r.send_f32_checked(1, 1, &[0.0]).is_ok() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                let err = r.send_f32_checked(1, 1, &[0.0]).unwrap_err();
+                assert_eq!(
+                    err,
+                    CommError::PeerHungUp {
+                        rank: 0,
+                        peer: 1,
+                        tag: Some(1),
+                        step: 0
+                    }
+                );
+                r.begin_step(3).unwrap();
+                assert!(format!("{err}").contains("rank 0"));
+                1
+            } else {
+                0
+            }
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn checked_collectives_match_unchecked() {
+        let out = run_ranks(4, |r| {
+            let s = r.allreduce_sum_checked(r.rank() as f64).unwrap();
+            let m = r.allreduce_max_checked(r.rank() as f64).unwrap();
+            r.barrier_checked().unwrap();
+            (s, m)
+        });
+        for (s, m) in out {
+            assert_eq!(s, 6.0);
+            assert_eq!(m, 3.0);
+        }
+    }
+
+    #[test]
+    fn wait_checked_roundtrip() {
+        let out = run_ranks(2, |mut r| {
+            if r.rank() == 0 {
+                r.isend_f32_checked(1, 3, &[4.0, 2.0]).unwrap();
+                0.0
+            } else {
+                let req = r.irecv_f32(0, 3);
+                let got = r.wait_checked(req).unwrap();
+                got[0] * 10.0 + got[1]
+            }
+        });
+        assert_eq!(out[1], 42.0);
     }
 
     #[test]

@@ -10,11 +10,19 @@
 //! ([`comm`]); every operation is also priced with an α–β model over a
 //! node topology ([`cost`]); [`placement`] assigns ranks to GPUs
 //! round-robin as on Perlmutter (`MPICH_GPU_SUPPORT` style striping).
+//! Rank death is a first-class event: [`fault`] scripts kills and
+//! message loss, and the checked operations in [`comm`] surface them as
+//! [`CommError`]s with (rank, peer, tag, step) context so a supervisor
+//! can tear down and restart from a checkpoint instead of hanging.
 
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod placement;
 
-pub use comm::{run_ranks, CommMode, Rank, RecvRequest, Tag};
+pub use comm::{
+    run_ranks, run_ranks_with_faults, CommError, CommMode, Rank, RecvRequest, Tag, DEFAULT_TIMEOUT,
+};
 pub use cost::{CommCost, OverlapStats, Topology};
+pub use fault::{FaultAction, FaultPlan};
 pub use placement::{GpuAssignment, GpuPool};

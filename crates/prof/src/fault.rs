@@ -1,0 +1,58 @@
+//! Fault-recovery reporting: the one-line supervisor summary.
+//!
+//! Production WRF campaigns watch two numbers after a node loss: how
+//! much wall time the resubmission burned, and how many steps were
+//! integrated twice because the failure landed between restart writes.
+//! This module owns the canonical rendering of that ledger so
+//! `miniwrf`, the `repro fault` gate, and tests all print the same
+//! line.
+
+/// Renders the canonical one-line recovery summary for a supervised
+/// run. `attempts` counts launches (1 = no failure); `restarted_from`
+/// is the completed-step label of the newest checkpoint a relaunch
+/// resumed from (`None` when the run never failed).
+pub fn recovery_line(
+    attempts: usize,
+    restarted_from: Option<u64>,
+    steps_replayed: u64,
+    checkpoint_writes: u64,
+    recovery_secs: f64,
+) -> String {
+    let from = match restarted_from {
+        Some(step) => format!("from=step{step}"),
+        None => "from=-".to_string(),
+    };
+    format!(
+        "recovery: attempts={attempts} {from} replayed={steps_replayed} \
+         checkpoints={checkpoint_writes} overhead={:.1}ms",
+        recovery_secs * 1.0e3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_contains_every_field() {
+        let line = recovery_line(2, Some(6), 3, 9, 0.4567);
+        for needle in [
+            "recovery: attempts=2",
+            "from=step6",
+            "replayed=3",
+            "checkpoints=9",
+            "overhead=456.7ms",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn clean_run_renders_dash() {
+        let line = recovery_line(1, None, 0, 4, 0.0);
+        assert_eq!(
+            line,
+            "recovery: attempts=1 from=- replayed=0 checkpoints=4 overhead=0.0ms"
+        );
+    }
+}

@@ -17,12 +17,14 @@
 
 pub mod comm;
 pub mod exec;
+pub mod fault;
 pub mod flat;
 pub mod ranges;
 pub mod table;
 
 pub use comm::comm_line;
 pub use exec::exec_line;
+pub use fault::recovery_line;
 pub use flat::{FlatProfiler, FlatReport, FlatRow};
 pub use ranges::{RangeProfiler, RangeReport, RangeRow};
 pub use table::TextTable;

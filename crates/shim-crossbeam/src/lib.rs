@@ -114,6 +114,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             let mut q = self.shared.queue.lock().unwrap();
@@ -168,6 +177,28 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 q = self.shared.cv.wait(q).unwrap();
+            }
+        }
+
+        /// Blocking receive bounded by `timeout`: returns the next
+        /// message, or [`RecvTimeoutError::Timeout`] once the deadline
+        /// passes with nothing queued.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.items.pop_front() {
+                    return Ok(v);
+                }
+                if q.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _res) = self.shared.cv.wait_timeout(q, deadline - now).unwrap();
+                q = g;
             }
         }
 
@@ -231,6 +262,23 @@ mod tests {
         drop(tx);
         drop(tx2);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(crate::channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(crate::channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

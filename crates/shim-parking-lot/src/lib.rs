@@ -105,6 +105,29 @@ impl Condvar {
         guard.inner = Some(g);
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the
+    /// guard's lock meanwhile (parking_lot signature: the guard is
+    /// reacquired in place and the result says whether the wait timed
+    /// out).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard already taken");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
@@ -115,6 +138,19 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
         0
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`] (parking_lot's API shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -211,6 +247,19 @@ mod tests {
             }
             assert!(*g);
         });
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        use std::time::Duration;
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+        // The guard is usable again after the timed-out wait.
+        *g += 1;
+        assert_eq!(*g, 1);
     }
 
     #[test]
