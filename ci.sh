@@ -71,20 +71,48 @@ step_fault() {
     cargo run --release -q -p wrf-bench --bin repro -- fault
 }
 
+# The shared-GPU gate: shared-pool runs must be bitwise identical to
+# exclusive-device runs for every scheme version (sharing changes
+# timing, never arithmetic), the memory-capped admission scenarios of
+# §VII-A must hold (5 contexts per 80 GB device; the 6th is a typed
+# DeviceError), and the replayed Table VII sweep must reproduce the
+# paper's shape: GPU time improves 16 -> 32 -> 64 ranks while the
+# speedup over the CPU decays, with the 2-node equal-resource crossover.
+# Writes BENCH_share.json. Deterministic replay accounting throughout.
+step_share() {
+    cargo run --release -q -p wrf-bench --bin repro -- share
+}
+
 usage() {
-    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|comm|fault|all]" >&2
+    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|comm|fault|share|all]" >&2
     exit 2
 }
 
+# Runs one step, timing it. Each timing is echoed to the log and, when
+# GitHub exposes $GITHUB_STEP_SUMMARY, appended as a markdown table row
+# (the workflow invokes `./ci.sh <step>` once per job step, so the rows
+# accumulate into one summary table; the header is written only when
+# the summary file is still empty).
 run_step() {
     echo "==> ci.sh: $1"
+    local t0 t1 dt
+    t0=$(date +%s)
     "step_$1"
+    t1=$(date +%s)
+    dt=$((t1 - t0))
+    echo "==> ci.sh: $1 took ${dt}s"
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        if [ ! -s "$GITHUB_STEP_SUMMARY" ]; then
+            printf '| step | wall clock |\n| --- | --- |\n' >> "$GITHUB_STEP_SUMMARY"
+        fi
+        printf '| %s | %ss |\n' "$1" "$dt" >> "$GITHUB_STEP_SUMMARY"
+    fi
 }
 
 case "${1:-all}" in
-    build|test|clippy|docs|fmt|gate|comm|fault) run_step "$1" ;;
+    build|test|clippy|docs|fmt|gate|comm|fault|share) run_step "$1" ;;
     all)
-        for s in build test clippy docs fmt gate comm fault; do
+        for s in build test clippy docs fmt gate comm fault share; do
             run_step "$s"
         done
         echo "==> ci.sh: all steps passed"

@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|gate|comm|fault|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|gate|comm|fault|share|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
@@ -15,6 +15,9 @@
 //! newest checkpoint set, require bitwise agreement with an
 //! uninterrupted run for every version x comm mode) and writes
 //! `BENCH_fault.json`.
+//! `share` runs the shared-GPU gate (shared-pool vs exclusive digest
+//! equivalence, memory-capped admission, and the Table VII / Fig. 4
+//! sharing sweep) and writes `BENCH_share.json`.
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -358,6 +361,95 @@ fn fault(args: &[String]) -> i32 {
     }
 }
 
+/// Parses `repro share` flags into a [`wrf_gate::ShareGateConfig`] plus
+/// the report path.
+fn share_config(args: &[String]) -> Result<(wrf_gate::ShareGateConfig, String), String> {
+    let mut cfg = wrf_gate::ShareGateConfig::default();
+    let mut report = "BENCH_share.json".to_string();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        let parse_err = |e: String| format!("{arg}: {e}");
+        match arg.as_str() {
+            "--ranks" => {
+                cfg.ranks = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--devices" => {
+                cfg.devices = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--sweep-scale" => {
+                cfg.sweep_scale = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseFloatError| parse_err(e.to_string()))?
+            }
+            "--sweep-nz" => {
+                cfg.sweep_nz = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--sweep-steps" => {
+                cfg.sweep_steps = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--max-two-node" => {
+                cfg.max_two_node_speedup = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseFloatError| parse_err(e.to_string()))?
+            }
+            "--report" => report = value(&mut it, arg)?,
+            other => {
+                return Err(format!(
+                    "unknown share flag {other}; flags: --ranks N --devices N \
+                     --sweep-scale X --sweep-nz N --sweep-steps N --max-two-node X \
+                     --report PATH"
+                ))
+            }
+        }
+    }
+    Ok((cfg, report))
+}
+
+/// Runs the shared-GPU gate and returns the process exit code.
+fn share(args: &[String]) -> i32 {
+    let (cfg, report_path) = match share_config(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repro share: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "[repro] share: {} versions shared ({} ranks / {} devices) vs exclusive, \
+         admission scenarios, then the Table VII sharing sweep...",
+        fsbm_core::scheme::SbmVersion::ALL.len(),
+        cfg.ranks,
+        cfg.devices
+    );
+    let rep = wrf_gate::run_share_gate(&cfg);
+    print!("{}", rep.rendered());
+    match std::fs::write(&report_path, rep.to_json()) {
+        Ok(()) => eprintln!("[repro] share report written to {report_path}"),
+        Err(e) => eprintln!("[repro] could not write {report_path}: {e}"),
+    }
+    for v in rep.violations() {
+        eprintln!("repro share: VIOLATION: {v}");
+    }
+    if rep.pass() {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if what == "gate" {
@@ -371,6 +463,10 @@ fn main() {
     if what == "fault" {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(fault(&args));
+    }
+    if what == "share" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(share(&args));
     }
     let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {
@@ -453,7 +549,8 @@ fn main() {
     if !emitted {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
-             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|gate|comm|fault|all"
+             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|gate|comm|fault|\
+             share|all"
         );
         std::process::exit(2);
     }

@@ -380,14 +380,20 @@ mod tests {
     fn table7_shape() {
         let (rows, t) = table7(ctx());
         assert_eq!(rows.len(), 4);
-        // GPU wins by roughly 2x whenever it has a GPU per few ranks
-        // (paper: 2.08 / 1.82 / 1.56)...
+        // GPU wins whenever it has a GPU per few ranks (paper:
+        // 2.08 / 1.82 / 1.56)...
         for r in &rows[..3] {
-            assert!((1.2..3.4).contains(&r.speedup), "GPU should win ~2x: {r:?}");
+            assert!((1.05..3.4).contains(&r.speedup), "GPU should win: {r:?}");
         }
-        // ...and loses (or roughly ties) at equal 2-node resources
-        // (paper: 0.956). The within-family decay from 16 to 64 ranks is
-        // NOT asserted — see EXPERIMENTS.md for why the model inverts it.
+        // ...absolute GPU time still improves with more ranks...
+        assert!(rows[1].gpu < rows[0].gpu, "t32 < t16: {rows:?}");
+        assert!(rows[2].gpu < rows[1].gpu, "t64 < t32: {rows:?}");
+        // ...but the speedup over the CPU decays as ranks pile onto the
+        // 16 shared devices and queue behind each other (Fig. 4 shape).
+        assert!(rows[1].speedup < rows[0].speedup, "s32 < s16: {rows:?}");
+        assert!(rows[2].speedup < rows[1].speedup, "s64 < s32: {rows:?}");
+        // ...and the GPUs lose (or roughly tie) at equal 2-node
+        // resources (paper: 0.956).
         assert!(rows[3].speedup < 1.1, "2-node crossover: {:?}", rows[3]);
         assert!(t.rendered.contains("2 nodes"));
     }

@@ -31,6 +31,7 @@ pub mod golden;
 pub mod json;
 pub mod perf;
 pub mod report;
+pub mod share;
 
 pub use comm::{run_comm_gate, CommGateConfig, CommGateReport};
 pub use fault::{run_fault_gate, FaultGateConfig, FaultGateReport};
@@ -38,6 +39,7 @@ pub use fixture::GoldenFixture;
 pub use golden::{GoldenPolicy, GoldenRunSpec};
 pub use perf::{BenchCase, Tolerances};
 pub use report::GateReport;
+pub use share::{run_share_gate, ShareGateConfig, ShareGateReport};
 
 use std::path::{Path, PathBuf};
 

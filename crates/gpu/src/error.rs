@@ -57,6 +57,45 @@ impl fmt::Display for GpuError {
 
 impl std::error::Error for GpuError {}
 
+/// Admission failure on a shared device pool: a rank's context does not
+/// fit in the remaining device memory. This is the hard wall of Section
+/// VII-A — on 80 GB A100s with 64 KiB stacks, the sixth resident rank's
+/// stack pool + `temp_arrays` slab + lookup working set exceeds HBM, so
+/// sharing caps at 5 ranks/GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceError {
+    /// Rank whose admission failed.
+    pub rank: usize,
+    /// Device the rank round-robins onto.
+    pub device: usize,
+    /// Bytes the rank's context would charge.
+    pub requested_bytes: u64,
+    /// Bytes already charged by resident contexts.
+    pub used_bytes: u64,
+    /// Device HBM capacity.
+    pub capacity_bytes: u64,
+    /// Contexts already resident when admission failed.
+    pub residents: usize,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device admission failed: rank {} needs {} B on device {} but only {} of {} B remain \
+             ({} contexts resident) — past the memory-capped sharing limit of Section VII-A",
+            self.rank,
+            self.requested_bytes,
+            self.device,
+            self.capacity_bytes - self.used_bytes,
+            self.capacity_bytes,
+            self.residents
+        )
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,7 @@
 pub mod cachesim;
 pub mod dataenv;
 pub mod device;
+pub mod devicepool;
 pub mod error;
 pub mod launch;
 pub mod machine;
@@ -37,7 +38,10 @@ pub mod syncslice;
 
 pub use dataenv::{DataEnv, MapDir};
 pub use device::Device;
-pub use error::GpuError;
+pub use devicepool::{
+    DevicePool, DeviceShare, RankFootprint, RankShare, RankSubmission, ShareReport,
+};
+pub use error::{DeviceError, GpuError};
 pub use launch::{launch_functional, launch_modeled, KernelSpec, KernelWork, LaunchStats};
 pub use machine::{CpuParams, GpuParams, Interconnect, A100, EPYC_7763, SLINGSHOT};
 pub use ncu::KernelProfile;

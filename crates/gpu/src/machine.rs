@@ -198,6 +198,17 @@ pub struct Calibration {
     /// Instruction-level parallelism a thread's dependent chains expose
     /// (how many outstanding accesses overlap within one thread).
     pub thread_ilp: f64,
+    /// Per-service context-scheduling cost on a *time-shared* device,
+    /// seconds. When two or more rank contexts share a GPU (Section
+    /// VII-A runs up to 4/GPU), every service window pays this slice for
+    /// context scheduling and staged-transfer turnaround before its
+    /// kernels run; exclusive devices pay nothing. Backed out of the
+    /// Table VII residual: the measured per-step GPU times at 32 and 64
+    /// ranks exceed the exclusive-device prediction by roughly
+    /// `sharers × 0.3 s`, which reproduces both the absolute-time
+    /// ordering (t16 > t32 > t64) and the speedup decay
+    /// (2.08 → 1.82 → 1.56).
+    pub service_slice_secs: f64,
 }
 
 /// Default calibration used everywhere. The latency-hiding knee is set
@@ -215,6 +226,7 @@ pub const CALIBRATION: Calibration = Calibration {
     mem_latency_cycles: 500.0,
     alu_latency_cycles: 4.0,
     thread_ilp: 2.0,
+    service_slice_secs: 0.3,
 };
 
 #[cfg(test)]

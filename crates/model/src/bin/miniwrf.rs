@@ -11,7 +11,7 @@
 
 use miniwrf::model::Model;
 use miniwrf::namelist::config_from_namelist;
-use miniwrf::parallel::run_parallel;
+use miniwrf::parallel::{run_parallel, run_parallel_checked};
 use miniwrf::restart::{run_parallel_restartable, RestartConfig};
 use wrf_cases::wrfout::save_state;
 
@@ -75,6 +75,17 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        } else if cfg.gpus > 0 {
+            // &parallel gpus / gpu_ranks_per_device: admission against
+            // the shared device pool can fail (the §VII-A memory cap),
+            // so surface the typed error instead of panicking.
+            match run_parallel_checked(cfg, steps) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("miniwrf: {e}");
+                    std::process::exit(1);
+                }
+            }
         } else {
             run_parallel(cfg, steps)
         };
@@ -89,6 +100,12 @@ fn main() {
                 r.sbm_work.total().flops,
                 r.rk3.tend.flops + r.rk3.update.flops
             );
+            if let Some(s) = r.share {
+                println!(
+                    "    share: device {}/{} sharers={} service={:.3}s queue={:.3}s",
+                    s.device, s.devices, s.sharers, s.service_secs, s.queue_secs
+                );
+            }
         }
         return;
     }

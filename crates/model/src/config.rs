@@ -22,6 +22,14 @@ pub struct ModelConfig {
     /// Host worker threads standing in for one GPU's parallelism in
     /// functional offloaded runs.
     pub device_workers: Option<usize>,
+    /// Simulated GPUs the ranks share round-robin (namelist `gpus`, or
+    /// derived from `gpu_ranks_per_device`). 0 runs offloaded versions
+    /// on exclusive devices (one per rank) — no admission, no queueing.
+    /// With `gpus > 0`, rank `r` is resident on device `r % gpus`:
+    /// memory-capped admission can fail, and time-shared devices expose
+    /// deterministic queueing in the run report. Arithmetic is
+    /// bitwise-identical either way.
+    pub gpus: usize,
     /// Simulation length in minutes (the paper runs 10).
     pub minutes: f64,
     /// Device-thread scheduling for the functional plane (static
@@ -55,6 +63,7 @@ impl ModelConfig {
             tiles: 1,
             halo: 3,
             device_workers: None,
+            gpus: 0,
             minutes: 10.0,
             sched: ExecMode::work_steal(),
             comm: CommMode::Blocking,
@@ -76,6 +85,7 @@ impl ModelConfig {
             tiles: 1,
             halo: 3,
             device_workers: Some(4),
+            gpus: 0,
             minutes: 1.0,
             sched: ExecMode::work_steal(),
             comm: CommMode::Blocking,

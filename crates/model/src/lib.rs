@@ -31,9 +31,12 @@ pub mod restart;
 pub use config::ModelConfig;
 pub use model::{Model, RunReport, StepReport};
 pub use namelist::config_from_namelist;
-pub use parallel::{run_parallel, CommStats, ParallelRun, RankFailure};
+pub use parallel::{
+    run_parallel, run_parallel_checked, CommStats, ParallelRun, RankFailure, ShareStats,
+};
 pub use perfmodel::{
-    cpu_rank_step_time, experiment, gpu_rank_step_time, measure_coeffs, ExperimentResult,
-    MeasuredCoeffs, PerfParams, RankStepTime, RankWork,
+    cpu_rank_step_time, experiment, gpu_rank_step_time, measure_coeffs, rank_footprint,
+    try_experiment, ExperimentConfig, ExperimentResult, MeasuredCoeffs, PerfParams, RankStepTime,
+    RankWork, TrafficModel,
 };
 pub use restart::{find_latest_checkpoint, run_parallel_restartable, RecoveryStats, RestartConfig};

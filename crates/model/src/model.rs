@@ -54,6 +54,14 @@ pub struct RunReport {
     pub exec: Option<fsbm_core::exec::ExecSummary>,
     /// Modeled halo-communication summary (multi-rank runs only).
     pub comm: Option<crate::parallel::CommStats>,
+    /// Modeled device occupancy per step (offloaded runs on a shared
+    /// pool only): kernel + staged-transfer seconds derived from the
+    /// metered counters, never wall clocks, so the post-run device
+    /// replay is deterministic.
+    pub device_secs_per_step: Vec<f64>,
+    /// Device-sharing summary from the post-run pool replay (offloaded
+    /// runs with `cfg.gpus > 0` only).
+    pub share: Option<crate::parallel::ShareStats>,
 }
 
 /// How one step advances its scalars: WRF's stock blocking refresh

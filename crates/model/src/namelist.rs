@@ -182,6 +182,22 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
     )?;
     cfg.ranks = get(&nl, "parallel", "nproc", cfg.ranks)?;
     cfg.tiles = get(&nl, "parallel", "numtiles", cfg.tiles)?;
+    // Device sharing (§VII-A): either name the device count directly
+    // (`gpus`) or the sharing depth (`gpu_ranks_per_device`); the two
+    // express the same pool, so setting both is a conflict.
+    let gpus: usize = get(&nl, "parallel", "gpus", 0)?;
+    let per_device: usize = get(&nl, "parallel", "gpu_ranks_per_device", 0)?;
+    cfg.gpus = match (gpus, per_device) {
+        (0, 0) => 0,
+        (g, 0) => g,
+        (0, k) => cfg.ranks.div_ceil(k),
+        _ => {
+            return Err(NamelistError {
+                line: 0,
+                message: "set either &parallel gpus or gpu_ranks_per_device, not both".into(),
+            })
+        }
+    };
     if let Some(name) = nl.get("physics").and_then(|g| g.get("mp_physics")) {
         cfg.version = version_from_name(name).ok_or_else(|| NamelistError {
             line: 0,
@@ -263,6 +279,30 @@ mod tests {
         // Default off.
         let cfg = config_from_namelist("").unwrap();
         assert_eq!(cfg.restart_interval, 0);
+    }
+
+    #[test]
+    fn gpu_knobs_parsed_from_parallel() {
+        // Exclusive by default.
+        let cfg = config_from_namelist("").unwrap();
+        assert_eq!(cfg.gpus, 0);
+        // Direct device count.
+        let cfg = config_from_namelist("&parallel\n nproc = 32, gpus = 16\n/\n").unwrap();
+        assert_eq!(cfg.gpus, 16);
+        // Sharing depth derives the pool size (§VII-A's 2 ranks/GPU).
+        let cfg =
+            config_from_namelist("&parallel\n nproc = 32, gpu_ranks_per_device = 2\n/\n").unwrap();
+        assert_eq!(cfg.gpus, 16);
+        // Non-dividing rank counts round the pool up.
+        let cfg =
+            config_from_namelist("&parallel\n nproc = 33, gpu_ranks_per_device = 2\n/\n").unwrap();
+        assert_eq!(cfg.gpus, 17);
+        // Both knobs at once is a conflict, even when consistent.
+        let err = config_from_namelist(
+            "&parallel\n nproc = 32, gpus = 16, gpu_ranks_per_device = 2\n/\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not both"), "{err}");
     }
 
     #[test]

@@ -20,11 +20,13 @@
 
 use crate::config::ModelConfig;
 use crate::model::{Model, RunReport, StepReport};
-use crate::perfmodel::PerfParams;
+use crate::perfmodel::{rank_footprint, PerfParams};
 use fsbm_core::meter::PointWork;
 use fsbm_core::state::SbmPatchState;
 use fsbm_core::types::{NKR, NTYPES};
-use gpu_sim::machine::SLINGSHOT;
+use gpu_sim::devicepool::{DevicePool, RankSubmission, ShareReport};
+use gpu_sim::error::DeviceError;
+use gpu_sim::machine::{A100, CALIBRATION, SLINGSHOT};
 use mpi_sim::comm::{run_ranks_with_faults, CommError, CommMode, Rank, RecvRequest};
 use mpi_sim::cost::{CommCost, OverlapStats, Topology};
 use mpi_sim::{FaultPlan, DEFAULT_TIMEOUT};
@@ -90,6 +92,46 @@ pub struct CommStats {
     pub secs: f64,
     /// Nonblocking post/complete/hidden accounting (zero when blocking).
     pub overlap: OverlapStats,
+}
+
+/// Per-rank device-sharing summary from the post-run pool replay
+/// (offloaded runs with `ModelConfig::gpus > 0` only). Queue seconds
+/// are exposed *device* waiting — kept separate from [`CommStats`]'s
+/// exposed halo seconds, as the two contend for different resources.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShareStats {
+    /// Device this rank round-robins onto.
+    pub device: usize,
+    /// Devices in the pool.
+    pub devices: usize,
+    /// Peak co-resident submissions on the rank's device in any step.
+    pub sharers: usize,
+    /// Summed modeled device service seconds over the run.
+    pub service_secs: f64,
+    /// Summed exposed queue seconds over the run (peer services +
+    /// context slices; zero on exclusive devices).
+    pub queue_secs: f64,
+}
+
+/// Staged host↔device bytes per step for a patch of `points` compute
+/// points: the seven per-bin slabs, four thermo fields, and the
+/// activity predicate (same shape as the full-scale perf model).
+fn staged_bytes(points: u64) -> u64 {
+    7 * NKR as u64 * points * 4 + 4 * points * 4 + points
+}
+
+/// Modeled device occupancy of one functional step: the offloaded
+/// collision work priced at the sustained device rate plus launch
+/// overhead and the staged slab transfers — all from metered counters,
+/// never wall clocks, so the post-run device replay is deterministic.
+fn device_service_secs(patch: &PatchSpec, s: &StepReport) -> f64 {
+    let kernel = s.sbm.work.coal.flops as f64
+        / (A100.fp32_flops * CALIBRATION.gpu_sustained_fraction)
+        + A100.launch_overhead;
+    kernel
+        + 2.0
+            * (A100.pcie_latency
+                + staged_bytes(patch.compute_points() as u64) as f64 / A100.pcie_bw)
 }
 
 /// Tag slots reserved per refresh: 2 phases × 2 sides, with headroom.
@@ -346,6 +388,7 @@ pub(crate) fn run_attempt(
             model.state = state.clone();
         }
         let mut report = RunReport::default();
+        let track_device = cfg.gpus > 0 && cfg.version.offloaded();
         let mut cost = CommCost::new(SLINGSHOT, topo, me);
         let mut tag = 0u64;
         let fail = |step: u64, error: CommError| RankFailure {
@@ -409,6 +452,11 @@ pub(crate) fn run_attempt(
                     s
                 }
             };
+            if track_device {
+                report
+                    .device_secs_per_step
+                    .push(device_service_secs(&patch, &s));
+            }
             accumulate(&mut report, s);
             let done = step + 1;
             if let Some(spec) = checkpoint {
@@ -450,6 +498,32 @@ pub(crate) fn run_attempt(
 /// default generous timeout, so an `Err` here means the runtime itself
 /// broke — reported with its context rather than a blind `expect`.
 pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
+    run_parallel_checked(cfg, steps).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_parallel`] with device admission surfaced: when `cfg.gpus > 0`
+/// and the version is offloaded, every rank's context is admitted onto
+/// its round-robin device *before* any thread spawns (mirroring context
+/// creation at `MPI_Init`) — a configuration past the memory cap fails
+/// fast with a typed [`DeviceError`] naming rank, device, and bytes.
+/// After the run, each step's modeled device occupancies are replayed
+/// through the pool and the per-rank [`ShareStats`] attached to the
+/// reports. Sharing never touches the functional arithmetic: states are
+/// bitwise-identical to an exclusive-device run.
+pub fn run_parallel_checked(cfg: ModelConfig, steps: usize) -> Result<ParallelRun, DeviceError> {
+    let pool = (cfg.gpus > 0 && cfg.version.offloaded())
+        .then(|| -> Result<DevicePool, DeviceError> {
+            let dd = two_d_decomposition(cfg.case.domain(), cfg.ranks, cfg.halo);
+            let pp = PerfParams::default();
+            let mut pool = DevicePool::new(A100, cfg.gpus);
+            for patch in &dd.patches {
+                let bytes = staged_bytes(patch.compute_points() as u64);
+                pool.admit(patch.rank, &rank_footprint(&pp, bytes))?;
+            }
+            Ok(pool)
+        })
+        .transpose()?;
+
     let results = run_attempt(cfg, steps, None, None, None, DEFAULT_TIMEOUT);
     let mut states = Vec::with_capacity(results.len());
     let mut reports = Vec::with_capacity(results.len());
@@ -462,7 +536,47 @@ pub fn run_parallel(cfg: ModelConfig, steps: usize) -> ParallelRun {
             Err(f) => panic!("run_parallel without faults cannot fail, yet: {f}"),
         }
     }
-    ParallelRun { states, reports }
+    if let Some(pool) = &pool {
+        attach_share(&mut reports, pool);
+    }
+    Ok(ParallelRun { states, reports })
+}
+
+/// Replays each step's device submissions bulk-synchronously through
+/// the pool (submissions ordered deterministically by rank within the
+/// step) and attaches the accumulated per-rank summary.
+fn attach_share(reports: &mut [RunReport], pool: &DevicePool) {
+    let steps = reports
+        .iter()
+        .map(|r| r.device_secs_per_step.len())
+        .max()
+        .unwrap_or(0);
+    let mut total = ShareReport::default();
+    for step in 0..steps {
+        let subs: Vec<RankSubmission> = reports
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, r)| {
+                r.device_secs_per_step
+                    .get(step)
+                    .map(|&service_secs| RankSubmission {
+                        rank,
+                        submit_secs: 0.0,
+                        service_secs,
+                    })
+            })
+            .collect();
+        total.absorb(&pool.replay(&subs));
+    }
+    for rs in &total.ranks {
+        reports[rs.rank].share = Some(ShareStats {
+            device: rs.device,
+            devices: pool.n_devices(),
+            sharers: rs.sharers,
+            service_secs: rs.service_secs,
+            queue_secs: rs.queue_secs,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -578,6 +692,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shared_devices_change_timing_never_arithmetic() {
+        let mut cfg = ModelConfig::functional(SbmVersion::OffloadCollapse3, 0.06, 8);
+        cfg.ranks = 4;
+        let exclusive = run_parallel(cfg, 2);
+        cfg.gpus = 2; // two ranks per device
+        let shared = run_parallel_checked(cfg, 2).unwrap();
+        for (r, (got, want)) in shared
+            .states
+            .iter()
+            .zip(exclusive.states.iter())
+            .enumerate()
+        {
+            assert_states_bitwise(got, want, &format!("rank {r} shared vs exclusive"));
+        }
+        // Exclusive runs carry no sharing ledger; shared runs do, with
+        // per-step device occupancy and exposed queueing.
+        assert!(exclusive.reports.iter().all(|r| r.share.is_none()));
+        for (rank, rep) in shared.reports.iter().enumerate() {
+            assert_eq!(rep.device_secs_per_step.len(), 2);
+            let s = rep.share.expect("shared run attaches ShareStats");
+            assert_eq!(s.device, rank % 2);
+            assert_eq!((s.devices, s.sharers), (2, 2));
+            assert!(s.service_secs > 0.0);
+            assert!(s.queue_secs > 0.0, "two sharers must queue: {s:?}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_functional_run_fails_admission() {
+        // One device, 64 KiB stacks: the sixth rank's context cannot
+        // fit (§VII-A). The error carries the failing rank and device.
+        let mut cfg = ModelConfig::functional(SbmVersion::OffloadCollapse3, 0.06, 8);
+        cfg.ranks = 6;
+        cfg.gpus = 1;
+        let err = run_parallel_checked(cfg, 1).unwrap_err();
+        assert_eq!((err.rank, err.device, err.residents), (5, 0, 5));
     }
 
     #[test]

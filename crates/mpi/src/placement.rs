@@ -5,6 +5,14 @@
 //! round-robin fashion". [`GpuPool`] owns the shared devices and hands
 //! each rank its assignment; the devices' submission timelines then
 //! serialize co-scheduled kernels.
+//!
+//! `GpuPool` holds *functional* devices (contexts, allocations, kernel
+//! launches) for the walkthrough examples. The performance plane's
+//! admission and time-sharing accounting — memory-capped occupancy,
+//! per-device queue replay, the `service_slice_secs` contention cost —
+//! lives in `gpu_sim::devicepool::DevicePool`, which uses the same
+//! `rank % n_devices` placement so the two views never disagree about
+//! which device a rank lands on.
 
 use gpu_sim::device::Device;
 use gpu_sim::error::GpuError;

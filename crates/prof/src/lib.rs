@@ -20,6 +20,7 @@ pub mod exec;
 pub mod fault;
 pub mod flat;
 pub mod ranges;
+pub mod share;
 pub mod table;
 
 pub use comm::comm_line;
@@ -27,6 +28,7 @@ pub use exec::exec_line;
 pub use fault::recovery_line;
 pub use flat::{FlatProfiler, FlatReport, FlatRow};
 pub use ranges::{RangeProfiler, RangeReport, RangeRow};
+pub use share::device_line;
 pub use table::TextTable;
 
 use std::time::Instant;

@@ -1,0 +1,59 @@
+//! Device-sharing reporting: the per-device one-line summary of
+//! residency, memory charge, and exposed queueing on a shared GPU pool.
+//!
+//! Section VII-A shares each GPU between up to 4 (memory permitting, 5)
+//! MPI ranks; the scheduler replay makes the contention observable per
+//! device: how many contexts are resident, how much HBM they charge,
+//! how long the device computed, and how long its residents waited in
+//! line. This module owns the canonical rendering so `repro`, the share
+//! gate, and tests all print the same line.
+
+/// Renders the canonical one-line per-device sharing summary.
+///
+/// `busy_secs` and `queue_secs` are *modeled* seconds from the
+/// deterministic pool replay (device service vs its residents' exposed
+/// waiting); memory is rendered in GiB against the device capacity.
+pub fn device_line(
+    device: usize,
+    residents: usize,
+    used_bytes: u64,
+    capacity_bytes: u64,
+    busy_secs: f64,
+    queue_secs: f64,
+) -> String {
+    const GIB: f64 = (1u64 << 30) as f64;
+    format!(
+        "share: device={device} residents={residents} mem={:.1}/{:.1}GiB \
+         busy={busy_secs:.3}s queue={queue_secs:.3}s",
+        used_bytes as f64 / GIB,
+        capacity_bytes as f64 / GIB,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_contains_every_field() {
+        let line = device_line(3, 5, 73_014_444_032, 85_899_345_920, 1.2345, 0.6001);
+        assert!(line.starts_with("share: device=3"));
+        for needle in [
+            "residents=5",
+            "mem=68.0/80.0GiB",
+            "busy=1.234s",
+            "queue=0.600s",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn exclusive_device_line_is_well_formed() {
+        let line = device_line(0, 1, 1 << 30, 80 << 30, 0.5, 0.0);
+        assert_eq!(
+            line,
+            "share: device=0 residents=1 mem=1.0/80.0GiB busy=0.500s queue=0.000s"
+        );
+    }
+}
