@@ -49,6 +49,27 @@ step_gate() {
         --loose-tol 0.8 --host-factor 10
 }
 
+# The host-layout perf gate: re-measures the AoS vs SoA coal-stage
+# wall on the gate case and enforces the layout speedup floor plus
+# digest equality against the committed BENCH_host.json (the digests
+# must also be bitwise across layouts within the fresh run). The 3x
+# floor holds on the reference host; CI runners differ in vector ISA
+# and core count, so the floor is loosened here the same way step_gate
+# loosens host wall tolerances — digest checks stay exact.
+step_host() {
+    cargo run --release -q -p wrf-bench --bin repro -- bench-host \
+        --check --repeats 5 --min-speedup 2.0
+    # Surface the committed reference speedups in the job summary next
+    # to the step-timing table.
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f BENCH_host.json ]; then
+        {
+            printf '\ncommitted BENCH_host.json speedups (panel-soa vs point-aos): '
+            grep -o '"speedup_panel_soa_vs_point_aos": {[^}]*}' BENCH_host.json
+            printf '\n'
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
+}
+
 # The communication gate: the multi-rank gate case must produce
 # bitwise-identical digests under blocking and overlapped halo
 # exchanges for every scheme version, and the replayed α–β cost model
@@ -84,7 +105,7 @@ step_share() {
 }
 
 usage() {
-    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|comm|fault|share|all]" >&2
+    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|gate|host|comm|fault|share|all]" >&2
     exit 2
 }
 
@@ -110,9 +131,9 @@ run_step() {
 }
 
 case "${1:-all}" in
-    build|test|clippy|docs|fmt|gate|comm|fault|share) run_step "$1" ;;
+    build|test|clippy|docs|fmt|gate|host|comm|fault|share) run_step "$1" ;;
     all)
-        for s in build test clippy docs fmt gate comm fault share; do
+        for s in build test clippy docs fmt gate host comm fault share; do
             run_step "$s"
         done
         echo "==> ci.sh: all steps passed"

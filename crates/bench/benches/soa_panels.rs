@@ -1,0 +1,181 @@
+//! PR 7 bench: the per-point AoS hot kernels vs their SoA lane-panel
+//! mirrors, eight points per iteration so both sides do identical
+//! physics — `coal_bott_new` vs `panel_coal`, `condensation_branch`
+//! (onecond1/2) vs `panel_condensation`, and the scalar sedimentation
+//! column vs the bin-major SoA sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsbm_core::kernels::{KernelCache, KernelMode, KernelTables};
+use fsbm_core::meter::PointWork;
+use fsbm_core::panels::{
+    panel_coal, panel_condensation, sedimentation_column_soa, DepositSplits, SedScratch, SoaPanel,
+    LANES,
+};
+use fsbm_core::point::{Grids, PointBins, PointThermo};
+use fsbm_core::processes::{collision, condensation, sedimentation};
+use fsbm_core::types::{HydroClass, NKR};
+
+const P: f32 = 68_000.0;
+
+/// Eight cloudy points with distinct spectra (alternating warm liquid
+/// and cold mixed-phase, like the layout-equivalence tests).
+fn points() -> Vec<(PointBins, PointThermo)> {
+    (0..LANES)
+        .map(|i| {
+            let mut b = PointBins::empty();
+            let cold = i % 2 == 1;
+            for k in 6..=16 {
+                b.n[0][k] = 3.0e7 + 1.0e6 * (i * k) as f32;
+            }
+            b.n[0][20] = 1.0e4;
+            if cold {
+                b.n[4][12] = 1.0e5;
+                b.n[5][15] = 2.0e4;
+            }
+            let th = PointThermo {
+                t: if cold { 263.0 } else { 285.0 },
+                qv: 0.004 + 0.0002 * i as f32,
+                p: P,
+                rho: 0.9 + 0.01 * i as f32,
+            };
+            (b, th)
+        })
+        .collect()
+}
+
+fn gather(pts: &[(PointBins, PointThermo)]) -> SoaPanel {
+    let mut panel = SoaPanel::new();
+    for (b, th) in pts {
+        panel.push_with(th.t, th.qv, th.p, th.rho, |c, k| b.n[c][k]);
+    }
+    panel
+}
+
+fn bench(c: &mut Criterion) {
+    let tables = KernelTables::new();
+    let grids = Grids::new();
+    let splits = DepositSplits::new(&grids);
+    let mut cache = KernelCache::new(1);
+    cache.ensure_level(0, P, &tables);
+    let pts = points();
+
+    let mut group = c.benchmark_group("soa_panels");
+    group.sample_size(30);
+
+    // Collision: 8 points through the scalar kernel vs one 8-lane panel,
+    // both on the cached-kernel mode the gate's work-stealing arms use.
+    group.bench_function("coal_bott_new_aos_8pts", |bch| {
+        bch.iter(|| {
+            let mut total = 0u64;
+            for (b, th) in pts.iter() {
+                let mut b = b.clone();
+                let mut th = *th;
+                let mut w = PointWork::ZERO;
+                total += collision::coal_bott_new(
+                    &mut b.view(),
+                    &mut th,
+                    &grids,
+                    KernelMode::Cached {
+                        cache: &cache,
+                        tables: &tables,
+                        level: 0,
+                        p: black_box(P),
+                    },
+                    5.0,
+                    &mut w,
+                );
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("panel_coal_soa_8lanes", |bch| {
+        bch.iter(|| {
+            let mut panel = gather(&pts);
+            let mut w = [PointWork::ZERO; LANES];
+            let mut e = [0u64; LANES];
+            panel_coal(
+                &mut panel,
+                &grids,
+                KernelMode::Cached {
+                    cache: &cache,
+                    tables: &tables,
+                    level: 0,
+                    p: black_box(P),
+                },
+                &splits,
+                5.0,
+                &mut w,
+                &mut e,
+            );
+            black_box(e.iter().sum::<u64>())
+        });
+    });
+
+    // Condensation (onecond1 warm lanes + onecond2 mixed lanes).
+    group.bench_function("onecond_aos_8pts", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f32;
+            for (b, th) in pts.iter() {
+                let mut b = b.clone();
+                let mut th = *th;
+                let mut w = PointWork::ZERO;
+                condensation::condensation_branch(&mut b.view(), &mut th, &grids, 5.0, &mut w);
+                acc += th.t;
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("onecond_panel_soa_8lanes", |bch| {
+        bch.iter(|| {
+            let mut panel = gather(&pts);
+            let mut w = [PointWork::ZERO; LANES];
+            panel_condensation(&mut panel, &grids, 5.0, &mut w);
+            black_box(panel.t[0])
+        });
+    });
+
+    // Sedimentation: one 16-level snow column, AoS level-major vs the
+    // bin-major SoA sweep with reused scratch.
+    let nz = 16usize;
+    let g = grids.of(HydroClass::Snow);
+    let rho: Vec<f32> = (0..nz).map(|l| 1.1 - 0.04 * l as f32).collect();
+    let mut col0 = vec![[0.0f32; NKR]; nz];
+    for (l, lvl) in col0.iter_mut().enumerate().take(10) {
+        for (k, v) in lvl.iter_mut().enumerate().take(25).skip(10) {
+            *v = 1.0e6 + 1.0e4 * (l * k) as f32;
+        }
+    }
+    group.bench_function("sedimentation_column_aos", |bch| {
+        bch.iter(|| {
+            let mut col = col0.clone();
+            let mut w = PointWork::ZERO;
+            black_box(sedimentation::sedimentation_column(
+                &mut col, g, &rho, 400.0, 5.0, &mut w,
+            ))
+        });
+    });
+    group.bench_function("sedimentation_column_soa", |bch| {
+        let mut scratch = SedScratch::new();
+        bch.iter(|| {
+            scratch.ensure(nz);
+            for (l, lvl) in col0.iter().enumerate() {
+                for (k, &v) in lvl.iter().enumerate() {
+                    scratch.bins[k * nz + l] = v;
+                }
+            }
+            let mut w = PointWork::ZERO;
+            black_box(sedimentation_column_soa(
+                &mut scratch,
+                g,
+                &rho,
+                400.0,
+                5.0,
+                &mut w,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

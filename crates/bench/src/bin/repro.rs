@@ -1,10 +1,15 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|gate|comm|fault|share|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
 //! modes at 1/2/4/8 workers and writes `BENCH_executor.json`.
+//! `bench-host` measures the real coal-stage host wall of the AoS vs
+//! SoA memory layouts on the gate case at 1/2/4/8 workers;
+//! `bench-host --bless` writes `BENCH_host.json`, `bench-host --check`
+//! enforces the layout speedup floor and digest equality against the
+//! committed baseline (exits nonzero on violation).
 //! `gate` runs the reproduction gate (golden verification + perf
 //! regression, see `wrf-gate`) and exits nonzero on any violation;
 //! `gate --bless` regenerates the golden fixtures under `goldens/`.
@@ -77,6 +82,87 @@ fn bench_exec() -> String {
         Err(e) => eprintln!("[repro] could not write BENCH_executor.json: {e}"),
     }
     format!("{}\n{}", rep.rendered(), json)
+}
+
+/// Runs `repro bench-host [--bless] [--check] [--repeats N]
+/// [--baseline PATH] [--min-speedup X]` and returns the process exit
+/// code.
+fn bench_host(args: &[String]) -> i32 {
+    let mut bless = false;
+    let mut check = false;
+    let mut repeats = 3usize;
+    let mut baseline = "BENCH_host.json".to_string();
+    let mut min_speedup = wrf_bench::hostbench::MIN_SPEEDUP;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--check" => check = true,
+            "--repeats" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => repeats = n,
+                _ => {
+                    eprintln!("repro bench-host: --repeats needs a positive integer");
+                    return 2;
+                }
+            },
+            "--min-speedup" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(x)) if x > 0.0 => min_speedup = x,
+                _ => {
+                    eprintln!("repro bench-host: --min-speedup needs a positive number");
+                    return 2;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = p.clone(),
+                None => {
+                    eprintln!("repro bench-host: --baseline needs a value");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!(
+                    "repro bench-host: unknown flag {other}; flags: --bless --check \
+                     --repeats N --baseline PATH --min-speedup X"
+                );
+                return 2;
+            }
+        }
+    }
+    eprintln!(
+        "[repro] bench-host: gate case, both layouts at 1/2/4/8 workers, \
+         {repeats} repeats each..."
+    );
+    let rep = wrf_bench::hostbench::bench_host(&[1, 2, 4, 8], repeats);
+    print!("{}", rep.rendered());
+    if bless {
+        let json = rep.to_json();
+        match std::fs::write(&baseline, &json) {
+            Ok(()) => eprintln!("[repro] wrote {baseline}"),
+            Err(e) => {
+                eprintln!("repro bench-host: could not write {baseline}: {e}");
+                return 2;
+            }
+        }
+    }
+    if check {
+        let committed = std::fs::read_to_string(&baseline).ok();
+        if committed.is_none() {
+            eprintln!("[repro] bench-host: no committed {baseline}; checking the fresh run only");
+        }
+        let violations = rep.violations(committed.as_deref(), min_speedup);
+        for v in &violations {
+            eprintln!("repro bench-host: VIOLATION: {v}");
+        }
+        if !violations.is_empty() {
+            return 1;
+        }
+        eprintln!(
+            "[repro] bench-host: PASS (speedup {:.2}x at {} workers, digests bitwise)",
+            rep.speedup(rep.worker_counts().last().copied().unwrap_or(0)),
+            rep.worker_counts().last().copied().unwrap_or(0)
+        );
+    }
+    0
 }
 
 /// Parses `repro gate` flags into a [`wrf_gate::GateConfig`].
@@ -456,6 +542,10 @@ fn main() {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(gate(&args));
     }
+    if what == "bench-host" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(bench_host(&args));
+    }
     if what == "comm" {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(comm(&args));
@@ -549,8 +639,8 @@ fn main() {
     if !emitted {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
-             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|gate|comm|fault|\
-             share|all"
+             timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|bench-host|\
+             gate|comm|fault|share|all"
         );
         std::process::exit(2);
     }

@@ -13,6 +13,7 @@ pub mod context;
 pub mod execbench;
 pub mod figures;
 pub mod future;
+pub mod hostbench;
 pub mod tables;
 pub mod verify;
 

@@ -363,24 +363,39 @@ impl KernelCache {
         if k >= self.levels.len() {
             return;
         }
-        if let Some(lvl) = &self.levels[k] {
-            if lvl.p == p {
-                return;
-            }
-        }
         let mut sink = PointWork::ZERO;
-        let cw = (0..COLLISION_PAIRS.len())
-            .map(|pair| {
-                let mut t = vec![0.0f32; NKR * NKR].into_boxed_slice();
-                for i in 0..NKR {
-                    for j in 0..NKR {
-                        t[i * NKR + j] = tables.entry(pair, i, j, p, &mut sink);
+        match &mut self.levels[k] {
+            Some(lvl) => {
+                if lvl.p == p {
+                    return;
+                }
+                // Refill the existing boxes in place: a pressure change
+                // (profile refresh, perturbed rerun) must not re-allocate
+                // the 20 NKR² arrays every time.
+                for (pair, t) in lvl.cw.iter_mut().enumerate() {
+                    for i in 0..NKR {
+                        for j in 0..NKR {
+                            t[i * NKR + j] = tables.entry(pair, i, j, p, &mut sink);
+                        }
                     }
                 }
-                t
-            })
-            .collect();
-        self.levels[k] = Some(CacheLevel { p, cw });
+                lvl.p = p;
+            }
+            slot @ None => {
+                let cw = (0..COLLISION_PAIRS.len())
+                    .map(|pair| {
+                        let mut t = vec![0.0f32; NKR * NKR].into_boxed_slice();
+                        for i in 0..NKR {
+                            for j in 0..NKR {
+                                t[i * NKR + j] = tables.entry(pair, i, j, p, &mut sink);
+                            }
+                        }
+                        t
+                    })
+                    .collect();
+                *slot = Some(CacheLevel { p, cw });
+            }
+        }
     }
 
     /// Drops every filled level (e.g. when the pressure profile changes).
@@ -415,6 +430,22 @@ impl KernelCache {
     pub fn reset_stats(&self) {
         self.hits.store(0, std::sync::atomic::Ordering::Relaxed);
         self.misses.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Bulk-adds cache hits. Panel batches count accesses locally and
+    /// flush once, replacing one atomic RMW per kernel access.
+    pub fn add_hits(&self, n: u64) {
+        if n > 0 {
+            self.hits.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Bulk-adds cache misses (see [`KernelCache::add_hits`]).
+    pub fn add_misses(&self, n: u64) {
+        if n > 0 {
+            self.misses
+                .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     /// Bytes held by filled levels (data-environment accounting).
@@ -485,6 +516,78 @@ impl<'a> KernelMode<'a> {
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 tables.entry(pair, i, j, *p, work)
             }
+        }
+    }
+
+    /// Resolves the kernel value for `(pair, i, j)` without metering or
+    /// hit/miss accounting — the SoA panel path resolves once per `(i, j)`
+    /// for a pressure-uniform batch and applies [`Self::access_cost`] and
+    /// [`KernelCache::add_hits`]/[`KernelCache::add_misses`] in bulk.
+    /// Returns the value and whether a cached level served it.
+    #[inline]
+    pub fn peek(&self, pair: usize, i: usize, j: usize) -> (f32, bool) {
+        match self {
+            KernelMode::Dense(t) => (t.cw[pair][i * NKR + j], false),
+            KernelMode::OnDemand { tables, p } => {
+                let mut sink = PointWork::ZERO;
+                (tables.entry(pair, i, j, *p, &mut sink), false)
+            }
+            KernelMode::Cached {
+                cache,
+                tables,
+                level,
+                p,
+            } => {
+                if let Some(Some(lvl)) = cache.levels.get(*level) {
+                    if lvl.p == *p {
+                        return (lvl.cw[pair][i * NKR + j], true);
+                    }
+                }
+                let mut sink = PointWork::ZERO;
+                (tables.entry(pair, i, j, *p, &mut sink), false)
+            }
+        }
+    }
+
+    /// Borrows the contiguous kernel row for `(pair, i)` when a resident
+    /// table can serve it directly, plus whether the accesses count as
+    /// cache hits (the hit test is j-independent, so the flag is uniform
+    /// across the row). `None` means the caller must fall back to
+    /// per-entry [`Self::peek`] (on-demand mode, or a cold/mismatched
+    /// cache level).
+    #[inline]
+    pub fn peek_row(&self, pair: usize, i: usize) -> Option<(&'a [f32], bool)> {
+        match self {
+            KernelMode::Dense(t) => Some((&t.cw[pair][i * NKR..(i + 1) * NKR], false)),
+            KernelMode::OnDemand { .. } => None,
+            KernelMode::Cached {
+                cache, level, p, ..
+            } => match cache.levels.get(*level) {
+                Some(Some(lvl)) if lvl.p == *p => {
+                    Some((&lvl.cw[pair][i * NKR..(i + 1) * NKR], true))
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// The `(flops, mem_ops)` that [`Self::get`] meters per access in this
+    /// mode: one load for the dense tables, the interpolation cost for the
+    /// on-demand and cached paths (hit or miss meter identically).
+    #[inline]
+    pub fn access_cost(&self) -> (u64, u64) {
+        match self {
+            KernelMode::Dense(_) => (0, 1),
+            _ => (4, 2),
+        }
+    }
+
+    /// Flushes bulk-counted cached-kernel hits/misses; a no-op for the
+    /// uncounted dense and on-demand modes.
+    pub fn add_cached_counts(&self, hits: u64, misses: u64) {
+        if let KernelMode::Cached { cache, .. } = self {
+            cache.add_hits(hits);
+            cache.add_misses(misses);
         }
     }
 }
@@ -719,6 +822,86 @@ mod tests {
         let before = cache.bytes();
         cache.ensure_level(0, 60_000.0, &t);
         assert_eq!(cache.bytes(), before);
+    }
+
+    #[test]
+    fn ensure_level_refills_in_place_on_pressure_change() {
+        let t = KernelTables::new();
+        let mut cache = KernelCache::new(1);
+        cache.ensure_level(0, 60_000.0, &t);
+        let before: Vec<*const f32> = cache.levels[0]
+            .as_ref()
+            .unwrap()
+            .cw
+            .iter()
+            .map(|b| b.as_ptr())
+            .collect();
+        cache.ensure_level(0, 50_000.0, &t);
+        let lvl = cache.levels[0].as_ref().unwrap();
+        assert_eq!(lvl.p, 50_000.0);
+        let after: Vec<*const f32> = lvl.cw.iter().map(|b| b.as_ptr()).collect();
+        // Same boxes, new values: the refill reuses the allocations.
+        assert_eq!(before, after);
+        let mut w = PointWork::ZERO;
+        assert_eq!(
+            lvl.cw[4][8 * NKR + 8].to_bits(),
+            t.entry(4, 8, 8, 50_000.0, &mut w).to_bits()
+        );
+    }
+
+    #[test]
+    fn peek_matches_get_values_and_costs() {
+        let t = KernelTables::new();
+        let p = 55_000.0;
+        let mut dense = CollisionTables::new();
+        let mut w = PointWork::ZERO;
+        kernals_ks(&t, p, &mut dense, &mut w);
+        let mut cache = KernelCache::new(1);
+        cache.ensure_level(0, p, &t);
+        let modes = [
+            KernelMode::Dense(&dense),
+            KernelMode::OnDemand { tables: &t, p },
+            KernelMode::Cached {
+                cache: &cache,
+                tables: &t,
+                level: 0,
+                p,
+            },
+        ];
+        for m in modes {
+            for pair in [0usize, 7, 19] {
+                for (i, j) in [(0, 0), (8, 21), (NKR - 1, NKR - 1)] {
+                    let mut wg = PointWork::ZERO;
+                    let v = m.get(pair, i, j, &mut wg);
+                    let (pv, _) = m.peek(pair, i, j);
+                    assert_eq!(v.to_bits(), pv.to_bits());
+                    let (f, mm) = m.access_cost();
+                    assert_eq!((wg.flops, wg.mem_ops), (f, mm));
+                }
+            }
+        }
+        // A mismatched cached level peeks the fallback value with hit=false.
+        let stale = KernelMode::Cached {
+            cache: &cache,
+            tables: &t,
+            level: 0,
+            p: 48_000.0,
+        };
+        let (v, hit) = stale.peek(2, 5, 9);
+        assert!(!hit);
+        assert_eq!(v.to_bits(), t.entry(2, 5, 9, 48_000.0, &mut w).to_bits());
+        // Bulk counter flush reaches the cache only in cached mode.
+        cache.reset_stats();
+        KernelMode::OnDemand { tables: &t, p }.add_cached_counts(5, 5);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        KernelMode::Cached {
+            cache: &cache,
+            tables: &t,
+            level: 0,
+            p,
+        }
+        .add_cached_counts(7, 2);
+        assert_eq!((cache.hits(), cache.misses()), (7, 2));
     }
 
     #[test]

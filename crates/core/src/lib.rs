@@ -35,6 +35,7 @@ pub mod digest;
 pub mod exec;
 pub mod kernels;
 pub mod meter;
+pub mod panels;
 pub mod point;
 pub mod processes;
 pub mod scheme;
@@ -50,7 +51,8 @@ pub use kernels::{
     CollisionPair, CollisionTables, KernelCache, KernelMode, KernelTables, COLLISION_PAIRS,
 };
 pub use meter::PointWork;
+pub use panels::{SoaPanel, LANES};
 pub use point::{fast_sbm_point, PointBins, PointThermo};
-pub use scheme::{FastSbm, SbmConfig, SbmStepStats, SbmVersion};
+pub use scheme::{FastSbm, Layout, SbmConfig, SbmStepStats, SbmVersion};
 pub use state::SbmPatchState;
 pub use types::{HydroClass, NKR, NTYPES};

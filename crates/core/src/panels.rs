@@ -1,0 +1,1234 @@
+//! SoA lane panels: batched, lane-masked mirrors of the per-point hot loops.
+//!
+//! The scalar scheme walks one grid point at a time over AoS
+//! [`crate::point::PointBins`] storage: every collision pair, condensation
+//! substep and sedimentation flux touches one point's 7×33 bin block before
+//! the next point starts. The panel layout instead gathers up to [`LANES`]
+//! active points into structure-of-arrays storage — bin-major, lane-fastest
+//! (`n[class][bin][lane]`) — and runs the inner loops once per batch with
+//! per-lane masks. Dense lane batches keep the 33-bin working set in cache,
+//! hoist per-(i,j) invariants (kernel values, mass-deposition stencils) out
+//! of the point loop, and replace per-entry atomic cache metering with one
+//! bulk flush per batch.
+//!
+//! Bitwise contract: every routine here replays the *exact* per-point f32
+//! operation sequence of its scalar counterpart — same operations, same
+//! order, same associativity, no speculative masked arithmetic (a masked
+//! `+= 0.0` is not a no-op for `-0.0`, so inactive lanes are skipped by
+//! branch, never by multiply-by-zero). Each lane therefore produces results
+//! bit-identical to running the scalar routine on that point alone, and the
+//! committed golden digests hold in both layouts. The same discipline
+//! applies to [`crate::meter::PointWork`]: panels meter the scalar op
+//! counts per lane even where a value was computed once and reused, so the
+//! modeled work stays layout-invariant.
+
+use crate::bins::BinGrid;
+use crate::constants::{CP, L_F, T_0, T_MIN_COAL};
+use crate::kernels::{KernelMode, COLLISION_PAIRS};
+use crate::meter::PointWork;
+use crate::point::{Grids, N_EPS, Q_EPS};
+use crate::processes::collision::{MAX_DEPLETION, NCOLL};
+use crate::processes::condensation::NCOND;
+use crate::thermo::{growth_coefficient, latent_heating, qsat_ice, qsat_liquid, supersat_liquid};
+use crate::types::{HydroClass, NKR, NTYPES};
+
+/// Points per panel. Eight f32 lanes fill one 256-bit vector register and
+/// keep the whole panel (7×33 bins × 8 lanes ≈ 7.4 KB) inside L1.
+pub const LANES: usize = 8;
+
+/// Ice classes in the order `onecond2`/`onecond3` relax them.
+const ICE_RELAX_ORDER: [HydroClass; 6] = [
+    HydroClass::IceColumns,
+    HydroClass::IcePlates,
+    HydroClass::IceDendrites,
+    HydroClass::Snow,
+    HydroClass::Graupel,
+    HydroClass::Hail,
+];
+
+/// A batch of up to [`LANES`] grid points in SoA layout.
+///
+/// Bin number densities are stored bin-major and lane-fastest
+/// (`n[class][bin][lane]`) so the per-(class, bin) inner loops of the
+/// collision and condensation kernels touch contiguous lanes. Thermo state
+/// is one f32 per lane. Lanes `>= len` hold stale data and are never read:
+/// all panel ops iterate `0..len` (ragged last batches are handled by the
+/// mask, not by zero padding).
+pub struct SoaPanel {
+    /// Bin number densities, `n[class][bin][lane]`.
+    pub n: [[[f32; LANES]; NKR]; NTYPES],
+    /// Temperature per lane (K).
+    pub t: [f32; LANES],
+    /// Vapor mixing ratio per lane (kg/kg).
+    pub qv: [f32; LANES],
+    /// Air density per lane (kg/m³).
+    pub rho: [f32; LANES],
+    /// Pressure per lane (Pa). Collision batches require uniform pressure
+    /// bits across lanes (the kernel value is resolved once per (i, j));
+    /// condensation batches may mix pressures.
+    pub p: [f32; LANES],
+    /// Number of live lanes (`<= LANES`).
+    pub len: usize,
+}
+
+impl Default for SoaPanel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SoaPanel {
+    /// An empty, zeroed panel.
+    pub fn new() -> Self {
+        SoaPanel {
+            n: [[[0.0; LANES]; NKR]; NTYPES],
+            t: [0.0; LANES],
+            qv: [0.0; LANES],
+            rho: [0.0; LANES],
+            p: [0.0; LANES],
+            len: 0,
+        }
+    }
+
+    /// Drops all lanes (storage is left stale, not rezeroed).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// True when no further lane fits.
+    pub fn is_full(&self) -> bool {
+        self.len == LANES
+    }
+
+    /// Gathers one point into the next lane and returns its lane index.
+    /// `read(class, bin)` supplies the point's bin number densities.
+    pub fn push_with(
+        &mut self,
+        t: f32,
+        qv: f32,
+        p: f32,
+        rho: f32,
+        mut read: impl FnMut(usize, usize) -> f32,
+    ) -> usize {
+        let l = self.len;
+        assert!(l < LANES, "panel overflow");
+        for c in 0..NTYPES {
+            for k in 0..NKR {
+                self.n[c][k][l] = read(c, k);
+            }
+        }
+        self.t[l] = t;
+        self.qv[l] = qv;
+        self.p[l] = p;
+        self.rho[l] = rho;
+        self.len = l + 1;
+        l
+    }
+
+    /// Scatters one lane's bins back out through `write(class, bin, value)`.
+    pub fn scatter_with(&self, lane: usize, mut write: impl FnMut(usize, usize, f32)) {
+        debug_assert!(lane < self.len);
+        for c in 0..NTYPES {
+            for k in 0..NKR {
+                write(c, k, self.n[c][k][lane]);
+            }
+        }
+    }
+
+    /// Per-lane mirror of `BinsView::active_range`: first/last bin with
+    /// number density above [`N_EPS`], metering one pass over the class.
+    fn active_range_lane(
+        &self,
+        class: HydroClass,
+        lane: usize,
+        w: &mut PointWork,
+    ) -> Option<(usize, usize)> {
+        w.m(NKR as u64);
+        let c = class.index();
+        let lo = (0..NKR).find(|&k| self.n[c][k][lane] > N_EPS)?;
+        let hi = (0..NKR).rfind(|&k| self.n[c][k][lane] > N_EPS)?;
+        Some((lo, hi))
+    }
+
+    /// Per-lane mirror of `BinsView::mass_of`: total mass in one class.
+    fn mass_of_lane(&self, class: HydroClass, g: &BinGrid, lane: usize, w: &mut PointWork) -> f32 {
+        let c = class.index();
+        let mut q = 0.0f32;
+        for k in 0..NKR {
+            q += self.n[c][k][lane] * g.mass[k];
+        }
+        w.fm(2 * NKR as u64, NKR as u64);
+        q
+    }
+
+    /// Per-lane mirror of `BinsView::number_of` (unmetered, like the scalar).
+    fn number_of_lane(&self, class: HydroClass, lane: usize) -> f32 {
+        let c = class.index();
+        let mut s = 0.0f32;
+        for k in 0..NKR {
+            s += self.n[c][k][lane];
+        }
+        s
+    }
+
+    /// Per-lane mirror of `BinsView::total_condensate`: mass summed over
+    /// every hydrometeor class in `HydroClass::ALL` order.
+    fn total_condensate_lane(&self, grids: &Grids, lane: usize, w: &mut PointWork) -> f32 {
+        let mut tot = 0.0f32;
+        for &c in HydroClass::ALL.iter() {
+            tot += self.mass_of_lane(c, grids.of(c), lane, w);
+        }
+        tot
+    }
+
+    /// Per-lane mirror of `BinsView::scrub_negatives` for lanes where
+    /// `mask` holds: clamps tiny negative round-off to zero.
+    fn scrub_lanes(&mut self, mask: &[bool; LANES]) {
+        for c in 0..NTYPES {
+            for k in 0..NKR {
+                for (l, &on) in mask.iter().enumerate().take(self.len) {
+                    if !on {
+                        continue;
+                    }
+                    let v = &mut self.n[c][k][l];
+                    if *v < 0.0 {
+                        debug_assert!(*v > -1.0e-2, "large negative bin value {v}");
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One precomputed mass-deposition stencil: where `deposit_mass` puts
+/// number for a fixed deposited mass `m` on a fixed grid. The collision
+/// outcome mass `ga.mass[i] + gb.mass[j]` depends only on the pair and the
+/// bin indices, so the bracket search (`log2`, floor, two nudge compares,
+/// one divide) is hoisted out of the per-point loop entirely.
+#[derive(Clone, Copy, Debug)]
+pub enum Split {
+    /// `m` at or below the smallest bin: everything lands in bin 0 scaled
+    /// by `m / m0`. The two factors are kept separate so the lane applies
+    /// the scalar's exact `number * m / m0`.
+    Bottom {
+        /// Deposited mass.
+        m: f32,
+        /// Mass of bin 0.
+        m0: f32,
+    },
+    /// `m` at or above the largest bin: everything lands in the top bin
+    /// scaled by `m / mass[top]`.
+    Top {
+        /// Deposited mass.
+        m: f32,
+        /// Mass of the top bin.
+        mtop: f32,
+    },
+    /// `m` bracketed by bins `k` and `k + 1`: `number * frac` goes up,
+    /// the remainder stays in `k`.
+    Mid {
+        /// Lower bracket bin.
+        k: u16,
+        /// Fraction deposited into `k + 1`.
+        frac: f32,
+    },
+}
+
+impl Split {
+    /// Computes the stencil for depositing mass `m` on `grid`, replicating
+    /// the bracket logic of `crate::point::deposit_mass` exactly.
+    pub fn for_mass(grid: &BinGrid, m: f32) -> Split {
+        let m0 = grid.mass[0];
+        if m <= m0 {
+            return Split::Bottom { m, m0 };
+        }
+        let top = NKR - 1;
+        if m >= grid.mass[top] {
+            return Split::Top {
+                m,
+                mtop: grid.mass[top],
+            };
+        }
+        let pos = (m / m0).log2();
+        let mut k = (pos.floor() as usize).min(top - 1);
+        if k > 0 && m < grid.mass[k] {
+            k -= 1;
+        }
+        if k + 1 < top && m > grid.mass[k + 1] {
+            k += 1;
+        }
+        let (m_lo, m_hi) = (grid.mass[k], grid.mass[k + 1]);
+        let frac = ((m - m_lo) / (m_hi - m_lo)).clamp(0.0, 1.0);
+        Split::Mid { k: k as u16, frac }
+    }
+
+    /// Deposits `number` through the stencil via `add(bin, value)`,
+    /// metering what `deposit_mass` meters. The caller guarantees
+    /// `number > 0` and `m > 0` (the scalar's unmetered early return).
+    #[inline]
+    pub fn apply(&self, add: impl FnMut(usize, f32), number: f32, w: &mut PointWork) {
+        w.fm(8, 2);
+        self.apply_unmetered(add, number);
+    }
+
+    /// [`Split::apply`] without the `fm(8, 2)` meter update, for callers
+    /// that coalesce it into a wider per-entry accumulation.
+    #[inline]
+    pub fn apply_unmetered(&self, mut add: impl FnMut(usize, f32), number: f32) {
+        match *self {
+            Split::Bottom { m, m0 } => add(0, number * m / m0),
+            Split::Top { m, mtop } => add(NKR - 1, number * m / mtop),
+            Split::Mid { k, frac } => {
+                let n_hi = number * frac;
+                let n_lo = number - n_hi;
+                add(k as usize, n_lo);
+                add(k as usize + 1, n_hi);
+            }
+        }
+    }
+}
+
+/// Deposition stencils for every `(pair, i, j)` collision outcome,
+/// built once per scheme instance (≈ 20 × 33 × 33 entries).
+pub struct DepositSplits {
+    s: Vec<Split>,
+}
+
+impl DepositSplits {
+    /// Precomputes the stencil table from the bin grids.
+    pub fn new(grids: &Grids) -> Self {
+        let mut s = Vec::with_capacity(COLLISION_PAIRS.len() * NKR * NKR);
+        for pair in COLLISION_PAIRS.iter() {
+            let ga = grids.of(pair.a);
+            let gb = grids.of(pair.b);
+            let gout = grids.of(pair.outcome);
+            for i in 0..NKR {
+                for j in 0..NKR {
+                    s.push(Split::for_mass(gout, ga.mass[i] + gb.mass[j]));
+                }
+            }
+        }
+        DepositSplits { s }
+    }
+
+    /// The stencil for collision pair `pidx` between bins `i` and `j`.
+    #[inline]
+    pub fn get(&self, pidx: usize, i: usize, j: usize) -> Split {
+        self.s[(pidx * NKR + i) * NKR + j]
+    }
+
+    /// The contiguous stencil row for collision pair `pidx` and bin `i`,
+    /// indexed by `j`.
+    #[inline]
+    pub fn row(&self, pidx: usize, i: usize) -> &[Split] {
+        &self.s[(pidx * NKR + i) * NKR..][..NKR]
+    }
+}
+
+/// Mirror of `deposit_mass` writing into one lane of a SoA class column.
+fn deposit_mass_lane(
+    col: &mut [[f32; LANES]; NKR],
+    lane: usize,
+    grid: &BinGrid,
+    m: f32,
+    number: f32,
+    w: &mut PointWork,
+) {
+    if number <= 0.0 || m <= 0.0 {
+        return;
+    }
+    Split::for_mass(grid, m).apply(|k, v| col[k][lane] += v, number, w);
+}
+
+/// Batched mirror of `coal_bott_new`: runs the [`NCOLL`] collision
+/// substeps over every live lane of the panel.
+///
+/// Requirements: every lane is a coal-called point and all lanes share the
+/// same pressure bits (so the kernel value for a given `(pair, i, j)` is
+/// identical across lanes and is resolved once via [`KernelMode::peek`]).
+/// Per-lane entry counts accumulate into `entries` and per-lane metering
+/// into `works`; cached-kernel hit/miss counters are flushed in bulk once
+/// at the end instead of one atomic RMW per entry.
+pub fn panel_coal(
+    panel: &mut SoaPanel,
+    grids: &Grids,
+    kernels: KernelMode<'_>,
+    splits: &DepositSplits,
+    dt: f32,
+    works: &mut [PointWork; LANES],
+    entries: &mut [u64; LANES],
+) {
+    let dts = dt / NCOLL as f32;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for _ in 0..NCOLL {
+        coal_substep_panel(
+            panel,
+            grids,
+            kernels,
+            splits,
+            dts,
+            works,
+            entries,
+            &mut hits,
+            &mut misses,
+        );
+    }
+    kernels.add_cached_counts(hits, misses);
+}
+
+/// One collision substep over the panel: the lane-masked mirror of
+/// `collision::coal_substep`.
+#[allow(clippy::too_many_arguments)]
+fn coal_substep_panel(
+    panel: &mut SoaPanel,
+    grids: &Grids,
+    kernels: KernelMode<'_>,
+    splits: &DepositSplits,
+    dt: f32,
+    works: &mut [PointWork; LANES],
+    entries: &mut [u64; LANES],
+    hits: &mut u64,
+    misses: &mut u64,
+) {
+    let len = panel.len;
+    // Phase gate uses the temperature at substep start, as the scalar
+    // substep snapshots `th.t` before riming updates it.
+    let tsnap = panel.t;
+    let (kc_f, kc_m) = kernels.access_cost();
+    let mut all = [false; LANES];
+    for (l, slot) in all.iter_mut().enumerate().take(len) {
+        let _ = l;
+        *slot = true;
+    }
+
+    for (pidx, pair) in COLLISION_PAIRS.iter().enumerate() {
+        let involves_ice = pair.a.is_ice() || pair.b.is_ice();
+        let mut on = [false; LANES];
+        let mut ar = [(0usize, 0usize); LANES];
+        let mut br = [(0usize, 0usize); LANES];
+        let mut any = false;
+        for l in 0..len {
+            works[l].f(2);
+            if involves_ice && tsnap[l] >= T_0 {
+                continue;
+            }
+            // Both range scans meter even when the first comes up empty,
+            // matching the scalar's two-call tuple.
+            let ra = panel.active_range_lane(pair.a, l, &mut works[l]);
+            let rb = panel.active_range_lane(pair.b, l, &mut works[l]);
+            let (Some(a), Some(b)) = (ra, rb) else {
+                continue;
+            };
+            ar[l] = a;
+            br[l] = b;
+            on[l] = true;
+            any = true;
+        }
+        if !any {
+            continue;
+        }
+
+        // Union i bounds over the live lanes; each lane masks itself to
+        // its own ranges so it sees exactly its scalar (i, j) subsequence.
+        let (mut ilo, mut ihi) = (NKR, 0usize);
+        for l in 0..len {
+            if on[l] {
+                ilo = ilo.min(ar[l].0);
+                ihi = ihi.max(ar[l].1);
+            }
+        }
+        let ga = grids.of(pair.a);
+        let gb = grids.of(pair.b);
+        let same = pair.a == pair.b;
+        let riming = pair.a.is_ice() != pair.b.is_ice();
+        let (ai, bi, oi) = (pair.a.index(), pair.b.index(), pair.outcome.index());
+
+        // Pair-level meter accumulators, flushed once after the i sweep
+        // (u64/u32 adds are associative, so batching them is exact).
+        // Row counts are bounded by NKR² per pair, far inside u32.
+        let mut acc_cj = [0u32; LANES]; // in-window cell visits
+        let mut acc_nent = [0u32; LANES]; // populated entries
+        let mut acc_cc = [0u32; LANES]; // committed entries
+        let mut acc_hit = [0u32; LANES]; // populated entries on cache hits
+
+        for i in ilo..=ihi {
+            let mi = ga.mass[i];
+            // Lanes whose a-range covers this i row, and the union of
+            // *their* j bounds — tighter than the global union, and an
+            // empty row skips the j loop entirely. Both are bitwise-safe:
+            // a lane outside its own ranges does nothing in the scalar.
+            let mut ion = [false; LANES];
+            let (mut jlo_i, mut jhi_i) = (NKR, 0usize);
+            for l in 0..len {
+                if on[l] && i >= ar[l].0 && i <= ar[l].1 {
+                    ion[l] = true;
+                    jlo_i = jlo_i.min(br[l].0);
+                    jhi_i = jhi_i.max(br[l].1);
+                }
+            }
+            // Self-collection rows start at j = i like the scalar, even
+            // when that undershoots every lane's active range.
+            let jlo_row = if same { i } else { jlo_i };
+            let jhi_row = jhi_i.min(NKR - 1);
+            if jlo_row > jhi_row {
+                continue;
+            }
+            // Row tables: kernel value, hit flag, and deposition stencil
+            // depend only on (pair, i, j) and the batch-uniform pressure,
+            // so they are resolved once per row and shared by all lanes.
+            // A resident kernel table lends its row directly (and its hit
+            // test is j-independent, so the flag is row-uniform); only
+            // the cold/on-demand fallback materializes a local row, and
+            // its per-entry resolution reports misses uniformly too.
+            let mut kvbuf = [0.0f32; NKR];
+            let (kv, row_hit): (&[f32], bool) = match kernels.peek_row(pidx, i) {
+                Some((row, hit)) => (row, hit),
+                None => {
+                    for (j, slot) in kvbuf.iter_mut().enumerate().take(jhi_row + 1).skip(jlo_row) {
+                        *slot = kernels.peek(pidx, i, j).0;
+                    }
+                    (&kvbuf[..], false)
+                }
+            };
+            let sp = splits.row(pidx, i);
+            // Vector cell sweep: every phase below is a straight-line
+            // loop over the 8 contiguous lane slots — no data-dependent
+            // branches — so the autovectorizer turns each into lane-wide
+            // SIMD. Lane masking is select-based and bitwise-safe: a
+            // masked lane stores the exact bits it loaded (`x - 0.0` is
+            // bitwise `x` for every finite float including -0.0, and the
+            // deposit/riming stores select the old value rather than
+            // adding 0.0, which would flip -0.0 to +0.0). Each lane's
+            // own float-op sequence stays in the scalar's (i, j) order;
+            // only the interleaving across lanes changes, which no
+            // per-lane value observes. Lanes outside the row (or the
+            // batch) get an empty j-window so they count nothing.
+            let a_ice = pair.a.is_ice();
+            let mut js = [1i32; LANES];
+            let mut je = [0i32; LANES];
+            for l in 0..len {
+                if ion[l] {
+                    js[l] = if same { i as i32 } else { br[l].0 as i32 };
+                    je[l] = br[l].1.min(NKR - 1) as i32;
+                }
+            }
+            let rho_v = panel.rho;
+            // In-window cell visits per lane have a closed form: the
+            // lane window is already clipped inside the row window, so
+            // no per-cell counter is needed for them.
+            let mut cj = [0u32; LANES];
+            for l in 0..len {
+                cj[l] = (je[l] - js[l] + 1).max(0) as u32;
+            }
+            let mut cp = [0u32; LANES]; // populated entries
+            let mut cc = [0u32; LANES]; // committed entries
+            for j in jlo_row..=jhi_row {
+                let jj = j as i32;
+                let kvj = kv[j];
+                let halve = same && i == j;
+                // `x * 1.0` is bitwise `x` and `x * 0.5 == x / 2.0`
+                // exactly, so the halve factor is a plain multiply and
+                // no divide is issued.
+                let hmul = if halve { 0.5f32 } else { 1.0 };
+                let ni_v = panel.n[ai][i];
+                let nj_v = panel.n[bi][j];
+                let mut commit = [false; LANES];
+                let mut dne = [0.0f32; LANES];
+                for l in 0..LANES {
+                    let jin = jj >= js[l] && jj <= je[l];
+                    let pop = jin & (ni_v[l] > 0.0) & (nj_v[l] > 0.0);
+                    // The scalar's op order: ((((kv·ni)·nj)·rho)·dt),
+                    // then the halve multiply.
+                    let dn = kvj * ni_v[l] * nj_v[l] * rho_v[l] * dt * hmul;
+                    let com = pop & (dn > 0.0);
+                    let cap_i = MAX_DEPLETION * ni_v[l] * hmul;
+                    let cap_j = MAX_DEPLETION * nj_v[l];
+                    // Bare-`minps` form of `dn.min(cap_i).min(cap_j)`:
+                    // identical bits whenever no operand is NaN, which
+                    // holds on every committed lane (`com` requires
+                    // dn > 0), and uncommitted lanes discard `dnc` —
+                    // this skips `f32::min`'s 4-op NaN fixup per min.
+                    let m1 = if dn < cap_i { dn } else { cap_i };
+                    let dnc = if m1 < cap_j { m1 } else { cap_j };
+                    commit[l] = com;
+                    dne[l] = if com { dnc } else { 0.0 };
+                    cp[l] += pop as u32;
+                    cc[l] += com as u32;
+                }
+                if halve {
+                    for l in 0..LANES {
+                        panel.n[ai][i][l] = ni_v[l] - 2.0 * dne[l];
+                    }
+                } else {
+                    for l in 0..LANES {
+                        panel.n[ai][i][l] = ni_v[l] - dne[l];
+                    }
+                    for l in 0..LANES {
+                        panel.n[bi][j][l] = nj_v[l] - dne[l];
+                    }
+                }
+                // Deposit stores load after the subtractions above, so
+                // an outcome row that aliases row i or j sees them, as
+                // the scalar's in-place updates do.
+                match sp[j] {
+                    Split::Bottom { m, m0 } => {
+                        for l in 0..LANES {
+                            let o = panel.n[oi][0][l];
+                            let v = o + dne[l] * m / m0;
+                            panel.n[oi][0][l] = if commit[l] { v } else { o };
+                        }
+                    }
+                    Split::Top { m, mtop } => {
+                        for l in 0..LANES {
+                            let o = panel.n[oi][NKR - 1][l];
+                            let v = o + dne[l] * m / mtop;
+                            panel.n[oi][NKR - 1][l] = if commit[l] { v } else { o };
+                        }
+                    }
+                    Split::Mid { k, frac } => {
+                        let k = k as usize;
+                        for l in 0..LANES {
+                            let n_hi = dne[l] * frac;
+                            let o0 = panel.n[oi][k][l];
+                            let v = o0 + (dne[l] - n_hi);
+                            panel.n[oi][k][l] = if commit[l] { v } else { o0 };
+                        }
+                        for l in 0..LANES {
+                            let n_hi = dne[l] * frac;
+                            let o1 = panel.n[oi][k + 1][l];
+                            let v = o1 + n_hi;
+                            panel.n[oi][k + 1][l] = if commit[l] { v } else { o1 };
+                        }
+                    }
+                }
+                if riming {
+                    let lm_src = if a_ice { gb.mass[j] } else { mi };
+                    for l in 0..LANES {
+                        let liquid_mass = lm_src * dne[l];
+                        let tv = panel.t[l] + L_F * liquid_mass / CP;
+                        panel.t[l] = if commit[l] { tv } else { panel.t[l] };
+                    }
+                }
+            }
+            // Row flush into the pair accumulators; the hit flag is
+            // row-uniform, so hit entries batch by row.
+            if row_hit {
+                for l in 0..len {
+                    acc_cj[l] += cj[l];
+                    acc_nent[l] += cp[l];
+                    acc_cc[l] += cc[l];
+                    acc_hit[l] += cp[l];
+                }
+            } else {
+                for l in 0..len {
+                    acc_cj[l] += cj[l];
+                    acc_nent[l] += cp[l];
+                    acc_cc[l] += cc[l];
+                }
+            }
+        }
+
+        // Pair-level meter flush. Per populated entry the scalar meters
+        // m(2) + the kernel access cost + f(6), plus f(4) + the
+        // deposit's fm(8, 2) + fm(5, 4) on the committed path, and
+        // f(4) per commit on riming pairs; a failed populated check
+        // meters its two loads. u64 adds are associative, so
+        // count-times-cost equals the scalar's call-by-call sum.
+        for l in 0..len {
+            let nent = acc_nent[l] as u64;
+            let ncommit = acc_cc[l] as u64;
+            let m2 = (acc_cj[l] - acc_nent[l]) as u64;
+            works[l].fm(
+                nent * (kc_f + 6) + ncommit * 17,
+                (m2 + nent) * 2 + nent * kc_m + ncommit * 6,
+            );
+            if riming {
+                works[l].f(4 * ncommit);
+            }
+            entries[l] += nent;
+            *hits += acc_hit[l] as u64;
+            *misses += (acc_nent[l] - acc_hit[l]) as u64;
+        }
+    }
+    panel.scrub_lanes(&all);
+}
+
+/// Batched mirror of `condensation::condensation_branch` over a panel.
+///
+/// Each lane selects its branch (liquid-only / mixed-phase / ice-only)
+/// exactly as the scalar does, then the [`NCOND`] substeps run once with
+/// per-branch lane masks: the water relax covers branches 1–2, the six ice
+/// relaxes cover branches 2–3, reproducing `onecond1/2/3` per lane.
+/// Metering accumulates into `works` (the caller's condensation bucket).
+pub fn panel_condensation(
+    panel: &mut SoaPanel,
+    grids: &Grids,
+    dt: f32,
+    works: &mut [PointWork; LANES],
+) {
+    let len = panel.len;
+    let mut branch = [0u8; LANES];
+    let mut any = false;
+    for l in 0..len {
+        let w = &mut works[l];
+        let condensate = panel.total_condensate_lane(grids, l, w);
+        let s = supersat_liquid(panel.t[l], panel.p[l], panel.qv[l]);
+        w.f(25);
+        if condensate <= Q_EPS && s <= 0.0 {
+            continue;
+        }
+        let has_ice = HydroClass::ALL
+            .iter()
+            .filter(|c| c.is_ice())
+            .any(|&c| panel.number_of_lane(c, l) > N_EPS);
+        let has_liquid = panel.number_of_lane(HydroClass::Water, l) > N_EPS || s > 0.0;
+        w.m(7 * NKR as u64);
+        branch[l] = if panel.t[l] >= T_0 || !has_ice {
+            1
+        } else if has_liquid {
+            2
+        } else {
+            3
+        };
+        any = true;
+    }
+    if !any {
+        return;
+    }
+
+    let dts = dt / NCOND as f32;
+    let mut qs = [0.0f32; LANES];
+    for _ in 0..NCOND {
+        // Liquid leg: onecond1 and onecond2 both open each substep with
+        // the liquid saturation and a water relax.
+        let mut wmask = [false; LANES];
+        let mut wany = false;
+        for l in 0..len {
+            if branch[l] == 1 || branch[l] == 2 {
+                qs[l] = qsat_liquid(panel.t[l], panel.p[l]);
+                works[l].f(20);
+                wmask[l] = true;
+                wany = true;
+            }
+        }
+        if wany {
+            panel_relax_class(
+                panel,
+                HydroClass::Water,
+                grids,
+                &wmask,
+                &qs,
+                false,
+                dts,
+                works,
+            );
+        }
+        // Ice leg: onecond2 and onecond3 relax the six ice classes, each
+        // with a fresh ice saturation (temperature moves between relaxes).
+        for &class in ICE_RELAX_ORDER.iter() {
+            let mut imask = [false; LANES];
+            let mut iany = false;
+            for l in 0..len {
+                if branch[l] >= 2 {
+                    qs[l] = qsat_ice(panel.t[l], panel.p[l]);
+                    works[l].f(20);
+                    imask[l] = true;
+                    iany = true;
+                }
+            }
+            if iany {
+                panel_relax_class(panel, class, grids, &imask, &qs, true, dts, works);
+            }
+        }
+    }
+}
+
+/// Lane-masked mirror of `condensation::relax_class`.
+#[allow(clippy::too_many_arguments)]
+fn panel_relax_class(
+    panel: &mut SoaPanel,
+    class: HydroClass,
+    grids: &Grids,
+    mask_in: &[bool; LANES],
+    qs: &[f32; LANES],
+    over_ice: bool,
+    dt: f32,
+    works: &mut [PointWork; LANES],
+) {
+    let len = panel.len;
+    let g = grids.of(class);
+    let ci = class.index();
+
+    let mut cap = [0.0f32; LANES];
+    let mut n_tot = [0.0f32; LANES];
+    for k in 0..NKR {
+        let r = g.radius[k];
+        for l in 0..len {
+            if !mask_in[l] {
+                continue;
+            }
+            let n = panel.n[ci][k][l];
+            if n > 0.0 {
+                cap[l] += n * r;
+                n_tot[l] += n;
+            }
+        }
+    }
+
+    let mut mask = [false; LANES];
+    let mut dq = [0.0f32; LANES];
+    let mut any = false;
+    for l in 0..len {
+        if !mask_in[l] {
+            continue;
+        }
+        let w = &mut works[l];
+        w.fm(3 * NKR as u64, NKR as u64);
+        if cap[l] <= 0.0 || n_tot[l] <= N_EPS {
+            continue;
+        }
+        let gcoef = growth_coefficient(panel.t[l], panel.p[l], over_ice);
+        w.f(30);
+        let rate = 4.0 * std::f32::consts::PI * gcoef * cap[l] / (panel.rho[l] * qs[l].max(1e-6));
+        let relax = 1.0 - (-(rate * dt).min(30.0)).exp();
+        let mut d = (panel.qv[l] - qs[l]) * relax;
+        w.f(10);
+        if d < 0.0 {
+            let have = panel.mass_of_lane(class, g, l, w);
+            d = d.max(-have);
+        }
+        if d.abs() < 1e-12 {
+            continue;
+        }
+        dq[l] = d;
+        mask[l] = true;
+        any = true;
+    }
+    if !any {
+        return;
+    }
+
+    let mut moved = [[0.0f32; LANES]; NKR];
+    let mut newm = [[0.0f32; LANES]; NKR];
+    for k in 0..NKR {
+        let r = g.radius[k];
+        let mk = g.mass[k];
+        for l in 0..len {
+            if !mask[l] {
+                continue;
+            }
+            let n = panel.n[ci][k][l];
+            if n <= 0.0 {
+                continue;
+            }
+            let share = (n * r) / cap[l];
+            let dm_total = dq[l] * share;
+            let dm_per = dm_total / n;
+            let m_new = mk + dm_per;
+            works[l].fm(6, 1);
+            moved[k][l] = n;
+            newm[k][l] = if m_new <= 0.0 { 0.0 } else { m_new };
+        }
+    }
+    for k in 0..NKR {
+        for l in 0..len {
+            if !mask[l] || moved[k][l] <= 0.0 {
+                continue;
+            }
+            panel.n[ci][k][l] -= moved[k][l];
+            if newm[k][l] > 0.0 {
+                deposit_mass_lane(
+                    &mut panel.n[ci],
+                    l,
+                    g,
+                    newm[k][l],
+                    moved[k][l],
+                    &mut works[l],
+                );
+            }
+        }
+    }
+    panel.scrub_lanes(&mask);
+    for l in 0..len {
+        if !mask[l] {
+            continue;
+        }
+        panel.qv[l] -= dq[l];
+        panel.t[l] += latent_heating(dq[l], over_ice);
+        works[l].f(6);
+    }
+}
+
+/// Per-lane mirror of the driver's coalescence predicate: total condensate
+/// above [`Q_EPS`] and temperature above the coalescence floor. Metering
+/// lands in `works` (the caller's condensation bucket, as in
+/// `fast_sbm_pre`).
+pub fn panel_coal_predicate(
+    panel: &SoaPanel,
+    grids: &Grids,
+    works: &mut [PointWork; LANES],
+) -> [bool; LANES] {
+    let mut out = [false; LANES];
+    for (l, slot) in out.iter_mut().enumerate().take(panel.len) {
+        let condensate = panel.total_condensate_lane(grids, l, &mut works[l]);
+        *slot = panel.t[l] > T_MIN_COAL && condensate > Q_EPS;
+    }
+    out
+}
+
+/// Reusable scratch for the SoA sedimentation sweep: bin-major column
+/// storage plus precomputed fall speeds and the interface-flux line, so a
+/// column/class pass performs no heap allocation.
+#[derive(Default)]
+pub struct SedScratch {
+    /// Bin-major column, `bins[k * nz + l]` (bin `k`, level `l`).
+    pub bins: Vec<f32>,
+    /// Fall speeds `vt[k * nz + l]`, filled once per (column, class).
+    vt: Vec<f32>,
+    /// Mass flux through the `nz + 1` level interfaces.
+    flux: Vec<f32>,
+}
+
+impl SedScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the buffers for an `nz`-level column.
+    pub fn ensure(&mut self, nz: usize) {
+        self.bins.resize(NKR * nz, 0.0);
+        self.vt.resize(NKR * nz, 0.0);
+        self.flux.resize(nz + 1, 0.0);
+    }
+}
+
+/// SoA mirror of `sedimentation_column`: explicit first-order upwind fall
+/// over a bin-major column held in `scratch.bins`.
+///
+/// Two transforms over the scalar, both bitwise-neutral: fall speeds are
+/// computed once per (bin, level) and reused across substeps (the scalar
+/// recomputes `vt_at` with identical arguments every substep), and bins
+/// that are exactly `+0.0` at every level are skipped with their scalar
+/// work bulk-metered (every update on an all-`+0.0` bin is an exact no-op;
+/// the bit test deliberately excludes `-0.0`, whose `max(0.0)` rewrite
+/// must still run).
+pub fn sedimentation_column_soa(
+    scratch: &mut SedScratch,
+    grid: &BinGrid,
+    rho: &[f32],
+    dz: f32,
+    dt: f32,
+    w: &mut PointWork,
+) -> f32 {
+    let nz = rho.len();
+    assert!(dz > 0.0 && dt > 0.0, "sedimentation needs positive dz, dt");
+    if nz == 0 {
+        return 0.0;
+    }
+    scratch.ensure(nz);
+    let SedScratch { bins, vt, flux } = scratch;
+    let vmax = grid.vt_at(NKR - 1, rho.iter().cloned().fold(f32::INFINITY, f32::min));
+    let nsub = ((vmax * dt / dz).ceil() as usize).max(1);
+    let dts = dt / nsub as f32;
+    w.f(6);
+    for k in 0..NKR {
+        for (l, &r) in rho.iter().enumerate() {
+            vt[k * nz + l] = grid.vt_at(k, r);
+        }
+    }
+    let mut precip = 0.0f32;
+    for (k, mass_k) in grid.mass.iter().enumerate() {
+        let col_k = &mut bins[k * nz..(k + 1) * nz];
+        if col_k.iter().all(|v| v.to_bits() == 0) {
+            w.fm(
+                nsub as u64 * (8 * nz as u64 + 3),
+                nsub as u64 * 4 * nz as u64,
+            );
+            continue;
+        }
+        let vt_k = &vt[k * nz..(k + 1) * nz];
+        for _ in 0..nsub {
+            for l in 0..nz {
+                flux[l] = rho[l] * col_k[l] * vt_k[l];
+            }
+            flux[nz] = 0.0;
+            for l in 0..nz {
+                let dn = (flux[l + 1] - flux[l]) * dts / (rho[l] * dz);
+                col_k[l] = (col_k[l] + dn).max(0.0);
+            }
+            precip += flux[0] * dts * mass_k;
+            w.fm(8 * nz as u64 + 3, 4 * nz as u64);
+        }
+    }
+    precip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{CollisionTables, KernelCache, KernelTables};
+    use crate::point::{PointBins, PointThermo};
+    use crate::processes::{collision, condensation, sedimentation};
+
+    /// Deterministic pseudo-random f32 in [0, 1).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> f32 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((self.0 >> 33) as f32) / (u32::MAX >> 1) as f32
+        }
+    }
+
+    /// A spread of synthetic points: warm cloudy, cold mixed-phase, nearly
+    /// empty, and dense — enough to hit every collision pair family.
+    fn synth_points(n: usize) -> Vec<(PointBins, PointThermo)> {
+        let mut rng = Lcg(0x5eed);
+        (0..n)
+            .map(|i| {
+                let mut bins = PointBins::empty();
+                let cold = i % 2 == 1;
+                let t = if cold {
+                    255.0 + rng.next() * 8.0
+                } else {
+                    285.0 + rng.next() * 10.0
+                };
+                for c in 0..NTYPES {
+                    if !cold && c != 0 {
+                        continue;
+                    }
+                    for k in 5..18 {
+                        if rng.next() > 0.4 {
+                            bins.n[c][k] = rng.next() * 2.0e7;
+                        }
+                    }
+                }
+                if i == n - 1 {
+                    bins = PointBins::empty(); // ragged-lane edge: empty point
+                }
+                let th = PointThermo {
+                    t,
+                    qv: 0.004 + rng.next() * 0.004,
+                    p: 80_000.0,
+                    rho: 1.0 + rng.next() * 0.1,
+                };
+                (bins, th)
+            })
+            .collect()
+    }
+
+    fn gather(points: &[(PointBins, PointThermo)]) -> SoaPanel {
+        let mut panel = SoaPanel::new();
+        for (bins, th) in points {
+            panel.push_with(th.t, th.qv, th.p, th.rho, |c, k| bins.n[c][k]);
+        }
+        panel
+    }
+
+    fn assert_panel_matches(panel: &SoaPanel, scalar: &[(PointBins, PointThermo)], what: &str) {
+        for (l, (bins, th)) in scalar.iter().enumerate() {
+            for c in 0..NTYPES {
+                for k in 0..NKR {
+                    assert_eq!(
+                        panel.n[c][k][l].to_bits(),
+                        bins.n[c][k].to_bits(),
+                        "{what}: lane {l} class {c} bin {k}"
+                    );
+                }
+            }
+            assert_eq!(panel.t[l].to_bits(), th.t.to_bits(), "{what}: lane {l} t");
+            assert_eq!(
+                panel.qv[l].to_bits(),
+                th.qv.to_bits(),
+                "{what}: lane {l} qv"
+            );
+        }
+    }
+
+    #[test]
+    fn split_table_matches_deposit_mass() {
+        let grids = Grids::new();
+        let g = grids.of(HydroClass::Water);
+        let mut rng = Lcg(7);
+        for _ in 0..200 {
+            let m = g.mass[0] * 0.5 + rng.next() * g.mass[NKR - 1] * 1.5;
+            let number = rng.next() * 1.0e6;
+            let mut a = [0.0f32; NKR];
+            let mut wa = PointWork::ZERO;
+            crate::point::deposit_mass(&mut a, g, m, number, &mut wa);
+            let mut b = [[0.0f32; LANES]; NKR];
+            let mut wb = PointWork::ZERO;
+            deposit_mass_lane(&mut b, 3, g, m, number, &mut wb);
+            for k in 0..NKR {
+                assert_eq!(a[k].to_bits(), b[k][3].to_bits(), "bin {k} for m={m}");
+            }
+            assert_eq!(wa, wb);
+        }
+    }
+
+    #[test]
+    fn panel_coal_is_bitwise_identical_per_mode() {
+        let grids = Grids::new();
+        let tables = KernelTables::new();
+        let splits = DepositSplits::new(&grids);
+        let p = 80_000.0f32;
+        let mut dense = CollisionTables::new();
+        {
+            let mut w = PointWork::ZERO;
+            crate::kernels::kernals_ks(&tables, p, &mut dense, &mut w);
+        }
+        let mut cache = KernelCache::new(1);
+        cache.ensure_level(0, p, &tables);
+
+        let modes = [("dense", 0usize), ("ondemand", 1usize), ("cached", 2usize)];
+        for (name, mode_id) in modes {
+            let make_mode = || match mode_id {
+                0 => KernelMode::Dense(&dense),
+                1 => KernelMode::OnDemand { tables: &tables, p },
+                _ => KernelMode::Cached {
+                    cache: &cache,
+                    tables: &tables,
+                    level: 0,
+                    p,
+                },
+            };
+            let points = synth_points(5);
+
+            // Scalar reference, one point at a time.
+            cache.reset_stats();
+            let mut scalar = points.clone();
+            let mut sw = [PointWork::ZERO; LANES];
+            let mut se = [0u64; LANES];
+            for (l, (bins, th)) in scalar.iter_mut().enumerate() {
+                let mut view = bins.view();
+                se[l] =
+                    collision::coal_bott_new(&mut view, th, &grids, make_mode(), 5.0, &mut sw[l]);
+            }
+            let (sh, sm) = (cache.hits(), cache.misses());
+
+            // Panel run over the same points.
+            cache.reset_stats();
+            let mut panel = gather(&points);
+            let mut pw = [PointWork::ZERO; LANES];
+            let mut pe = [0u64; LANES];
+            panel_coal(
+                &mut panel,
+                &grids,
+                make_mode(),
+                &splits,
+                5.0,
+                &mut pw,
+                &mut pe,
+            );
+
+            assert_panel_matches(&panel, &scalar, name);
+            assert!(
+                se.iter().sum::<u64>() > 0,
+                "{name}: no collisions exercised"
+            );
+            for l in 0..points.len() {
+                assert_eq!(se[l], pe[l], "{name}: lane {l} entries");
+                assert_eq!(sw[l], pw[l], "{name}: lane {l} work");
+            }
+            assert_eq!(
+                (cache.hits(), cache.misses()),
+                (sh, sm),
+                "{name}: cache counters"
+            );
+        }
+    }
+
+    #[test]
+    fn panel_condensation_is_bitwise_identical() {
+        let grids = Grids::new();
+        let mut scalar = synth_points(LANES);
+        // Push one lane into each branch: warm (1), cold mixed (2), cold
+        // ice-only (3).
+        scalar[2].1.t = 298.0;
+        for k in 0..NKR {
+            scalar[3].0.n[0][k] = 0.0; // ice-only point
+        }
+        scalar[3].1.t = 255.0;
+        let points = scalar.clone();
+        let mut sw = [PointWork::ZERO; LANES];
+        for (l, (bins, th)) in scalar.iter_mut().enumerate() {
+            let mut view = bins.view();
+            condensation::condensation_branch(&mut view, th, &grids, 5.0, &mut sw[l]);
+        }
+
+        let mut panel = gather(&points);
+        let mut pw = [PointWork::ZERO; LANES];
+        panel_condensation(&mut panel, &grids, 5.0, &mut pw);
+
+        assert_panel_matches(&panel, &scalar, "condensation");
+        for l in 0..LANES {
+            assert_eq!(sw[l], pw[l], "lane {l} condensation work");
+        }
+    }
+
+    #[test]
+    fn panel_predicate_matches_driver() {
+        let grids = Grids::new();
+        let points = synth_points(LANES);
+        let panel = gather(&points);
+        let mut pw = [PointWork::ZERO; LANES];
+        let pred = panel_coal_predicate(&panel, &grids, &mut pw);
+        for (l, (bins, th)) in points.iter().enumerate() {
+            let mut b = bins.clone();
+            let view = b.view();
+            let mut w = PointWork::ZERO;
+            let condensate = view.total_condensate(&grids, &mut w);
+            let want = th.t > T_MIN_COAL && condensate > Q_EPS;
+            assert_eq!(pred[l], want, "lane {l} predicate");
+            assert_eq!(pw[l], w, "lane {l} predicate work");
+        }
+    }
+
+    #[test]
+    fn soa_sedimentation_matches_scalar_column() {
+        let grids = Grids::new();
+        let g = grids.of(HydroClass::Snow);
+        let nz = 12;
+        let mut rng = Lcg(99);
+        let rho: Vec<f32> = (0..nz).map(|_| 0.6 + rng.next() * 0.6).collect();
+        let mut col = vec![[0.0f32; NKR]; nz];
+        for lvl in col.iter_mut().take(8) {
+            for v in lvl.iter_mut().take(25).skip(10) {
+                if rng.next() > 0.5 {
+                    *v = rng.next() * 5.0e6;
+                }
+            }
+        }
+        let mut scol = col.clone();
+        let mut ws = PointWork::ZERO;
+        let precip_s = sedimentation::sedimentation_column(&mut scol, g, &rho, 400.0, 5.0, &mut ws);
+
+        let mut scratch = SedScratch::new();
+        scratch.ensure(nz);
+        for (l, lvl) in col.iter().enumerate() {
+            for (k, &v) in lvl.iter().enumerate() {
+                scratch.bins[k * nz + l] = v;
+            }
+        }
+        let mut wp = PointWork::ZERO;
+        let precip_p = sedimentation_column_soa(&mut scratch, g, &rho, 400.0, 5.0, &mut wp);
+
+        assert_eq!(precip_s.to_bits(), precip_p.to_bits());
+        assert_eq!(ws, wp);
+        for (l, lvl) in scol.iter().enumerate() {
+            for (k, v) in lvl.iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    scratch.bins[k * nz + l].to_bits(),
+                    "level {l} bin {k}"
+                );
+            }
+        }
+        assert!(precip_s >= 0.0);
+    }
+}

@@ -21,7 +21,8 @@ use crate::point::{deposit_mass, BinsView, Grids, PointThermo};
 use crate::types::NKR;
 
 /// Fraction of a bin that may be depleted per step (stability cap).
-const MAX_DEPLETION: f32 = 0.5;
+/// Shared with the SoA panel mirror of this kernel.
+pub(crate) const MAX_DEPLETION: f32 = 0.5;
 
 /// Internal collision substeps per model step: the stochastic collection
 /// equation is stiff once drizzle forms, so FSBM integrates it with

@@ -39,15 +39,9 @@ pub fn fast_sbm_pre(
     dt: f32,
     t_old: f32,
 ) -> PointOutcome {
-    let mut out = PointOutcome::default();
-    if t_old <= T_MIN_PHYSICS {
-        return out;
-    }
-    out.active = true;
-
-    let mut w = PointWork::ZERO;
-    nucleation::jernucl01_ks(bins, th, grids, dt, &mut w);
-    out.work.nucl = w;
+    let Some(mut out) = fast_sbm_nucleate(bins, th, grids, dt, t_old) else {
+        return PointOutcome::default();
+    };
 
     let mut w = PointWork::ZERO;
     condensation::condensation_branch(bins, th, grids, dt, &mut w);
@@ -60,6 +54,29 @@ pub fn fast_sbm_pre(
     out.coal_called = th.t > T_MIN_COAL && condensate > Q_EPS;
     out.work.cond += w;
     out
+}
+
+/// The guard + nucleation head of [`fast_sbm_pre`], split out so the
+/// panel layout can run it per point before batching condensation.
+/// Returns `None` for points failing the `T_OLD > 193.15` guard.
+pub fn fast_sbm_nucleate(
+    bins: &mut BinsView<'_>,
+    th: &mut PointThermo,
+    grids: &Grids,
+    dt: f32,
+    t_old: f32,
+) -> Option<PointOutcome> {
+    if t_old <= T_MIN_PHYSICS {
+        return None;
+    }
+    let mut out = PointOutcome {
+        active: true,
+        ..Default::default()
+    };
+    let mut w = PointWork::ZERO;
+    nucleation::jernucl01_ks(bins, th, grids, dt, &mut w);
+    out.work.nucl = w;
+    Some(out)
 }
 
 /// The collision stage (the offloaded kernel body). Adds its work and

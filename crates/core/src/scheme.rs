@@ -23,8 +23,14 @@
 use crate::exec::{compact_active_columns, compact_active_points, ExecMode, ExecSummary};
 use crate::kernels::{kernals_ks, CollisionTables, KernelCache, KernelMode, KernelTables};
 use crate::meter::{PointWork, WorkBreakdown};
+use crate::panels::{
+    panel_coal, panel_coal_predicate, panel_condensation, sedimentation_column_soa, DepositSplits,
+    SedScratch, SoaPanel, LANES,
+};
 use crate::point::{Grids, PointBins};
-use crate::processes::driver::{fast_sbm_coal, fast_sbm_post, fast_sbm_pre, PointOutcome};
+use crate::processes::driver::{
+    fast_sbm_coal, fast_sbm_nucleate, fast_sbm_post, fast_sbm_pre, PointOutcome,
+};
 use crate::processes::sedimentation::sedimentation_column;
 use crate::state::SbmPatchState;
 use crate::types::{NKR, NTYPES};
@@ -77,6 +83,35 @@ impl SbmVersion {
     }
 }
 
+/// Memory layout of the microphysics inner loops.
+///
+/// Orthogonal to [`SbmVersion`]: every version runs in either layout and
+/// produces bitwise-identical state (the layout proptests and the golden
+/// gate pin this). `PointAos` is the historical layout the committed
+/// goldens were blessed with and stays the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Per-grid-point AoS bin arrays, one point at a time.
+    #[default]
+    PointAos,
+    /// SoA lane panels: up to [`LANES`] active points batched per inner
+    /// loop with lane masks (see [`crate::panels`]).
+    PanelSoa,
+}
+
+impl Layout {
+    /// Both layouts, default first.
+    pub const ALL: [Layout; 2] = [Layout::PointAos, Layout::PanelSoa];
+
+    /// Stable label used in reports and benchmark JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layout::PointAos => "point-aos",
+            Layout::PanelSoa => "panel-soa",
+        }
+    }
+}
+
 /// Configuration of a scheme instance.
 #[derive(Debug, Clone, Copy)]
 pub struct SbmConfig {
@@ -106,6 +141,8 @@ pub struct SbmConfig {
     /// [`SbmStepStats::coal_profile`] (off by default; used by
     /// `bench-exec` to replay the schedule).
     pub profile_coal: bool,
+    /// Memory layout of the inner loops (AoS points vs SoA lane panels).
+    pub layout: Layout,
 }
 
 impl SbmConfig {
@@ -120,6 +157,7 @@ impl SbmConfig {
             sched: ExecMode::work_steal(),
             cached_kernels: false,
             profile_coal: false,
+            layout: Layout::default(),
         }
     }
 }
@@ -173,18 +211,28 @@ pub struct FastSbm {
     /// Per-k-level memoized collision kernels (when
     /// [`SbmConfig::cached_kernels`] is set).
     kcache: Option<KernelCache>,
+    /// Precomputed mass-deposition stencils for the panel collision path
+    /// (pair × i × j, a pure function of the bin grids).
+    splits: DepositSplits,
+    /// Reusable per-step buffers (sweep arrays, batch lists, sedimentation
+    /// columns): grown once, then steady-state steps allocate nothing.
+    scratch: StepScratch,
 }
 
 impl FastSbm {
     /// Builds a scheme instance (computes the static kernel tables).
     pub fn new(cfg: SbmConfig) -> Self {
+        let grids = Grids::new();
+        let splits = DepositSplits::new(&grids);
         FastSbm {
             cfg,
-            grids: Grids::new(),
+            grids,
             tables: KernelTables::new(),
             dense: CollisionTables::new(),
             exec: None,
             kcache: None,
+            splits,
+            scratch: StepScratch::default(),
         }
     }
 
@@ -340,13 +388,16 @@ impl FastSbm {
         if self.cfg.sched.uses_executor() && (self.cfg.version.offloaded() || self.cfg.tiles > 1) {
             self.ensure_exec();
         }
-        let mut stats = match (self.cfg.version, self.cfg.tiles) {
-            (SbmVersion::Baseline, t) if t > 1 => self.step_tiled(state, true),
-            (SbmVersion::Lookup, t) if t > 1 => self.step_tiled(state, false),
-            (SbmVersion::Baseline, _) => self.step_serial(state, true),
-            (SbmVersion::Lookup, _) => self.step_serial(state, false),
-            (SbmVersion::OffloadCollapse2, _) => self.step_offload(state, 2),
-            (SbmVersion::OffloadCollapse3, _) => self.step_offload(state, 3),
+        let mut stats = match (self.cfg.version, self.cfg.tiles, self.cfg.layout) {
+            // The panel layout always runs the tiled path (a single tile
+            // executes inline on the caller thread), so the row-phased
+            // batch body exists in one place.
+            (SbmVersion::Baseline, t, Layout::PointAos) if t <= 1 => self.step_serial(state, true),
+            (SbmVersion::Lookup, t, Layout::PointAos) if t <= 1 => self.step_serial(state, false),
+            (SbmVersion::Baseline, _, _) => self.step_tiled(state, true),
+            (SbmVersion::Lookup, _, _) => self.step_tiled(state, false),
+            (SbmVersion::OffloadCollapse2, _, _) => self.step_offload(state, 2),
+            (SbmVersion::OffloadCollapse3, _, _) => self.step_offload(state, 3),
         };
         self.sedimentation_pass(state, &mut stats);
         stats
@@ -414,7 +465,24 @@ impl FastSbm {
         use wrf_grid::split_patch_into_tiles;
         let patch = state.patch;
         let dt = self.cfg.dt;
-        let tiles = split_patch_into_tiles(&patch, self.cfg.tiles);
+        let layout = self.cfg.layout;
+        // A single tile runs inline on the caller thread (the panel
+        // layout's serial configuration); the Vec is only built when the
+        // patch actually splits.
+        let single_tile;
+        let tiles_vec;
+        let tiles: &[wrf_grid::TileSpec] = if self.cfg.tiles <= 1 {
+            single_tile = [wrf_grid::TileSpec {
+                id: 0,
+                it: patch.ip,
+                kt: patch.kp,
+                jt: patch.jp,
+            }];
+            &single_tile
+        } else {
+            tiles_vec = split_patch_into_tiles(&patch, self.cfg.tiles);
+            &tiles_vec
+        };
         let mut stats = empty_stats(patch.compute_points());
 
         let meta = FieldMeta {
@@ -427,6 +495,7 @@ impl FastSbm {
         let grids = &self.grids;
         let tables = &self.tables;
         let kcache = self.kcache.as_ref();
+        let splits = &self.splits;
         let kp_lo = patch.kp.lo;
 
         let tile_stats: Vec<SbmStepStats> = {
@@ -437,71 +506,59 @@ impl FastSbm {
             // compute region).
             let tt_view = unsafe { SyncWriteSlice::new(state.tt.as_mut_slice()) };
             let qv_view = unsafe { SyncWriteSlice::new(state.qv.as_mut_slice()) };
-            let ff_views: Vec<SyncWriteSlice<'_, f32>> = state
-                .ff
-                .iter_mut()
-                .map(|f| unsafe { SyncWriteSlice::new(f.as_mut_slice()) })
-                .collect();
+            let mut ff_it = state.ff.iter_mut();
+            let ff_views: [SyncWriteSlice<'_, f32>; NTYPES] = std::array::from_fn(|_| unsafe {
+                SyncWriteSlice::new(ff_it.next().expect("NTYPES slabs").as_mut_slice())
+            });
 
             // The per-tile body, shared by both schedulers below.
             let run_tile = |tile: &wrf_grid::TileSpec| -> SbmStepStats {
-                let mut st = empty_stats(tile.points());
-                let mut bins = PointBins::empty();
-                // THREADPRIVATE collision tables for the baseline.
-                let mut dense = if dense_tables {
-                    Some(CollisionTables::new())
-                } else {
-                    None
-                };
-                for j in tile.jt.iter() {
-                    for k in tile.kt.iter() {
-                        for i in tile.it.iter() {
-                            let idx3 = meta.flat3(i, k, j);
-                            let told = t_old.get(i, k, j);
-                            let mut th = crate::point::PointThermo {
-                                t: tt_view.get(idx3),
-                                qv: qv_view.get(idx3),
-                                p: p_field.get(i, k, j),
-                                rho: rho_field.get(i, k, j),
-                            };
-                            for (c, v) in ff_views.iter().enumerate() {
-                                bins.n[c].copy_from_slice(v.subslice_mut(meta.flat4(i, k, j), NKR));
-                            }
-                            let mut view = bins.view();
-                            let mut out = fast_sbm_pre(&mut view, &mut th, grids, dt, told);
-                            if out.coal_called {
-                                let pressure = th.p;
-                                if let Some(dense) = dense.as_mut() {
-                                    let mut kw = PointWork::ZERO;
-                                    kernals_ks(tables, pressure, dense, &mut kw);
-                                    out.work.kernals = kw;
-                                    fast_sbm_coal(
-                                        &mut view,
-                                        &mut th,
-                                        grids,
-                                        KernelMode::Dense(dense),
-                                        dt,
-                                        &mut out,
-                                    );
-                                } else {
-                                    let km = Self::lookup_mode(kcache, tables, k, kp_lo, pressure);
-                                    fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
-                                }
-                            }
-                            fast_sbm_post(&mut view, &mut th, grids, dt, &mut out);
-                            drop(view);
-                            for (c, v) in ff_views.iter().enumerate() {
-                                v.subslice_mut(meta.flat4(i, k, j), NKR)
-                                    .copy_from_slice(&bins.n[c]);
-                            }
-                            tt_view.set(idx3, th.t);
-                            qv_view.set(idx3, th.qv);
-                            accumulate(&mut st, &out);
-                        }
-                    }
+                match layout {
+                    Layout::PointAos => run_tile_aos(
+                        tile,
+                        meta,
+                        grids,
+                        tables,
+                        kcache,
+                        kp_lo,
+                        dt,
+                        dense_tables,
+                        t_old,
+                        p_field,
+                        rho_field,
+                        &tt_view,
+                        &qv_view,
+                        &ff_views,
+                    ),
+                    Layout::PanelSoa => run_tile_panels(
+                        tile,
+                        meta,
+                        grids,
+                        tables,
+                        kcache,
+                        kp_lo,
+                        dt,
+                        dense_tables,
+                        splits,
+                        t_old,
+                        p_field,
+                        rho_field,
+                        &tt_view,
+                        &qv_view,
+                        &ff_views,
+                    ),
                 }
-                st
             };
+
+            if tiles.len() == 1 {
+                // Inline: no spawn, no per-step allocation.
+                let ts = run_tile(&tiles[0]);
+                stats.active_points += ts.active_points;
+                stats.coal_points += ts.coal_points;
+                stats.coal_entries += ts.coal_entries;
+                stats.work += ts.work;
+                return stats;
+            }
 
             match self.exec.as_ref() {
                 // Persistent pool: one chunk per tile on the stealing
@@ -552,31 +609,149 @@ impl FastSbm {
 
         // Sweep 1 (host): nucleation + condensation; fill the predicate
         // array `call_coal_bott_new` and remember which points are active.
-        let mut predicate = vec![false; points];
-        let mut active = vec![false; points];
-        let mut outcomes: Vec<PointOutcome> = vec![PointOutcome::default(); points];
-        let mut bins = PointBins::empty();
-        for (jx, j) in p.jp.iter().enumerate() {
-            for (kx, k) in p.kp.iter().enumerate() {
-                for (ix, i) in p.ip.iter().enumerate() {
-                    let idx = (jx * klen + kx) * ilen + ix;
-                    let t_old = state.t_old.get(i, k, j);
-                    let mut th = state.thermo_at(i, k, j);
-                    state.load_bins(i, k, j, &mut bins);
-                    let mut view = bins.view();
-                    let out = fast_sbm_pre(&mut view, &mut th, &self.grids, dt, t_old);
-                    drop(view);
-                    state.store_bins(i, k, j, &bins);
-                    state.store_thermo(i, k, j, &th);
-                    predicate[idx] = out.coal_called;
-                    active[idx] = out.active;
-                    outcomes[idx] = out;
+        {
+            let scratch = &mut self.scratch;
+            let grids = &self.grids;
+            scratch.predicate.resize(points, false);
+            scratch.outcomes.resize(points, PointOutcome::default());
+            match self.cfg.layout {
+                Layout::PointAos => {
+                    let mut bins = PointBins::empty();
+                    for (jx, j) in p.jp.iter().enumerate() {
+                        for (kx, k) in p.kp.iter().enumerate() {
+                            for (ix, i) in p.ip.iter().enumerate() {
+                                let idx = (jx * klen + kx) * ilen + ix;
+                                let t_old = state.t_old.get(i, k, j);
+                                let mut th = state.thermo_at(i, k, j);
+                                state.load_bins(i, k, j, &mut bins);
+                                let mut view = bins.view();
+                                let out = fast_sbm_pre(&mut view, &mut th, grids, dt, t_old);
+                                drop(view);
+                                state.store_bins(i, k, j, &bins);
+                                state.store_thermo(i, k, j, &th);
+                                scratch.predicate[idx] = out.coal_called;
+                                scratch.outcomes[idx] = out;
+                            }
+                        }
+                    }
+                }
+                Layout::PanelSoa => {
+                    // Row-phased: scalar guard + nucleation per point, then
+                    // condensation and the predicate in lane batches.
+                    for (jx, j) in p.jp.iter().enumerate() {
+                        for (kx, k) in p.kp.iter().enumerate() {
+                            let row = (jx * klen + kx) * ilen;
+                            let mut lane_ix = [0usize; LANES];
+                            let mut panel = SoaPanel::new();
+                            for (ix, i) in p.ip.iter().enumerate() {
+                                let idx = row + ix;
+                                let t_old = state.t_old.get(i, k, j);
+                                let mut th = state.thermo_at(i, k, j);
+                                let mut view = state.bins_view_at(i, k, j);
+                                let out = fast_sbm_nucleate(&mut view, &mut th, grids, dt, t_old);
+                                drop(view);
+                                match out {
+                                    Some(out) => {
+                                        state.store_thermo(i, k, j, &th);
+                                        scratch.outcomes[idx] = out;
+                                        lane_ix[panel.len] = ix;
+                                        let l = panel.len;
+                                        panel.len = l + 1;
+                                        panel.t[l] = th.t;
+                                        panel.qv[l] = th.qv;
+                                        panel.p[l] = th.p;
+                                        panel.rho[l] = th.rho;
+                                        for (c, f) in state.ff.iter().enumerate() {
+                                            let src = f.bin_slice(i, k, j);
+                                            for (kk, s) in src.iter().enumerate() {
+                                                panel.n[c][kk][l] = *s;
+                                            }
+                                        }
+                                        if panel.is_full() {
+                                            flush_cond_panel(
+                                                &mut panel,
+                                                &lane_ix,
+                                                row,
+                                                p.ip.lo,
+                                                k,
+                                                j,
+                                                grids,
+                                                dt,
+                                                state,
+                                                &mut scratch.predicate,
+                                                &mut scratch.outcomes,
+                                            );
+                                        }
+                                    }
+                                    None => {
+                                        scratch.predicate[idx] = false;
+                                        scratch.outcomes[idx] = PointOutcome::default();
+                                    }
+                                }
+                            }
+                            flush_cond_panel(
+                                &mut panel,
+                                &lane_ix,
+                                row,
+                                p.ip.lo,
+                                k,
+                                j,
+                                grids,
+                                dt,
+                                state,
+                                &mut scratch.predicate,
+                                &mut scratch.outcomes,
+                            );
+                        }
+                    }
                 }
             }
         }
 
+        // Pre-build the collision batch list for the panel collapse(3)
+        // kernel (runs of predicate-true points in a row sharing pressure
+        // bits, gaps allowed).
+        if self.cfg.layout == Layout::PanelSoa && collapse == 3 {
+            let scratch = &mut self.scratch;
+            scratch.batches.clear();
+            for (jx, j) in p.jp.iter().enumerate() {
+                for (kx, k) in p.kp.iter().enumerate() {
+                    let row = (jx * klen + kx) * ilen;
+                    let mut ix = 0usize;
+                    while ix < ilen {
+                        if !scratch.predicate[row + ix] {
+                            ix += 1;
+                            continue;
+                        }
+                        let pb = state.p.get(p.ip.lo + ix as i32, k, j).to_bits();
+                        let mut b = PanelBatch {
+                            j,
+                            k,
+                            ixs: [0; LANES],
+                            len: 0,
+                        };
+                        while ix < ilen && (b.len as usize) < LANES {
+                            if !scratch.predicate[row + ix] {
+                                ix += 1;
+                                continue;
+                            }
+                            if state.p.get(p.ip.lo + ix as i32, k, j).to_bits() != pb {
+                                break;
+                            }
+                            b.ixs[b.len as usize] = ix as u32;
+                            b.len += 1;
+                            ix += 1;
+                        }
+                        scratch.batches.push(b);
+                    }
+                }
+            }
+            scratch.batch_ids.clear();
+            scratch.batch_ids.extend(0..scratch.batches.len() as u32);
+        }
+
         // Sweep 2 (device): the isolated collision loop of Listing 6.
-        let coal_stats = self.coal_kernel(state, &predicate, collapse);
+        let coal_stats = self.coal_kernel(state, collapse);
         stats.coal_iters = coal_stats.iters;
         stats.warp_efficiency = coal_stats.warp_eff;
         stats.kernel_spec = Some(coal_stats.spec.clone());
@@ -590,11 +765,12 @@ impl FastSbm {
         };
 
         // Sweep 3 (host): freezing/melting + breakup.
+        let mut bins = PointBins::empty();
         for (jx, j) in p.jp.iter().enumerate() {
             for (kx, k) in p.kp.iter().enumerate() {
                 for (ix, i) in p.ip.iter().enumerate() {
                     let idx = (jx * klen + kx) * ilen + ix;
-                    let mut out = outcomes[idx];
+                    let mut out = self.scratch.outcomes[idx];
                     let mut th = state.thermo_at(i, k, j);
                     state.load_bins(i, k, j, &mut bins);
                     let mut view = bins.view();
@@ -602,7 +778,7 @@ impl FastSbm {
                     drop(view);
                     state.store_bins(i, k, j, &bins);
                     state.store_thermo(i, k, j, &th);
-                    accumulate_pre_post(&mut stats, &out, predicate[idx]);
+                    accumulate_pre_post(&mut stats, &out, self.scratch.predicate[idx]);
                 }
             }
         }
@@ -613,14 +789,13 @@ impl FastSbm {
     /// parallelism. `collapse = 2` parallelizes `(j,k)` with a serial `i`
     /// loop per thread and per-thread automatic arrays; `collapse = 3`
     /// parallelizes all three loops operating in place on the slabs.
-    fn coal_kernel(
-        &self,
-        state: &mut SbmPatchState,
-        predicate: &[bool],
-        collapse: u32,
-    ) -> CoalKernelStats {
+    fn coal_kernel(&self, state: &mut SbmPatchState, collapse: u32) -> CoalKernelStats {
         let p = state.patch;
         let dt = self.cfg.dt;
+        let predicate: &[bool] = &self.scratch.predicate;
+        let batches: &[PanelBatch] = &self.scratch.batches;
+        let batch_ids: &[u32] = &self.scratch.batch_ids;
+        let layout = self.cfg.layout;
         let (ilen, klen, jlen) = (p.ip.len(), p.kp.len(), p.jp.len());
 
         // Warp-efficiency of the launch from the predicate layout.
@@ -672,55 +847,40 @@ impl FastSbm {
 
         {
             // Disjoint-write views (the Codee-proven independence).
-            let mut ff: Vec<&mut wrf_grid::Field4<f32>> = state.ff.iter_mut().collect();
-            // Immutable metadata snapshots for index math.
-            let ff_refs: Vec<*const wrf_grid::Field4<f32>> =
-                ff.iter().map(|f| *f as *const _).collect();
-            let _ = ff_refs;
+            // SAFETY: every kernel iteration touches only its own grid
+            // point's bin slices and tt element, and iterations are
+            // disjoint by construction (one iteration per point, per
+            // batch of distinct points, or per (j,k) column with a serial
+            // i loop).
             let tt_field = &mut state.tt;
             let p_field = &state.p;
             let rho_field = &state.rho;
-
-            // Build flat views. SAFETY: every kernel iteration touches
-            // only its own grid point's bin slices and tt element, and
-            // iterations are disjoint by construction (one iteration per
-            // point, or one per (j,k) column with a serial i loop).
-            let ff_bases: Vec<usize> = ff
-                .iter()
-                .map(|f| f.flat_base(p.ip.lo, p.kp.lo, p.jp.lo))
-                .collect();
-            let _ = ff_bases;
-            let ff_views: Vec<SyncWriteSlice<'_, f32>> = ff
-                .iter_mut()
-                .map(|f| unsafe { SyncWriteSlice::new(f.as_mut_slice()) })
-                .collect();
-            let ff_meta: Vec<FieldMeta> = {
-                // Recompute strides from the patch spans (Field4 layout:
-                // bin fastest, then i, k, j).
-                (0..NTYPES)
-                    .map(|_| FieldMeta {
-                        ilen: p.im.len(),
-                        klen: p.km.len(),
-                        i0: p.im.lo,
-                        k0: p.km.lo,
-                        j0: p.jm.lo,
-                    })
-                    .collect()
+            let mut ff_it = state.ff.iter_mut();
+            let ff_views: [SyncWriteSlice<'_, f32>; NTYPES] = std::array::from_fn(|_| unsafe {
+                SyncWriteSlice::new(ff_it.next().expect("NTYPES slabs").as_mut_slice())
+            });
+            // Strides recomputed from the patch spans (Field4 layout: bin
+            // fastest, then i, k, j); the thermo fields share the same
+            // 3-D part.
+            let meta = FieldMeta {
+                ilen: p.im.len(),
+                klen: p.km.len(),
+                i0: p.im.lo,
+                k0: p.km.lo,
+                j0: p.jm.lo,
             };
-            let tt_meta = ff_meta[0];
             let tt_view = unsafe { SyncWriteSlice::new(tt_field.as_mut_slice()) };
 
             let grids = &self.grids;
             let tables = &self.tables;
             let kcache = self.kcache.as_ref();
+            let splits = &self.splits;
             let kp_lo = p.kp.lo;
 
             let run_point = |i: i32, k: i32, j: i32, use_slabs: bool| {
-                let pth = gpu_sim::launch::KernelSpec::new; // no-op anchor
-                let _ = &pth;
                 let th_p = p_field.get(i, k, j);
                 let th_rho = rho_field.get(i, k, j);
-                let t_idx = tt_meta.flat3(i, k, j);
+                let t_idx = meta.flat3(i, k, j);
                 let mut th = crate::point::PointThermo {
                     t: tt_view.get(t_idx),
                     qv: 0.0, // unused by the collision stage
@@ -735,29 +895,19 @@ impl FastSbm {
                 let km = Self::lookup_mode(kcache, tables, k, kp_lo, th_p);
                 if use_slabs {
                     // Listing 8: operate in place on slab slices.
-                    let mut slices: Vec<&mut [f32]> = ff_views
-                        .iter()
-                        .zip(&ff_meta)
-                        .map(|(v, m)| v.subslice_mut(m.flat4(i, k, j), NKR))
-                        .collect();
-                    let mut it = slices.drain(..);
-                    let mut view = crate::point::BinsView::from_slices(std::array::from_fn(|_| {
-                        it.next().expect("7 slabs")
-                    }));
+                    let mut view = bins_view_from(&ff_views, &meta, i, k, j);
                     fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
                 } else {
                     // Listing 7: automatic (stack) arrays + copy in/out.
                     let mut local = PointBins::empty();
-                    for (c, (v, m)) in ff_views.iter().zip(&ff_meta).enumerate() {
-                        let base = m.flat4(i, k, j);
-                        let src = v.subslice_mut(base, NKR);
-                        local.n[c].copy_from_slice(src);
+                    let base = meta.flat4(i, k, j);
+                    for (c, v) in ff_views.iter().enumerate() {
+                        local.n[c].copy_from_slice(v.subslice_mut(base, NKR));
                     }
                     let mut view = local.view();
                     fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
                     drop(view);
-                    for (c, (v, m)) in ff_views.iter().zip(&ff_meta).enumerate() {
-                        let base = m.flat4(i, k, j);
+                    for (c, v) in ff_views.iter().enumerate() {
                         v.subslice_mut(base, NKR).copy_from_slice(&local.n[c]);
                     }
                 }
@@ -765,84 +915,235 @@ impl FastSbm {
                 (out.coal_entries, out.work.coal)
             };
 
-            // Launch geometry (`iters`, warp efficiency) is always
-            // reported from the *full* iteration space — compaction
-            // changes how host threads are scheduled, not what the
-            // modeled device launch looks like.
-            wall = if collapse == 2 {
-                let total = (jlen * klen) as u64;
-                let body = |idx: u64| {
-                    let jk = idx as usize;
-                    let (jx, kx) = (jk / klen, jk % klen);
-                    let j = p.jp.lo + jx as i32;
-                    let k = p.kp.lo + kx as i32;
-                    let mut e = 0u64;
-                    let mut w = PointWork::ZERO;
-                    let mut pts = 0u64;
-                    for ix in 0..ilen {
-                        if predicate[jk * ilen + ix] {
-                            let i = p.ip.lo + ix as i32;
-                            let (ee, ww) = run_point(i, k, j, false);
-                            e += ee;
-                            w += ww;
-                            pts += 1;
-                        }
-                    }
-                    entries.fetch_add(e, Ordering::Relaxed);
-                    flops.fetch_add(w.flops, Ordering::Relaxed);
-                    mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
-                    coal_points.fetch_add(pts, Ordering::Relaxed);
-                    if let Some(pr) = &profile {
-                        pr[jk].fetch_add(w.flops, Ordering::Relaxed);
-                    }
-                };
-                match self.cfg.sched {
-                    ExecMode::StaticTiles => {
-                        launch_functional_static(total, self.cfg.workers, body)
-                    }
-                    ExecMode::WorkSteal { chunk, compact } => {
-                        let exec = self.exec.as_ref().expect("executor created in step()");
-                        if compact {
-                            let cols = compact_active_columns(predicate, ilen);
-                            launch_functional_list(exec, &cols, chunk, body)
-                        } else {
-                            launch_functional_on(exec, total, chunk, body)
+            // Gather → panel_coal → scatter for one pressure-uniform
+            // batch; returns per-lane entry counts and metered work.
+            let run_batch = |j: i32, k: i32, ixs: &[u32; LANES], len: usize| {
+                let mut panel = SoaPanel::new();
+                panel.len = len;
+                let mut t_idx = [0usize; LANES];
+                for l in 0..len {
+                    let i = p.ip.lo + ixs[l] as i32;
+                    let ti = meta.flat3(i, k, j);
+                    t_idx[l] = ti;
+                    panel.t[l] = tt_view.get(ti);
+                    panel.qv[l] = 0.0; // unused by the collision stage
+                    panel.p[l] = p_field.get(i, k, j);
+                    panel.rho[l] = rho_field.get(i, k, j);
+                    let base = meta.flat4(i, k, j);
+                    for (c, v) in ff_views.iter().enumerate() {
+                        let src = v.subslice_mut(base, NKR);
+                        for (kk, s) in src.iter().enumerate() {
+                            panel.n[c][kk][l] = *s;
                         }
                     }
                 }
-            } else {
-                let total = (jlen * klen * ilen) as u64;
-                let body = |idx: u64| {
-                    let idx = idx as usize;
-                    if !predicate[idx] {
-                        return;
+                let km = Self::lookup_mode(kcache, tables, k, kp_lo, panel.p[0]);
+                let mut works = [PointWork::ZERO; LANES];
+                let mut ent = [0u64; LANES];
+                panel_coal(&mut panel, grids, km, splits, dt, &mut works, &mut ent);
+                for l in 0..len {
+                    let i = p.ip.lo + ixs[l] as i32;
+                    let base = meta.flat4(i, k, j);
+                    for (c, v) in ff_views.iter().enumerate() {
+                        let dst = v.subslice_mut(base, NKR);
+                        for (kk, d) in dst.iter_mut().enumerate() {
+                            *d = panel.n[c][kk][l];
+                        }
                     }
-                    let ix = idx % ilen;
-                    let kx = (idx / ilen) % klen;
-                    let jx = idx / (ilen * klen);
-                    let i = p.ip.lo + ix as i32;
-                    let k = p.kp.lo + kx as i32;
-                    let j = p.jp.lo + jx as i32;
-                    let (e, w) = run_point(i, k, j, true);
-                    entries.fetch_add(e, Ordering::Relaxed);
-                    flops.fetch_add(w.flops, Ordering::Relaxed);
-                    mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
-                    coal_points.fetch_add(1, Ordering::Relaxed);
-                    if let Some(pr) = &profile {
-                        pr[idx].fetch_add(w.flops, Ordering::Relaxed);
+                    tt_view.set(t_idx[l], panel.t[l]);
+                }
+                (ent, works)
+            };
+
+            // Launch geometry (`iters`, warp efficiency) is always
+            // reported from the *full* iteration space — compaction and
+            // the panel layout change how host threads are scheduled, not
+            // what the modeled device launch looks like.
+            wall = match (collapse, layout) {
+                (2, Layout::PointAos) => {
+                    let total = (jlen * klen) as u64;
+                    let body = |idx: u64| {
+                        let jk = idx as usize;
+                        let (jx, kx) = (jk / klen, jk % klen);
+                        let j = p.jp.lo + jx as i32;
+                        let k = p.kp.lo + kx as i32;
+                        let mut e = 0u64;
+                        let mut w = PointWork::ZERO;
+                        let mut pts = 0u64;
+                        for ix in 0..ilen {
+                            if predicate[jk * ilen + ix] {
+                                let i = p.ip.lo + ix as i32;
+                                let (ee, ww) = run_point(i, k, j, false);
+                                e += ee;
+                                w += ww;
+                                pts += 1;
+                            }
+                        }
+                        entries.fetch_add(e, Ordering::Relaxed);
+                        flops.fetch_add(w.flops, Ordering::Relaxed);
+                        mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
+                        coal_points.fetch_add(pts, Ordering::Relaxed);
+                        if let Some(pr) = &profile {
+                            pr[jk].fetch_add(w.flops, Ordering::Relaxed);
+                        }
+                    };
+                    match self.cfg.sched {
+                        ExecMode::StaticTiles => {
+                            launch_functional_static(total, self.cfg.workers, body)
+                        }
+                        ExecMode::WorkSteal { chunk, compact } => {
+                            let exec = self.exec.as_ref().expect("executor created in step()");
+                            if compact {
+                                let cols = compact_active_columns(predicate, ilen);
+                                launch_functional_list(exec, &cols, chunk, body)
+                            } else {
+                                launch_functional_on(exec, total, chunk, body)
+                            }
+                        }
                     }
-                };
-                match self.cfg.sched {
-                    ExecMode::StaticTiles => {
-                        launch_functional_static(total, self.cfg.workers, body)
+                }
+                (2, Layout::PanelSoa) => {
+                    // Same per-column launch units; inside each column the
+                    // serial i loop is replaced by pressure-uniform lane
+                    // batches formed on the fly.
+                    let total = (jlen * klen) as u64;
+                    let body = |idx: u64| {
+                        let jk = idx as usize;
+                        let (jx, kx) = (jk / klen, jk % klen);
+                        let j = p.jp.lo + jx as i32;
+                        let k = p.kp.lo + kx as i32;
+                        let mut e = 0u64;
+                        let mut w = PointWork::ZERO;
+                        let mut pts = 0u64;
+                        let mut ix = 0usize;
+                        while ix < ilen {
+                            let mut ixs = [0u32; LANES];
+                            let mut blen = 0usize;
+                            let mut pb = 0u32;
+                            while ix < ilen && blen < LANES {
+                                if !predicate[jk * ilen + ix] {
+                                    ix += 1;
+                                    continue;
+                                }
+                                let bits = p_field.get(p.ip.lo + ix as i32, k, j).to_bits();
+                                if blen == 0 {
+                                    pb = bits;
+                                } else if bits != pb {
+                                    break;
+                                }
+                                ixs[blen] = ix as u32;
+                                blen += 1;
+                                ix += 1;
+                            }
+                            if blen == 0 {
+                                break; // no further active points in the row
+                            }
+                            let (ent, works) = run_batch(j, k, &ixs, blen);
+                            for l in 0..blen {
+                                e += ent[l];
+                                w += works[l];
+                            }
+                            pts += blen as u64;
+                        }
+                        entries.fetch_add(e, Ordering::Relaxed);
+                        flops.fetch_add(w.flops, Ordering::Relaxed);
+                        mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
+                        coal_points.fetch_add(pts, Ordering::Relaxed);
+                        if let Some(pr) = &profile {
+                            pr[jk].fetch_add(w.flops, Ordering::Relaxed);
+                        }
+                    };
+                    match self.cfg.sched {
+                        ExecMode::StaticTiles => {
+                            launch_functional_static(total, self.cfg.workers, body)
+                        }
+                        ExecMode::WorkSteal { chunk, compact } => {
+                            let exec = self.exec.as_ref().expect("executor created in step()");
+                            if compact {
+                                let cols = compact_active_columns(predicate, ilen);
+                                launch_functional_list(exec, &cols, chunk, body)
+                            } else {
+                                launch_functional_on(exec, total, chunk, body)
+                            }
+                        }
                     }
-                    ExecMode::WorkSteal { chunk, compact } => {
-                        let exec = self.exec.as_ref().expect("executor created in step()");
-                        if compact {
-                            let pts = compact_active_points(predicate);
-                            launch_functional_list(exec, &pts, chunk, body)
-                        } else {
-                            launch_functional_on(exec, total, chunk, body)
+                }
+                (_, Layout::PointAos) => {
+                    let total = (jlen * klen * ilen) as u64;
+                    let body = |idx: u64| {
+                        let idx = idx as usize;
+                        if !predicate[idx] {
+                            return;
+                        }
+                        let ix = idx % ilen;
+                        let kx = (idx / ilen) % klen;
+                        let jx = idx / (ilen * klen);
+                        let i = p.ip.lo + ix as i32;
+                        let k = p.kp.lo + kx as i32;
+                        let j = p.jp.lo + jx as i32;
+                        let (e, w) = run_point(i, k, j, true);
+                        entries.fetch_add(e, Ordering::Relaxed);
+                        flops.fetch_add(w.flops, Ordering::Relaxed);
+                        mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
+                        coal_points.fetch_add(1, Ordering::Relaxed);
+                        if let Some(pr) = &profile {
+                            pr[idx].fetch_add(w.flops, Ordering::Relaxed);
+                        }
+                    };
+                    match self.cfg.sched {
+                        ExecMode::StaticTiles => {
+                            launch_functional_static(total, self.cfg.workers, body)
+                        }
+                        ExecMode::WorkSteal { chunk, compact } => {
+                            let exec = self.exec.as_ref().expect("executor created in step()");
+                            if compact {
+                                let pts = compact_active_points(predicate);
+                                launch_functional_list(exec, &pts, chunk, body)
+                            } else {
+                                launch_functional_on(exec, total, chunk, body)
+                            }
+                        }
+                    }
+                }
+                (_, Layout::PanelSoa) => {
+                    // Launch units are the pre-built pressure-uniform
+                    // batches: the activity compaction of the collapse(3)
+                    // queue happens at batch granularity.
+                    let nb = batches.len() as u64;
+                    let body = |bi: u64| {
+                        let b = &batches[bi as usize];
+                        let blen = b.len as usize;
+                        let (ent, works) = run_batch(b.j, b.k, &b.ixs, blen);
+                        let mut e = 0u64;
+                        let mut w = PointWork::ZERO;
+                        for l in 0..blen {
+                            e += ent[l];
+                            w += works[l];
+                        }
+                        entries.fetch_add(e, Ordering::Relaxed);
+                        flops.fetch_add(w.flops, Ordering::Relaxed);
+                        mem_ops.fetch_add(w.mem_ops, Ordering::Relaxed);
+                        coal_points.fetch_add(blen as u64, Ordering::Relaxed);
+                        if let Some(pr) = &profile {
+                            let jx = (b.j - p.jp.lo) as usize;
+                            let kx = (b.k - p.kp.lo) as usize;
+                            for (l, w) in works.iter().enumerate().take(blen) {
+                                let idx = (jx * klen + kx) * ilen + b.ixs[l] as usize;
+                                pr[idx].fetch_add(w.flops, Ordering::Relaxed);
+                            }
+                        }
+                    };
+                    match self.cfg.sched {
+                        ExecMode::StaticTiles => {
+                            launch_functional_static(nb, self.cfg.workers, body)
+                        }
+                        ExecMode::WorkSteal { chunk, compact } => {
+                            let exec = self.exec.as_ref().expect("executor created in step()");
+                            if compact {
+                                launch_functional_list(exec, batch_ids, chunk, body)
+                            } else {
+                                launch_functional_on(exec, nb, chunk, body)
+                            }
                         }
                     }
                 }
@@ -864,50 +1165,475 @@ impl FastSbm {
 
     /// Column sedimentation (all versions; serial host pass, as in the
     /// paper where only the collision loop is offloaded).
-    fn sedimentation_pass(&self, state: &mut SbmPatchState, stats: &mut SbmStepStats) {
+    fn sedimentation_pass(&mut self, state: &mut SbmPatchState, stats: &mut SbmStepStats) {
         let p = state.patch;
         let nz = p.kp.len();
         let mut w = PointWork::ZERO;
-        let mut col = vec![[0.0f32; NKR]; nz];
-        let mut rho = vec![0.0f32; nz];
-        for j in p.jp.iter() {
-            for i in p.ip.iter() {
-                for (kx, k) in p.kp.iter().enumerate() {
-                    rho[kx] = state.rho.get(i, k, j);
+        let scratch = &mut self.scratch;
+        scratch.rho.resize(nz, 0.0);
+        match self.cfg.layout {
+            Layout::PointAos => {
+                scratch.col.resize(nz, [0.0f32; NKR]);
+                for j in p.jp.iter() {
+                    for i in p.ip.iter() {
+                        for (kx, k) in p.kp.iter().enumerate() {
+                            scratch.rho[kx] = state.rho.get(i, k, j);
+                        }
+                        let mut col_precip = 0.0f32;
+                        for c in 0..NTYPES {
+                            let mut any = false;
+                            for (kx, k) in p.kp.iter().enumerate() {
+                                scratch.col[kx].copy_from_slice(state.ff[c].bin_slice(i, k, j));
+                                any |= scratch.col[kx].iter().any(|&v| v > 0.0);
+                            }
+                            if !any {
+                                continue;
+                            }
+                            let precip = sedimentation_column(
+                                &mut scratch.col,
+                                self.grids.by_index(c),
+                                &scratch.rho,
+                                self.cfg.dz,
+                                self.cfg.dt,
+                                &mut w,
+                            );
+                            col_precip += precip;
+                            stats.precip += precip as f64;
+                            for (kx, k) in p.kp.iter().enumerate() {
+                                state.ff[c]
+                                    .bin_slice_mut(i, k, j)
+                                    .copy_from_slice(&scratch.col[kx]);
+                            }
+                        }
+                        if col_precip > 0.0 {
+                            let idx = state.column_index(i, j);
+                            state.rainnc[idx] += col_precip;
+                        }
+                    }
                 }
-                let mut col_precip = 0.0f32;
-                for c in 0..NTYPES {
-                    let mut any = false;
-                    for (kx, k) in p.kp.iter().enumerate() {
-                        col[kx].copy_from_slice(state.ff[c].bin_slice(i, k, j));
-                        any |= col[kx].iter().any(|&v| v > 0.0);
+            }
+            Layout::PanelSoa => {
+                // Bin-major transposed columns: each bin's k-sweep is a
+                // contiguous, cache-blocked pass.
+                scratch.sed.ensure(nz);
+                for j in p.jp.iter() {
+                    for i in p.ip.iter() {
+                        for (kx, k) in p.kp.iter().enumerate() {
+                            scratch.rho[kx] = state.rho.get(i, k, j);
+                        }
+                        let mut col_precip = 0.0f32;
+                        for c in 0..NTYPES {
+                            let mut any = false;
+                            for (kx, k) in p.kp.iter().enumerate() {
+                                let src = state.ff[c].bin_slice(i, k, j);
+                                for (kb, &v) in src.iter().enumerate() {
+                                    scratch.sed.bins[kb * nz + kx] = v;
+                                    any |= v > 0.0;
+                                }
+                            }
+                            if !any {
+                                continue;
+                            }
+                            let precip = sedimentation_column_soa(
+                                &mut scratch.sed,
+                                self.grids.by_index(c),
+                                &scratch.rho,
+                                self.cfg.dz,
+                                self.cfg.dt,
+                                &mut w,
+                            );
+                            col_precip += precip;
+                            stats.precip += precip as f64;
+                            for (kx, k) in p.kp.iter().enumerate() {
+                                let dst = state.ff[c].bin_slice_mut(i, k, j);
+                                for (kb, d) in dst.iter_mut().enumerate() {
+                                    *d = scratch.sed.bins[kb * nz + kx];
+                                }
+                            }
+                        }
+                        if col_precip > 0.0 {
+                            let idx = state.column_index(i, j);
+                            state.rainnc[idx] += col_precip;
+                        }
                     }
-                    if !any {
-                        continue;
-                    }
-                    let precip = sedimentation_column(
-                        &mut col,
-                        self.grids.by_index(c),
-                        &rho,
-                        self.cfg.dz,
-                        self.cfg.dt,
-                        &mut w,
-                    );
-                    col_precip += precip;
-                    stats.precip += precip as f64;
-                    for (kx, k) in p.kp.iter().enumerate() {
-                        state.ff[c].bin_slice_mut(i, k, j).copy_from_slice(&col[kx]);
-                    }
-                }
-                if col_precip > 0.0 {
-                    let idx = state.column_index(i, j);
-                    state.rainnc[idx] += col_precip;
                 }
             }
         }
         stats.work.sed = w;
         state.precip_acc += stats.precip;
     }
+}
+
+/// Reusable per-step buffers. The fissioned sweeps' predicate/outcome
+/// arrays, the SoA collision batch list, and the sedimentation column
+/// scratch all live here: they grow to the patch size on the first step
+/// and are reused afterwards, so steady-state steps perform no heap
+/// allocation (asserted by the counting-allocator test).
+#[derive(Default)]
+struct StepScratch {
+    predicate: Vec<bool>,
+    outcomes: Vec<PointOutcome>,
+    batches: Vec<PanelBatch>,
+    batch_ids: Vec<u32>,
+    col: Vec<[f32; NKR]>,
+    rho: Vec<f32>,
+    sed: SedScratch,
+}
+
+/// One SoA collision batch: up to [`LANES`] predicate-true points of one
+/// `(j, k)` row sharing pressure bits (so the kernel value per `(i, j)`
+/// is resolved once for the whole batch).
+#[derive(Debug, Clone, Copy)]
+struct PanelBatch {
+    j: i32,
+    k: i32,
+    ixs: [u32; LANES],
+    len: u8,
+}
+
+// Per-thread row scratch for the panel CPU path: the active and
+// coal-called `i` lists of the row being processed. Thread-local so the
+// tiled scheduler's worker threads don't contend, and so steady-state
+// steps stay allocation-free.
+thread_local! {
+    static PANEL_ROW_SCRATCH: std::cell::RefCell<(Vec<i32>, Vec<i32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// An in-place [`BinsView`] over the seven slab views at one grid point.
+#[inline]
+fn bins_view_from<'a>(
+    ff_views: &'a [SyncWriteSlice<'_, f32>; NTYPES],
+    meta: &FieldMeta,
+    i: i32,
+    k: i32,
+    j: i32,
+) -> crate::point::BinsView<'a> {
+    crate::point::BinsView::from_slices(std::array::from_fn(|c| {
+        ff_views[c].subslice_mut(meta.flat4(i, k, j), NKR)
+    }))
+}
+
+/// The AoS per-tile body: one point at a time, exactly the serial sweep.
+#[allow(clippy::too_many_arguments)]
+fn run_tile_aos(
+    tile: &wrf_grid::TileSpec,
+    meta: FieldMeta,
+    grids: &Grids,
+    tables: &KernelTables,
+    kcache: Option<&KernelCache>,
+    kp_lo: i32,
+    dt: f32,
+    dense_tables: bool,
+    t_old: &wrf_grid::Field3<f32>,
+    p_field: &wrf_grid::Field3<f32>,
+    rho_field: &wrf_grid::Field3<f32>,
+    tt_view: &SyncWriteSlice<'_, f32>,
+    qv_view: &SyncWriteSlice<'_, f32>,
+    ff_views: &[SyncWriteSlice<'_, f32>; NTYPES],
+) -> SbmStepStats {
+    let mut st = empty_stats(tile.points());
+    let mut bins = PointBins::empty();
+    // THREADPRIVATE collision tables for the baseline.
+    let mut dense = if dense_tables {
+        Some(CollisionTables::new())
+    } else {
+        None
+    };
+    for j in tile.jt.iter() {
+        for k in tile.kt.iter() {
+            for i in tile.it.iter() {
+                let idx3 = meta.flat3(i, k, j);
+                let told = t_old.get(i, k, j);
+                let mut th = crate::point::PointThermo {
+                    t: tt_view.get(idx3),
+                    qv: qv_view.get(idx3),
+                    p: p_field.get(i, k, j),
+                    rho: rho_field.get(i, k, j),
+                };
+                for (c, v) in ff_views.iter().enumerate() {
+                    bins.n[c].copy_from_slice(v.subslice_mut(meta.flat4(i, k, j), NKR));
+                }
+                let mut view = bins.view();
+                let mut out = fast_sbm_pre(&mut view, &mut th, grids, dt, told);
+                if out.coal_called {
+                    let pressure = th.p;
+                    if let Some(dense) = dense.as_mut() {
+                        let mut kw = PointWork::ZERO;
+                        kernals_ks(tables, pressure, dense, &mut kw);
+                        out.work.kernals = kw;
+                        fast_sbm_coal(
+                            &mut view,
+                            &mut th,
+                            grids,
+                            KernelMode::Dense(dense),
+                            dt,
+                            &mut out,
+                        );
+                    } else {
+                        let km = FastSbm::lookup_mode(kcache, tables, k, kp_lo, pressure);
+                        fast_sbm_coal(&mut view, &mut th, grids, km, dt, &mut out);
+                    }
+                }
+                fast_sbm_post(&mut view, &mut th, grids, dt, &mut out);
+                drop(view);
+                for (c, v) in ff_views.iter().enumerate() {
+                    v.subslice_mut(meta.flat4(i, k, j), NKR)
+                        .copy_from_slice(&bins.n[c]);
+                }
+                tt_view.set(idx3, th.t);
+                qv_view.set(idx3, th.qv);
+                accumulate(&mut st, &out);
+            }
+        }
+    }
+    st
+}
+
+/// The panel per-tile body: rows are processed in four phases —
+/// scalar guard + nucleation, lane-batched condensation + predicate,
+/// pressure-uniform lane-batched collision, scalar freezing/breakup.
+/// Loop fission per point is bitwise-neutral (the driver's
+/// `fissioned_equals_unfissioned` test), points are independent, and each
+/// lane replays its exact scalar operation sequence, so this path is
+/// bitwise-identical to [`run_tile_aos`].
+#[allow(clippy::too_many_arguments)]
+fn run_tile_panels(
+    tile: &wrf_grid::TileSpec,
+    meta: FieldMeta,
+    grids: &Grids,
+    tables: &KernelTables,
+    kcache: Option<&KernelCache>,
+    kp_lo: i32,
+    dt: f32,
+    dense_tables: bool,
+    splits: &DepositSplits,
+    t_old: &wrf_grid::Field3<f32>,
+    p_field: &wrf_grid::Field3<f32>,
+    rho_field: &wrf_grid::Field3<f32>,
+    tt_view: &SyncWriteSlice<'_, f32>,
+    qv_view: &SyncWriteSlice<'_, f32>,
+    ff_views: &[SyncWriteSlice<'_, f32>; NTYPES],
+) -> SbmStepStats {
+    let mut st = empty_stats(tile.points());
+    let mut dense = if dense_tables {
+        Some(CollisionTables::new())
+    } else {
+        None
+    };
+    PANEL_ROW_SCRATCH.with(|cell| {
+        let (row_active, row_coal) = &mut *cell.borrow_mut();
+        for j in tile.jt.iter() {
+            for k in tile.kt.iter() {
+                row_active.clear();
+                row_coal.clear();
+
+                // Phase A: guard + nucleation, scalar, in place.
+                for i in tile.it.iter() {
+                    let idx3 = meta.flat3(i, k, j);
+                    let told = t_old.get(i, k, j);
+                    let mut th = crate::point::PointThermo {
+                        t: tt_view.get(idx3),
+                        qv: qv_view.get(idx3),
+                        p: p_field.get(i, k, j),
+                        rho: rho_field.get(i, k, j),
+                    };
+                    let mut view = bins_view_from(ff_views, &meta, i, k, j);
+                    let out = fast_sbm_nucleate(&mut view, &mut th, grids, dt, told);
+                    drop(view);
+                    if let Some(out) = out {
+                        st.active_points += 1;
+                        st.work.nucl += out.work.nucl;
+                        tt_view.set(idx3, th.t);
+                        qv_view.set(idx3, th.qv);
+                        row_active.push(i);
+                    }
+                }
+
+                // Phase B: condensation + the collision predicate in lane
+                // batches over the row's active points.
+                let mut pos = 0usize;
+                while pos < row_active.len() {
+                    let batch = &row_active[pos..(pos + LANES).min(row_active.len())];
+                    pos += batch.len();
+                    let mut panel = SoaPanel::new();
+                    panel.len = batch.len();
+                    for (l, &i) in batch.iter().enumerate() {
+                        let idx3 = meta.flat3(i, k, j);
+                        panel.t[l] = tt_view.get(idx3);
+                        panel.qv[l] = qv_view.get(idx3);
+                        panel.p[l] = p_field.get(i, k, j);
+                        panel.rho[l] = rho_field.get(i, k, j);
+                        let base = meta.flat4(i, k, j);
+                        for (c, v) in ff_views.iter().enumerate() {
+                            let src = v.subslice_mut(base, NKR);
+                            for (kk, s) in src.iter().enumerate() {
+                                panel.n[c][kk][l] = *s;
+                            }
+                        }
+                    }
+                    let mut works = [PointWork::ZERO; LANES];
+                    panel_condensation(&mut panel, grids, dt, &mut works);
+                    let preds = panel_coal_predicate(&panel, grids, &mut works);
+                    for (l, &i) in batch.iter().enumerate() {
+                        let idx3 = meta.flat3(i, k, j);
+                        let base = meta.flat4(i, k, j);
+                        for (c, v) in ff_views.iter().enumerate() {
+                            let dst = v.subslice_mut(base, NKR);
+                            for (kk, d) in dst.iter_mut().enumerate() {
+                                *d = panel.n[c][kk][l];
+                            }
+                        }
+                        tt_view.set(idx3, panel.t[l]);
+                        qv_view.set(idx3, panel.qv[l]);
+                        st.work.cond += works[l];
+                        if preds[l] {
+                            st.coal_points += 1;
+                            row_coal.push(i);
+                        }
+                    }
+                }
+
+                // Phase C: collision in pressure-uniform lane batches.
+                let mut pos = 0usize;
+                while pos < row_coal.len() {
+                    let pb = p_field.get(row_coal[pos], k, j).to_bits();
+                    let mut end = pos + 1;
+                    while end < row_coal.len()
+                        && end - pos < LANES
+                        && p_field.get(row_coal[end], k, j).to_bits() == pb
+                    {
+                        end += 1;
+                    }
+                    let batch = &row_coal[pos..end];
+                    pos = end;
+                    let mut panel = SoaPanel::new();
+                    panel.len = batch.len();
+                    let mut t_idx = [0usize; LANES];
+                    for (l, &i) in batch.iter().enumerate() {
+                        let idx3 = meta.flat3(i, k, j);
+                        t_idx[l] = idx3;
+                        panel.t[l] = tt_view.get(idx3);
+                        panel.qv[l] = 0.0; // unused by the collision stage
+                        panel.p[l] = p_field.get(i, k, j);
+                        panel.rho[l] = rho_field.get(i, k, j);
+                        let base = meta.flat4(i, k, j);
+                        for (c, v) in ff_views.iter().enumerate() {
+                            let src = v.subslice_mut(base, NKR);
+                            for (kk, s) in src.iter().enumerate() {
+                                panel.n[c][kk][l] = *s;
+                            }
+                        }
+                    }
+                    let pressure = f32::from_bits(pb);
+                    let mut works = [PointWork::ZERO; LANES];
+                    let mut ent = [0u64; LANES];
+                    if let Some(dense) = dense.as_mut() {
+                        // One shared fill per batch (identical pressure),
+                        // metered per point as the scalar baseline does.
+                        let mut kw = PointWork::ZERO;
+                        kernals_ks(tables, pressure, dense, &mut kw);
+                        for _ in 0..batch.len() {
+                            st.work.kernals += kw;
+                        }
+                        panel_coal(
+                            &mut panel,
+                            grids,
+                            KernelMode::Dense(dense),
+                            splits,
+                            dt,
+                            &mut works,
+                            &mut ent,
+                        );
+                    } else {
+                        let km = FastSbm::lookup_mode(kcache, tables, k, kp_lo, pressure);
+                        panel_coal(&mut panel, grids, km, splits, dt, &mut works, &mut ent);
+                    }
+                    for (l, &i) in batch.iter().enumerate() {
+                        let base = meta.flat4(i, k, j);
+                        for (c, v) in ff_views.iter().enumerate() {
+                            let dst = v.subslice_mut(base, NKR);
+                            for (kk, d) in dst.iter_mut().enumerate() {
+                                *d = panel.n[c][kk][l];
+                            }
+                        }
+                        tt_view.set(t_idx[l], panel.t[l]);
+                        st.coal_entries += ent[l];
+                        st.work.coal += works[l];
+                    }
+                }
+
+                // Phase D: freezing/melting + breakup, scalar, in place.
+                for &i in row_active.iter() {
+                    let idx3 = meta.flat3(i, k, j);
+                    let mut th = crate::point::PointThermo {
+                        t: tt_view.get(idx3),
+                        qv: qv_view.get(idx3),
+                        p: p_field.get(i, k, j),
+                        rho: rho_field.get(i, k, j),
+                    };
+                    let mut out = PointOutcome {
+                        active: true,
+                        ..Default::default()
+                    };
+                    let mut view = bins_view_from(ff_views, &meta, i, k, j);
+                    fast_sbm_post(&mut view, &mut th, grids, dt, &mut out);
+                    drop(view);
+                    tt_view.set(idx3, th.t);
+                    qv_view.set(idx3, th.qv);
+                    st.work.freeze += out.work.freeze;
+                    st.work.breakup += out.work.breakup;
+                }
+            }
+        }
+    });
+    st
+}
+
+/// Flushes one condensation lane panel of the panel-layout first sweep:
+/// runs batched condensation + the collision predicate, scatters bins and
+/// thermo back to the state, and records per-point outcomes.
+#[allow(clippy::too_many_arguments)]
+fn flush_cond_panel(
+    panel: &mut SoaPanel,
+    lane_ix: &[usize; LANES],
+    row: usize,
+    i0: i32,
+    k: i32,
+    j: i32,
+    grids: &Grids,
+    dt: f32,
+    state: &mut SbmPatchState,
+    predicate: &mut [bool],
+    outcomes: &mut [PointOutcome],
+) {
+    if panel.len == 0 {
+        return;
+    }
+    let mut works = [PointWork::ZERO; LANES];
+    panel_condensation(panel, grids, dt, &mut works);
+    let preds = panel_coal_predicate(panel, grids, &mut works);
+    for l in 0..panel.len {
+        let ix = lane_ix[l];
+        let i = i0 + ix as i32;
+        for (c, f) in state.ff.iter_mut().enumerate() {
+            let dst = f.bin_slice_mut(i, k, j);
+            for (kk, d) in dst.iter_mut().enumerate() {
+                *d = panel.n[c][kk][l];
+            }
+        }
+        let th = crate::point::PointThermo {
+            t: panel.t[l],
+            qv: panel.qv[l],
+            p: panel.p[l],
+            rho: panel.rho[l],
+        };
+        state.store_thermo(i, k, j, &th);
+        let idx = row + ix;
+        outcomes[idx].work.cond = works[l];
+        predicate[idx] = preds[l];
+    }
+    panel.clear();
 }
 
 /// Flat-index helpers for the kernel bodies (recomputed from patch spans

@@ -111,8 +111,9 @@ impl SbmPatchState {
 
     /// Snapshots `tt` into `t_old` (start of a microphysics step).
     pub fn snapshot_t_old(&mut self) {
-        let src = self.tt.as_slice().to_vec();
-        self.t_old.as_mut_slice().copy_from_slice(&src);
+        self.t_old
+            .as_mut_slice()
+            .copy_from_slice(self.tt.as_slice());
     }
 
     /// Total condensate mass mixing ratio summed over the compute region

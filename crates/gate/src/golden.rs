@@ -13,7 +13,7 @@
 use crate::fixture::GoldenFixture;
 use fsbm_core::digest::{ulp_distance, StateDigest};
 use fsbm_core::exec::ExecMode;
-use fsbm_core::scheme::SbmVersion;
+use fsbm_core::scheme::{Layout, SbmVersion};
 use miniwrf::config::ModelConfig;
 use miniwrf::model::Model;
 
@@ -238,20 +238,25 @@ pub struct GoldenRunSpec {
     pub mode: ExecMode,
     /// Device-worker count.
     pub workers: usize,
+    /// Host memory layout of the microphysics hot path.
+    pub layout: Layout,
 }
 
 /// The full gate matrix: every version × {static tiles, work stealing}
-/// × `worker_counts`.
+/// × `worker_counts` × both memory layouts.
 pub fn gate_matrix(worker_counts: &[usize]) -> Vec<GoldenRunSpec> {
     let mut specs = Vec::new();
     for version in SbmVersion::ALL {
         for mode in [ExecMode::StaticTiles, ExecMode::work_steal()] {
             for &workers in worker_counts {
-                specs.push(GoldenRunSpec {
-                    version,
-                    mode,
-                    workers,
-                });
+                for layout in Layout::ALL {
+                    specs.push(GoldenRunSpec {
+                        version,
+                        mode,
+                        workers,
+                        layout,
+                    });
+                }
             }
         }
     }
@@ -283,7 +288,8 @@ pub fn case_description() -> String {
 /// run — the hook the gate's self-test and the CLI `--perturb` flag use
 /// to prove a divergence actually trips the gate.
 pub fn run_digest(spec: &GoldenRunSpec, perturb: Option<f32>) -> StateDigest {
-    let cfg = ModelConfig::gate(spec.version, spec.mode, spec.workers);
+    let mut cfg = ModelConfig::gate(spec.version, spec.mode, spec.workers);
+    cfg.layout = spec.layout;
     let mut m = Model::single_rank(cfg);
     m.run(ModelConfig::GATE_STEPS);
     if let Some(eps) = perturb {
@@ -301,6 +307,7 @@ pub fn bless_fixture(version: SbmVersion) -> GoldenFixture {
             version,
             mode: ExecMode::StaticTiles,
             workers: 1,
+            layout: Layout::PointAos,
         },
         None,
     );
@@ -320,6 +327,8 @@ pub struct GoldenCheck {
     pub mode: &'static str,
     /// Worker count.
     pub workers: usize,
+    /// Memory-layout label of the candidate run.
+    pub layout: &'static str,
     /// Which golden this was compared against (`self` or `baseline`).
     pub vs: &'static str,
     /// Whether every compared value was bit-identical.
@@ -358,8 +367,8 @@ impl GoldenGateReport {
             .flat_map(|c| {
                 c.violations.iter().map(move |v| {
                     format!(
-                        "golden: {} [{} w={}] vs {}: {v}",
-                        c.version, c.mode, c.workers, c.vs
+                        "golden: {} [{} w={} {}] vs {}: {v}",
+                        c.version, c.mode, c.workers, c.layout, c.vs
                     )
                 })
             })
@@ -391,6 +400,7 @@ pub fn check_against(
         version: spec.version.label(),
         mode: spec.mode.label(),
         workers: spec.workers,
+        layout: spec.layout.label(),
         vs,
         bitwise: cmp.bitwise(),
         min_digits: cmp.min_digits(),
@@ -476,6 +486,7 @@ mod tests {
             version: SbmVersion::Baseline,
             mode: ExecMode::StaticTiles,
             workers: 1,
+            layout: Layout::PointAos,
         };
         let check = check_against(&spec, "self", &a, &b, &policy);
         assert!(!check.pass);
@@ -498,12 +509,13 @@ mod tests {
     #[test]
     fn matrix_covers_versions_and_modes() {
         let specs = gate_matrix(&[1, 3]);
-        assert_eq!(specs.len(), 4 * 2 * 2);
+        assert_eq!(specs.len(), 4 * 2 * 2 * 2);
         assert!(specs
             .iter()
             .any(|s| s.version == SbmVersion::OffloadCollapse3
                 && s.mode == ExecMode::work_steal()
-                && s.workers == 3));
+                && s.workers == 3
+                && s.layout == Layout::PanelSoa));
     }
 
     #[test]

@@ -46,12 +46,13 @@ impl GateReport {
                 let _ = writeln!(
                     s,
                     "      {{\"version\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \
-                     \"vs\": \"{}\", \"bitwise\": {}, \"min_digits\": {}, \
+                     \"layout\": \"{}\", \"vs\": \"{}\", \"bitwise\": {}, \"min_digits\": {}, \
                      \"worst_field\": \"{}\", \"worst_digits\": {}, \"worst_ulp\": {}, \
                      \"pass\": {}}}{}",
                     escape(c.version),
                     escape(c.mode),
                     c.workers,
+                    escape(c.layout),
                     c.vs,
                     c.bitwise,
                     c.min_digits,
@@ -123,6 +124,7 @@ impl GateReport {
                 "version",
                 "mode",
                 "workers",
+                "layout",
                 "vs",
                 "bitwise",
                 "min digits",
@@ -135,6 +137,7 @@ impl GateReport {
                     c.version.to_string(),
                     c.mode.to_string(),
                     c.workers.to_string(),
+                    c.layout.to_string(),
                     c.vs.to_string(),
                     if c.bitwise { "yes" } else { "no" }.to_string(),
                     c.min_digits.to_string(),
@@ -189,6 +192,7 @@ mod tests {
                     version: "baseline",
                     mode: "static-tiles",
                     workers: 1,
+                    layout: "point-aos",
                     vs: "self",
                     bitwise: pass,
                     min_digits: if pass { 15 } else { 2 },

@@ -1,7 +1,7 @@
 //! Namelist-style model configuration.
 
 use fsbm_core::exec::ExecMode;
-use fsbm_core::scheme::SbmVersion;
+use fsbm_core::scheme::{Layout, SbmVersion};
 use mpi_sim::CommMode;
 use wrf_cases::ConusParams;
 
@@ -50,6 +50,10 @@ pub struct ModelConfig {
     /// `restart_interval`, here in steps rather than minutes). 0
     /// disables checkpointing.
     pub restart_interval: usize,
+    /// Host memory layout of the microphysics hot path: per-point
+    /// automatic arrays (`PointAos`, the paper's structure) or SoA lane
+    /// panels (`PanelSoa`). Bitwise-identical results.
+    pub layout: Layout,
 }
 
 impl ModelConfig {
@@ -70,6 +74,7 @@ impl ModelConfig {
             cached_kernels: false,
             profile_coal: false,
             restart_interval: 0,
+            layout: Layout::default(),
         }
     }
 
@@ -92,6 +97,7 @@ impl ModelConfig {
             cached_kernels: true,
             profile_coal: false,
             restart_interval: 0,
+            layout: Layout::default(),
         }
     }
 

@@ -115,6 +115,7 @@ impl Model {
         sbm_cfg.sched = cfg.sched;
         sbm_cfg.cached_kernels = cfg.cached_kernels;
         sbm_cfg.profile_coal = cfg.profile_coal;
+        sbm_cfg.layout = cfg.layout;
         Model {
             cfg,
             case,

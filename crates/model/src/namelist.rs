@@ -20,7 +20,7 @@
 //! registry entries at this level); malformed syntax is an error.
 
 use crate::config::ModelConfig;
-use fsbm_core::scheme::SbmVersion;
+use fsbm_core::scheme::{Layout, SbmVersion};
 use std::collections::BTreeMap;
 
 /// A parse error with a line number.
@@ -147,6 +147,15 @@ fn get<T: std::str::FromStr>(
     }
 }
 
+/// The `host_layout` names accepted for the microphysics memory layout.
+pub fn layout_from_name(name: &str) -> Option<Layout> {
+    match name.to_ascii_lowercase().as_str() {
+        "point_aos" | "aos" => Some(Layout::PointAos),
+        "panel_soa" | "soa" => Some(Layout::PanelSoa),
+        _ => None,
+    }
+}
+
 /// The `mp_physics` names accepted for the four scheme versions.
 pub fn version_from_name(name: &str) -> Option<SbmVersion> {
     match name.to_ascii_lowercase().as_str() {
@@ -202,6 +211,12 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
         cfg.version = version_from_name(name).ok_or_else(|| NamelistError {
             line: 0,
             message: format!("unknown mp_physics `{name}`"),
+        })?;
+    }
+    if let Some(name) = nl.get("physics").and_then(|g| g.get("host_layout")) {
+        cfg.layout = layout_from_name(name).ok_or_else(|| NamelistError {
+            line: 0,
+            message: format!("unknown host_layout `{name}` (point_aos or panel_soa)"),
         })?;
     }
     if cfg.case.nx < 8 || cfg.case.ny < 8 || cfg.case.nz < 4 {
@@ -303,6 +318,19 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("not both"), "{err}");
+    }
+
+    #[test]
+    fn host_layout_parsed_from_physics() {
+        // AoS by default.
+        let cfg = config_from_namelist("").unwrap();
+        assert_eq!(cfg.layout, Layout::PointAos);
+        let cfg = config_from_namelist("&physics\n host_layout = 'panel_soa'\n/\n").unwrap();
+        assert_eq!(cfg.layout, Layout::PanelSoa);
+        let cfg = config_from_namelist("&physics\n host_layout = 'aos'\n/\n").unwrap();
+        assert_eq!(cfg.layout, Layout::PointAos);
+        let err = config_from_namelist("&physics\n host_layout = 'csr'\n/\n").unwrap_err();
+        assert!(err.message.contains("unknown host_layout"), "{err}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `steps_per_s` while tolerating host-timing noise.
 
 use wrf_offload_repro::fsbm_core::exec::ExecMode;
-use wrf_offload_repro::fsbm_core::scheme::SbmVersion;
+use wrf_offload_repro::fsbm_core::scheme::{Layout, SbmVersion};
 use wrf_offload_repro::wrf_gate::golden::{
     bless_fixture, check_against, run_golden_gate, GoldenPolicy, GoldenRunSpec,
 };
@@ -15,17 +15,21 @@ use wrf_offload_repro::wrf_gate::perf::{compare_benchmarks, parse_case, Toleranc
 use wrf_offload_repro::wrf_gate::report::GateReport;
 use wrf_offload_repro::wrf_gate::GoldenFixture;
 
-/// A reduced golden matrix: two versions, both modes, two worker counts.
+/// A reduced golden matrix: two versions, both modes, two worker
+/// counts, both memory layouts.
 fn reduced_matrix() -> Vec<GoldenRunSpec> {
     let mut specs = Vec::new();
     for version in [SbmVersion::Baseline, SbmVersion::OffloadCollapse2] {
         for mode in [ExecMode::StaticTiles, ExecMode::work_steal()] {
             for workers in [1usize, 2] {
-                specs.push(GoldenRunSpec {
-                    version,
-                    mode,
-                    workers,
-                });
+                for layout in Layout::ALL {
+                    specs.push(GoldenRunSpec {
+                        version,
+                        mode,
+                        workers,
+                        layout,
+                    });
+                }
             }
         }
     }
@@ -121,6 +125,7 @@ fn committed_goldens_match_current_physics() {
             version,
             mode: ExecMode::StaticTiles,
             workers: 1,
+            layout: Layout::PointAos,
         };
         let digest = wrf_offload_repro::wrf_gate::golden::run_digest(&spec, None);
         let check = check_against(&spec, "self", &fixture.digest, &digest, &policy);
