@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|ensemble|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
@@ -23,6 +23,12 @@
 //! `share` runs the shared-GPU gate (shared-pool vs exclusive digest
 //! equivalence, memory-capped admission, and the Table VII / Fig. 4
 //! sharing sweep) and writes `BENCH_share.json`.
+//! `ensemble` runs the ensemble-service gate (every served member
+//! bitwise-identical to its solo run for all four versions, the retry
+//! and packing walls, and the full-scale batched-throughput claim) and
+//! writes `BENCH_ensemble.json` with members/hour, admission-wait
+//! percentiles, the per-device occupancy ledger, and cache-share hit
+//! rates.
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -536,6 +542,95 @@ fn share(args: &[String]) -> i32 {
     }
 }
 
+/// Parses `repro ensemble` flags into a [`wrf_gate::EnsembleGateConfig`]
+/// plus the report path.
+fn ensemble_config(args: &[String]) -> Result<(wrf_gate::EnsembleGateConfig, String), String> {
+    let mut cfg = wrf_gate::EnsembleGateConfig::default();
+    let mut report = "BENCH_ensemble.json".to_string();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        let parse_err = |e: String| format!("{arg}: {e}");
+        match arg.as_str() {
+            "--eq-members" => {
+                cfg.eq_members = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--eq-devices" => {
+                cfg.eq_devices = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--eq-steps" => {
+                cfg.eq_steps = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--members" => {
+                cfg.members = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--devices" => {
+                cfg.devices = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--minutes" => {
+                cfg.minutes = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseFloatError| parse_err(e.to_string()))?
+            }
+            "--report" => report = value(&mut it, arg)?,
+            other => {
+                return Err(format!(
+                    "unknown ensemble flag {other}; flags: --eq-members N --eq-devices N \
+                     --eq-steps N --members N --devices N --minutes X --report PATH"
+                ))
+            }
+        }
+    }
+    Ok((cfg, report))
+}
+
+/// Runs the ensemble gate and returns the process exit code.
+fn ensemble(args: &[String]) -> i32 {
+    let (cfg, report_path) = match ensemble_config(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repro ensemble: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "[repro] ensemble: {} versions x {}-member served ensembles vs solo runs, retry and \
+         packing walls, then {} full-scale members on {} devices...",
+        fsbm_core::scheme::SbmVersion::ALL.len(),
+        cfg.eq_members,
+        cfg.members,
+        cfg.devices
+    );
+    let rep = wrf_gate::run_ensemble_gate(&cfg);
+    print!("{}", rep.rendered());
+    match std::fs::write(&report_path, rep.to_json()) {
+        Ok(()) => eprintln!("[repro] ensemble report written to {report_path}"),
+        Err(e) => eprintln!("[repro] could not write {report_path}: {e}"),
+    }
+    for v in rep.violations() {
+        eprintln!("repro ensemble: VIOLATION: {v}");
+    }
+    if rep.pass() {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if what == "gate" {
@@ -557,6 +652,10 @@ fn main() {
     if what == "share" {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(share(&args));
+    }
+    if what == "ensemble" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(ensemble(&args));
     }
     let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {
@@ -640,7 +739,7 @@ fn main() {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
              timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|bench-host|\
-             gate|comm|fault|share|all"
+             gate|comm|fault|share|ensemble|all"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,1025 @@
+//! The ensemble gate (`repro ensemble`): batch-service correctness and
+//! throughput over the shared [`DevicePool`].
+//!
+//! Four enforced claims about `miniwrf::service`:
+//!
+//! * **Equivalence** — for every scheme version, each ensemble member's
+//!   end state is *bitwise-identical* to the same member run solo
+//!   (the §VII-B `diffwrf` bar applied to the batch engine): packing,
+//!   launch batching, and lookup sharing change timing, never
+//!   arithmetic. Perturbed seeds must also genuinely perturb — member
+//!   digests differ across seeds.
+//! * **Retry** — a member killed mid-run relaunches through the PR 4
+//!   restart supervisor, resumes from its newest complete checkpoint
+//!   set, and still lands bitwise on its solo digest.
+//! * **Admission** — packing is memory-capped at full scale: the
+//!   per-device member cap is exact, overflow members queue for a
+//!   second wave rather than failing, and an oversized stack is a
+//!   typed [`ServiceError::Admission`], not a panic.
+//! * **Throughput** — at full scale (CONUS-12km members, 10 simulated
+//!   minutes) the batched service beats N sequential solo runs *and*
+//!   the unbatched replay on modeled members/hour, with a nonzero
+//!   amortized-slice ledger and one shared lookup copy per device.
+//!
+//! The outcome is `BENCH_ensemble.json` next to `BENCH_share.json`:
+//! members/hour at fixed hardware, admission-queue latency percentiles,
+//! the per-device occupancy ledger, and cache-share hit rates. Any
+//! violation makes `repro ensemble` exit nonzero.
+
+use crate::golden::compare_digests;
+use crate::json::escape;
+use fsbm_core::exec::ExecMode;
+use fsbm_core::scheme::SbmVersion;
+use gpu_sim::devicepool::DevicePool;
+use gpu_sim::machine::A100;
+use miniwrf::config::ModelConfig;
+use miniwrf::parallel::run_parallel;
+use miniwrf::perfmodel::{
+    gpu_rank_step_time, measure_coeffs, MeasuredCoeffs, PerfParams, RankWork, TrafficModel,
+};
+use miniwrf::service::{
+    latency_percentiles, member_config, member_footprint, pressure_key, run_ensemble_with,
+    schedule_ensemble, DeviceLedger, EnsembleSpec, MemberTimings, Schedule, ServiceError,
+    ServiceOptions,
+};
+use mpi_sim::FaultPlan;
+use prof_sim::{ensemble_line, EnsembleSummary, TextTable};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+use wrf_cases::{ConusCase, ConusParams};
+use wrf_grid::two_d_decomposition;
+
+/// Configuration of one ensemble-gate invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleGateConfig {
+    /// Members of the equivalence (functional, gate-scale) ensembles.
+    pub eq_members: usize,
+    /// Devices of the equivalence ensembles' pool.
+    pub eq_devices: usize,
+    /// Steps each equivalence member integrates.
+    pub eq_steps: usize,
+    /// Members of the full-scale throughput arm.
+    pub members: usize,
+    /// Devices of the full-scale throughput arm (fixed hardware).
+    pub devices: usize,
+    /// Simulated minutes each full-scale member runs.
+    pub minutes: f64,
+    /// Horizontal scale the work coefficients are measured at.
+    pub coeff_scale: f64,
+    /// Vertical levels of the coefficient measurement.
+    pub coeff_nz: i32,
+    /// Steps of the coefficient measurement.
+    pub coeff_steps: usize,
+    /// Member the retry arm kills.
+    pub fault_member: usize,
+    /// Step the fault fires at.
+    pub fault_step: u64,
+    /// Launch attempts the retry arm allows.
+    pub max_attempts: usize,
+}
+
+impl Default for EnsembleGateConfig {
+    fn default() -> Self {
+        EnsembleGateConfig {
+            eq_members: 3,
+            eq_devices: 2,
+            eq_steps: 3,
+            members: 8,
+            devices: 2,
+            minutes: 10.0,
+            coeff_scale: 0.05,
+            coeff_nz: 24,
+            coeff_steps: 2,
+            fault_member: 1,
+            fault_step: 2,
+            max_attempts: 3,
+        }
+    }
+}
+
+/// One equivalence comparison: every member of a gate-scale ensemble
+/// against its solo run, for one scheme version.
+#[derive(Debug, Clone)]
+pub struct EnsembleCheck {
+    /// Scheme version under test.
+    pub version: &'static str,
+    /// Ensemble size.
+    pub members: usize,
+    /// Pool devices.
+    pub devices: usize,
+    /// True when every member matched its solo digest bit for bit.
+    pub bitwise: bool,
+    /// Minimum agreed digits across members and fields.
+    pub min_digits: u32,
+    /// Worst-agreeing field (empty when bitwise).
+    pub worst_field: String,
+    /// True when the check passed.
+    pub pass: bool,
+    /// Failure details (empty when passing).
+    pub violations: Vec<String>,
+}
+
+/// The retry arm's outcome: a supervised member killed mid-run must
+/// relaunch and still match its solo digest.
+#[derive(Debug, Clone)]
+pub struct RetryCheck {
+    /// Scheme version of the retry ensemble.
+    pub version: &'static str,
+    /// Member the fault plan killed.
+    pub member: usize,
+    /// Launch attempts the killed member took.
+    pub attempts: usize,
+    /// Checkpoint steps its relaunches resumed from.
+    pub resumed_from: Vec<u64>,
+    /// True when every member (killed one included) matched solo.
+    pub bitwise: bool,
+    /// True when the check passed.
+    pub pass: bool,
+    /// Failure details.
+    pub violations: Vec<String>,
+}
+
+/// One admission scenario against the full-scale footprint.
+#[derive(Debug, Clone)]
+pub struct PackCheck {
+    /// What the scenario exercises.
+    pub label: &'static str,
+    /// Outcome description (the typed error's message on failures).
+    pub detail: String,
+    /// True when the outcome matched the expected wall.
+    pub pass: bool,
+}
+
+/// One full-scale throughput row (one offloaded version).
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Scheme version.
+    pub version: &'static str,
+    /// Ensemble size.
+    pub members: usize,
+    /// Pool devices.
+    pub devices: usize,
+    /// Admission waves the schedule took.
+    pub waves: usize,
+    /// Modeled device service per member step, seconds.
+    pub service_secs: f64,
+    /// Batched modeled throughput, members/hour.
+    pub batched_mph: f64,
+    /// Unbatched-replay throughput, members/hour.
+    pub unbatched_mph: f64,
+    /// N-sequential-solo-runs throughput, members/hour.
+    pub sequential_mph: f64,
+    /// Slice seconds amortized away by launch batching.
+    pub slice_secs_saved: f64,
+    /// Shared-lookup hits.
+    pub cache_hits: usize,
+    /// Shared-lookup misses (one per device that materialized tables).
+    pub cache_misses: usize,
+    /// Shared-lookup hit rate.
+    pub cache_hit_rate: f64,
+    /// p50/p90/p99 admission-queue wait, seconds.
+    pub wait_percentiles: [f64; 3],
+    /// True when the row passed.
+    pub pass: bool,
+    /// Failure details.
+    pub violations: Vec<String>,
+}
+
+/// The ensemble gate's full outcome.
+#[derive(Debug, Clone)]
+pub struct EnsembleGateReport {
+    /// Configuration the gate ran with.
+    pub cfg: EnsembleGateConfig,
+    /// Per-version equivalence checks.
+    pub checks: Vec<EnsembleCheck>,
+    /// The retry arm.
+    pub retry: Option<RetryCheck>,
+    /// Admission scenarios.
+    pub admission: Vec<PackCheck>,
+    /// Full-scale throughput rows (offloaded versions).
+    pub throughput: Vec<ThroughputRow>,
+    /// Per-device occupancy ledger of the headline throughput row.
+    pub devices: Vec<DeviceLedger>,
+}
+
+impl EnsembleGateReport {
+    /// True when every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+            && self.retry.as_ref().is_none_or(|r| r.pass)
+            && self.admission.iter().all(|a| a.pass)
+            && self.throughput.iter().all(|t| t.pass)
+    }
+
+    /// All violation strings.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .checks
+            .iter()
+            .flat_map(|c| {
+                c.violations
+                    .iter()
+                    .map(move |x| format!("ensemble: {}: {x}", c.version))
+            })
+            .collect();
+        if let Some(r) = &self.retry {
+            v.extend(
+                r.violations
+                    .iter()
+                    .map(|x| format!("ensemble: retry [{}]: {x}", r.version)),
+            );
+        }
+        v.extend(
+            self.admission
+                .iter()
+                .filter(|a| !a.pass)
+                .map(|a| format!("ensemble: admission {}: {}", a.label, a.detail)),
+        );
+        v.extend(self.throughput.iter().flat_map(|t| {
+            t.violations
+                .iter()
+                .map(move |x| format!("ensemble: throughput {}: {x}", t.version))
+        }));
+        v
+    }
+
+    /// Human-readable rendering: equivalence table, retry line,
+    /// admission lines, throughput table, per-device ledger lines.
+    pub fn rendered(&self) -> String {
+        let mut s = String::new();
+        s.push_str("=== repro ensemble: member vs solo digest equivalence ===\n");
+        let mut t = TextTable::new(&[
+            "version",
+            "members",
+            "devices",
+            "bitwise",
+            "min digits",
+            "result",
+        ]);
+        for c in &self.checks {
+            t.push_row(vec![
+                c.version.to_string(),
+                c.members.to_string(),
+                c.devices.to_string(),
+                if c.bitwise { "yes" } else { "no" }.to_string(),
+                c.min_digits.to_string(),
+                if c.pass { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        s.push_str(&t.rendered());
+        if let Some(r) = &self.retry {
+            let _ = writeln!(
+                s,
+                "\nretry [{}]: member {} took {} attempts, resumed from steps {:?}, \
+                 bitwise={} [{}]",
+                r.version,
+                r.member,
+                r.attempts,
+                r.resumed_from,
+                r.bitwise,
+                if r.pass { "pass" } else { "FAIL" }
+            );
+        }
+        s.push_str("\n=== repro ensemble: memory-capped packing ===\n");
+        for a in &self.admission {
+            let _ = writeln!(
+                s,
+                "{}: {} [{}]",
+                a.label,
+                a.detail,
+                if a.pass { "pass" } else { "FAIL" }
+            );
+        }
+        s.push_str("\n=== repro ensemble: full-scale batched throughput ===\n");
+        let mut t = TextTable::new(&[
+            "version",
+            "members",
+            "devices",
+            "waves",
+            "svc/step",
+            "batched m/h",
+            "unbatched m/h",
+            "sequential m/h",
+            "slice saved",
+            "cache",
+            "result",
+        ]);
+        for r in &self.throughput {
+            t.push_row(vec![
+                r.version.to_string(),
+                r.members.to_string(),
+                r.devices.to_string(),
+                r.waves.to_string(),
+                format!("{:.3}s", r.service_secs),
+                format!("{:.2}", r.batched_mph),
+                format!("{:.2}", r.unbatched_mph),
+                format!("{:.2}", r.sequential_mph),
+                format!("{:.1}s", r.slice_secs_saved),
+                format!("{}/{}", r.cache_hits, r.cache_hits + r.cache_misses),
+                if r.pass { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        s.push_str(&t.rendered());
+        s.push('\n');
+        for r in &self.throughput {
+            let _ = writeln!(
+                s,
+                "{}",
+                ensemble_line(&EnsembleSummary {
+                    members: r.members,
+                    devices: r.devices,
+                    waves: r.waves,
+                    members_per_hour: r.batched_mph,
+                    wait_p50_secs: r.wait_percentiles[0],
+                    wait_p99_secs: r.wait_percentiles[2],
+                    cache_hit_rate: r.cache_hit_rate,
+                    slice_saved_secs: r.slice_secs_saved,
+                })
+            );
+        }
+        for d in &self.devices {
+            let _ = writeln!(
+                s,
+                "ensemble: device={} peak_residents={} peak_mem={:.1}/{:.1}GiB \
+                 busy={:.1}s slices={:.1}s saved={:.1}s batches={}",
+                d.device,
+                d.peak_residents,
+                d.peak_used_bytes as f64 / (1u64 << 30) as f64,
+                d.capacity_bytes as f64 / (1u64 << 30) as f64,
+                d.busy_secs,
+                d.slice_secs,
+                d.slice_secs_saved,
+                d.batches,
+            );
+        }
+        let _ = writeln!(
+            s,
+            "ensemble gate: {}",
+            if self.pass() { "pass" } else { "FAIL" }
+        );
+        s
+    }
+
+    /// Renders the machine-readable `BENCH_ensemble.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"ensemble\",\n  \"format\": 1,\n");
+        let _ = writeln!(s, "  \"pass\": {},", self.pass());
+        let _ = writeln!(
+            s,
+            "  \"case\": {{\"eq_members\": {}, \"eq_devices\": {}, \"eq_steps\": {}, \
+             \"members\": {}, \"devices\": {}, \"minutes\": {}}},",
+            self.cfg.eq_members,
+            self.cfg.eq_devices,
+            self.cfg.eq_steps,
+            self.cfg.members,
+            self.cfg.devices,
+            self.cfg.minutes
+        );
+        s.push_str("  \"equivalence\": [\n");
+        for (n, c) in self.checks.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"version\": \"{}\", \"members\": {}, \"devices\": {}, \
+                 \"bitwise\": {}, \"min_digits\": {}, \"worst_field\": \"{}\", \
+                 \"pass\": {}}}{}",
+                escape(c.version),
+                c.members,
+                c.devices,
+                c.bitwise,
+                c.min_digits,
+                escape(&c.worst_field),
+                c.pass,
+                if n + 1 < self.checks.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n");
+        if let Some(r) = &self.retry {
+            let steps: Vec<String> = r.resumed_from.iter().map(|x| x.to_string()).collect();
+            let _ = writeln!(
+                s,
+                "  \"retry\": {{\"version\": \"{}\", \"member\": {}, \"attempts\": {}, \
+                 \"resumed_from\": [{}], \"bitwise\": {}, \"pass\": {}}},",
+                escape(r.version),
+                r.member,
+                r.attempts,
+                steps.join(", "),
+                r.bitwise,
+                r.pass
+            );
+        }
+        s.push_str("  \"admission\": [\n");
+        for (n, a) in self.admission.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"label\": \"{}\", \"detail\": \"{}\", \"pass\": {}}}{}",
+                escape(a.label),
+                escape(&a.detail),
+                a.pass,
+                if n + 1 < self.admission.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        s.push_str("  ],\n  \"throughput\": [\n");
+        for (n, r) in self.throughput.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"version\": \"{}\", \"members\": {}, \"devices\": {}, \"waves\": {}, \
+                 \"service_secs\": {:.6}, \"batched_members_per_hour\": {:.4}, \
+                 \"unbatched_members_per_hour\": {:.4}, \
+                 \"sequential_members_per_hour\": {:.4}, \"slice_secs_saved\": {:.3}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+                 \"wait_p50\": {:.4}, \"wait_p90\": {:.4}, \"wait_p99\": {:.4}, \
+                 \"pass\": {}}}{}",
+                escape(r.version),
+                r.members,
+                r.devices,
+                r.waves,
+                r.service_secs,
+                r.batched_mph,
+                r.unbatched_mph,
+                r.sequential_mph,
+                r.slice_secs_saved,
+                r.cache_hits,
+                r.cache_misses,
+                r.cache_hit_rate,
+                r.wait_percentiles[0],
+                r.wait_percentiles[1],
+                r.wait_percentiles[2],
+                r.pass,
+                if n + 1 < self.throughput.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        s.push_str("  ],\n  \"devices\": [\n");
+        for (n, d) in self.devices.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"device\": {}, \"peak_residents\": {}, \"peak_used_bytes\": {}, \
+                 \"capacity_bytes\": {}, \"busy_secs\": {:.3}, \"slice_secs\": {:.3}, \
+                 \"slice_secs_saved\": {:.3}, \"queue_secs\": {:.3}, \"batches\": {}}}{}",
+                d.device,
+                d.peak_residents,
+                d.peak_used_bytes,
+                d.capacity_bytes,
+                d.busy_secs,
+                d.slice_secs,
+                d.slice_secs_saved,
+                d.queue_secs,
+                d.batches,
+                if n + 1 < self.devices.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// The full-scale member footprint (1-rank CONUS-12km context at the
+/// paper's stack setting).
+fn full_scale_footprint() -> gpu_sim::devicepool::RankFootprint {
+    member_footprint(
+        &ModelConfig::paper_default(SbmVersion::OffloadCollapse3),
+        None,
+    )
+}
+
+/// Checks a full-scale throughput schedule against the gate's claims.
+fn throughput_violations(
+    s: &Schedule,
+    spec: &EnsembleSpec,
+    batched_mph: f64,
+    unbatched_mph: f64,
+    sequential_mph: f64,
+) -> Vec<String> {
+    let mut v = Vec::new();
+    if batched_mph <= sequential_mph {
+        v.push(format!(
+            "batched service must beat {} sequential solo runs: {:.2} <= {:.2} members/hour",
+            spec.members, batched_mph, sequential_mph
+        ));
+    }
+    if batched_mph <= unbatched_mph {
+        v.push(format!(
+            "launch batching must beat the unbatched replay: {:.2} <= {:.2} members/hour",
+            batched_mph, unbatched_mph
+        ));
+    }
+    let saved: f64 = s.devices.iter().map(|d| d.slice_secs_saved).sum();
+    if saved <= 0.0 {
+        v.push("batching amortized no context slices".into());
+    }
+    for d in &s.devices {
+        if d.peak_used_bytes > d.capacity_bytes {
+            v.push(format!(
+                "device {} over its memory cap: {} > {} bytes",
+                d.device, d.peak_used_bytes, d.capacity_bytes
+            ));
+        }
+    }
+    let occupied = s.devices.iter().filter(|d| d.peak_residents > 0).count();
+    if s.cache.misses != occupied {
+        v.push(format!(
+            "expected one lookup materialization per occupied device, got {} misses on {} devices",
+            s.cache.misses, occupied
+        ));
+    }
+    if s.cache.hits + s.cache.misses < spec.members {
+        v.push(format!(
+            "cache ledger covers {} admissions, expected at least {}",
+            s.cache.hits + s.cache.misses,
+            spec.members
+        ));
+    }
+    let [p50, p90, p99] = latency_percentiles(&s.admission_waits());
+    if !(p50 <= p90 && p90 <= p99) {
+        v.push(format!(
+            "latency percentiles out of order: p50 {p50:.3} p90 {p90:.3} p99 {p99:.3}"
+        ));
+    }
+    v
+}
+
+/// Runs the admission scenarios against the full-scale footprint.
+fn run_pack_checks(timings_steps: usize) -> Vec<PackCheck> {
+    let fp = full_scale_footprint();
+    let mut out = Vec::new();
+
+    // Exact per-device member cap at full scale.
+    let mut pool = DevicePool::new(A100, 1);
+    let key = pressure_key(&ConusParams::full());
+    let mut cap = 0usize;
+    let cap_err = loop {
+        match pool.admit_packed(cap, &fp, Some(key)) {
+            Ok(_) => cap += 1,
+            Err(e) => break e,
+        }
+    };
+    out.push(PackCheck {
+        label: "per-device member cap",
+        detail: format!("{cap} full-scale members fit one A100, next rejected: {cap_err}"),
+        pass: cap == 4,
+    });
+
+    // Overflow members queue for a second wave instead of failing.
+    let flat: Vec<MemberTimings> = (0..2 * cap)
+        .map(|m| MemberTimings {
+            member: m,
+            service_per_step: vec![1.0; timings_steps],
+        })
+        .collect();
+    let spec = EnsembleSpec {
+        members: 2 * cap,
+        devices: 1,
+        ..EnsembleSpec::default()
+    };
+    let waves = schedule_ensemble(&flat, &spec, &fp, Some(key)).map(|s| s.waves);
+    out.push(PackCheck {
+        label: "overflow members queue",
+        detail: match &waves {
+            Ok(w) => format!("{} members on 1 device drained in {w} waves", 2 * cap),
+            Err(e) => format!("unexpected failure: {e}"),
+        },
+        pass: waves == Ok(2),
+    });
+
+    // An oversized stack fits nowhere: a typed error naming the bytes.
+    let big = member_footprint(
+        &ModelConfig::paper_default(SbmVersion::OffloadCollapse3),
+        Some(512 * 1024),
+    );
+    let err = schedule_ensemble(&flat[..2], &spec, &big, Some(key));
+    out.push(PackCheck {
+        label: "oversized stack",
+        detail: match &err {
+            Err(ServiceError::Admission(e)) => e.to_string(),
+            Err(other) => format!("wrong error kind: {other}"),
+            Ok(_) => "unexpectedly admitted".into(),
+        },
+        pass: matches!(
+            &err,
+            Err(ServiceError::Admission(e))
+                if e.residents == 0 && e.requested_bytes > e.capacity_bytes
+        ),
+    });
+    out
+}
+
+/// Runs one full-scale throughput row: members' per-step services are
+/// extrapolated by the perf plane, then packed and batch-replayed by
+/// the scheduling core.
+fn run_throughput_row(
+    gcfg: &EnsembleGateConfig,
+    version: SbmVersion,
+    coeffs: &MeasuredCoeffs,
+    traffic: &TrafficModel,
+) -> (ThroughputRow, Vec<DeviceLedger>) {
+    let full = ConusParams::full();
+    let case = ConusCase::new(full);
+    let pp = PerfParams::default();
+    let dd = two_d_decomposition(full.domain(), 1, 3);
+    let work = RankWork::extrapolate(&case, &dd.patches[0], coeffs, version, &pp);
+    let t = gpu_rank_step_time(&work, &pp, traffic);
+    // The device-service share of a member step: kernels + staged
+    // transfers (host work and halos never occupy the device).
+    let service = t.coal_loop + t.transfer;
+    let steps = case.steps_for_minutes(gcfg.minutes);
+
+    let spec = EnsembleSpec {
+        members: gcfg.members,
+        devices: gcfg.devices,
+        ..EnsembleSpec::default()
+    };
+    let timings: Vec<MemberTimings> = (0..spec.members)
+        .map(|m| MemberTimings {
+            member: m,
+            service_per_step: vec![service; steps],
+        })
+        .collect();
+    let fp = full_scale_footprint();
+    match schedule_ensemble(&timings, &spec, &fp, Some(pressure_key(&full))) {
+        Ok(s) => {
+            let mph = |secs: f64| {
+                if secs > 0.0 {
+                    spec.members as f64 * 3600.0 / secs
+                } else {
+                    0.0
+                }
+            };
+            let (batched, unbatched, sequential) = (
+                mph(s.makespan_secs),
+                mph(s.unbatched_makespan_secs),
+                mph(s.sequential_secs),
+            );
+            let violations = throughput_violations(&s, &spec, batched, unbatched, sequential);
+            let row = ThroughputRow {
+                version: version.label(),
+                members: spec.members,
+                devices: spec.devices,
+                waves: s.waves,
+                service_secs: service,
+                batched_mph: batched,
+                unbatched_mph: unbatched,
+                sequential_mph: sequential,
+                slice_secs_saved: s.devices.iter().map(|d| d.slice_secs_saved).sum(),
+                cache_hits: s.cache.hits,
+                cache_misses: s.cache.misses,
+                cache_hit_rate: s.cache.hit_rate(),
+                wait_percentiles: latency_percentiles(&s.admission_waits()),
+                pass: violations.is_empty(),
+                violations,
+            };
+            let ledgers = s.devices.clone();
+            (row, ledgers)
+        }
+        Err(e) => (
+            ThroughputRow {
+                version: version.label(),
+                members: spec.members,
+                devices: spec.devices,
+                waves: 0,
+                service_secs: service,
+                batched_mph: 0.0,
+                unbatched_mph: 0.0,
+                sequential_mph: 0.0,
+                slice_secs_saved: 0.0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_hit_rate: 0.0,
+                wait_percentiles: [0.0; 3],
+                pass: false,
+                violations: vec![format!("full-scale schedule failed: {e}")],
+            },
+            Vec::new(),
+        ),
+    }
+}
+
+/// Runs the retry arm: one supervised gate-scale ensemble with a
+/// scripted kill, every member still bitwise against solo.
+fn run_retry_check(gcfg: &EnsembleGateConfig) -> RetryCheck {
+    let version = SbmVersion::OffloadCollapse2;
+    let base = ModelConfig::gate(version, ExecMode::work_steal(), 2);
+    let spec = EnsembleSpec {
+        members: gcfg.eq_members.max(gcfg.fault_member + 1),
+        devices: 1,
+        max_attempts: gcfg.max_attempts,
+        checkpoint_interval: 1,
+        ..EnsembleSpec::default()
+    };
+    let dir = std::env::temp_dir().join(format!("miniwrf_ensemble_gate_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut violations = Vec::new();
+    let (mut attempts, mut resumed, mut bitwise) = (0usize, Vec::new(), true);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        violations.push(format!("cannot create checkpoint root: {e}"));
+    } else {
+        let mut opts = ServiceOptions {
+            restart_root: Some(dir.clone()),
+            timeout: Duration::from_millis(300),
+            ..ServiceOptions::default()
+        };
+        opts.faults.insert(
+            gcfg.fault_member,
+            Arc::new(FaultPlan::new().kill_rank_at(0, gcfg.fault_step)),
+        );
+        match run_ensemble_with(&base, &spec, gcfg.eq_steps, &opts) {
+            Err(e) => violations.push(format!("supervised ensemble failed: {e}")),
+            Ok(rep) => {
+                let killed = &rep.members[gcfg.fault_member];
+                attempts = killed.attempts;
+                resumed = killed.resumed_from.clone();
+                if attempts < 2 {
+                    violations.push(format!(
+                        "the scripted fault never fired: member {} took {attempts} attempt(s)",
+                        gcfg.fault_member
+                    ));
+                }
+                if resumed.is_empty() {
+                    violations.push("the relaunch resumed from nothing".into());
+                }
+                for m in &rep.members {
+                    let solo = run_parallel(member_config(&base, &spec, m.member), gcfg.eq_steps);
+                    if !compare_digests(&m.state.digest(), &solo.states[0].digest()).bitwise() {
+                        bitwise = false;
+                        violations.push(format!(
+                            "member {} diverged from its solo run after recovery",
+                            m.member
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    RetryCheck {
+        version: version.label(),
+        member: gcfg.fault_member,
+        attempts,
+        resumed_from: resumed,
+        bitwise,
+        pass: violations.is_empty(),
+        violations,
+    }
+}
+
+/// Runs the ensemble gate: per-version equivalence, the retry arm, the
+/// admission scenarios, then the full-scale throughput rows.
+pub fn run_ensemble_gate(gcfg: &EnsembleGateConfig) -> EnsembleGateReport {
+    // Equivalence: every member of a served ensemble against its solo
+    // run, all four scheme versions.
+    let mut checks = Vec::new();
+    for version in SbmVersion::ALL {
+        let base = ModelConfig::gate(version, ExecMode::work_steal(), 2);
+        let spec = EnsembleSpec {
+            members: gcfg.eq_members,
+            devices: gcfg.eq_devices,
+            ..EnsembleSpec::default()
+        };
+        let mut violations = Vec::new();
+        let (mut bitwise, mut min_digits, mut worst_field) = (true, 15u32, String::new());
+        match run_ensemble_with(&base, &spec, gcfg.eq_steps, &ServiceOptions::default()) {
+            Err(e) => violations.push(format!("service rejected the ensemble: {e}")),
+            Ok(rep) => {
+                let mut digests = Vec::new();
+                for m in &rep.members {
+                    let solo = run_parallel(member_config(&base, &spec, m.member), gcfg.eq_steps);
+                    let cmp = compare_digests(&m.state.digest(), &solo.states[0].digest());
+                    if !cmp.bitwise() {
+                        bitwise = false;
+                    }
+                    if cmp.min_digits() < min_digits {
+                        min_digits = cmp.min_digits();
+                        worst_field = cmp.worst().map(|f| f.name.clone()).unwrap_or_default();
+                    }
+                    if version.offloaded() != m.device.is_some() {
+                        violations.push(format!(
+                            "member {} device residency disagrees with the version's \
+                             offload class",
+                            m.member
+                        ));
+                    }
+                    digests.push(m.state.digest());
+                }
+                if !bitwise {
+                    violations.push(format!(
+                        "served members diverged from their solo runs (min digits \
+                         {min_digits}, worst {worst_field})"
+                    ));
+                }
+                if digests.len() >= 2 && digests[0] == digests[1] {
+                    violations.push("seed perturbation produced identical members 0 and 1".into());
+                }
+            }
+        }
+        checks.push(EnsembleCheck {
+            version: version.label(),
+            members: gcfg.eq_members,
+            devices: gcfg.eq_devices,
+            bitwise,
+            min_digits,
+            worst_field,
+            pass: violations.is_empty(),
+            violations,
+        });
+    }
+
+    let retry = run_retry_check(gcfg);
+    let admission = run_pack_checks(2);
+
+    // Throughput: full-scale modeled members for both offloaded
+    // versions; the headline (last) row's device ledger is kept.
+    let coeffs = measure_coeffs(gcfg.coeff_scale, gcfg.coeff_nz, gcfg.coeff_steps);
+    let traffic = TrafficModel::measure();
+    let mut throughput = Vec::new();
+    let mut devices = Vec::new();
+    for version in SbmVersion::ALL {
+        if !version.offloaded() {
+            continue;
+        }
+        let (row, ledgers) = run_throughput_row(gcfg, version, &coeffs, &traffic);
+        throughput.push(row);
+        if !ledgers.is_empty() {
+            devices = ledgers;
+        }
+    }
+
+    EnsembleGateReport {
+        cfg: *gcfg,
+        checks,
+        retry: Some(retry),
+        admission,
+        throughput,
+        devices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn passing_row() -> ThroughputRow {
+        ThroughputRow {
+            version: "offload_collapse3",
+            members: 8,
+            devices: 2,
+            waves: 1,
+            service_secs: 2.5,
+            batched_mph: 9.2,
+            unbatched_mph: 8.1,
+            sequential_mph: 4.7,
+            slice_secs_saved: 214.2,
+            cache_hits: 6,
+            cache_misses: 2,
+            cache_hit_rate: 0.75,
+            wait_percentiles: [0.0, 0.2, 0.35],
+            pass: true,
+            violations: Vec::new(),
+        }
+    }
+
+    fn passing_report() -> EnsembleGateReport {
+        EnsembleGateReport {
+            cfg: EnsembleGateConfig::default(),
+            checks: vec![EnsembleCheck {
+                version: "offload_collapse3",
+                members: 3,
+                devices: 2,
+                bitwise: true,
+                min_digits: 15,
+                worst_field: String::new(),
+                pass: true,
+                violations: Vec::new(),
+            }],
+            retry: Some(RetryCheck {
+                version: "offload_collapse2",
+                member: 1,
+                attempts: 2,
+                resumed_from: vec![2],
+                bitwise: true,
+                pass: true,
+                violations: Vec::new(),
+            }),
+            admission: vec![PackCheck {
+                label: "per-device member cap",
+                detail: "4 full-scale members fit one A100".into(),
+                pass: true,
+            }],
+            throughput: vec![passing_row()],
+            devices: vec![DeviceLedger {
+                device: 0,
+                peak_residents: 4,
+                peak_used_bytes: 76 << 30,
+                capacity_bytes: 80 << 30,
+                busy_secs: 2400.0,
+                slice_secs: 36.0,
+                slice_secs_saved: 108.0,
+                queue_secs: 7200.0,
+                batches: 120,
+            }],
+        }
+    }
+
+    #[test]
+    fn full_scale_cap_is_four_members_per_device() {
+        let checks = run_pack_checks(2);
+        assert!(
+            checks.iter().all(|c| c.pass),
+            "{:?}",
+            checks
+                .iter()
+                .filter(|c| !c.pass)
+                .map(|c| format!("{}: {}", c.label, c.detail))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn full_scale_throughput_beats_sequential_and_unbatched() {
+        let gcfg = EnsembleGateConfig::default();
+        let (coeffs, traffic) = miniwrf::perfmodel::test_fixture();
+        let (row, ledgers) =
+            run_throughput_row(&gcfg, SbmVersion::OffloadCollapse3, coeffs, traffic);
+        assert!(row.pass, "{:?}", row.violations);
+        assert_eq!(row.waves, 1);
+        assert!(row.batched_mph > row.sequential_mph);
+        assert!(row.batched_mph > row.unbatched_mph);
+        assert_eq!((row.cache_misses, row.cache_hits), (2, 6));
+        assert!(row.slice_secs_saved > 0.0);
+        assert_eq!(ledgers.len(), 2);
+        for d in &ledgers {
+            assert_eq!(d.peak_residents, 4);
+            assert!(d.peak_used_bytes <= d.capacity_bytes);
+        }
+    }
+
+    #[test]
+    fn throughput_regressions_are_caught() {
+        let gcfg = EnsembleGateConfig::default();
+        let (coeffs, traffic) = miniwrf::perfmodel::test_fixture();
+        let (row, _) = run_throughput_row(&gcfg, SbmVersion::OffloadCollapse3, coeffs, traffic);
+        // Rebuild the schedule and feed the checker inverted numbers.
+        let spec = EnsembleSpec {
+            members: gcfg.members,
+            devices: gcfg.devices,
+            ..EnsembleSpec::default()
+        };
+        let timings: Vec<MemberTimings> = (0..spec.members)
+            .map(|m| MemberTimings {
+                member: m,
+                service_per_step: vec![row.service_secs; 4],
+            })
+            .collect();
+        let s = schedule_ensemble(
+            &timings,
+            &spec,
+            &full_scale_footprint(),
+            Some(pressure_key(&ConusParams::full())),
+        )
+        .unwrap();
+        let v = throughput_violations(&s, &spec, 1.0, 8.0, 4.0);
+        assert!(v.iter().any(|x| x.contains("sequential")), "{v:?}");
+        assert!(v.iter().any(|x| x.contains("unbatched")), "{v:?}");
+    }
+
+    #[test]
+    fn report_verdict_flows_to_json_and_text() {
+        let rep = passing_report();
+        assert!(rep.pass());
+        assert!(rep.violations().is_empty());
+        let json = rep.to_json();
+        assert!(json.contains("\"bench\": \"ensemble\""));
+        assert!(json.contains("\"pass\": true"));
+        assert!(json.contains("\"batched_members_per_hour\": 9.2000"));
+        assert!(json.contains("\"resumed_from\": [2]"));
+        assert!(json.contains("\"cache_hit_rate\": 0.7500"));
+        let text = rep.rendered();
+        assert!(text.contains("ensemble gate: pass"));
+        assert!(text.contains("ensemble: members=8 devices=2 waves=1"));
+        assert!(text.contains("device=0 peak_residents=4"));
+    }
+
+    #[test]
+    fn any_failing_arm_fails_the_report() {
+        let mut rep = passing_report();
+        rep.retry.as_mut().unwrap().pass = false;
+        rep.retry.as_mut().unwrap().violations = vec!["resumed from nothing".into()];
+        assert!(!rep.pass());
+        assert!(rep.violations().iter().any(|v| v.contains("retry")));
+        let mut rep = passing_report();
+        rep.throughput[0].pass = false;
+        rep.throughput[0].violations = vec!["batched lost".into()];
+        assert!(!rep.pass());
+        assert!(rep
+            .violations()
+            .iter()
+            .any(|v| v.contains("throughput offload_collapse3")));
+    }
+}

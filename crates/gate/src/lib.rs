@@ -25,6 +25,7 @@
 //! `repro gate --bless` regenerates the golden fixtures.
 
 pub mod comm;
+pub mod ensemble;
 pub mod fault;
 pub mod fixture;
 pub mod golden;
@@ -34,6 +35,7 @@ pub mod report;
 pub mod share;
 
 pub use comm::{run_comm_gate, CommGateConfig, CommGateReport};
+pub use ensemble::{run_ensemble_gate, EnsembleGateConfig, EnsembleGateReport};
 pub use fault::{run_fault_gate, FaultGateConfig, FaultGateReport};
 pub use fixture::GoldenFixture;
 pub use golden::{GoldenPolicy, GoldenRunSpec};

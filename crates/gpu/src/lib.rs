@@ -39,7 +39,8 @@ pub mod syncslice;
 pub use dataenv::{DataEnv, MapDir};
 pub use device::Device;
 pub use devicepool::{
-    DevicePool, DeviceShare, RankFootprint, RankShare, RankSubmission, ShareReport,
+    BatchLedger, BatchedReplay, CacheShareStats, DevicePool, DeviceShare, PackedAdmit,
+    RankFootprint, RankShare, RankSubmission, ShareReport,
 };
 pub use error::{DeviceError, GpuError};
 pub use launch::{launch_functional, launch_modeled, KernelSpec, KernelWork, LaunchStats};

@@ -13,6 +13,8 @@ use miniwrf::model::Model;
 use miniwrf::namelist::config_from_namelist;
 use miniwrf::parallel::{run_parallel, run_parallel_checked};
 use miniwrf::restart::{run_parallel_restartable, RestartConfig};
+use miniwrf::service::run_ensemble;
+use prof_sim::EnsembleSummary;
 use wrf_cases::wrfout::save_state;
 
 fn main() {
@@ -49,6 +51,47 @@ fn main() {
         cfg.ranks,
         cfg.version.label()
     );
+
+    // &ensemble: serve N perturbed members through the batch engine
+    // instead of one integration.
+    if cfg.ensemble.is_some() {
+        let report = match run_ensemble(&cfg, steps) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("miniwrf: ensemble service failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        for m in &report.members {
+            println!(
+                "  member {:>3}: seed {:>4}  wave {}  device {}  attempts {}  \
+                 wait {:.3}s  service {:.3}s{}",
+                m.member,
+                m.seed,
+                m.wave,
+                m.device.map_or("-".to_string(), |d| d.to_string()),
+                m.attempts,
+                m.admit_secs - m.submit_secs,
+                m.service_secs,
+                if m.cache_hit { "  cache-hit" } else { "" },
+            );
+        }
+        let waits = report.admission_wait_percentiles();
+        println!(
+            "{}",
+            prof_sim::ensemble_line(&EnsembleSummary {
+                members: report.members.len(),
+                devices: report.devices.len(),
+                waves: report.waves,
+                members_per_hour: report.members_per_hour(),
+                wait_p50_secs: waits[0],
+                wait_p99_secs: waits[2],
+                cache_hit_rate: report.cache.hit_rate(),
+                slice_saved_secs: report.slice_secs_saved(),
+            })
+        );
+        return;
+    }
 
     if cfg.ranks > 1 {
         // With &time_control restart_interval > 0, run under the

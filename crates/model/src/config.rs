@@ -1,5 +1,6 @@
 //! Namelist-style model configuration.
 
+use crate::service::EnsembleSpec;
 use fsbm_core::exec::ExecMode;
 use fsbm_core::scheme::{Layout, SbmVersion};
 use mpi_sim::CommMode;
@@ -54,6 +55,11 @@ pub struct ModelConfig {
     /// automatic arrays (`PointAos`, the paper's structure) or SoA lane
     /// panels (`PanelSoa`). Bitwise-identical results.
     pub layout: Layout,
+    /// Ensemble-service request (namelist `&ensemble` block): run this
+    /// configuration as the *base* of N perturbed members through
+    /// `miniwrf::service` instead of one solo integration. `None` for
+    /// ordinary runs.
+    pub ensemble: Option<EnsembleSpec>,
 }
 
 impl ModelConfig {
@@ -75,6 +81,7 @@ impl ModelConfig {
             profile_coal: false,
             restart_interval: 0,
             layout: Layout::default(),
+            ensemble: None,
         }
     }
 
@@ -98,6 +105,7 @@ impl ModelConfig {
             profile_coal: false,
             restart_interval: 0,
             layout: Layout::default(),
+            ensemble: None,
         }
     }
 

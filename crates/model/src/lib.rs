@@ -27,6 +27,7 @@ pub mod namelist;
 pub mod parallel;
 pub mod perfmodel;
 pub mod restart;
+pub mod service;
 
 pub use config::ModelConfig;
 pub use model::{Model, RunReport, StepReport};
@@ -40,3 +41,8 @@ pub use perfmodel::{
     RankWork, TrafficModel,
 };
 pub use restart::{find_latest_checkpoint, run_parallel_restartable, RecoveryStats, RestartConfig};
+pub use service::{
+    latency_percentiles, member_config, member_footprint, pressure_key, run_ensemble,
+    run_ensemble_with, schedule_ensemble, DeviceLedger, EnsembleReport, EnsembleSpec,
+    MemberOutcome, MemberTimings, Schedule, ScheduledMember, ServiceError, ServiceOptions,
+};

@@ -20,6 +20,7 @@
 //! registry entries at this level); malformed syntax is an error.
 
 use crate::config::ModelConfig;
+use crate::service::EnsembleSpec;
 use fsbm_core::scheme::{Layout, SbmVersion};
 use std::collections::BTreeMap;
 
@@ -225,6 +226,39 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
             message: "domain too small (need e_we, e_sn >= 8 and e_vert >= 4)".into(),
         });
     }
+    // The &ensemble block turns the configuration into an ensemble
+    // request served by `miniwrf::service`: N seed-strided members of
+    // the base scenario packed onto a shared device pool.
+    if nl.contains_key("ensemble") {
+        let d = EnsembleSpec::default();
+        let spec = EnsembleSpec {
+            members: get(&nl, "ensemble", "members", d.members)?,
+            devices: get(&nl, "ensemble", "devices", d.devices)?,
+            seed_stride: get(&nl, "ensemble", "seed_stride", d.seed_stride)?,
+            window_secs: get(&nl, "ensemble", "batch_window", d.window_secs)?,
+            spacing_secs: get(&nl, "ensemble", "submit_spacing", d.spacing_secs)?,
+            max_attempts: get(&nl, "ensemble", "max_attempts", d.max_attempts)?,
+            checkpoint_interval: get(
+                &nl,
+                "ensemble",
+                "checkpoint_interval",
+                d.checkpoint_interval,
+            )?,
+        };
+        if spec.members == 0 {
+            return Err(NamelistError {
+                line: 0,
+                message: "&ensemble members must be >= 1".into(),
+            });
+        }
+        if spec.devices == 0 {
+            return Err(NamelistError {
+                line: 0,
+                message: "&ensemble devices must be >= 1".into(),
+            });
+        }
+        cfg.ensemble = Some(spec);
+    }
     Ok(cfg)
 }
 
@@ -331,6 +365,35 @@ mod tests {
         assert_eq!(cfg.layout, Layout::PointAos);
         let err = config_from_namelist("&physics\n host_layout = 'csr'\n/\n").unwrap_err();
         assert!(err.message.contains("unknown host_layout"), "{err}");
+    }
+
+    #[test]
+    fn ensemble_block_parsed_with_defaults_and_overrides() {
+        // No block: no ensemble request.
+        let cfg = config_from_namelist("").unwrap();
+        assert!(cfg.ensemble.is_none());
+        // Empty block: the defaults.
+        let cfg = config_from_namelist("&ensemble\n/\n").unwrap();
+        assert_eq!(cfg.ensemble, Some(EnsembleSpec::default()));
+        // Overrides.
+        let cfg = config_from_namelist(
+            "&ensemble\n members = 8, devices = 2, seed_stride = 3,\n \
+             batch_window = 0.5, submit_spacing = 0.1, max_attempts = 4, checkpoint_interval = 6\n/\n",
+        )
+        .unwrap();
+        let spec = cfg.ensemble.unwrap();
+        assert_eq!(spec.members, 8);
+        assert_eq!(spec.devices, 2);
+        assert_eq!(spec.seed_stride, 3);
+        assert!((spec.window_secs - 0.5).abs() < 1e-12);
+        assert!((spec.spacing_secs - 0.1).abs() < 1e-12);
+        assert_eq!(spec.max_attempts, 4);
+        assert_eq!(spec.checkpoint_interval, 6);
+        // Degenerate requests are rejected.
+        let err = config_from_namelist("&ensemble\n members = 0\n/\n").unwrap_err();
+        assert!(err.message.contains("members"), "{err}");
+        let err = config_from_namelist("&ensemble\n devices = 0\n/\n").unwrap_err();
+        assert!(err.message.contains("devices"), "{err}");
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub struct ShareStats {
 /// Staged host↔device bytes per step for a patch of `points` compute
 /// points: the seven per-bin slabs, four thermo fields, and the
 /// activity predicate (same shape as the full-scale perf model).
-fn staged_bytes(points: u64) -> u64 {
+pub(crate) fn staged_bytes(points: u64) -> u64 {
     7 * NKR as u64 * points * 4 + 4 * points * 4 + points
 }
 

@@ -1,0 +1,101 @@
+//! Ensemble-service reporting: the one-line summary of a batched
+//! ensemble's modeled throughput and queueing.
+//!
+//! The service's headline numbers — members/hour at fixed hardware,
+//! admission-wait percentiles, the shared-lookup hit rate, and the
+//! context-slice seconds amortized away by launch batching — are
+//! rendered by one canonical line so `repro ensemble`, the gate, and
+//! tests all print the same thing.
+
+/// The headline numbers of one served ensemble, as rendered by
+/// [`ensemble_line`].
+///
+/// `members_per_hour` and the waits are *modeled* values from the
+/// deterministic schedule replay; `cache_hit_rate` is in `[0, 1]` and
+/// rendered as a percentage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleSummary {
+    /// Ensemble members served.
+    pub members: usize,
+    /// Devices in the pool.
+    pub devices: usize,
+    /// Admission waves the schedule needed.
+    pub waves: usize,
+    /// Modeled batched throughput at this hardware.
+    pub members_per_hour: f64,
+    /// Median admission-queue wait, seconds.
+    pub wait_p50_secs: f64,
+    /// Tail (p99) admission-queue wait, seconds.
+    pub wait_p99_secs: f64,
+    /// Shared-lookup hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Context-slice seconds amortized away by launch batching.
+    pub slice_saved_secs: f64,
+}
+
+/// Renders the canonical one-line ensemble-service summary.
+pub fn ensemble_line(s: &EnsembleSummary) -> String {
+    format!(
+        "ensemble: members={} devices={} waves={} \
+         rate={:.2}/h wait_p50={:.3}s \
+         wait_p99={:.3}s cache={:.0}% slice_saved={:.1}s",
+        s.members,
+        s.devices,
+        s.waves,
+        s.members_per_hour,
+        s.wait_p50_secs,
+        s.wait_p99_secs,
+        s.cache_hit_rate * 100.0,
+        s.slice_saved_secs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_contains_every_field() {
+        let line = ensemble_line(&EnsembleSummary {
+            members: 8,
+            devices: 2,
+            waves: 1,
+            members_per_hour: 9.237,
+            wait_p50_secs: 0.0,
+            wait_p99_secs: 1.2345,
+            cache_hit_rate: 0.75,
+            slice_saved_secs: 214.18,
+        });
+        assert!(line.starts_with("ensemble: members=8"));
+        for needle in [
+            "devices=2",
+            "waves=1",
+            "rate=9.24/h",
+            "wait_p50=0.000s",
+            "wait_p99=1.234s",
+            "cache=75%",
+            "slice_saved=214.2s",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn empty_service_line_is_well_formed() {
+        let line = ensemble_line(&EnsembleSummary {
+            members: 1,
+            devices: 1,
+            waves: 1,
+            members_per_hour: 0.0,
+            wait_p50_secs: 0.0,
+            wait_p99_secs: 0.0,
+            cache_hit_rate: 0.0,
+            slice_saved_secs: 0.0,
+        });
+        assert_eq!(
+            line,
+            "ensemble: members=1 devices=1 waves=1 rate=0.00/h wait_p50=0.000s \
+             wait_p99=0.000s cache=0% slice_saved=0.0s"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! so the same reports work for functional runs and performance-model runs.
 
 pub mod comm;
+pub mod ensemble;
 pub mod exec;
 pub mod fault;
 pub mod flat;
@@ -24,6 +25,7 @@ pub mod share;
 pub mod table;
 
 pub use comm::comm_line;
+pub use ensemble::{ensemble_line, EnsembleSummary};
 pub use exec::exec_line;
 pub use fault::recovery_line;
 pub use flat::{FlatProfiler, FlatReport, FlatRow};
