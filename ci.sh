@@ -146,8 +146,34 @@ step_ensemble() {
     cargo run --release -q -p wrf-bench --bin repro -- ensemble
 }
 
+# The device-zoo gate: every backend of the device zoo (two A100
+# capacities, a V100 class, a self-hosted CPU class, an MI-class HBM
+# device) prices the same functional workload through its own perf
+# plane. Absolute times must genuinely differ per backend while the
+# v1 -> v4 version ranking, the Table VII decay shape (over the arms
+# that clear each backend's memory wall), and capacity-tracking
+# ensemble packing hold on all of them. Writes BENCH_zoo.json and
+# appends the per-backend ranking table to the job summary.
+# Deterministic modeled accounting throughout.
+step_zoo() {
+    cargo run --release -q -p wrf-bench --bin repro -- zoo | tee /tmp/repro_zoo.out
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f /tmp/repro_zoo.out ]; then
+        {
+            printf '
+### device zoo: per-backend ranking
+
+```
+'
+            sed -n '/Table V version times per backend/,/^$/p' /tmp/repro_zoo.out
+            grep '^zoo: backend=' /tmp/repro_zoo.out || true
+            printf '```
+'
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
+}
+
 usage() {
-    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|all]" >&2
+    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo|all]" >&2
     exit 2
 }
 
@@ -209,9 +235,9 @@ run_step() {
 }
 
 case "${1:-all}" in
-    build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble) run_step "$1" ;;
+    build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo) run_step "$1" ;;
     all)
-        for s in build test clippy docs fmt shellcheck gate host comm fault share ensemble; do
+        for s in build test clippy docs fmt shellcheck gate host comm fault share ensemble zoo; do
             run_step "$s"
         done
         echo "==> ci.sh: all steps passed"

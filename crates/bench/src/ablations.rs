@@ -14,7 +14,7 @@
 use crate::context::ReproContext;
 use fsbm_core::scheme::SbmVersion;
 use gpu_sim::launch::{launch_modeled_with, KernelSpec, KernelWork};
-use gpu_sim::machine::{Calibration, CALIBRATION};
+use gpu_sim::machine::Calibration;
 use miniwrf::perfmodel::RankWork;
 use std::fmt::Write as _;
 use wrf_cases::ConusCase;
@@ -70,7 +70,7 @@ pub fn ablation_registers(ctx: &ReproContext) -> (Vec<SweepRow>, String) {
             regs_per_thread: regs,
             ..base_spec.clone()
         };
-        let l = launch_modeled_with(&ctx.pp.gpu, &spec, &kw, &CALIBRATION).expect("valid");
+        let l = launch_modeled_with(&ctx.pp.gpu, &spec, &kw, &ctx.pp.calib).expect("valid");
         rows.push(SweepRow {
             value: regs as f64,
             time_ms: l.time_secs * 1e3,
@@ -121,7 +121,7 @@ pub fn ablation_latency_knee(ctx: &ReproContext) -> (Vec<(f64, f64)>, String) {
     for knee in [8.0f64, 16.0, 32.0, 48.0, 64.0] {
         let calib = Calibration {
             latency_hiding_warps: knee,
-            ..CALIBRATION
+            ..ctx.pp.calib
         };
         let l2 = launch_modeled_with(&ctx.pp.gpu, &spec2, &kw2, &calib).expect("valid");
         let l3 = launch_modeled_with(&ctx.pp.gpu, &spec3, &kw3, &calib).expect("valid");
@@ -150,7 +150,7 @@ pub fn ablation_block_size(ctx: &ReproContext) -> (Vec<SweepRow>, String) {
             block_threads: block,
             ..base_spec.clone()
         };
-        let l = launch_modeled_with(&ctx.pp.gpu, &spec, &kw, &CALIBRATION).expect("valid");
+        let l = launch_modeled_with(&ctx.pp.gpu, &spec, &kw, &ctx.pp.calib).expect("valid");
         rows.push(SweepRow {
             value: block as f64,
             time_ms: l.time_secs * 1e3,

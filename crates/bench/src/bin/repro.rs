@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|ensemble|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|ensemble|zoo|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
@@ -29,6 +29,11 @@
 //! writes `BENCH_ensemble.json` with members/hour, admission-wait
 //! percentiles, the per-device occupancy ledger, and cache-share hit
 //! rates.
+//! `zoo` runs the device-zoo gate (every backend of
+//! `gpu_sim::machine::ZOO` priced end to end; the v1→v4 ranking, the
+//! Table VII decay shape, and capacity-tracking ensemble packing must
+//! hold on all of them while absolute times genuinely differ) and
+//! writes `BENCH_zoo.json`.
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -631,6 +636,94 @@ fn ensemble(args: &[String]) -> i32 {
     }
 }
 
+/// Parses `repro zoo` flags into a [`wrf_gate::ZooGateConfig`] plus the
+/// report path.
+fn zoo_config(args: &[String]) -> Result<(wrf_gate::ZooGateConfig, String), String> {
+    let mut cfg = wrf_gate::ZooGateConfig::default();
+    let mut report = "BENCH_zoo.json".to_string();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        let parse_err = |e: String| format!("{arg}: {e}");
+        match arg.as_str() {
+            "--ranks" => {
+                cfg.ranks = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--gpus" => {
+                cfg.gpus = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--minutes" => {
+                cfg.minutes = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseFloatError| parse_err(e.to_string()))?
+            }
+            "--members" => {
+                cfg.members = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--devices" => {
+                cfg.devices = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--min-backends" => {
+                cfg.min_backends = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--report" => report = value(&mut it, arg)?,
+            other => {
+                return Err(format!(
+                    "unknown zoo flag {other}; flags: --ranks N --gpus N --minutes X                      --members N --devices N --min-backends N --report PATH"
+                ))
+            }
+        }
+    }
+    Ok((cfg, report))
+}
+
+/// Runs the device-zoo gate and returns the process exit code.
+fn zoo(args: &[String]) -> i32 {
+    let (cfg, report_path) = match zoo_config(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repro zoo: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "[repro] zoo: pricing {} versions x {} backends ({} ranks / {} gpus), the sharing          sweep, and {} ensemble members per backend...",
+        fsbm_core::scheme::SbmVersion::ALL.len(),
+        gpu_sim::machine::ZOO.len(),
+        cfg.ranks,
+        cfg.gpus,
+        cfg.members
+    );
+    let rep = wrf_gate::run_zoo_gate(&cfg);
+    print!("{}", rep.rendered());
+    match std::fs::write(&report_path, rep.to_json()) {
+        Ok(()) => eprintln!("[repro] zoo report written to {report_path}"),
+        Err(e) => eprintln!("[repro] could not write {report_path}: {e}"),
+    }
+    for v in rep.violations() {
+        eprintln!("repro zoo: VIOLATION: {v}");
+    }
+    if rep.pass() {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if what == "gate" {
@@ -656,6 +749,10 @@ fn main() {
     if what == "ensemble" {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(ensemble(&args));
+    }
+    if what == "zoo" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(zoo(&args));
     }
     let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {
@@ -739,7 +836,7 @@ fn main() {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
              timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|bench-host|\
-             gate|comm|fault|share|ensemble|all"
+             gate|comm|fault|share|ensemble|zoo|all"
         );
         std::process::exit(2);
     }

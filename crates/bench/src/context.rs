@@ -53,6 +53,18 @@ impl ReproContext {
         }
     }
 
+    /// Re-prices this context on another zoo backend: same measured
+    /// coefficients (the functional plane is backend-independent), the
+    /// perf plane swapped for `backend`'s device, host, and calibration.
+    pub fn on_backend(&self, backend: &'static gpu_sim::machine::Backend) -> Self {
+        ReproContext {
+            coeffs: self.coeffs,
+            pp: PerfParams::for_backend(backend),
+            traffic: TrafficModel::measure_for_backend(backend),
+            case: self.case,
+        }
+    }
+
     /// Runs one modeled experiment on the full-scale case.
     pub fn run(&self, version: SbmVersion, ranks: usize, gpus: usize) -> ExperimentResult {
         experiment(

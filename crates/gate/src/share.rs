@@ -418,7 +418,7 @@ impl ShareGateReport {
 
 /// Full-scale staged slab bytes for one of `ranks` patches of the
 /// CONUS-12km domain (the same shape the perf model charges).
-fn full_scale_slab_bytes(ranks: usize) -> u64 {
+pub(crate) fn full_scale_slab_bytes(ranks: usize) -> u64 {
     let full = ConusParams::full();
     let points = (full.nx as u64 * full.ny as u64 * full.nz as u64).div_ceil(ranks as u64);
     7 * NKR as u64 * points * 4 + 4 * points * 4 + points

@@ -1,0 +1,963 @@
+//! The device-zoo gate (`repro zoo`): cross-backend portability of the
+//! paper's conclusions.
+//!
+//! The paper measures one machine — A100s behind EPYC hosts. Davis et
+//! al. (arXiv:2010.09454) make the portability argument for OpenMP
+//! offload: absolute kernel times vary widely across devices and
+//! compilers, but the *relative* conclusions — which refactor wins,
+//! how sharing decays — are stable. This gate enforces that claim over
+//! the backend zoo ([`gpu_sim::machine::ZOO`]): every backend prices
+//! the same functional workload through its own
+//! [`PerfParams::for_backend`] / [`TrafficModel::measure_for`] plane,
+//! and the gate checks
+//!
+//! * **Divergence** — the offloaded gate workload lands at a genuinely
+//!   different absolute time on every backend (no accidental A100
+//!   clones slipping into the zoo);
+//! * **Ranking** — the Table V version ordering (v1 → v4) is identical
+//!   on every backend, the CPU-class one included;
+//! * **Decay** — the Table VII shared-GPU sweep keeps its shape
+//!   everywhere: absolute time still improves 16 → 32 → 64 ranks while
+//!   the speedup over the matched CPU base decays;
+//! * **Packing** — the ensemble service's per-device member cap tracks
+//!   each backend's memory capacity (the caps genuinely differ), and
+//!   modeled members/hour stays finite and positive on all of them.
+//!
+//! The outcome is `BENCH_zoo.json` next to the other `BENCH_*.json`
+//! artifacts; any violation makes `repro zoo` exit nonzero.
+
+use crate::json::escape;
+use fsbm_core::scheme::SbmVersion;
+use gpu_sim::devicepool::DevicePool;
+use gpu_sim::machine::{Backend, ZOO};
+use miniwrf::config::ModelConfig;
+use miniwrf::perfmodel::{
+    gpu_rank_step_time, measure_coeffs, rank_footprint, try_experiment, ExperimentConfig,
+    MeasuredCoeffs, PerfParams, RankWork, TrafficModel,
+};
+use miniwrf::service::{
+    member_footprint, pressure_key, schedule_ensemble, EnsembleSpec, MemberTimings,
+};
+use prof_sim::TextTable;
+use std::fmt::Write as _;
+use wrf_cases::{ConusCase, ConusParams};
+use wrf_grid::two_d_decomposition;
+
+/// Configuration of one zoo-gate invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ZooGateConfig {
+    /// Ranks of the Table V version sweep.
+    pub ranks: usize,
+    /// Devices of the offloaded arms (and the Table VII sweep pool).
+    pub gpus: usize,
+    /// Simulated minutes each modeled experiment integrates.
+    pub minutes: f64,
+    /// Horizontal scale the work coefficients are measured at.
+    pub coeff_scale: f64,
+    /// Vertical levels of the coefficient measurement.
+    pub coeff_nz: i32,
+    /// Steps of the coefficient measurement.
+    pub coeff_steps: usize,
+    /// Members of the per-backend ensemble throughput arm.
+    pub members: usize,
+    /// Devices of the ensemble throughput arm.
+    pub devices: usize,
+    /// Minimum number of backends the gate must price end to end.
+    pub min_backends: usize,
+}
+
+impl Default for ZooGateConfig {
+    fn default() -> Self {
+        ZooGateConfig {
+            ranks: 16,
+            gpus: 16,
+            minutes: 10.0,
+            coeff_scale: 0.05,
+            coeff_nz: 24,
+            coeff_steps: 2,
+            members: 8,
+            devices: 2,
+            min_backends: 5,
+        }
+    }
+}
+
+/// One scheme version priced on one backend.
+#[derive(Debug, Clone)]
+pub struct VersionTime {
+    /// Scheme version label.
+    pub version: &'static str,
+    /// Modeled end-to-end seconds.
+    pub secs: f64,
+    /// Speedup over the same backend's v1 baseline.
+    pub speedup: f64,
+}
+
+/// One Table VII sweep row priced on one backend.
+#[derive(Debug, Clone)]
+pub struct ZooSweepRow {
+    /// Ranks of both arms (the GPU arm shares `gpus` devices).
+    pub ranks: usize,
+    /// CPU-arm seconds on this backend's host.
+    pub cpu_secs: f64,
+    /// GPU-arm seconds on this backend's device.
+    pub gpu_secs: f64,
+    /// CPU/GPU speedup.
+    pub speedup: f64,
+}
+
+/// Everything the gate measured on one backend.
+#[derive(Debug, Clone)]
+pub struct BackendRow {
+    /// Backend name (a [`ZOO`] entry).
+    pub backend: &'static str,
+    /// True for self-hosted CPU-class backends.
+    pub is_cpu: bool,
+    /// Table V version times, [`SbmVersion::ALL`] order.
+    pub versions: Vec<VersionTime>,
+    /// Version labels ordered slowest → fastest on this backend.
+    pub ranking: Vec<&'static str>,
+    /// Table VII sweep rows (the feasible 16/32/64-rank arms on the
+    /// shared pool; small-capacity backends lose the deepest arms to
+    /// the memory wall).
+    pub sweep: Vec<ZooSweepRow>,
+    /// Sweep arms the §VII-A memory wall rejected, exactly as the
+    /// capacity arithmetic predicted (informational, not violations).
+    pub walls: Vec<String>,
+    /// Full-scale ensemble members one device admits.
+    pub member_cap: usize,
+    /// Admission waves the ensemble arm took.
+    pub waves: usize,
+    /// Modeled batched ensemble throughput.
+    pub members_per_hour: f64,
+    /// Per-backend shape violations (empty when the paper's conclusions
+    /// hold on this backend).
+    pub violations: Vec<String>,
+}
+
+/// The zoo gate's full outcome.
+#[derive(Debug, Clone)]
+pub struct ZooGateReport {
+    /// Configuration the gate ran with.
+    pub cfg: ZooGateConfig,
+    /// One row per zoo backend, [`ZOO`] order.
+    pub rows: Vec<BackendRow>,
+    /// Cross-backend violations (ranking flips, time collisions, cap
+    /// degeneracy); empty when the portability claims hold.
+    pub cross: Vec<String>,
+}
+
+/// Orders the version labels of one backend slowest → fastest. Ties
+/// order by [`SbmVersion::ALL`] position, so a tie can never mask a
+/// ranking flip as agreement without also failing the divergence check.
+pub fn ranking_of(versions: &[VersionTime]) -> Vec<&'static str> {
+    let mut idx: Vec<usize> = (0..versions.len()).collect();
+    idx.sort_by(|&a, &b| {
+        versions[b]
+            .secs
+            .total_cmp(&versions[a].secs)
+            .then(a.cmp(&b))
+    });
+    idx.into_iter().map(|i| versions[i].version).collect()
+}
+
+/// Checks one backend's Table VII sweep for the paper's decay shape
+/// over its feasible arms: absolute GPU time keeps improving with rank
+/// count while the speedup over the CPU base decays. At least two arms
+/// must clear the memory wall for the shape to be observable.
+pub fn sweep_shape_violations(sweep: &[ZooSweepRow]) -> Vec<String> {
+    let mut v = Vec::new();
+    if sweep.len() < 2 {
+        v.push(format!(
+            "only {} feasible sweep rows, the decay shape needs at least 2",
+            sweep.len()
+        ));
+        return v;
+    }
+    for w in sweep.windows(2) {
+        if w[1].gpu_secs >= w[0].gpu_secs {
+            v.push(format!(
+                "GPU absolute time must keep improving {} → {} ranks, got {:.1} → {:.1} s",
+                w[0].ranks, w[1].ranks, w[0].gpu_secs, w[1].gpu_secs
+            ));
+        }
+        if w[1].speedup >= w[0].speedup {
+            v.push(format!(
+                "shared-GPU speedup must decay {} → {} ranks, got {:.2} → {:.2}",
+                w[0].ranks, w[1].ranks, w[0].speedup, w[1].speedup
+            ));
+        }
+    }
+    v
+}
+
+/// Checks the cross-backend claims over the finished rows: enough
+/// backends priced, identical version ranking everywhere, genuinely
+/// distinct absolute times on the most-offloaded version, and
+/// genuinely distinct per-device member caps.
+pub fn cross_backend_violations(rows: &[BackendRow], min_backends: usize) -> Vec<String> {
+    let mut v = Vec::new();
+    if rows.len() < min_backends {
+        v.push(format!(
+            "only {} backends priced end to end, gate requires {min_backends}",
+            rows.len()
+        ));
+        return v;
+    }
+    let reference = &rows[0];
+    for row in &rows[1..] {
+        if row.ranking != reference.ranking {
+            v.push(format!(
+                "version ranking flips on {}: {} orders [{}], {} orders [{}]",
+                row.backend,
+                reference.backend,
+                reference.ranking.join(" > "),
+                row.backend,
+                row.ranking.join(" > ")
+            ));
+        }
+    }
+    // Divergence on the most-offloaded version: CPU-only versions may
+    // legitimately tie between backends sharing a host (the two A100s),
+    // but the offloaded arm touches the device on every backend.
+    if let Some(last) = reference.versions.last() {
+        let mut times: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.versions.last().map(|t| t.secs))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times.dedup();
+        if times.len() != rows.len() {
+            v.push(format!(
+                "absolute {} times collide across backends ({} distinct of {}) — \
+                 a zoo entry is an accidental clone",
+                last.version,
+                times.len(),
+                rows.len()
+            ));
+        }
+    }
+    if !rows.iter().any(|r| r.sweep.len() == 3) {
+        v.push(
+            "no backend clears the memory wall at full sweep depth — the Table VII \
+             shape is nowhere fully observable"
+                .to_string(),
+        );
+    }
+    let mut caps: Vec<usize> = rows.iter().map(|r| r.member_cap).collect();
+    caps.sort_unstable();
+    caps.dedup();
+    if caps.len() < 3 {
+        v.push(format!(
+            "per-device member caps are degenerate across the zoo ({caps:?}) — \
+             capacity differences must change packing"
+        ));
+    }
+    v
+}
+
+impl ZooGateReport {
+    /// True when every per-backend shape and cross-backend claim held.
+    pub fn pass(&self) -> bool {
+        self.rows.iter().all(|r| r.violations.is_empty()) && self.cross.is_empty()
+    }
+
+    /// All violation strings.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .rows
+            .iter()
+            .flat_map(|r| {
+                r.violations
+                    .iter()
+                    .map(move |x| format!("zoo: {}: {x}", r.backend))
+            })
+            .collect();
+        v.extend(self.cross.iter().map(|x| format!("zoo: {x}")));
+        v
+    }
+
+    /// Human-readable rendering: cross-backend Table V, Table VII
+    /// decay, and ensemble-packing tables.
+    pub fn rendered(&self) -> String {
+        let mut s = String::new();
+        s.push_str("=== repro zoo: Table V version times per backend ===\n");
+        let mut head: Vec<&str> = vec!["backend", "class"];
+        if let Some(first) = self.rows.first() {
+            for t in &first.versions {
+                head.push(t.version);
+            }
+        }
+        head.push("ranking");
+        let mut t = TextTable::new(&head);
+        for r in &self.rows {
+            let mut row = vec![
+                r.backend.to_string(),
+                if r.is_cpu { "cpu" } else { "gpu" }.to_string(),
+            ];
+            for vt in &r.versions {
+                row.push(format!("{:.1}s", vt.secs));
+            }
+            row.push(r.ranking.join(" > "));
+            t.push_row(row);
+        }
+        s.push_str(&t.rendered());
+        s.push_str("\n=== repro zoo: Table VII decay shape per backend ===\n");
+        let mut t = TextTable::new(&[
+            "backend", "gpu16", "gpu32", "gpu64", "spd16", "spd32", "spd64",
+        ]);
+        for r in &self.rows {
+            let arm = |ranks: usize| r.sweep.iter().find(|sw| sw.ranks == ranks);
+            let mut row = vec![r.backend.to_string()];
+            for ranks in [16, 32, 64] {
+                row.push(
+                    arm(ranks).map_or("wall".to_string(), |sw| format!("{:.1}s", sw.gpu_secs)),
+                );
+            }
+            for ranks in [16, 32, 64] {
+                row.push(arm(ranks).map_or("-".to_string(), |sw| format!("{:.2}", sw.speedup)));
+            }
+            t.push_row(row);
+        }
+        s.push_str(&t.rendered());
+        for r in &self.rows {
+            for w in &r.walls {
+                let _ = writeln!(s, "{}: {w}", r.backend);
+            }
+        }
+        s.push_str("\n=== repro zoo: ensemble packing per backend ===\n");
+        let mut t = TextTable::new(&["backend", "cap/device", "waves", "members/h", "result"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.backend.to_string(),
+                r.member_cap.to_string(),
+                r.waves.to_string(),
+                format!("{:.2}", r.members_per_hour),
+                if r.violations.is_empty() {
+                    "pass"
+                } else {
+                    "FAIL"
+                }
+                .to_string(),
+            ]);
+        }
+        s.push_str(&t.rendered());
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{}",
+                prof_sim::zoo_line(
+                    r.backend,
+                    r.is_cpu,
+                    r.versions.last().map_or(f64::NAN, |t| t.secs),
+                    &r.ranking,
+                    r.member_cap,
+                    r.violations.is_empty(),
+                )
+            );
+        }
+        for x in &self.cross {
+            let _ = writeln!(s, "cross-backend: {x}");
+        }
+        let _ = writeln!(s, "zoo gate: {}", if self.pass() { "pass" } else { "FAIL" });
+        s
+    }
+
+    /// Renders the machine-readable `BENCH_zoo.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"zoo\",\n  \"format\": 1,\n");
+        let _ = writeln!(s, "  \"pass\": {},", self.pass());
+        let _ = writeln!(
+            s,
+            "  \"case\": {{\"ranks\": {}, \"gpus\": {}, \"minutes\": {}, \"members\": {}, \
+             \"devices\": {}, \"min_backends\": {}}},",
+            self.cfg.ranks,
+            self.cfg.gpus,
+            self.cfg.minutes,
+            self.cfg.members,
+            self.cfg.devices,
+            self.cfg.min_backends
+        );
+        s.push_str("  \"backends\": [\n");
+        for (n, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"backend\": \"{}\", \"class\": \"{}\", \"versions\": [",
+                escape(r.backend),
+                if r.is_cpu { "cpu" } else { "gpu" }
+            );
+            for (m, vt) in r.versions.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "{}{{\"version\": \"{}\", \"secs\": {:.3}, \"speedup\": {:.4}}}",
+                    if m > 0 { ", " } else { "" },
+                    escape(vt.version),
+                    vt.secs,
+                    vt.speedup
+                );
+            }
+            let _ = write!(
+                s,
+                "], \"ranking\": [{}], \"sweep\": [",
+                r.ranking
+                    .iter()
+                    .map(|x| format!("\"{}\"", escape(x)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            for (m, sw) in r.sweep.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "{}{{\"ranks\": {}, \"cpu_secs\": {:.3}, \"gpu_secs\": {:.3}, \
+                     \"speedup\": {:.4}}}",
+                    if m > 0 { ", " } else { "" },
+                    sw.ranks,
+                    sw.cpu_secs,
+                    sw.gpu_secs,
+                    sw.speedup
+                );
+            }
+            let _ = write!(
+                s,
+                "], \"walls\": [{}]",
+                r.walls
+                    .iter()
+                    .map(|x| format!("\"{}\"", escape(x)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let _ = writeln!(
+                s,
+                ", \"member_cap\": {}, \"waves\": {}, \"members_per_hour\": {:.4}, \
+                 \"pass\": {}}}{}",
+                r.member_cap,
+                r.waves,
+                r.members_per_hour,
+                r.violations.is_empty(),
+                if n + 1 < self.rows.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n  \"cross_violations\": [\n");
+        for (n, x) in self.cross.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    \"{}\"{}",
+                escape(x),
+                if n + 1 < self.cross.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// The full-scale ensemble member footprint (1-rank CONUS-12km context
+/// at the paper's stack setting) — backend-independent bytes; what
+/// varies per backend is the capacity they are packed against.
+fn full_scale_footprint() -> gpu_sim::devicepool::RankFootprint {
+    member_footprint(
+        &ModelConfig::paper_default(SbmVersion::OffloadCollapse3),
+        None,
+    )
+}
+
+/// How many full-scale members one of `backend`'s devices admits.
+fn member_cap(backend: &'static Backend) -> usize {
+    let fp = full_scale_footprint();
+    let key = pressure_key(&ConusParams::full());
+    let mut pool = DevicePool::for_backend(backend, 1);
+    let mut cap = 0usize;
+    while pool.admit_packed(cap, &fp, Some(key)).is_ok() {
+        cap += 1;
+        if cap > 4096 {
+            break;
+        }
+    }
+    cap
+}
+
+/// Prices every arm of the gate on one backend.
+fn run_backend_row(
+    backend: &'static Backend,
+    gcfg: &ZooGateConfig,
+    coeffs: &MeasuredCoeffs,
+) -> BackendRow {
+    let pp = PerfParams::for_backend(backend);
+    let traffic = TrafficModel::measure_for_backend(backend);
+    let mut violations = Vec::new();
+    let full = ConusParams::full();
+
+    let run = |version, ranks, gpus| {
+        try_experiment(
+            &ExperimentConfig {
+                case: full,
+                version,
+                ranks,
+                gpus,
+                minutes: gcfg.minutes,
+            },
+            coeffs,
+            &pp,
+            &traffic,
+        )
+    };
+
+    // Table V: the four scheme versions at the paper's decomposition.
+    let mut versions = Vec::new();
+    let mut baseline_secs = f64::NAN;
+    for version in SbmVersion::ALL {
+        let gpus = if version.offloaded() { gcfg.gpus } else { 0 };
+        match run(version, gcfg.ranks, gpus) {
+            Ok(r) => {
+                if versions.is_empty() {
+                    baseline_secs = r.total_secs;
+                }
+                versions.push(VersionTime {
+                    version: version.label(),
+                    secs: r.total_secs,
+                    speedup: baseline_secs / r.total_secs,
+                });
+            }
+            Err(e) => violations.push(format!(
+                "version arm {} failed admission: {e}",
+                version.label()
+            )),
+        }
+    }
+    let ranking = ranking_of(&versions);
+
+    // Table VII: the shared-pool sweep against a matched CPU base.
+    // Deep sharing hits the paper's §VII-A memory wall on small-capacity
+    // devices — that is part of the portability claim, so the wall is
+    // *asserted*: an arm must fail admission exactly when the capacity
+    // arithmetic over [`RankFootprint::charged_bytes`] says its
+    // contexts cannot fit, and run when it says they can.
+    let mut sweep = Vec::new();
+    let mut walls = Vec::new();
+    for ranks in [16usize, 32, 64] {
+        let per_device = ranks.div_ceil(gcfg.gpus) as u64;
+        let charged = rank_footprint(&pp, crate::share::full_scale_slab_bytes(ranks))
+            .charged_bytes(&pp.gpu)
+            .unwrap_or(u64::MAX);
+        let fits = charged
+            .checked_mul(per_device)
+            .is_some_and(|need| need <= pp.gpu.hbm_bytes);
+        match (
+            run(SbmVersion::Baseline, ranks, 0),
+            run(SbmVersion::OffloadCollapse3, ranks, gcfg.gpus),
+        ) {
+            (Ok(cpu), Ok(gpu)) => {
+                if !fits {
+                    violations.push(format!(
+                        "{ranks}-rank arm was admitted but the capacity arithmetic says \
+                         {per_device} × {charged} B cannot fit {} B",
+                        pp.gpu.hbm_bytes
+                    ));
+                }
+                sweep.push(ZooSweepRow {
+                    ranks,
+                    cpu_secs: cpu.total_secs,
+                    gpu_secs: gpu.total_secs,
+                    speedup: cpu.total_secs / gpu.total_secs,
+                });
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                if fits {
+                    violations.push(format!("sweep arm {ranks} ranks failed admission: {e}"));
+                } else {
+                    walls.push(format!(
+                        "{ranks} ranks: memory wall ({per_device} × {charged} B > {} B): {e}",
+                        pp.gpu.hbm_bytes
+                    ));
+                }
+            }
+        }
+    }
+    violations.extend(sweep_shape_violations(&sweep));
+
+    // Ensemble packing and throughput on this backend's capacity.
+    let cap = member_cap(backend);
+    let case = ConusCase::new(full);
+    let dd = two_d_decomposition(full.domain(), 1, 3);
+    let work = RankWork::extrapolate(
+        &case,
+        &dd.patches[0],
+        coeffs,
+        SbmVersion::OffloadCollapse3,
+        &pp,
+    );
+    let t = gpu_rank_step_time(&work, &pp, &traffic);
+    let service = t.coal_loop + t.transfer;
+    let steps = case.steps_for_minutes(gcfg.minutes);
+    let spec = EnsembleSpec {
+        members: gcfg.members,
+        devices: gcfg.devices,
+        backend,
+        ..EnsembleSpec::default()
+    };
+    let timings: Vec<MemberTimings> = (0..spec.members)
+        .map(|m| MemberTimings {
+            member: m,
+            service_per_step: vec![service; steps],
+        })
+        .collect();
+    let (mut waves, mut mph) = (0usize, 0.0f64);
+    match schedule_ensemble(
+        &timings,
+        &spec,
+        &full_scale_footprint(),
+        Some(pressure_key(&full)),
+    ) {
+        Ok(s) => {
+            waves = s.waves;
+            if s.makespan_secs > 0.0 {
+                mph = spec.members as f64 * 3600.0 / s.makespan_secs;
+            }
+            if !(mph.is_finite() && mph > 0.0) {
+                violations.push(format!(
+                    "ensemble throughput degenerate: {mph} members/hour"
+                ));
+            }
+            for d in &s.devices {
+                if d.peak_used_bytes > d.capacity_bytes {
+                    violations.push(format!(
+                        "device {} ledger overflows capacity: {} > {} bytes",
+                        d.device, d.peak_used_bytes, d.capacity_bytes
+                    ));
+                }
+                if d.peak_residents > cap {
+                    violations.push(format!(
+                        "device {} packed {} members, cap is {cap}",
+                        d.device, d.peak_residents
+                    ));
+                }
+            }
+        }
+        Err(e) => violations.push(format!("ensemble arm failed admission: {e}")),
+    }
+
+    BackendRow {
+        backend: backend.name,
+        is_cpu: backend.is_cpu(),
+        versions,
+        ranking,
+        sweep,
+        walls,
+        member_cap: cap,
+        waves,
+        members_per_hour: mph,
+        violations,
+    }
+}
+
+/// Runs the zoo gate: coefficients measured once on the functional
+/// plane (backend-independent), then every [`ZOO`] backend priced end
+/// to end and the cross-backend claims checked.
+pub fn run_zoo_gate(gcfg: &ZooGateConfig) -> ZooGateReport {
+    let coeffs = measure_coeffs(gcfg.coeff_scale, gcfg.coeff_nz, gcfg.coeff_steps);
+    run_zoo_gate_with(gcfg, &coeffs)
+}
+
+/// [`run_zoo_gate`] with externally-measured coefficients (shared with
+/// the bench harness and the test fixture).
+pub fn run_zoo_gate_with(gcfg: &ZooGateConfig, coeffs: &MeasuredCoeffs) -> ZooGateReport {
+    let rows: Vec<BackendRow> = ZOO
+        .iter()
+        .map(|b| run_backend_row(b, gcfg, coeffs))
+        .collect();
+    let cross = cross_backend_violations(&rows, gcfg.min_backends);
+    ZooGateReport {
+        cfg: *gcfg,
+        rows,
+        cross,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn synth_row(backend: &'static str, v4: f64, cap: usize) -> BackendRow {
+        let versions = vec![
+            VersionTime {
+                version: "baseline",
+                secs: 4.0 * v4,
+                speedup: 1.0,
+            },
+            VersionTime {
+                version: "lookup",
+                secs: 3.0 * v4,
+                speedup: 4.0 / 3.0,
+            },
+            VersionTime {
+                version: "collapse2",
+                secs: 2.0 * v4,
+                speedup: 2.0,
+            },
+            VersionTime {
+                version: "collapse3",
+                secs: v4,
+                speedup: 4.0,
+            },
+        ];
+        let ranking = ranking_of(&versions);
+        BackendRow {
+            backend,
+            is_cpu: false,
+            versions,
+            ranking,
+            sweep: vec![
+                ZooSweepRow {
+                    ranks: 16,
+                    cpu_secs: 8.0 * v4,
+                    gpu_secs: 4.0 * v4,
+                    speedup: 2.0,
+                },
+                ZooSweepRow {
+                    ranks: 32,
+                    cpu_secs: 4.5 * v4,
+                    gpu_secs: 2.5 * v4,
+                    speedup: 1.8,
+                },
+                ZooSweepRow {
+                    ranks: 64,
+                    cpu_secs: 3.0 * v4,
+                    gpu_secs: 2.0 * v4,
+                    speedup: 1.5,
+                },
+            ],
+            walls: Vec::new(),
+            member_cap: cap,
+            waves: 2,
+            members_per_hour: 10.0 / v4,
+            violations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ranking_orders_slowest_first() {
+        let rows = synth_row("a", 100.0, 4);
+        assert_eq!(
+            rows.ranking,
+            vec!["baseline", "lookup", "collapse2", "collapse3"]
+        );
+    }
+
+    #[test]
+    fn cross_checks_catch_flips_ties_and_degenerate_caps() {
+        let rows: Vec<BackendRow> = [("a", 100.0, 4), ("b", 130.0, 2), ("c", 90.0, 7)]
+            .iter()
+            .map(|&(n, t, c)| synth_row(n, t, c))
+            .collect();
+        assert!(cross_backend_violations(&rows, 3).is_empty());
+
+        // Too few backends.
+        let v = cross_backend_violations(&rows, 5);
+        assert!(v.iter().any(|x| x.contains("requires 5")), "{v:?}");
+
+        // A ranking flip on one backend.
+        let mut flipped = rows.clone();
+        let (s2, s3) = (flipped[1].versions[2].secs, flipped[1].versions[3].secs);
+        flipped[1].versions[2].secs = s3;
+        flipped[1].versions[3].secs = s2;
+        flipped[1].ranking = ranking_of(&flipped[1].versions);
+        let v = cross_backend_violations(&flipped, 3);
+        assert!(v.iter().any(|x| x.contains("ranking flips on b")), "{v:?}");
+
+        // An accidental clone (identical offloaded time).
+        let mut cloned = rows.clone();
+        cloned[2] = synth_row("c", 100.0, 7);
+        let v = cross_backend_violations(&cloned, 3);
+        assert!(v.iter().any(|x| x.contains("collide")), "{v:?}");
+
+        // Degenerate caps.
+        let caps: Vec<BackendRow> = [("a", 100.0, 4), ("b", 130.0, 4), ("c", 90.0, 4)]
+            .iter()
+            .map(|&(n, t, c)| synth_row(n, t, c))
+            .collect();
+        let v = cross_backend_violations(&caps, 3);
+        assert!(v.iter().any(|x| x.contains("degenerate")), "{v:?}");
+    }
+
+    #[test]
+    fn sweep_shape_catches_broken_decay() {
+        let good = synth_row("a", 100.0, 4);
+        assert!(sweep_shape_violations(&good.sweep).is_empty());
+        let mut bad = good.clone();
+        bad.sweep[2].gpu_secs = bad.sweep[1].gpu_secs * 1.5;
+        let v = sweep_shape_violations(&bad.sweep);
+        assert!(v.iter().any(|x| x.contains("keep improving")), "{v:?}");
+        let mut bad = good.clone();
+        bad.sweep[1].speedup = 2.5;
+        let v = sweep_shape_violations(&bad.sweep);
+        assert!(v.iter().any(|x| x.contains("decay")), "{v:?}");
+        // A two-row feasible prefix (post-memory-wall) is still checkable…
+        let mut walled = good.clone();
+        walled.sweep.truncate(2);
+        assert!(sweep_shape_violations(&walled.sweep).is_empty());
+        // …but a single surviving arm has no observable shape.
+        walled.sweep.truncate(1);
+        let v = sweep_shape_violations(&walled.sweep);
+        assert!(v.iter().any(|x| x.contains("at least 2")), "{v:?}");
+    }
+
+    #[test]
+    fn report_verdict_flows_to_json_and_text() {
+        let rows: Vec<BackendRow> = [
+            ("a100-80gb", 100.0, 4),
+            ("v100-32gb", 130.0, 1),
+            ("mi", 90.0, 3),
+        ]
+        .iter()
+        .map(|&(n, t, c)| synth_row(n, t, c))
+        .collect();
+        let rep = ZooGateReport {
+            cfg: ZooGateConfig {
+                min_backends: 3,
+                ..ZooGateConfig::default()
+            },
+            cross: cross_backend_violations(&rows, 3),
+            rows,
+        };
+        assert!(rep.pass(), "{:?}", rep.violations());
+        let json = rep.to_json();
+        assert!(json.contains("\"bench\": \"zoo\""));
+        assert!(json.contains("\"pass\": true"));
+        assert!(json.contains("\"backend\": \"v100-32gb\""));
+        assert!(json.contains("\"ranking\": [\"baseline\""));
+        let text = rep.rendered();
+        assert!(text.contains("zoo gate: pass"));
+        assert!(text.contains("v100-32gb"));
+
+        let mut failing = rep.clone();
+        failing.rows[0].violations.push("synthetic".into());
+        assert!(!failing.pass());
+        assert!(failing
+            .violations()
+            .iter()
+            .any(|v| v.contains("a100-80gb: synthetic")));
+    }
+
+    /// The real gate, end to end: five backends priced, ranking stable,
+    /// decay shape everywhere, caps tracking capacity. This is the
+    /// empirical pin on the portability claim.
+    #[test]
+    fn zoo_gate_passes_end_to_end() {
+        let (coeffs, _) = miniwrf::perfmodel::test_fixture();
+        let rep = run_zoo_gate_with(&ZooGateConfig::default(), coeffs);
+        assert!(rep.pass(), "{:#?}", rep.violations());
+        assert!(rep.rows.len() >= 5);
+        let a100 = &rep.rows[0];
+        assert_eq!(a100.backend, "a100-80gb");
+        assert_eq!(a100.member_cap, 4, "full-scale cap on 80 GB must stay 4");
+        assert_eq!(a100.sweep.len(), 3, "80 GB fits the whole sweep");
+        assert!(a100.walls.is_empty());
+        let v100 = rep.rows.iter().find(|r| r.backend == "v100-32gb").unwrap();
+        assert!(v100.member_cap < a100.member_cap);
+        // The §VII-A memory wall moves with capacity: the 64-rank arm
+        // (4 contexts/device) no longer fits 40 or 32 GB.
+        for name in ["a100-40gb", "v100-32gb"] {
+            let r = rep.rows.iter().find(|r| r.backend == name).unwrap();
+            assert_eq!(r.sweep.len(), 2, "{name} loses exactly the 64-rank arm");
+            assert_eq!(r.walls.len(), 1, "{name} records the wall");
+            assert!(r.walls[0].starts_with("64 ranks"), "{:?}", r.walls);
+        }
+        let grace = rep.rows.iter().find(|r| r.is_cpu).unwrap();
+        assert!(grace.member_cap > a100.member_cap);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The v1→v4 ranking is identical across every zoo backend
+        /// while the offloaded absolute times stay pairwise distinct,
+        /// for any integration length — scaling the forecast window
+        /// must never flip a conclusion on any backend.
+        #[test]
+        fn ranking_is_stable_across_backends(minutes in 2.0f64..40.0) {
+            let (coeffs, _) = miniwrf::perfmodel::test_fixture();
+            let gcfg = ZooGateConfig { minutes, ..ZooGateConfig::default() };
+            let full = ConusParams::full();
+            let mut rankings = Vec::new();
+            let mut offload_secs = Vec::new();
+            for b in ZOO.iter() {
+                let pp = PerfParams::for_backend(b);
+                let traffic = TrafficModel::measure_for_backend(b);
+                let mut versions = Vec::new();
+                for version in SbmVersion::ALL {
+                    let gpus = if version.offloaded() { gcfg.gpus } else { 0 };
+                    let r = try_experiment(
+                        &ExperimentConfig {
+                            case: full,
+                            version,
+                            ranks: gcfg.ranks,
+                            gpus,
+                            minutes: gcfg.minutes,
+                        },
+                        coeffs,
+                        &pp,
+                        &traffic,
+                    ).unwrap();
+                    versions.push(VersionTime {
+                        version: version.label(),
+                        secs: r.total_secs,
+                        speedup: 1.0,
+                    });
+                }
+                offload_secs.push(versions.last().unwrap().secs);
+                rankings.push(ranking_of(&versions));
+            }
+            for (n, r) in rankings.iter().enumerate().skip(1) {
+                prop_assert_eq!(r, &rankings[0], "backend {} flips the ranking", ZOO[n].name);
+            }
+            offload_secs.sort_by(f64::total_cmp);
+            offload_secs.dedup();
+            prop_assert_eq!(offload_secs.len(), ZOO.len());
+        }
+
+        /// Per-backend member packing follows `charged_bytes` exactly:
+        /// the scheduler's wave count and per-device peaks match the
+        /// arithmetic of the footprint against each backend's capacity
+        /// (first member per device also charges the shared lookup).
+        #[test]
+        fn member_packing_matches_charged_bytes(
+            members in 1usize..12,
+            devices in 1usize..4,
+            which in 0usize..5,
+        ) {
+            let backend = &ZOO[which];
+            let fp = full_scale_footprint();
+            let full = ConusParams::full();
+            let dev = backend.device_params();
+            let charged = fp.charged_bytes(&dev).unwrap();
+            let base = charged - fp.lookup_bytes;
+            let capacity = dev.hbm_bytes;
+            let cap_per_dev = if capacity < charged {
+                0
+            } else {
+                (1 + (capacity - charged) / base) as usize
+            };
+            prop_assert!(cap_per_dev > 0, "every zoo device fits at least one member");
+
+            let spec = EnsembleSpec {
+                members,
+                devices,
+                backend,
+                ..EnsembleSpec::default()
+            };
+            let timings: Vec<MemberTimings> = (0..members)
+                .map(|m| MemberTimings { member: m, service_per_step: vec![1.0; 3] })
+                .collect();
+            let s = schedule_ensemble(&timings, &spec, &fp, Some(pressure_key(&full))).unwrap();
+            let expected_waves = members.div_ceil(cap_per_dev * devices);
+            prop_assert_eq!(s.waves, expected_waves);
+            for d in &s.devices {
+                prop_assert!(d.peak_residents <= cap_per_dev);
+                prop_assert!(d.peak_used_bytes <= d.capacity_bytes);
+                prop_assert_eq!(d.capacity_bytes, capacity);
+            }
+        }
+    }
+}

@@ -54,7 +54,7 @@
 //!   negative window degenerates to exactly [`DevicePool::replay`].
 
 use crate::error::DeviceError;
-use crate::machine::{GpuParams, CALIBRATION};
+use crate::machine::{Backend, Calibration, GpuParams, CALIBRATION};
 use std::collections::BTreeMap;
 
 /// Device-memory footprint one resident rank charges against its
@@ -73,8 +73,15 @@ pub struct RankFootprint {
 
 impl RankFootprint {
     /// Total bytes this rank's context charges on `params` hardware.
-    pub fn charged_bytes(&self, params: &GpuParams) -> u64 {
-        params.stack_pool_bytes(self.stack_bytes) + self.temp_slab_bytes + self.lookup_bytes
+    /// `None` when the stack pool (a namelist-controlled multiply) or
+    /// the sum overflows `u64` — admission treats that as an
+    /// unsatisfiable request rather than letting a wrapped footprint
+    /// falsely fit.
+    pub fn charged_bytes(&self, params: &GpuParams) -> Option<u64> {
+        params
+            .checked_stack_pool_bytes(self.stack_bytes)?
+            .checked_add(self.temp_slab_bytes)?
+            .checked_add(self.lookup_bytes)
     }
 }
 
@@ -253,19 +260,23 @@ struct PoolDevice {
 #[derive(Debug, Clone)]
 pub struct DevicePool {
     params: GpuParams,
+    calib: Calibration,
     devices: Vec<PoolDevice>,
     slice_secs: f64,
     cache: CacheShareStats,
 }
 
 impl DevicePool {
-    /// Creates a pool of `n_devices` devices of the given hardware,
-    /// with the global [`CALIBRATION`](crate::machine::CALIBRATION)
-    /// context-service slice.
+    /// Creates a pool of `n_devices` devices of the given hardware with
+    /// the default [`CALIBRATION`](crate::machine::CALIBRATION) — the
+    /// historical A100 pricing. Per-backend pools should go through
+    /// [`DevicePool::for_backend`] or [`DevicePool::with_calibration`]
+    /// so replay pricing follows the instance, not the global const.
     pub fn new(params: GpuParams, n_devices: usize) -> Self {
         assert!(n_devices > 0, "a device pool needs at least one device");
         DevicePool {
             params,
+            calib: CALIBRATION,
             devices: (0..n_devices)
                 .map(|_| PoolDevice {
                     used_bytes: 0,
@@ -280,10 +291,30 @@ impl DevicePool {
         }
     }
 
-    /// Overrides the context-service slice (tests and ablations).
+    /// Creates a pool of `n_devices` devices of `backend`'s offload
+    /// target, priced with that backend's calibration.
+    pub fn for_backend(backend: &Backend, n_devices: usize) -> Self {
+        DevicePool::new(backend.device_params(), n_devices).with_calibration(backend.calib)
+    }
+
+    /// Replaces the pool's calibration; the context-service slice used
+    /// by replays follows it.
+    pub fn with_calibration(mut self, calib: Calibration) -> Self {
+        self.calib = calib;
+        self.slice_secs = calib.service_slice_secs;
+        self
+    }
+
+    /// Overrides the context-service slice alone, on top of whatever
+    /// calibration the pool carries (tests and ablations).
     pub fn with_service_slice(mut self, secs: f64) -> Self {
         self.slice_secs = secs;
         self
+    }
+
+    /// The calibration this pool prices replays with.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calib
     }
 
     /// Number of devices in the pool.
@@ -342,7 +373,9 @@ impl DevicePool {
             !dev.residents.contains(&rank),
             "rank {rank} admitted twice onto device {device}"
         );
-        let requested = footprint.charged_bytes(&self.params);
+        // An overflowing footprint is unsatisfiable: saturate so the
+        // capacity check below rejects it with the same typed error.
+        let requested = footprint.charged_bytes(&self.params).unwrap_or(u64::MAX);
         let capacity = self.params.hbm_bytes;
         if requested > capacity - dev.used_bytes {
             return Err(DeviceError {
@@ -384,11 +417,17 @@ impl DevicePool {
             "context {id} admitted twice onto the pool"
         );
         let capacity = self.params.hbm_bytes;
-        let base = self.params.stack_pool_bytes(footprint.stack_bytes) + footprint.temp_slab_bytes;
+        // Checked, saturating accounting: a stack pool that overflows
+        // u64 can never fit, so it must not wrap into a small charge.
+        let base = self
+            .params
+            .checked_stack_pool_bytes(footprint.stack_bytes)
+            .and_then(|p| p.checked_add(footprint.temp_slab_bytes))
+            .unwrap_or(u64::MAX);
         let need = |dev: &PoolDevice| -> u64 {
             match lookup_key {
                 Some(k) if dev.lookups.contains_key(&k) => base,
-                _ => base + footprint.lookup_bytes,
+                _ => base.saturating_add(footprint.lookup_bytes),
             }
         };
         let order = |d: usize, dev: &PoolDevice| (dev.residents.len(), dev.used_bytes, d);
@@ -833,7 +872,7 @@ mod tests {
         let a = pool.admit_packed(0, &fp, None).unwrap();
         let b = pool.admit_packed(1, &fp, None).unwrap();
         assert!(!a.cache_hit && !b.cache_hit);
-        assert_eq!(pool.used_bytes(0), 2 * fp.charged_bytes(&A100));
+        assert_eq!(pool.used_bytes(0), 2 * fp.charged_bytes(&A100).unwrap());
         assert_eq!(pool.cache_stats(), CacheShareStats::default());
     }
 
@@ -853,6 +892,80 @@ mod tests {
         assert!(err.requested_bytes > err.capacity_bytes);
         assert_eq!(pool.used_bytes(0), 0);
         assert_eq!(pool.cache_stats(), CacheShareStats::default());
+    }
+
+    /// Regression for the unchecked stack-pool multiply: a stack size
+    /// near `u64::MAX / thread_capacity` used to wrap into a footprint
+    /// that falsely fit admission. Both admission paths must reject it
+    /// with the typed error, charging nothing.
+    #[test]
+    fn overflowing_stack_pool_is_rejected_not_wrapped() {
+        let huge = u64::MAX / A100.thread_capacity() + 1;
+        let fp = RankFootprint {
+            stack_bytes: huge,
+            temp_slab_bytes: 0,
+            lookup_bytes: 0,
+        };
+        assert_eq!(fp.charged_bytes(&A100), None);
+        // The old wrapping arithmetic produced a "small" pool that fit.
+        assert!(A100.thread_capacity().wrapping_mul(huge) < A100.hbm_bytes);
+        let mut pool = DevicePool::new(A100, 2);
+        let err = pool.admit(0, &fp).unwrap_err();
+        assert_eq!((err.rank, err.device, err.residents), (0, 0, 0));
+        assert_eq!(err.requested_bytes, u64::MAX);
+        assert_eq!(pool.used_bytes(0), 0);
+        let err = pool.admit_packed(1, &fp, Some(7)).unwrap_err();
+        assert_eq!(err.requested_bytes, u64::MAX);
+        assert_eq!(pool.used_bytes(0), 0);
+        assert_eq!(pool.cache_stats(), CacheShareStats::default());
+    }
+
+    /// Regression for the calibration leak: replay pricing used to read
+    /// the global `CALIBRATION` const, so a per-instance calibration was
+    /// silently ignored. A pool carrying a non-default calibration must
+    /// price its context slices (and therefore queueing) differently.
+    #[test]
+    fn non_default_calibration_changes_replay_pricing() {
+        let custom = Calibration {
+            service_slice_secs: 2.0 * CALIBRATION.service_slice_secs,
+            ..CALIBRATION
+        };
+        let subs: Vec<RankSubmission> = (0..3)
+            .map(|rank| RankSubmission {
+                rank,
+                submit_secs: 0.0,
+                service_secs: 0.1,
+            })
+            .collect();
+        let mut default_pool = DevicePool::new(A100, 1);
+        default_pool.admit_all(3, &paper_footprint()).unwrap();
+        let mut custom_pool = DevicePool::new(A100, 1).with_calibration(custom);
+        custom_pool.admit_all(3, &paper_footprint()).unwrap();
+        assert_eq!(custom_pool.calibration(), &custom);
+        let d = default_pool.replay(&subs);
+        let c = custom_pool.replay(&subs);
+        assert!(
+            c.total_queue_secs() > d.total_queue_secs(),
+            "doubled slice must queue longer: {} vs {}",
+            c.total_queue_secs(),
+            d.total_queue_secs()
+        );
+        assert!((c.devices[0].slice_secs - 2.0 * d.devices[0].slice_secs).abs() < 1e-12);
+        // Service time is conserved either way.
+        assert!((c.devices[0].busy_secs - d.devices[0].busy_secs).abs() < 1e-12);
+    }
+
+    /// A backend pool inherits both the device and the calibration of
+    /// its bundle; the default backend is bitwise the historical pool.
+    #[test]
+    fn backend_pool_carries_the_bundle() {
+        let v100 = crate::machine::backend_by_name("v100-32gb").unwrap();
+        let pool = DevicePool::for_backend(v100, 2);
+        assert_eq!(pool.capacity_bytes(), 32 * 1024 * 1024 * 1024);
+        assert_eq!(pool.service_slice_secs(), v100.calib.service_slice_secs);
+        let default = DevicePool::for_backend(crate::machine::default_backend(), 2);
+        assert_eq!(default.capacity_bytes(), A100.hbm_bytes);
+        assert_eq!(default.service_slice_secs(), CALIBRATION.service_slice_secs);
     }
 
     #[test]
@@ -929,7 +1042,7 @@ mod tests {
                 prop_assert!(pool.used_bytes(d) <= pool.capacity_bytes());
                 prop_assert_eq!(
                     pool.used_bytes(d),
-                    fp.charged_bytes(&A100) * pool.residents(d).len() as u64
+                    fp.charged_bytes(&A100).unwrap() * pool.residents(d).len() as u64
                 );
             }
         }

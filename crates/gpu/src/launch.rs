@@ -470,6 +470,40 @@ mod tests {
     }
 
     #[test]
+    fn zoo_backends_price_one_launch_differently() {
+        // One kernel, one work vector — priced per backend with that
+        // backend's device view and calibration. Every backend must
+        // produce a finite positive time, and the zoo must not collapse
+        // onto a single number (the two A100 variants may legitimately
+        // tie on compute-bound work; everything else differs).
+        let spec = KernelSpec::new("coal");
+        let w = work(100_000);
+        let times: Vec<f64> = crate::machine::ZOO
+            .iter()
+            .map(|b| {
+                let stats = launch_modeled_with(&b.device_params(), &spec, &w, &b.calib).unwrap();
+                assert!(
+                    stats.time_secs.is_finite() && stats.time_secs > 0.0,
+                    "{}: {:?}",
+                    b.name,
+                    stats
+                );
+                stats.time_secs
+            })
+            .collect();
+        let mut distinct = times.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 4,
+            "expected >= 4 distinct modeled times across the zoo, got {times:?}"
+        );
+        // The default backend is priced exactly like the bare A100 path.
+        let a100 = launch_modeled(&A100, &spec, &w).unwrap();
+        assert_eq!(times[0], a100.time_secs);
+    }
+
+    #[test]
     fn functional_covers_all_iterations_in_parallel() {
         use std::sync::atomic::AtomicU64;
         let hits = (0..10_000).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();

@@ -43,8 +43,13 @@ pub use devicepool::{
     RankFootprint, RankShare, RankSubmission, ShareReport,
 };
 pub use error::{DeviceError, GpuError};
-pub use launch::{launch_functional, launch_modeled, KernelSpec, KernelWork, LaunchStats};
-pub use machine::{CpuParams, GpuParams, Interconnect, A100, EPYC_7763, SLINGSHOT};
+pub use launch::{
+    launch_functional, launch_modeled, launch_modeled_with, KernelSpec, KernelWork, LaunchStats,
+};
+pub use machine::{
+    backend_by_name, default_backend, Backend, Calibration, CpuParams, DeviceProfile, GpuParams,
+    Interconnect, A100, CALIBRATION, EPYC_7763, SLINGSHOT, ZOO,
+};
 pub use ncu::KernelProfile;
 pub use occupancy::{occupancy_for, OccupancyResult};
 pub use roofline::{Roofline, RooflinePoint};

@@ -69,8 +69,21 @@ impl GpuParams {
     /// The device-side stack pool reserved for a context configured with
     /// `stack_bytes` per thread: the CUDA runtime reserves stack for every
     /// potentially-resident thread (`NV_ACC_CUDA_STACKSIZE` semantics).
+    /// Saturates at `u64::MAX` — a pool that large never fits any device,
+    /// so admission rejects it instead of wrapping into a footprint that
+    /// falsely fits (use [`GpuParams::checked_stack_pool_bytes`] to tell
+    /// overflow apart from a merely huge pool).
     pub fn stack_pool_bytes(&self, stack_bytes: u64) -> u64 {
-        self.thread_capacity() * stack_bytes
+        self.checked_stack_pool_bytes(stack_bytes)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// [`GpuParams::stack_pool_bytes`] with overflow surfaced: `None` when
+    /// `thread_capacity() * stack_bytes` does not fit in a `u64`. The
+    /// stack size is namelist-controlled, so the multiply must be checked
+    /// before it reaches admission arithmetic.
+    pub fn checked_stack_pool_bytes(&self, stack_bytes: u64) -> Option<u64> {
+        self.thread_capacity().checked_mul(stack_bytes)
     }
 
     /// Clock in Hz.
@@ -113,6 +126,60 @@ pub const A100_40GB: GpuParams = GpuParams {
     ..A100
 };
 
+/// NVIDIA V100-SXM2-32GB (Volta), the pre-Perlmutter generation the
+/// OpenMP-offload literature most often reports against: 80 SMs, PCIe
+/// gen3 host link, 900 GB/s HBM2.
+pub const V100: GpuParams = GpuParams {
+    name: "NVIDIA V100-SXM2-32GB",
+    sms: 80,
+    clock_ghz: 1.53,
+    max_threads_per_sm: 2048,
+    max_blocks_per_sm: 32,
+    regs_per_sm: 65536,
+    max_regs_per_thread: 255,
+    reg_alloc_granularity: 256,
+    smem_per_sm: 96 * 1024,
+    warp: 32,
+    schedulers_per_sm: 4,
+    l1_bytes: 128 * 1024,
+    l2_bytes: 6 * 1024 * 1024,
+    hbm_bytes: 32 * 1024 * 1024 * 1024,
+    hbm_bw: 900.0e9,
+    fp32_flops: 15.7e12,
+    fp64_flops: 7.8e12,
+    pcie_bw: 12.0e9,
+    pcie_latency: 12.0e-6,
+    launch_overhead: 12.0e-6,
+    default_stack_bytes: 1024,
+};
+
+/// An MI-class CDNA2 HBM device (one MI250X GCD as scheduled on
+/// Frontier-style nodes): 110 CUs with 64-wide wavefronts, 64 GB HBM2e
+/// at 1.6 TB/s, full-rate FP64 vector pipes.
+pub const MI250X_GCD: GpuParams = GpuParams {
+    name: "AMD MI250X (one GCD)",
+    sms: 110,
+    clock_ghz: 1.7,
+    max_threads_per_sm: 2048,
+    max_blocks_per_sm: 32,
+    regs_per_sm: 65536,
+    max_regs_per_thread: 255,
+    reg_alloc_granularity: 256,
+    smem_per_sm: 64 * 1024,
+    warp: 64,
+    schedulers_per_sm: 4,
+    l1_bytes: 16 * 1024,
+    l2_bytes: 8 * 1024 * 1024,
+    hbm_bytes: 64 * 1024 * 1024 * 1024,
+    hbm_bw: 1638.0e9,
+    fp32_flops: 23.9e12,
+    fp64_flops: 23.9e12,
+    pcie_bw: 36.0e9,
+    pcie_latency: 10.0e-6,
+    launch_overhead: 15.0e-6,
+    default_stack_bytes: 1024,
+};
+
 /// Parameters of the host CPU.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuParams {
@@ -130,15 +197,54 @@ pub struct CpuParams {
     pub sustained_flops_per_core: f64,
     /// Sustained memory bandwidth per node, bytes/s (8-channel DDR4-3200).
     pub mem_bw: f64,
+    /// Node memory capacity in bytes — the admission cap when the CPU
+    /// itself is the offload target (self-hosted backends).
+    pub mem_bytes: u64,
 }
 
-/// AMD EPYC 7763 (Milan) as in Perlmutter GPU/CPU nodes.
+/// AMD EPYC 7763 (Milan) as in Perlmutter GPU/CPU nodes (256 GB DDR4).
 pub const EPYC_7763: CpuParams = CpuParams {
     name: "AMD EPYC 7763",
     cores: 64,
     clock_ghz: 2.45,
     sustained_flops_per_core: 3.2e9,
     mem_bw: 190.0e9,
+    mem_bytes: 256 * 1024 * 1024 * 1024,
+};
+
+/// Intel Xeon Gold 6148 (Skylake), the host generation paired with V100
+/// nodes (Summit-era x86 partitions, 20 cores/socket × 2).
+pub const XEON_6148: CpuParams = CpuParams {
+    name: "Intel Xeon Gold 6148 (2S)",
+    cores: 40,
+    clock_ghz: 2.4,
+    sustained_flops_per_core: 2.6e9,
+    mem_bw: 140.0e9,
+    mem_bytes: 192 * 1024 * 1024 * 1024,
+};
+
+/// AMD EPYC 7A53 "Trento" as paired with MI250X on Frontier-class nodes.
+pub const EPYC_7A53: CpuParams = CpuParams {
+    name: "AMD EPYC 7A53 (Trento)",
+    cores: 64,
+    clock_ghz: 2.0,
+    sustained_flops_per_core: 2.9e9,
+    mem_bw: 205.0e9,
+    mem_bytes: 512 * 1024 * 1024 * 1024,
+};
+
+/// One NVIDIA Grace CPU (72 Neoverse V2 cores, LPDDR5X) — the SNIPPETS
+/// Grace-benchmarking guide's WRF target. Self-hosted: OpenMP target
+/// regions map onto the host cores (`-mp=multicore`), so the same
+/// offloaded kernels are priced on a synthesized device view of this
+/// part (see [`Backend::device_params`]).
+pub const GRACE: CpuParams = CpuParams {
+    name: "NVIDIA Grace (72c)",
+    cores: 72,
+    clock_ghz: 3.2,
+    sustained_flops_per_core: 6.4e9,
+    mem_bw: 500.0e9,
+    mem_bytes: 480 * 1024 * 1024 * 1024,
 };
 
 /// An α–β model of the interconnect between ranks.
@@ -229,6 +335,181 @@ pub const CALIBRATION: Calibration = Calibration {
     service_slice_secs: 0.3,
 };
 
+/// Volta calibration: fewer latency-hiding resources than Ampere (two
+/// dependent-issue slots per scheduler, smaller L1), a slightly deeper
+/// exposed local-memory latency, and a slower context slice on the older
+/// MPS stack.
+pub const V100_CALIBRATION: Calibration = Calibration {
+    latency_hiding_warps: 40.0,
+    mem_latency_cycles: 600.0,
+    alu_latency_cycles: 6.0,
+    gpu_sustained_fraction: 0.32,
+    service_slice_secs: 0.35,
+    ..CALIBRATION
+};
+
+/// CDNA2 calibration: 64-wide wavefronts mean half as many resident
+/// waves hide the same latency, but local-memory round trips are longer
+/// and the HSA queue slice on a shared GCD is the slowest of the zoo.
+pub const MI_CALIBRATION: Calibration = Calibration {
+    latency_hiding_warps: 28.0,
+    mem_latency_cycles: 700.0,
+    alu_latency_cycles: 5.0,
+    gpu_sustained_fraction: 0.30,
+    service_slice_secs: 0.4,
+    ..CALIBRATION
+};
+
+/// Self-hosted Grace calibration: out-of-order cores hide latency with
+/// a handful of hardware threads rather than dozens of warps, cache
+/// round trips are short, and "context slices" are ordinary scheduler
+/// quanta.
+pub const GRACE_CALIBRATION: Calibration = Calibration {
+    latency_hiding_warps: 16.0,
+    min_issue_fraction: 0.05,
+    gpu_sustained_fraction: 0.18,
+    mem_latency_cycles: 350.0,
+    alu_latency_cycles: 3.0,
+    thread_ilp: 4.0,
+    service_slice_secs: 0.1,
+    ..CALIBRATION
+};
+
+/// The offload target of a [`Backend`]: a discrete accelerator, or the
+/// host CPU itself (NVHPC `-mp=multicore` maps target regions onto host
+/// cores).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceProfile {
+    /// A discrete GPU.
+    Gpu(GpuParams),
+    /// A self-hosted CPU target.
+    Cpu(CpuParams),
+}
+
+/// A named hardware bundle the perf plane can price a run on: the
+/// offload device (or self-hosted CPU), the host CPU, and the
+/// calibration constants of that machine. The default backend
+/// (`ZOO[0]`) is bit-for-bit the historical `A100` + [`CALIBRATION`]
+/// pair, so every A100-exclusive path reproduces its goldens unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backend {
+    /// Registry name, as accepted by the `&parallel backend` namelist key.
+    pub name: &'static str,
+    /// The offload target.
+    pub profile: DeviceProfile,
+    /// The host CPU driving the device (for CPU backends, the same part).
+    pub host: CpuParams,
+    /// Calibration constants of this backend's perf plane.
+    pub calib: Calibration,
+}
+
+impl Backend {
+    /// The device the perf plane prices kernels on. GPU backends return
+    /// their profile directly; CPU backends synthesize a device view of
+    /// the host part (cores as SMs, hardware threads as warp slots,
+    /// node memory as device memory) so occupancy, launch pricing, and
+    /// pool admission run end-to-end on every backend.
+    pub fn device_params(&self) -> GpuParams {
+        match self.profile {
+            DeviceProfile::Gpu(g) => g,
+            DeviceProfile::Cpu(c) => self_hosted_device(&c),
+        }
+    }
+
+    /// True when the offload target is the host CPU itself.
+    pub fn is_cpu(&self) -> bool {
+        matches!(self.profile, DeviceProfile::Cpu(_))
+    }
+}
+
+/// Synthesizes the device view of a self-hosted CPU target: each core is
+/// one "SM" holding up to 256 software threads (8 warp slots), peak FLOP
+/// rates follow 4×128-bit FMA pipes (32 FP32 / 16 FP64 FLOP per cycle
+/// per core), and host↔device "transfers" are memcpys at memory
+/// bandwidth with a parallel-region fork for a launch.
+fn self_hosted_device(cpu: &CpuParams) -> GpuParams {
+    GpuParams {
+        name: cpu.name,
+        sms: cpu.cores,
+        clock_ghz: cpu.clock_ghz,
+        max_threads_per_sm: 256,
+        max_blocks_per_sm: 8,
+        regs_per_sm: 65536,
+        max_regs_per_thread: 255,
+        reg_alloc_granularity: 256,
+        smem_per_sm: 164 * 1024,
+        warp: 32,
+        schedulers_per_sm: 2,
+        l1_bytes: 1024 * 1024,
+        l2_bytes: 114 * 1024 * 1024,
+        hbm_bytes: cpu.mem_bytes,
+        hbm_bw: cpu.mem_bw,
+        fp32_flops: cpu.cores as f64 * cpu.clock_ghz * 1e9 * 32.0,
+        fp64_flops: cpu.cores as f64 * cpu.clock_ghz * 1e9 * 16.0,
+        pcie_bw: cpu.mem_bw,
+        pcie_latency: 1.0e-6,
+        launch_overhead: 2.0e-6,
+        default_stack_bytes: 1024,
+    }
+}
+
+/// The backend zoo: every profile the perf plane can run on, default
+/// first. Absolute modeled times differ across these; the v1→v4 scheme
+/// ranking and the Table VII shared-device decay shape must not (the
+/// `repro zoo` gate enforces both).
+pub static ZOO: [Backend; 5] = [
+    Backend {
+        name: "a100-80gb",
+        profile: DeviceProfile::Gpu(A100),
+        host: EPYC_7763,
+        calib: CALIBRATION,
+    },
+    Backend {
+        name: "a100-40gb",
+        profile: DeviceProfile::Gpu(A100_40GB),
+        host: EPYC_7763,
+        calib: CALIBRATION,
+    },
+    Backend {
+        name: "v100-32gb",
+        profile: DeviceProfile::Gpu(V100),
+        host: XEON_6148,
+        calib: V100_CALIBRATION,
+    },
+    Backend {
+        name: "grace-cpu",
+        profile: DeviceProfile::Cpu(GRACE),
+        host: GRACE,
+        calib: GRACE_CALIBRATION,
+    },
+    Backend {
+        name: "mi250x-gcd",
+        profile: DeviceProfile::Gpu(MI250X_GCD),
+        host: EPYC_7A53,
+        calib: MI_CALIBRATION,
+    },
+];
+
+/// The default backend: the paper's A100-80GB Perlmutter node, bitwise
+/// identical to the historical `A100` + [`CALIBRATION`] constants.
+pub fn default_backend() -> &'static Backend {
+    &ZOO[0]
+}
+
+/// Looks a backend up by registry name (case-insensitive), with the
+/// obvious short aliases accepted by the namelist.
+pub fn backend_by_name(name: &str) -> Option<&'static Backend> {
+    let lower = name.to_ascii_lowercase();
+    let canon = match lower.as_str() {
+        "a100" => "a100-80gb",
+        "v100" => "v100-32gb",
+        "grace" => "grace-cpu",
+        "mi250x" | "mi" => "mi250x-gcd",
+        other => other,
+    };
+    ZOO.iter().find(|b| b.name == canon)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +539,72 @@ mod tests {
         assert_eq!(A100_40GB.sms, A100.sms);
         const { assert!(A100_40GB.hbm_bytes < A100.hbm_bytes) };
         const { assert!(A100_40GB.hbm_bw < A100.hbm_bw) };
+    }
+
+    /// Regression for the unchecked multiply: a namelist-scale stack
+    /// size near `u64::MAX / thread_capacity` used to wrap into a tiny
+    /// pool that falsely fit admission. The checked path reports the
+    /// overflow; the unchecked convenience saturates so no wrapped
+    /// footprint can ever look small.
+    #[test]
+    fn stack_pool_overflow_is_checked_not_wrapped() {
+        let huge = u64::MAX / A100.thread_capacity() + 1;
+        assert_eq!(A100.checked_stack_pool_bytes(huge), None);
+        assert_eq!(A100.stack_pool_bytes(huge), u64::MAX);
+        // The old wrapping arithmetic would have produced a small pool.
+        assert!(A100.thread_capacity().wrapping_mul(huge) < A100.hbm_bytes);
+        // Just below the overflow line the two paths agree.
+        let fits = u64::MAX / A100.thread_capacity();
+        assert_eq!(
+            A100.checked_stack_pool_bytes(fits),
+            Some(A100.stack_pool_bytes(fits))
+        );
+    }
+
+    #[test]
+    fn default_backend_is_bitwise_the_a100_constants() {
+        let be = default_backend();
+        assert_eq!(be.name, "a100-80gb");
+        assert_eq!(be.device_params(), A100);
+        assert_eq!(be.host, EPYC_7763);
+        assert_eq!(be.calib, CALIBRATION);
+        assert!(!be.is_cpu());
+    }
+
+    #[test]
+    fn zoo_names_are_unique_and_resolvable() {
+        for be in &ZOO {
+            let found = backend_by_name(be.name).expect("registry roundtrip");
+            assert_eq!(found.name, be.name);
+            assert_eq!(ZOO.iter().filter(|b| b.name == be.name).count(), 1);
+        }
+        assert_eq!(backend_by_name("A100").unwrap().name, "a100-80gb");
+        assert_eq!(backend_by_name("v100").unwrap().name, "v100-32gb");
+        assert_eq!(backend_by_name("grace").unwrap().name, "grace-cpu");
+        assert_eq!(backend_by_name("MI250X").unwrap().name, "mi250x-gcd");
+        assert!(backend_by_name("h100").is_none());
+    }
+
+    #[test]
+    fn self_hosted_grace_prices_as_a_device() {
+        let be = backend_by_name("grace-cpu").unwrap();
+        assert!(be.is_cpu());
+        let dev = be.device_params();
+        assert_eq!(dev.sms, GRACE.cores);
+        assert_eq!(dev.hbm_bytes, GRACE.mem_bytes);
+        assert!((dev.hbm_bw - GRACE.mem_bw).abs() < 1.0);
+        // ~7.4 TF peak FP32 from 72 cores at 3.2 GHz.
+        assert!((7.0e12..8.0e12).contains(&dev.fp32_flops));
+        assert!(dev.thread_capacity() >= GRACE.cores as u64);
+    }
+
+    #[test]
+    fn zoo_devices_differ_where_it_matters() {
+        let caps: Vec<u64> = ZOO.iter().map(|b| b.device_params().hbm_bytes).collect();
+        // At least the 80/40 GiB split and the CPU capacities differ.
+        assert!(caps.iter().collect::<std::collections::BTreeSet<_>>().len() >= 4);
+        let slices: Vec<f64> = ZOO.iter().map(|b| b.calib.service_slice_secs).collect();
+        assert!(slices.iter().any(|s| (s - 0.3).abs() > 1e-9));
     }
 
     #[test]

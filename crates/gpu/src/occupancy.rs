@@ -203,4 +203,37 @@ mod tests {
         assert!(occ.resident_blocks_per_sm >= 1);
         assert_eq!(occ.limiter, Limiter::Registers);
     }
+
+    #[test]
+    fn wavefront64_device_halves_warps_per_block() {
+        // A 128-thread block is 4 warps on NVIDIA parts but 2 wavefronts
+        // on the MI250X's 64-wide SIMDs — the per-SM resident-warp count
+        // the latency-hiding model sees is halved at equal occupancy.
+        let nv = occupancy_for(&crate::machine::A100, 1_000_000, 128, 64, 0);
+        let mi = occupancy_for(&crate::machine::MI250X_GCD, 1_000_000, 128, 64, 0);
+        assert!(
+            mi.resident_warps_per_active_sm < nv.resident_warps_per_active_sm,
+            "MI {} vs A100 {}",
+            mi.resident_warps_per_active_sm,
+            nv.resident_warps_per_active_sm
+        );
+    }
+
+    #[test]
+    fn self_hosted_cpu_backend_occupancy_is_sane() {
+        // The Grace backend's synthesized device view: 72 "SMs" (cores)
+        // of 256 threads. A collapse(3)-shaped launch must fill it
+        // without tripping any occupancy invariant.
+        let grace = crate::machine::backend_by_name("grace").unwrap();
+        let dev = grace.device_params();
+        let occ = occupancy_for(&dev, 100_000, 128, 80, 0);
+        assert!(occ.resident_blocks_per_sm >= 1);
+        assert!(occ.achieved > 0.0 && occ.achieved <= occ.theoretical + 1e-12);
+        assert!(
+            occ.resident_warps_per_active_sm <= dev.max_threads_per_sm as f64 / dev.warp as f64
+        );
+        // A tiny grid leaves most cores idle, exactly like a GPU.
+        let small = occupancy_for(&dev, 8, 128, 80, 0);
+        assert_eq!(small.limiter, Limiter::GridSize);
+    }
 }

@@ -183,4 +183,29 @@ mod tests {
         assert!(out.contains("memory-bound region"));
         assert!(out.contains("ridge"));
     }
+
+    #[test]
+    fn zoo_backends_have_distinct_ceilings() {
+        // Every backend in the zoo yields a well-formed roofline, and the
+        // ceilings genuinely differ across devices (no accidental A100
+        // clones): at least four distinct ridge points among five
+        // backends (the 40 GB A100 shares the compute ceiling but not
+        // the bandwidth, so even it moves).
+        let ridges: Vec<f64> = crate::machine::ZOO
+            .iter()
+            .map(|b| {
+                let r = Roofline::of(&b.device_params());
+                assert!(r.ridge(false) > 0.0, "{}", b.name);
+                assert!(r.attainable(1e9, false) > r.attainable(0.01, false));
+                r.ridge(false)
+            })
+            .collect();
+        let mut distinct = ridges.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 4,
+            "zoo rooflines collapsed onto each other: {ridges:?}"
+        );
+    }
 }

@@ -3,6 +3,7 @@
 use crate::service::EnsembleSpec;
 use fsbm_core::exec::ExecMode;
 use fsbm_core::scheme::{Layout, SbmVersion};
+use gpu_sim::machine::{default_backend, Backend};
 use mpi_sim::CommMode;
 use wrf_cases::ConusParams;
 
@@ -60,6 +61,12 @@ pub struct ModelConfig {
     /// `miniwrf::service` instead of one solo integration. `None` for
     /// ordinary runs.
     pub ensemble: Option<EnsembleSpec>,
+    /// Hardware backend the performance plane prices this run on
+    /// (namelist `&parallel backend`, one of [`gpu_sim::machine::ZOO`]).
+    /// The functional plane is backend-independent; the default backend
+    /// is the Perlmutter A100-80GB bundle and prices bitwise as before
+    /// the zoo existed.
+    pub backend: &'static Backend,
 }
 
 impl ModelConfig {
@@ -82,6 +89,7 @@ impl ModelConfig {
             restart_interval: 0,
             layout: Layout::default(),
             ensemble: None,
+            backend: default_backend(),
         }
     }
 
@@ -106,6 +114,7 @@ impl ModelConfig {
             restart_interval: 0,
             layout: Layout::default(),
             ensemble: None,
+            backend: default_backend(),
         }
     }
 

@@ -208,6 +208,22 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
             })
         }
     };
+    // Hardware backend the performance plane prices on (&parallel
+    // backend = 'v100', ...). Functional results are backend-independent,
+    // so this never changes physics — only modeled times, admission
+    // capacities and calibration.
+    if let Some(name) = nl.get("parallel").and_then(|g| g.get("backend")) {
+        cfg.backend = gpu_sim::machine::backend_by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = gpu_sim::machine::ZOO.iter().map(|b| b.name).collect();
+            NamelistError {
+                line: 0,
+                message: format!(
+                    "unknown &parallel backend `{name}` (known: {})",
+                    known.join(", ")
+                ),
+            }
+        })?;
+    }
     if let Some(name) = nl.get("physics").and_then(|g| g.get("mp_physics")) {
         cfg.version = version_from_name(name).ok_or_else(|| NamelistError {
             line: 0,
@@ -244,6 +260,8 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
                 "checkpoint_interval",
                 d.checkpoint_interval,
             )?,
+            // The service prices on the run's &parallel backend.
+            backend: cfg.backend,
         };
         if spec.members == 0 {
             return Err(NamelistError {
@@ -352,6 +370,32 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("not both"), "{err}");
+    }
+
+    #[test]
+    fn backend_parsed_from_parallel() {
+        // Default: the A100-80GB bundle.
+        let cfg = config_from_namelist("").unwrap();
+        assert!(std::ptr::eq(
+            cfg.backend,
+            gpu_sim::machine::default_backend()
+        ));
+        // Canonical names and aliases, case-insensitively.
+        let cfg = config_from_namelist("&parallel\n backend = 'v100-32gb'\n/\n").unwrap();
+        assert_eq!(cfg.backend.name, "v100-32gb");
+        let cfg = config_from_namelist("&parallel\n backend = 'MI250X'\n/\n").unwrap();
+        assert_eq!(cfg.backend.name, "mi250x-gcd");
+        let cfg = config_from_namelist("&parallel\n backend = 'grace'\n/\n").unwrap();
+        assert!(cfg.backend.is_cpu());
+        // Unknown names list the zoo.
+        let err = config_from_namelist("&parallel\n backend = 'h100'\n/\n").unwrap_err();
+        assert!(err.message.contains("unknown &parallel backend"), "{err}");
+        assert!(err.message.contains("a100-80gb"), "{err}");
+        // Composes with the sharing knobs.
+        let cfg =
+            config_from_namelist("&parallel\n nproc = 32, gpus = 16, backend = 'a100-40gb'\n/\n")
+                .unwrap();
+        assert_eq!((cfg.gpus, cfg.backend.name), (16, "a100-40gb"));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use fsbm_core::state::SbmPatchState;
 use fsbm_core::types::{NKR, NTYPES};
 use gpu_sim::devicepool::{DevicePool, RankSubmission, ShareReport};
 use gpu_sim::error::DeviceError;
-use gpu_sim::machine::{A100, CALIBRATION, SLINGSHOT};
+use gpu_sim::machine::{Calibration, GpuParams, SLINGSHOT};
 use mpi_sim::comm::{run_ranks_with_faults, CommError, CommMode, Rank, RecvRequest};
 use mpi_sim::cost::{CommCost, OverlapStats, Topology};
 use mpi_sim::{FaultPlan, DEFAULT_TIMEOUT};
@@ -124,14 +124,19 @@ pub(crate) fn staged_bytes(points: u64) -> u64 {
 /// collision work priced at the sustained device rate plus launch
 /// overhead and the staged slab transfers — all from metered counters,
 /// never wall clocks, so the post-run device replay is deterministic.
-fn device_service_secs(patch: &PatchSpec, s: &StepReport) -> f64 {
-    let kernel = s.sbm.work.coal.flops as f64
-        / (A100.fp32_flops * CALIBRATION.gpu_sustained_fraction)
-        + A100.launch_overhead;
+/// `dev`/`calib` come from the run's backend bundle; the default backend
+/// reproduces the historical A100 arithmetic bitwise.
+fn device_service_secs(
+    patch: &PatchSpec,
+    s: &StepReport,
+    dev: &GpuParams,
+    calib: &Calibration,
+) -> f64 {
+    let kernel = s.sbm.work.coal.flops as f64 / (dev.fp32_flops * calib.gpu_sustained_fraction)
+        + dev.launch_overhead;
     kernel
         + 2.0
-            * (A100.pcie_latency
-                + staged_bytes(patch.compute_points() as u64) as f64 / A100.pcie_bw)
+            * (dev.pcie_latency + staged_bytes(patch.compute_points() as u64) as f64 / dev.pcie_bw)
 }
 
 /// Tag slots reserved per refresh: 2 phases × 2 sides, with headroom.
@@ -389,6 +394,7 @@ pub(crate) fn run_attempt(
         }
         let mut report = RunReport::default();
         let track_device = cfg.gpus > 0 && cfg.version.offloaded();
+        let (device, calib) = (cfg.backend.device_params(), cfg.backend.calib);
         let mut cost = CommCost::new(SLINGSHOT, topo, me);
         let mut tag = 0u64;
         let fail = |step: u64, error: CommError| RankFailure {
@@ -455,7 +461,7 @@ pub(crate) fn run_attempt(
             if track_device {
                 report
                     .device_secs_per_step
-                    .push(device_service_secs(&patch, &s));
+                    .push(device_service_secs(&patch, &s, &device, &calib));
             }
             accumulate(&mut report, s);
             let done = step + 1;
@@ -514,8 +520,8 @@ pub fn run_parallel_checked(cfg: ModelConfig, steps: usize) -> Result<ParallelRu
     let pool = (cfg.gpus > 0 && cfg.version.offloaded())
         .then(|| -> Result<DevicePool, DeviceError> {
             let dd = two_d_decomposition(cfg.case.domain(), cfg.ranks, cfg.halo);
-            let pp = PerfParams::default();
-            let mut pool = DevicePool::new(A100, cfg.gpus);
+            let pp = PerfParams::for_backend(cfg.backend);
+            let mut pool = DevicePool::for_backend(cfg.backend, cfg.gpus);
             for patch in &dd.patches {
                 let bytes = staged_bytes(patch.compute_points() as u64);
                 pool.admit(patch.rank, &rank_footprint(&pp, bytes))?;

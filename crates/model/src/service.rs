@@ -44,7 +44,7 @@ use crate::restart::{run_parallel_restartable, RestartConfig};
 use fsbm_core::state::SbmPatchState;
 use gpu_sim::devicepool::{CacheShareStats, DevicePool, RankFootprint, RankSubmission};
 use gpu_sim::error::DeviceError;
-use gpu_sim::machine::{A100, CALIBRATION};
+use gpu_sim::machine::{default_backend, Backend, CALIBRATION};
 use mpi_sim::{FaultPlan, DEFAULT_TIMEOUT};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -78,6 +78,11 @@ pub struct EnsembleSpec {
     pub max_attempts: usize,
     /// Steps between member checkpoints when the retry policy is on.
     pub checkpoint_interval: usize,
+    /// Hardware backend the service packs members onto: its device
+    /// capacity bounds members-per-device, its calibration prices the
+    /// replay slices. Defaults to the A100-80GB bundle (bitwise the
+    /// pre-zoo behaviour).
+    pub backend: &'static Backend,
 }
 
 impl Default for EnsembleSpec {
@@ -90,6 +95,7 @@ impl Default for EnsembleSpec {
             spacing_secs: 0.05,
             max_attempts: 1,
             checkpoint_interval: 2,
+            backend: default_backend(),
         }
     }
 }
@@ -316,8 +322,12 @@ impl Schedule {
     }
 }
 
-/// p50/p90/p99 of a latency sample (nearest-rank on the sorted sample;
-/// all zeros when empty).
+/// p50/p90/p99 of a latency sample (ceiling-rank on the sorted sample;
+/// all zeros when empty). Ceiling-rank guarantees the reported value is
+/// at or *above* the requested percentile: the old `.round()`
+/// nearest-rank could select the rank below it on small samples (p90 of
+/// 8 waits rounded rank 6.3 down to 6 — the ~86th percentile — and p50
+/// of 2 waits "rounded" to the upper while p90 of 11 fell short).
 pub fn latency_percentiles(waits: &[f64]) -> [f64; 3] {
     if waits.is_empty() {
         return [0.0; 3];
@@ -325,7 +335,7 @@ pub fn latency_percentiles(waits: &[f64]) -> [f64; 3] {
     let mut sorted = waits.to_vec();
     sorted.sort_by(f64::total_cmp);
     let pick = |p: f64| {
-        let at = (p * (sorted.len() - 1) as f64).round() as usize;
+        let at = (p * (sorted.len() - 1) as f64).ceil() as usize;
         sorted[at]
     };
     [pick(0.50), pick(0.90), pick(0.99)]
@@ -357,7 +367,7 @@ pub fn schedule_ensemble(
         return Err(ServiceError::Config("devices must be >= 1".into()));
     }
     let n = timings.len();
-    let mut pool = DevicePool::new(A100, spec.devices);
+    let mut pool = DevicePool::for_backend(spec.backend, spec.devices);
     let submit: Vec<f64> = (0..n).map(|i| i as f64 * spec.spacing_secs).collect();
     let mut pending: Vec<usize> = (0..n).collect();
     let mut scheduled: Vec<Option<ScheduledMember>> = (0..n).map(|_| None).collect();
@@ -634,7 +644,7 @@ pub fn run_ensemble_with(
     // Fail fast when a member fits no empty device — before any
     // functional work is spent.
     if offloaded {
-        let mut scratch = DevicePool::new(A100, spec.devices);
+        let mut scratch = DevicePool::for_backend(spec.backend, spec.devices);
         if let Err(e) = scratch.admit_packed(0, &footprint, Some(key)) {
             return Err(ServiceError::Admission(e));
         }
@@ -843,6 +853,57 @@ mod tests {
         assert!(waits[5..].iter().all(|&w| w > 0.0));
         let [p50, p90, p99] = latency_percentiles(&waits);
         assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    #[test]
+    fn percentiles_use_ceiling_rank_at_small_n() {
+        // Two samples: every percentile above the median must report the
+        // upper sample (ceil picks rank 1; round was correct here only
+        // by accident of .5 rounding away from zero).
+        assert_eq!(latency_percentiles(&[1.0, 2.0]), [2.0, 2.0, 2.0]);
+        // Eight samples: p90 rank = ceil(0.9 × 7) = 7, the maximum.
+        // Nearest-rank rounded 6.3 down to rank 6 — the ~86th
+        // percentile, *below* the requested p90.
+        let w: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        assert_eq!(latency_percentiles(&w), [5.0, 8.0, 8.0]);
+        // Eleven samples: p50 = ceil(5.0) = rank 5, p90 = rank 9,
+        // p99 = ceil(9.9) = rank 10.
+        let w: Vec<f64> = (1..=11).map(|i| i as f64).collect();
+        assert_eq!(latency_percentiles(&w), [6.0, 10.0, 11.0]);
+        // Degenerate samples.
+        assert_eq!(latency_percentiles(&[3.5]), [3.5, 3.5, 3.5]);
+        assert_eq!(latency_percentiles(&[]), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backend_capacity_changes_member_packing() {
+        // Same members, same footprints: a smaller-memory backend packs
+        // fewer members per device, so the queue takes more waves.
+        let fp = gate_footprint();
+        let t = flat_timings(8, 2, 0.3);
+        let a = EnsembleSpec {
+            members: 8,
+            devices: 1,
+            ..EnsembleSpec::default()
+        };
+        let v = EnsembleSpec {
+            backend: gpu_sim::machine::backend_by_name("v100").unwrap(),
+            ..a
+        };
+        let sa = schedule_ensemble(&t, &a, &fp, Some(1)).unwrap();
+        let sv = schedule_ensemble(&t, &v, &fp, Some(1)).unwrap();
+        assert_eq!(sa.waves, 2, "A100-80GB packs 5 + 3");
+        assert!(
+            sv.waves > sa.waves,
+            "V100-32GB must need more waves than the A100 ({} vs {})",
+            sv.waves,
+            sa.waves
+        );
+        assert_eq!(
+            sv.devices[0].capacity_bytes,
+            32 * 1024 * 1024 * 1024,
+            "ledger capacity is the backend device's HBM"
+        );
     }
 
     #[test]

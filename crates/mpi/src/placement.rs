@@ -88,7 +88,12 @@ impl GpuPool {
         stack_bytes: u64,
         slab_bytes: u64,
     ) -> Option<usize> {
-        let per_rank = params.stack_pool_bytes(stack_bytes) + slab_bytes;
+        // The stack pool saturates at u64::MAX on overflow; keep the
+        // sum saturating too so an absurd footprint yields 0 ranks, not
+        // a wrapped count.
+        let per_rank = params
+            .stack_pool_bytes(stack_bytes)
+            .saturating_add(slab_bytes);
         params.hbm_bytes.checked_div(per_rank).map(|n| n as usize)
     }
 }

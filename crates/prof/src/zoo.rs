@@ -1,0 +1,66 @@
+//! Device-zoo reporting: the per-backend one-line summary of the
+//! portability gate's verdict.
+//!
+//! The zoo gate prices the same workload on every backend of the device
+//! zoo and checks that the paper's *relative* conclusions survive the
+//! hardware swap. This module owns the canonical per-backend line so
+//! `repro zoo`, CI summaries, and tests all print the same thing: the
+//! backend's class, its most-offloaded absolute time, the version
+//! ranking, the ensemble cap, and the verdict.
+
+/// Renders the canonical one-line per-backend zoo summary.
+///
+/// `offload_secs` is the backend's modeled time of the most-offloaded
+/// version (the divergence witness); `ranking` is the slowest→fastest
+/// version ordering the gate compared across backends.
+pub fn zoo_line(
+    backend: &str,
+    is_cpu: bool,
+    offload_secs: f64,
+    ranking: &[&str],
+    member_cap: usize,
+    pass: bool,
+) -> String {
+    format!(
+        "zoo: backend={backend} class={} v4={offload_secs:.1}s ranking=[{}] cap={member_cap} {}",
+        if is_cpu { "cpu" } else { "gpu" },
+        ranking.join(" > "),
+        if pass { "pass" } else { "FAIL" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_contains_every_field() {
+        let line = zoo_line(
+            "v100-32gb",
+            false,
+            626.6,
+            &["baseline", "lookup", "collapse2", "collapse3"],
+            3,
+            true,
+        );
+        assert!(line.starts_with("zoo: backend=v100-32gb"));
+        for needle in [
+            "class=gpu",
+            "v4=626.6s",
+            "ranking=[baseline > lookup > collapse2 > collapse3]",
+            "cap=3",
+            "pass",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn cpu_backend_failure_is_visible() {
+        let line = zoo_line("grace-cpu", true, 438.0, &["baseline"], 11, false);
+        assert_eq!(
+            line,
+            "zoo: backend=grace-cpu class=cpu v4=438.0s ranking=[baseline] cap=11 FAIL"
+        );
+    }
+}
