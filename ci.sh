@@ -18,6 +18,7 @@
 #   CI_HOST_MIN_SPEEDUP  layout speedup floor          (default 2.0; reference 3.0)
 #   CI_GATE_LOOSE_TOL    gate loose host tolerance     (default 0.8; reference 0.50)
 #   CI_GATE_HOST_FACTOR  gate host wall factor         (default 10; reference 3.0)
+#   CI_TUNE_CHECK_STEPS  tune bitwise-check steps      (default 4; nightly 8)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -172,8 +173,39 @@ step_zoo() {
     fi
 }
 
+# The schedule-autotuner gate: `codee_sim::tune` enumerates every
+# licensed schedule of the collision nest (loop orders, collapse
+# depths, storage transposition, fission points), prices each through
+# the backend's perf plane, and the paper's hand-derived kernels must
+# fall out as storage-family winners on every zoo backend: the v2
+# geometry (collapse(2), 168 regs, 20 KiB automatics) as the stack
+# winner and the v3 geometry (collapse(3), 80 regs, 640 B slab) as the
+# slab winner, with the slab family beating stack everywhere. The
+# namelist's `schedule = 'auto'` must be bitwise identical to the
+# explicit winning version, the family ranking must be identical across
+# all five backends, and the committed BENCH_tune.json winners are
+# replay-gated. Appends the per-backend winner table to the job
+# summary. Deterministic modeled accounting throughout.
+step_tune() {
+    cargo run --release -q -p wrf-bench --bin repro -- tune \
+        --check-steps "${CI_TUNE_CHECK_STEPS:-4}" | tee /tmp/repro_tune.out
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f /tmp/repro_tune.out ]; then
+        {
+            printf '
+### schedule autotuner: per-backend winners
+
+```
+'
+            sed -n '/storage-family winners per backend/,/^$/p' /tmp/repro_tune.out
+            grep '^tune: backend=' /tmp/repro_tune.out || true
+            printf '```
+'
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
+}
+
 usage() {
-    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo|all]" >&2
+    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo|tune|all]" >&2
     exit 2
 }
 
@@ -235,9 +267,9 @@ run_step() {
 }
 
 case "${1:-all}" in
-    build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo) run_step "$1" ;;
+    build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo|tune) run_step "$1" ;;
     all)
-        for s in build test clippy docs fmt shellcheck gate host comm fault share ensemble zoo; do
+        for s in build test clippy docs fmt shellcheck gate host comm fault share ensemble zoo tune; do
             run_step "$s"
         done
         echo "==> ci.sh: all steps passed"

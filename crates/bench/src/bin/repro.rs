@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|ensemble|zoo|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|ensemble|zoo|tune|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
@@ -34,6 +34,13 @@
 //! Table VII decay shape, and capacity-tracking ensemble packing must
 //! hold on all of them while absolute times genuinely differ) and
 //! writes `BENCH_zoo.json`.
+//! `tune` runs the schedule-autotuner gate (`codee_sim::tune` searches
+//! the licensed schedule space of the collision nest on every zoo
+//! backend; the paper's hand-derived v2/v3 kernels must fall out as
+//! storage-family winners, `schedule = 'auto'` must be bitwise-identical
+//! to the explicit winner, and the family ranking must be stable across
+//! backends) and writes `BENCH_tune.json`; a committed `BENCH_tune.json`
+//! is replay-gated (winners and rankings must match).
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -636,6 +643,95 @@ fn ensemble(args: &[String]) -> i32 {
     }
 }
 
+/// Parses `repro tune` flags into a [`wrf_gate::TuneGateConfig`] plus
+/// the report path.
+fn tune_config(args: &[String]) -> Result<(wrf_gate::TuneGateConfig, String), String> {
+    let mut cfg = wrf_gate::TuneGateConfig::default();
+    let mut report = "BENCH_tune.json".to_string();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        let parse_err = |e: String| format!("{arg}: {e}");
+        match arg.as_str() {
+            "--coeff-scale" => {
+                cfg.coeff_scale = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseFloatError| parse_err(e.to_string()))?
+            }
+            "--coeff-nz" => {
+                cfg.coeff_nz = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--coeff-steps" => {
+                cfg.coeff_steps = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--min-backends" => {
+                cfg.min_backends = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--check-steps" => {
+                cfg.check_steps = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--report" => report = value(&mut it, arg)?,
+            other => {
+                return Err(format!(
+                    "unknown tune flag {other}; flags: --coeff-scale X --coeff-nz N \
+                     --coeff-steps N --min-backends N --check-steps N --report PATH"
+                ))
+            }
+        }
+    }
+    Ok((cfg, report))
+}
+
+/// Runs the schedule-autotuner gate and returns the process exit code.
+fn tune(args: &[String]) -> i32 {
+    let (cfg, report_path) = match tune_config(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repro tune: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "[repro] tune: searching the licensed schedule space of the collision nest on \
+         {} backends (measured coefficients: scale {} nz {} steps {}), then the \
+         schedule='auto' bitwise check...",
+        gpu_sim::machine::ZOO.len(),
+        cfg.coeff_scale,
+        cfg.coeff_nz,
+        cfg.coeff_steps
+    );
+    let committed = std::fs::read_to_string(&report_path).ok();
+    if committed.is_none() {
+        eprintln!("[repro] tune: no committed {report_path}; skipping the replay check");
+    }
+    let rep = wrf_gate::run_tune_gate(&cfg, committed.as_deref());
+    print!("{}", rep.rendered());
+    match std::fs::write(&report_path, rep.to_json()) {
+        Ok(()) => eprintln!("[repro] tune report written to {report_path}"),
+        Err(e) => eprintln!("[repro] could not write {report_path}: {e}"),
+    }
+    for v in rep.violations() {
+        eprintln!("repro tune: VIOLATION: {v}");
+    }
+    if rep.pass() {
+        0
+    } else {
+        1
+    }
+}
+
 /// Parses `repro zoo` flags into a [`wrf_gate::ZooGateConfig`] plus the
 /// report path.
 fn zoo_config(args: &[String]) -> Result<(wrf_gate::ZooGateConfig, String), String> {
@@ -754,6 +850,10 @@ fn main() {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(zoo(&args));
     }
+    if what == "tune" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(tune(&args));
+    }
     let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {
         eprintln!("[repro] measuring work coefficients (functional model)...");
@@ -836,7 +936,7 @@ fn main() {
         eprintln!(
             "unknown target `{what}`; use table1|table3|table4|table5|table6|table7|\
              timeline|fig2|fig3|fig4|ablation|future|verify|listings|bench-exec|bench-host|\
-             gate|comm|fault|share|ensemble|zoo|all"
+             gate|comm|fault|share|ensemble|zoo|tune|all"
         );
         std::process::exit(2);
     }

@@ -31,6 +31,7 @@ pub mod ir;
 pub mod modernize;
 pub mod rewrite;
 pub mod screening;
+pub mod tune;
 
 pub use checks::{run_checks, Check, Finding, Severity};
 pub use depend::{analyze, Dependence, DependenceKind, LoopAnalysis};
@@ -38,3 +39,6 @@ pub use ir::{Affine, ArrayDecl, ArrayRef, LoopNest, LoopVar, Scope, Stmt, Subpro
 pub use modernize::{modernize, Modernized};
 pub use rewrite::rewrite_offload;
 pub use screening::{screening, ScreeningReport};
+pub use tune::{
+    tune, NestWork, PricedVariant, ScheduleVariant, Storage, TrafficRates, TuneReport, TuneTarget,
+};

@@ -59,13 +59,16 @@ fn render(nest: &LoopNest, a: &LoopAnalysis) -> String {
     let mut s = String::new();
     s.push_str("! Codee: Loop modified\n");
     s.push_str("!$omp target teams distribute &\n");
-    if a.collapsible > 1 && nest.vars.len() > 2 {
-        // Outer loops parallelized across teams+threads; innermost kept
-        // for simd (Listing 4 structure).
-        s.push_str(&format!(
-            "!$omp parallel do collapse({}) &\n",
-            (a.collapsible).min(nest.vars.len() - 1)
-        ));
+    // Deeper nests keep the innermost loop out of the collapse for simd
+    // (Listing 4 structure); a 2-deep fully-parallel nest collapses both
+    // loops, with simd applied to the innermost collapsed loop.
+    let collapse_depth = if nest.vars.len() > 2 {
+        a.collapsible.min(nest.vars.len() - 1)
+    } else {
+        a.collapsible
+    };
+    if collapse_depth > 1 {
+        s.push_str(&format!("!$omp parallel do collapse({collapse_depth}) &\n"));
     } else {
         s.push_str("!$omp parallel do &\n");
     }
@@ -98,7 +101,7 @@ fn render(nest: &LoopNest, a: &LoopAnalysis) -> String {
 
     let n = nest.vars.len();
     for (depth, v) in nest.vars.iter().enumerate() {
-        if depth == n - 1 && n > 1 && a.parallelizable_vars.contains(&v.name) {
+        if depth == n - 1 && a.parallelizable_vars.contains(&v.name) {
             s.push_str(&indent(depth));
             s.push_str("! Codee: Loop modified\n");
             s.push_str(&indent(depth));
@@ -155,7 +158,9 @@ mod tests {
     fn listing4_shape() {
         let out = rewrite_offload(&kernals_like()).unwrap();
         assert!(out.contains("!$omp target teams distribute"));
-        assert!(out.contains("!$omp parallel do"));
+        // Regression: the 2-deep kernals nest is fully collapsible and
+        // must get collapse(2), not a bare `parallel do` (Listing 4).
+        assert!(out.contains("!$omp parallel do collapse(2)"), "{out}");
         assert!(out.contains("private(ckern_1)"));
         assert!(out.contains("map(from: cwlg, cwls)"));
         assert!(out.contains("map(to: ywls_750mb)"));
@@ -163,6 +168,23 @@ mod tests {
         assert!(out.contains("do j = 1, 33"));
         assert!(out.contains("do i = 1, 33"));
         assert_eq!(out.matches("enddo").count(), 2);
+    }
+
+    /// Regression: a single-loop parallelizable nest used to miss its
+    /// `!$omp simd` because the emitter required at least two loops.
+    #[test]
+    fn single_loop_nest_gets_simd() {
+        let nest = LoopNest {
+            id: "one.f90:1".into(),
+            vars: vec![LoopVar::new("i", 1, 100)],
+            body: vec![Stmt::Access(ArrayRef::write("a", vec![Affine::var("i")]))],
+            decls: vec![],
+        };
+        let out = rewrite_offload(&nest).unwrap();
+        assert!(out.contains("!$omp parallel do"), "{out}");
+        assert!(!out.contains("collapse("), "{out}");
+        assert!(out.contains("!$omp simd"), "{out}");
+        assert_eq!(out.matches("enddo").count(), 1);
     }
 
     #[test]

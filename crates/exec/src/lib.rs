@@ -57,10 +57,16 @@ struct Job {
 unsafe impl Send for Job {}
 
 /// Pool control state guarded by one mutex: the dispatch epoch, the
-/// current job, and the shutdown flag.
+/// current job, the count of workers still inside the epoch's drain,
+/// and the shutdown flag.
 struct Control {
     epoch: u64,
     job: Option<Job>,
+    /// Helper workers currently draining the published job. The caller
+    /// retires the job only once this returns to zero: a worker that
+    /// woke late for an epoch must not still hold the (stale) body
+    /// pointer when the next epoch refills the deques.
+    active: usize,
     shutdown: bool,
 }
 
@@ -94,6 +100,7 @@ impl Shared {
             ctl: Mutex::new(Control {
                 epoch: 0,
                 job: None,
+                active: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -182,17 +189,27 @@ fn worker_loop(shared: Arc<Shared>, w: usize) {
                 }
                 if g.epoch != seen {
                     seen = g.epoch;
-                    break g.job.as_ref().map(|j| j.body);
+                    let ptr = g.job.as_ref().map(|j| j.body);
+                    if ptr.is_some() {
+                        g.active += 1;
+                    }
+                    break ptr;
                 }
                 g = shared.work_cv.wait(g).unwrap_or_else(|p| p.into_inner());
             }
         };
         if let Some(ptr) = body_ptr {
-            // SAFETY: `run_ranges` keeps the pointee alive until
-            // `remaining` reaches zero, and we only dereference while
-            // chunks of this epoch exist.
+            // SAFETY: `run_ranges` keeps the pointee alive until every
+            // chunk has completed *and* `active` has returned to zero,
+            // so this worker never dereferences a retired job or drains
+            // a later epoch's chunks with this epoch's body.
             let body = unsafe { &*ptr };
             shared.drain(w, body);
+            let mut g = lock_clean(&shared.ctl);
+            g.active -= 1;
+            if g.active == 0 {
+                shared.done_cv.notify_all();
+            }
         }
     }
 }
@@ -368,10 +385,15 @@ impl Executor {
         // Participate as worker 0.
         self.shared.drain(0, &body);
 
-        // Wait for stragglers, then retire the job pointer.
+        // Wait for stragglers, then retire the job pointer. Waiting for
+        // `active` (not just `remaining`) to reach zero is what makes
+        // the next epoch safe: a worker that woke late still holds this
+        // epoch's body pointer until it leaves `drain`, and must not be
+        // left running when the deques are refilled with the next job's
+        // chunks.
         {
             let mut g = lock_clean(&self.shared.ctl);
-            while self.shared.remaining.load(Ordering::Acquire) > 0 {
+            while self.shared.remaining.load(Ordering::Acquire) > 0 || g.active > 0 {
                 g = self
                     .shared
                     .done_cv
@@ -551,6 +573,25 @@ mod tests {
             covered.fetch_add(hi - lo, Ordering::Relaxed);
         });
         assert_eq!(covered.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn late_workers_never_run_a_stale_body() {
+        // Regression: `run_ranges` used to wait only for `remaining` to
+        // reach zero, so a worker that woke late for epoch N could
+        // still sit inside `drain` holding N's body pointer when epoch
+        // N+1 refilled the deques — and would then run N+1's chunks
+        // with N's (already-unwound) body. Back-to-back epochs with
+        // per-epoch counters make that cross-talk visible as a count
+        // off by the stolen chunks.
+        let ex = Executor::new(4);
+        for _ in 0..200 {
+            let hits = AtomicU64::new(0);
+            ex.run_indexed(64, Some(1), |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 64);
+        }
     }
 
     #[test]

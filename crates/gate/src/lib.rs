@@ -33,6 +33,7 @@ pub mod json;
 pub mod perf;
 pub mod report;
 pub mod share;
+pub mod tune;
 pub mod zoo;
 
 pub use comm::{run_comm_gate, CommGateConfig, CommGateReport};
@@ -43,6 +44,7 @@ pub use golden::{GoldenPolicy, GoldenRunSpec};
 pub use perf::{BenchCase, Tolerances};
 pub use report::GateReport;
 pub use share::{run_share_gate, ShareGateConfig, ShareGateReport};
+pub use tune::{run_tune_gate, run_tune_gate_with, TuneGateConfig, TuneGateReport};
 pub use zoo::{run_zoo_gate, run_zoo_gate_with, ZooGateConfig, ZooGateReport};
 
 use std::path::{Path, PathBuf};

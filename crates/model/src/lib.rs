@@ -27,6 +27,7 @@ pub mod namelist;
 pub mod parallel;
 pub mod perfmodel;
 pub mod restart;
+pub mod schedule;
 pub mod service;
 
 pub use config::ModelConfig;
@@ -41,6 +42,7 @@ pub use perfmodel::{
     RankWork, TrafficModel,
 };
 pub use restart::{find_latest_checkpoint, run_parallel_restartable, RecoveryStats, RestartConfig};
+pub use schedule::{auto_version, tune_backend, tune_backend_with, tune_rates, version_for};
 pub use service::{
     latency_percentiles, member_config, member_footprint, pressure_key, run_ensemble,
     run_ensemble_with, schedule_ensemble, DeviceLedger, EnsembleReport, EnsembleSpec,

@@ -24,6 +24,22 @@ use crate::service::EnsembleSpec;
 use fsbm_core::scheme::{Layout, SbmVersion};
 use std::collections::BTreeMap;
 
+/// What went wrong, beyond the rendered message — so callers can react
+/// to a typo'd key differently from malformed syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NamelistErrorKind {
+    /// Malformed syntax or an unusable value.
+    Invalid,
+    /// A key this reproduction does not know inside a block it checks
+    /// (`&parallel` / `&ensemble`), e.g. the typo `backennd`.
+    UnknownKey {
+        /// The checked block (without the `&`).
+        group: String,
+        /// The offending key, as written (lowercased).
+        key: String,
+    },
+}
+
 /// A parse error with a line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NamelistError {
@@ -31,6 +47,32 @@ pub struct NamelistError {
     pub line: usize,
     /// Description.
     pub message: String,
+    /// Structured cause.
+    pub kind: NamelistErrorKind,
+}
+
+impl NamelistError {
+    fn invalid(line: usize, message: impl Into<String>) -> NamelistError {
+        NamelistError {
+            line,
+            message: message.into(),
+            kind: NamelistErrorKind::Invalid,
+        }
+    }
+
+    fn unknown_key(group: &str, key: &str, known: &[&str]) -> NamelistError {
+        NamelistError {
+            line: 0,
+            message: format!(
+                "unknown key `{key}` in &{group} (known: {})",
+                known.join(", ")
+            ),
+            kind: NamelistErrorKind::UnknownKey {
+                group: group.to_string(),
+                key: key.to_string(),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for NamelistError {
@@ -75,17 +117,11 @@ pub fn parse(text: &str) -> Result<Namelist, NamelistError> {
         }
         if let Some(name) = trimmed.strip_prefix('&') {
             if current.is_some() {
-                return Err(NamelistError {
-                    line,
-                    message: "nested group (missing `/`?)".into(),
-                });
+                return Err(NamelistError::invalid(line, "nested group (missing `/`?)"));
             }
             let name = name.trim().to_ascii_lowercase();
             if name.is_empty() {
-                return Err(NamelistError {
-                    line,
-                    message: "group with no name".into(),
-                });
+                return Err(NamelistError::invalid(line, "group with no name"));
             }
             out.entry(name.clone()).or_default();
             current = Some(name);
@@ -93,18 +129,15 @@ pub fn parse(text: &str) -> Result<Namelist, NamelistError> {
         }
         if trimmed == "/" {
             if current.take().is_none() {
-                return Err(NamelistError {
-                    line,
-                    message: "`/` outside a group".into(),
-                });
+                return Err(NamelistError::invalid(line, "`/` outside a group"));
             }
             continue;
         }
         let Some(group) = &current else {
-            return Err(NamelistError {
+            return Err(NamelistError::invalid(
                 line,
-                message: format!("assignment `{trimmed}` outside any group"),
-            });
+                format!("assignment `{trimmed}` outside any group"),
+            ));
         };
         // One or more `key = value` pairs separated by commas.
         for piece in trimmed.trim_end_matches(',').split(',') {
@@ -113,10 +146,10 @@ pub fn parse(text: &str) -> Result<Namelist, NamelistError> {
                 continue;
             }
             let Some((k, v)) = piece.split_once('=') else {
-                return Err(NamelistError {
+                return Err(NamelistError::invalid(
                     line,
-                    message: format!("expected `key = value`, got `{piece}`"),
-                });
+                    format!("expected `key = value`, got `{piece}`"),
+                ));
             };
             out.get_mut(group).expect("group exists").insert(
                 k.trim().to_ascii_lowercase(),
@@ -125,10 +158,10 @@ pub fn parse(text: &str) -> Result<Namelist, NamelistError> {
         }
     }
     if current.is_some() {
-        return Err(NamelistError {
-            line: text.lines().count(),
-            message: "unterminated group (missing `/`)".into(),
-        });
+        return Err(NamelistError::invalid(
+            text.lines().count(),
+            "unterminated group (missing `/`)",
+        ));
     }
     Ok(out)
 }
@@ -141,9 +174,8 @@ fn get<T: std::str::FromStr>(
 ) -> Result<T, NamelistError> {
     match nl.get(group).and_then(|g| g.get(key)) {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| NamelistError {
-            line: 0,
-            message: format!("cannot parse &{group} {key} = `{raw}`"),
+        Some(raw) => raw.parse().map_err(|_| {
+            NamelistError::invalid(0, format!("cannot parse &{group} {key} = `{raw}`"))
         }),
     }
 }
@@ -168,10 +200,65 @@ pub fn version_from_name(name: &str) -> Option<SbmVersion> {
     }
 }
 
+/// The explicit `&parallel schedule` names: `'v1'..'v4'` index the
+/// version ladder directly (`'auto'` is resolved by the caller through
+/// the autotuner and is not an explicit name).
+pub fn schedule_from_name(name: &str) -> Option<SbmVersion> {
+    match name.to_ascii_lowercase().as_str() {
+        "v1" => Some(SbmVersion::Baseline),
+        "v2" => Some(SbmVersion::Lookup),
+        "v3" => Some(SbmVersion::OffloadCollapse2),
+        "v4" => Some(SbmVersion::OffloadCollapse3),
+        _ => None,
+    }
+}
+
 /// Builds a [`ModelConfig`] from namelist text, starting from the paper's
 /// defaults.
+/// Keys accepted in `&parallel`.
+const KNOWN_PARALLEL: &[&str] = &[
+    "nproc",
+    "numtiles",
+    "gpus",
+    "gpu_ranks_per_device",
+    "backend",
+    "schedule",
+];
+
+/// Keys accepted in `&ensemble`.
+const KNOWN_ENSEMBLE: &[&str] = &[
+    "members",
+    "devices",
+    "seed_stride",
+    "batch_window",
+    "submit_spacing",
+    "max_attempts",
+    "checkpoint_interval",
+];
+
+/// Rejects unknown keys in the blocks this reproduction owns outright
+/// (`&parallel`, `&ensemble`): a typo like `backennd = 'v100-32gb'`
+/// would otherwise run silently on the default backend. Groups WRF owns
+/// (`&domains`, `&physics`, ...) keep the registry's ignore-unknown
+/// behavior.
+fn reject_unknown_keys(nl: &Namelist) -> Result<(), NamelistError> {
+    for (group, known) in [("parallel", KNOWN_PARALLEL), ("ensemble", KNOWN_ENSEMBLE)] {
+        if let Some(g) = nl.get(group) {
+            if let Some(key) = g.keys().find(|k| !known.contains(&k.as_str())) {
+                return Err(NamelistError::unknown_key(group, key, known));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds a [`ModelConfig`] from WRF-style namelist text: registry
+/// defaults overlaid with the recognized keys, unknown keys in the
+/// blocks this reproduction owns rejected, and `&parallel schedule`
+/// resolved (`'auto'` runs the backend's schedule search).
 pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
     let nl = parse(text)?;
+    reject_unknown_keys(&nl)?;
     let mut cfg = ModelConfig::paper_default(SbmVersion::Lookup);
     cfg.case.nx = get(&nl, "domains", "e_we", cfg.case.nx)?;
     cfg.case.ny = get(&nl, "domains", "e_sn", cfg.case.ny)?;
@@ -202,10 +289,10 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
         (g, 0) => g,
         (0, k) => cfg.ranks.div_ceil(k),
         _ => {
-            return Err(NamelistError {
-                line: 0,
-                message: "set either &parallel gpus or gpu_ranks_per_device, not both".into(),
-            })
+            return Err(NamelistError::invalid(
+                0,
+                "set either &parallel gpus or gpu_ranks_per_device, not both",
+            ))
         }
     };
     // Hardware backend the performance plane prices on (&parallel
@@ -215,32 +302,63 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
     if let Some(name) = nl.get("parallel").and_then(|g| g.get("backend")) {
         cfg.backend = gpu_sim::machine::backend_by_name(name).ok_or_else(|| {
             let known: Vec<&str> = gpu_sim::machine::ZOO.iter().map(|b| b.name).collect();
-            NamelistError {
-                line: 0,
-                message: format!(
+            NamelistError::invalid(
+                0,
+                format!(
                     "unknown &parallel backend `{name}` (known: {})",
                     known.join(", ")
                 ),
-            }
+            )
         })?;
     }
     if let Some(name) = nl.get("physics").and_then(|g| g.get("mp_physics")) {
-        cfg.version = version_from_name(name).ok_or_else(|| NamelistError {
-            line: 0,
-            message: format!("unknown mp_physics `{name}`"),
-        })?;
+        cfg.version = version_from_name(name)
+            .ok_or_else(|| NamelistError::invalid(0, format!("unknown mp_physics `{name}`")))?;
+    }
+    // Schedule selection (&parallel schedule): 'v1'..'v4' pick a rung
+    // of the version ladder explicitly; 'auto' asks the codee autotuner
+    // for the searched-best schedule on the configured backend and maps
+    // it to the version implementing that geometry. Both name the same
+    // knob as &physics mp_physics, so a disagreement is a conflict, not
+    // a precedence rule.
+    if let Some(name) = nl.get("parallel").and_then(|g| g.get("schedule")) {
+        let resolved = if name.eq_ignore_ascii_case("auto") {
+            crate::schedule::auto_version(cfg.backend)
+        } else {
+            schedule_from_name(name).ok_or_else(|| {
+                NamelistError::invalid(
+                    0,
+                    format!("unknown &parallel schedule `{name}` (auto, v1, v2, v3, v4)"),
+                )
+            })?
+        };
+        if let Some(mp) = nl.get("physics").and_then(|g| g.get("mp_physics")) {
+            if cfg.version != resolved {
+                return Err(NamelistError::invalid(
+                    0,
+                    format!(
+                        "&parallel schedule = '{name}' selects {} but &physics mp_physics = '{mp}' selects {}; set one, not both",
+                        resolved.label(),
+                        cfg.version.label()
+                    ),
+                ));
+            }
+        }
+        cfg.version = resolved;
     }
     if let Some(name) = nl.get("physics").and_then(|g| g.get("host_layout")) {
-        cfg.layout = layout_from_name(name).ok_or_else(|| NamelistError {
-            line: 0,
-            message: format!("unknown host_layout `{name}` (point_aos or panel_soa)"),
+        cfg.layout = layout_from_name(name).ok_or_else(|| {
+            NamelistError::invalid(
+                0,
+                format!("unknown host_layout `{name}` (point_aos or panel_soa)"),
+            )
         })?;
     }
     if cfg.case.nx < 8 || cfg.case.ny < 8 || cfg.case.nz < 4 {
-        return Err(NamelistError {
-            line: 0,
-            message: "domain too small (need e_we, e_sn >= 8 and e_vert >= 4)".into(),
-        });
+        return Err(NamelistError::invalid(
+            0,
+            "domain too small (need e_we, e_sn >= 8 and e_vert >= 4)",
+        ));
     }
     // The &ensemble block turns the configuration into an ensemble
     // request served by `miniwrf::service`: N seed-strided members of
@@ -264,16 +382,10 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
             backend: cfg.backend,
         };
         if spec.members == 0 {
-            return Err(NamelistError {
-                line: 0,
-                message: "&ensemble members must be >= 1".into(),
-            });
+            return Err(NamelistError::invalid(0, "&ensemble members must be >= 1"));
         }
         if spec.devices == 0 {
-            return Err(NamelistError {
-                line: 0,
-                message: "&ensemble devices must be >= 1".into(),
-            });
+            return Err(NamelistError::invalid(0, "&ensemble devices must be >= 1"));
         }
         cfg.ensemble = Some(spec);
     }
@@ -438,6 +550,79 @@ mod tests {
         assert!(err.message.contains("members"), "{err}");
         let err = config_from_namelist("&ensemble\n devices = 0\n/\n").unwrap_err();
         assert!(err.message.contains("devices"), "{err}");
+    }
+
+    /// Regression: a typo'd key in `&parallel`/`&ensemble` used to be
+    /// silently ignored, so `backennd = 'v100-32gb'` ran on the default
+    /// backend with no diagnostic.
+    #[test]
+    fn unknown_keys_in_owned_blocks_rejected() {
+        let err = config_from_namelist("&parallel\n backennd = 'v100-32gb'\n/\n").unwrap_err();
+        assert_eq!(
+            err.kind,
+            NamelistErrorKind::UnknownKey {
+                group: "parallel".into(),
+                key: "backennd".into(),
+            }
+        );
+        assert!(err.message.contains("`backennd`"), "{err}");
+        assert!(err.message.contains("&parallel"), "{err}");
+        assert!(err.message.contains("backend"), "{err}");
+
+        let err = config_from_namelist("&ensemble\n membres = 8\n/\n").unwrap_err();
+        assert_eq!(
+            err.kind,
+            NamelistErrorKind::UnknownKey {
+                group: "ensemble".into(),
+                key: "membres".into(),
+            }
+        );
+
+        // Groups WRF owns keep ignoring unknown registry entries.
+        let cfg = config_from_namelist("&domains\n cu_physics = 1\n/\n").unwrap();
+        assert_eq!(cfg.case.nx, 425);
+        // And every known key still passes.
+        assert!(config_from_namelist(
+            "&parallel\n nproc = 4, numtiles = 1, gpus = 2, backend = 'a100-80gb'\n/\n"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn schedule_parsed_from_parallel() {
+        // Explicit rungs of the version ladder.
+        let cfg = config_from_namelist("&parallel\n schedule = 'v1'\n/\n").unwrap();
+        assert_eq!(cfg.version, SbmVersion::Baseline);
+        let cfg = config_from_namelist("&parallel\n schedule = 'v3'\n/\n").unwrap();
+        assert_eq!(cfg.version, SbmVersion::OffloadCollapse2);
+        let cfg = config_from_namelist("&parallel\n schedule = 'V4'\n/\n").unwrap();
+        assert_eq!(cfg.version, SbmVersion::OffloadCollapse3);
+        // 'auto' resolves through the autotuner: the slab collapse(3)
+        // schedule wins on the default backend.
+        let cfg = config_from_namelist("&parallel\n schedule = 'auto'\n/\n").unwrap();
+        assert_eq!(cfg.version, SbmVersion::OffloadCollapse3);
+        assert_eq!(cfg.version, crate::schedule::auto_version(cfg.backend));
+        // Unknown names are rejected with the accepted list.
+        let err = config_from_namelist("&parallel\n schedule = 'v9'\n/\n").unwrap_err();
+        assert!(err.message.contains("unknown &parallel schedule"), "{err}");
+        assert!(err.message.contains("auto"), "{err}");
+    }
+
+    #[test]
+    fn schedule_and_mp_physics_conflict_is_an_error() {
+        // Agreement is fine.
+        let cfg = config_from_namelist(
+            "&physics\n mp_physics = 'fsbm_gpu'\n/\n&parallel\n schedule = 'v4'\n/\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.version, SbmVersion::OffloadCollapse3);
+        // Disagreement names both selections.
+        let err = config_from_namelist(
+            "&physics\n mp_physics = 'fsbm_lookup'\n/\n&parallel\n schedule = 'v4'\n/\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("set one, not both"), "{err}");
+        assert!(err.message.contains("fsbm_lookup"), "{err}");
     }
 
     #[test]

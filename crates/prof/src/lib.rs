@@ -23,6 +23,7 @@ pub mod flat;
 pub mod ranges;
 pub mod share;
 pub mod table;
+pub mod tune;
 pub mod zoo;
 
 pub use comm::comm_line;
@@ -33,6 +34,7 @@ pub use flat::{FlatProfiler, FlatReport, FlatRow};
 pub use ranges::{RangeProfiler, RangeReport, RangeRow};
 pub use share::device_line;
 pub use table::TextTable;
+pub use tune::tune_line;
 pub use zoo::zoo_line;
 
 use std::time::Instant;

@@ -1,0 +1,72 @@
+//! Autotuner reporting: the per-backend one-line summary of the
+//! schedule-search gate's verdict.
+//!
+//! The tune gate searches the licensed schedule space of the collision
+//! nest on every zoo backend and checks that the paper's hand-derived
+//! kernels fall out as family winners. This module owns the canonical
+//! per-backend line so `repro tune`, CI summaries, and tests all print
+//! the same thing: the backend's class, the searched-best schedule and
+//! its modeled time, the storage-family ranking, and the version
+//! `schedule = 'auto'` resolves to.
+
+/// Renders the canonical one-line per-backend tune summary.
+///
+/// `winner` is the searched-best schedule label; `ranking` the
+/// slowest→fastest storage-family ordering the gate compared across
+/// backends; `auto` the scheme version `'auto'` resolves to.
+pub fn tune_line(
+    backend: &str,
+    is_cpu: bool,
+    winner: &str,
+    winner_secs: f64,
+    ranking: &[&str],
+    auto: &str,
+    pass: bool,
+) -> String {
+    format!(
+        "tune: backend={backend} class={} winner=[{winner}] best={winner_secs:.2e}s \
+         families=[{}] auto={auto} {}",
+        if is_cpu { "cpu" } else { "gpu" },
+        ranking.join(" > "),
+        if pass { "pass" } else { "FAIL" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_contains_every_field() {
+        let line = tune_line(
+            "a100-80gb",
+            false,
+            "order=j,k,i collapse=3 slab[bin,pt]",
+            1.7e-3,
+            &["stack", "slab[pt,bin]", "slab[bin,pt]"],
+            "offload collapse(3) w/ pointers",
+            true,
+        );
+        assert!(line.starts_with("tune: backend=a100-80gb"));
+        for needle in [
+            "class=gpu",
+            "winner=[order=j,k,i collapse=3 slab[bin,pt]]",
+            "best=1.70e-3s",
+            "families=[stack > slab[pt,bin] > slab[bin,pt]]",
+            "auto=offload collapse(3) w/ pointers",
+            "pass",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn cpu_backend_failure_is_visible() {
+        let line = tune_line("grace-cpu", true, "w", 2.0e-3, &["stack"], "v4", false);
+        assert_eq!(
+            line,
+            "tune: backend=grace-cpu class=cpu winner=[w] best=2.00e-3s \
+             families=[stack] auto=v4 FAIL"
+        );
+    }
+}
