@@ -19,6 +19,8 @@
 #   CI_GATE_LOOSE_TOL    gate loose host tolerance     (default 0.8; reference 0.50)
 #   CI_GATE_HOST_FACTOR  gate host wall factor         (default 10; reference 3.0)
 #   CI_TUNE_CHECK_STEPS  tune bitwise-check steps      (default 4; nightly 8)
+#   CI_CASES_SWEEP       cases activity-sweep depth    (default shallow; nightly deep)
+#   CI_DRIFT_BASE        golden-drift diff base ref    (default origin/$GITHUB_BASE_REF)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -204,8 +206,76 @@ step_tune() {
     fi
 }
 
+# The case-library gate: every idealized case (squall line, supercell,
+# orographic precipitation, maritime shallow convection, plus the legacy
+# CONUS default) must digest bitwise-identically across all four scheme
+# versions x both schedulers x both memory layouts and match its
+# committed goldens/case_<slug>.golden fixture; blocking and overlapped
+# halo exchange must agree on a 2-rank decomposition; per-case activity
+# fractions must land in their pinned disjoint bands; and the one-way
+# nested configuration must be bitwise-reproducible across the same
+# matrix with its child within the documented interior digit floor of a
+# solo fine-grid run. PRs run the shallow activity sweep; the nightly
+# job deepens it with CI_CASES_SWEEP=deep. Writes BENCH_cases.json and
+# appends the per-case digest table to the job summary. Deterministic
+# end to end — no wall-clock tolerances.
+step_cases() {
+    cargo run --release -q -p wrf-bench --bin repro -- cases \
+        --sweep "${CI_CASES_SWEEP:-shallow}" | tee /tmp/repro_cases.out
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f /tmp/repro_cases.out ]; then
+        {
+            printf '
+### case library: per-case digests and nesting
+
+```
+'
+            sed -n '/per-case digest table/,/^$/p' /tmp/repro_cases.out
+            grep -E '^(case|nest|sweep): ' /tmp/repro_cases.out || true
+            printf '```
+'
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
+}
+
+# The golden-drift guard: a change under goldens/ is only legitimate
+# when it was produced by a deliberate re-bless, and the committed
+# convention is that such commits say so (`--bless` in the message
+# body). Diffs the current HEAD against the PR base (or CI_DRIFT_BASE
+# locally) and fails when goldens/ changed without any commit in the
+# range mentioning --bless. Skips quietly when no base ref is available
+# (pushes to main, shallow local clones).
+step_golden_drift() {
+    local base="${CI_DRIFT_BASE:-}"
+    if [ -z "$base" ] && [ -n "${GITHUB_BASE_REF:-}" ]; then
+        base="origin/${GITHUB_BASE_REF}"
+    fi
+    if [ -z "$base" ]; then
+        echo "==> ci.sh: golden-drift: no base ref (set CI_DRIFT_BASE); skipping"
+        return 0
+    fi
+    if ! git rev-parse --verify --quiet "$base" >/dev/null; then
+        echo "==> ci.sh: golden-drift: base ref $base not found; skipping"
+        return 0
+    fi
+    local changed
+    changed=$(git diff --name-only "$base"...HEAD -- goldens/) || return 1
+    if [ -z "$changed" ]; then
+        echo "==> ci.sh: golden-drift: goldens/ untouched vs $base"
+        return 0
+    fi
+    if git log --format=%B "$base"..HEAD | grep -q -- '--bless'; then
+        echo "==> ci.sh: golden-drift: goldens/ changed with a --bless commit recorded:"
+        printf '%s\n' "$changed"
+        return 0
+    fi
+    echo "==> ci.sh: golden-drift: goldens/ changed without any '--bless' commit in range $base..HEAD:" >&2
+    printf '%s\n' "$changed" >&2
+    echo "==> re-bless deliberately (repro gate --bless / repro cases --bless) and say so in the commit body" >&2
+    return 1
+}
+
 usage() {
-    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo|tune|all]" >&2
+    echo "usage: ./ci.sh [build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo|tune|cases|golden_drift|all]" >&2
     exit 2
 }
 
@@ -267,9 +337,9 @@ run_step() {
 }
 
 case "${1:-all}" in
-    build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo|tune) run_step "$1" ;;
+    build|test|clippy|docs|fmt|shellcheck|gate|host|comm|fault|share|ensemble|zoo|tune|cases|golden_drift) run_step "$1" ;;
     all)
-        for s in build test clippy docs fmt shellcheck gate host comm fault share ensemble zoo tune; do
+        for s in build test clippy docs fmt shellcheck golden_drift gate host comm fault share ensemble zoo tune cases; do
             run_step "$s"
         done
         echo "==> ci.sh: all steps passed"

@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|ensemble|zoo|tune|all]`
+//! Usage: `repro [table1|table3|table4|table5|table6|table7|fig3|fig4|verify|listings|bench-exec|bench-host|gate|comm|fault|share|ensemble|zoo|tune|cases|all]`
 //! (default `all`). Building the context runs the functional model for a
 //! few steps to measure work coefficients; use a release build.
 //! `bench-exec` times the collision stage under the three scheduling
@@ -41,6 +41,14 @@
 //! to the explicit winner, and the family ranking must be stable across
 //! backends) and writes `BENCH_tune.json`; a committed `BENCH_tune.json`
 //! is replay-gated (winners and rankings must match).
+//! `cases` runs the case-library gate (every idealized case and the
+//! one-way nested configuration bitwise-reproducible across versions x
+//! schedulers x layouts x comm modes against `goldens/case_*.golden`,
+//! activity fractions in their pinned disjoint bands, and the nested
+//! child within its documented interior digit floor of a solo fine-grid
+//! run) and writes `BENCH_cases.json`; `cases --bless` regenerates the
+//! case fixtures, `cases --sweep deep` runs the nightly-depth
+//! activity-fraction sweep.
 
 use wrf_bench::ablations::{ablation_block_size, ablation_latency_knee, ablation_registers};
 use wrf_bench::figures::{fig2, fig3, fig4};
@@ -732,6 +740,121 @@ fn tune(args: &[String]) -> i32 {
     }
 }
 
+/// Parsed `repro cases` invocation: gate config, goldens dir, report
+/// path, and whether to bless instead of gate.
+struct CasesArgs {
+    cfg: wrf_gate::CasesGateConfig,
+    goldens: std::path::PathBuf,
+    report: String,
+    bless: bool,
+}
+
+/// Parses `repro cases` flags.
+fn cases_config(args: &[String]) -> Result<CasesArgs, String> {
+    let mut out = CasesArgs {
+        cfg: wrf_gate::CasesGateConfig::default(),
+        goldens: std::path::PathBuf::from("goldens"),
+        report: "BENCH_cases.json".to_string(),
+        bless: false,
+    };
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        let parse_err = |e: String| format!("{arg}: {e}");
+        match arg.as_str() {
+            "--bless" => out.bless = true,
+            "--sweep" => {
+                out.cfg.sweep_scales = match value(&mut it, arg)?.as_str() {
+                    "shallow" => vec![miniwrf::ModelConfig::GATE_SCALE],
+                    "deep" => wrf_gate::cases::DEEP_SWEEP.to_vec(),
+                    other => {
+                        return Err(format!("--sweep takes shallow|deep, got {other:?}"));
+                    }
+                }
+            }
+            "--ranks" => {
+                out.cfg.ranks = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--workers" => {
+                out.cfg.workers = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--margin" => {
+                out.cfg.nest_margin = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| parse_err(e.to_string()))?
+            }
+            "--goldens" => out.goldens = std::path::PathBuf::from(value(&mut it, arg)?),
+            "--report" => out.report = value(&mut it, arg)?,
+            other => {
+                return Err(format!(
+                    "unknown cases flag {other}; flags: --bless --sweep shallow|deep \
+                     --ranks N --workers N --margin N --goldens DIR --report PATH"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the case-library gate and returns the process exit code.
+fn cases(args: &[String]) -> i32 {
+    let parsed = match cases_config(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("repro cases: {e}");
+            return 2;
+        }
+    };
+    if parsed.bless {
+        return match wrf_gate::bless_cases(&parsed.goldens) {
+            Ok(written) => {
+                for p in written {
+                    eprintln!("blessed {}", p.display());
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("repro cases: {e}");
+                2
+            }
+        };
+    }
+    eprintln!(
+        "[repro] cases: gating {} cases x versions x schedulers x layouts, the nested \
+         configuration, and the activity sweep over scales {:?}...",
+        wrf_cases::CaseKind::ALL.len(),
+        parsed.cfg.sweep_scales
+    );
+    let rep = match wrf_gate::run_cases_gate(&parsed.cfg, &parsed.goldens) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro cases: {e}");
+            return 2;
+        }
+    };
+    print!("{}", rep.rendered());
+    match std::fs::write(&parsed.report, rep.to_json()) {
+        Ok(()) => eprintln!("[repro] cases report written to {}", parsed.report),
+        Err(e) => eprintln!("[repro] could not write {}: {e}", parsed.report),
+    }
+    for v in rep.violations() {
+        eprintln!("repro cases: VIOLATION: {v}");
+    }
+    if rep.pass() {
+        0
+    } else {
+        1
+    }
+}
+
 /// Parses `repro zoo` flags into a [`wrf_gate::ZooGateConfig`] plus the
 /// report path.
 fn zoo_config(args: &[String]) -> Result<(wrf_gate::ZooGateConfig, String), String> {
@@ -853,6 +976,10 @@ fn main() {
     if what == "tune" {
         let args: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(tune(&args));
+    }
+    if what == "cases" {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(cases(&args));
     }
     let need_ctx = what != "verify" && what != "listings" && what != "bench-exec";
     let ctx = if need_ctx {

@@ -9,6 +9,7 @@
 //! a seeded RNG; everything else about the real dataset is irrelevant to
 //! the paper's claims (see DESIGN.md substitutions).
 
+use crate::library::{CaseWind, Moisture, Placement, Sounding};
 use fsbm_core::point::PointBins;
 use fsbm_core::state::SbmPatchState;
 use fsbm_core::thermo::{air_density, qsat_liquid};
@@ -35,6 +36,14 @@ pub struct ConusParams {
     pub n_storms: usize,
     /// RNG seed (deterministic scenarios).
     pub seed: u64,
+    /// Base-state column (shared builder; see `library::Sounding`).
+    pub sounding: Sounding,
+    /// Moisture and CCN loading.
+    pub moisture: Moisture,
+    /// Storm placement pattern.
+    pub placement: Placement,
+    /// Kinematic wind parameters.
+    pub wind: CaseWind,
 }
 
 impl ConusParams {
@@ -49,6 +58,10 @@ impl ConusParams {
             dt: 5.0,
             n_storms: 150,
             seed: 20240917,
+            sounding: Sounding::CONUS,
+            moisture: Moisture::CONUS,
+            placement: Placement::Clustered,
+            wind: CaseWind::CONUS,
         }
     }
 
@@ -98,34 +111,137 @@ pub struct ConusCase {
 pub const CLOUD_THRESHOLD: f32 = 0.25;
 
 impl ConusCase {
-    /// Generates the storm population: storms cluster around a handful of
-    /// frontal-system centers (clustering is what makes some MPI patches
-    /// much heavier than others).
+    /// Generates the storm population per the case's
+    /// [`Placement`]. Every arm draws from the seeded RNG in a fixed
+    /// call order, so scenarios stay deterministic per seed; the
+    /// `Clustered` arm reproduces the original CONUS stream verbatim
+    /// (the committed gate goldens depend on it).
     pub fn new(params: ConusParams) -> Self {
         let mut rng = StdRng::seed_from_u64(params.seed);
-        // Widespread convection: many frontal clusters across the whole
-        // domain (every 16-rank patch sees storms, as in the real case),
-        // with enough clustering that some patches carry ~2x the mean —
-        // the Table I gprof-vs-nsys gap.
-        let n_clusters = (params.n_storms / 6).max(1);
-        let clusters: Vec<(f32, f32)> = (0..n_clusters)
-            .map(|_| {
-                (
-                    rng.gen_range(0.05..0.95) * params.nx as f32,
-                    rng.gen_range(0.05..0.95) * params.ny as f32,
-                )
-            })
-            .collect();
-        let spread = 0.30 * params.nx.min(params.ny) as f32;
-        let storms = (0..params.n_storms)
-            .map(|s| {
-                let (cx, cy) = clusters[s % n_clusters];
-                StormCell {
-                    x: cx + rng.gen_range(-1.0f32..1.0) * spread,
-                    y: cy + rng.gen_range(-1.0f32..1.0) * spread,
-                    radius: rng.gen_range(2.0f32..6.0),
-                    intensity: rng.gen_range(0.5f32..1.0),
+        let nx = params.nx as f32;
+        let ny = params.ny as f32;
+        let min_span = params.nx.min(params.ny) as f32;
+        let storms = match params.placement {
+            // Widespread convection: many frontal clusters across the
+            // whole domain (every 16-rank patch sees storms, as in the
+            // real case), with enough clustering that some patches carry
+            // ~2x the mean — the Table I gprof-vs-nsys gap.
+            Placement::Clustered => {
+                let n_clusters = (params.n_storms / 6).max(1);
+                let clusters: Vec<(f32, f32)> = (0..n_clusters)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0.05..0.95) * params.nx as f32,
+                            rng.gen_range(0.05..0.95) * params.ny as f32,
+                        )
+                    })
+                    .collect();
+                let spread = 0.30 * params.nx.min(params.ny) as f32;
+                (0..params.n_storms)
+                    .map(|s| {
+                        let (cx, cy) = clusters[s % n_clusters];
+                        StormCell {
+                            x: cx + rng.gen_range(-1.0f32..1.0) * spread,
+                            y: cy + rng.gen_range(-1.0f32..1.0) * spread,
+                            radius: rng.gen_range(2.0f32..6.0),
+                            intensity: rng.gen_range(0.5f32..1.0),
+                        }
+                    })
+                    .collect()
+            }
+            // Strong cells strung along a SW–NE line with small jitter.
+            Placement::Line => (0..params.n_storms)
+                .map(|s| {
+                    let frac = (s as f32 + 0.5) / params.n_storms as f32;
+                    StormCell {
+                        x: (0.12 + 0.76 * frac) * nx + rng.gen_range(-0.8f32..0.8),
+                        y: (0.12 + 0.76 * frac) * ny + rng.gen_range(-0.8f32..0.8),
+                        radius: (0.095 * min_span).max(1.2) * rng.gen_range(0.9f32..1.1),
+                        intensity: rng.gen_range(0.75f32..1.0),
+                    }
+                })
+                .collect(),
+            // One dominant deep cell near the domain center; remaining
+            // storm slots become small flankers.
+            Placement::Single => {
+                let mut v = vec![StormCell {
+                    x: 0.52 * nx,
+                    y: 0.48 * ny,
+                    radius: (0.30 * min_span).max(2.5),
+                    intensity: 1.0,
+                }];
+                for _ in 1..params.n_storms.max(1) {
+                    v.push(StormCell {
+                        x: (0.2 + 0.6 * rng.gen_range(0.0f32..1.0)) * nx,
+                        y: (0.2 + 0.6 * rng.gen_range(0.0f32..1.0)) * ny,
+                        radius: (0.07 * min_span).max(1.0),
+                        intensity: rng.gen_range(0.5f32..0.7),
+                    });
                 }
+                v
+            }
+            // Moderate cells pinned to a fixed zonal band (the ridge).
+            Placement::Ridge => (0..params.n_storms)
+                .map(|s| {
+                    let frac = (s as f32 + 0.5) / params.n_storms as f32;
+                    StormCell {
+                        x: frac * nx,
+                        y: 0.38 * ny + rng.gen_range(-0.6f32..0.6),
+                        radius: (0.085 * min_span).max(1.0),
+                        intensity: rng.gen_range(0.55f32..0.8),
+                    }
+                })
+                .collect(),
+            // Many small weak cells spread uniformly over open water.
+            Placement::Scattered => (0..params.n_storms)
+                .map(|_| StormCell {
+                    x: rng.gen_range(0.08f32..0.92) * nx,
+                    y: rng.gen_range(0.08f32..0.92) * ny,
+                    radius: (0.055 * min_span).max(0.7),
+                    intensity: rng.gen_range(0.28f32..0.42),
+                })
+                .collect(),
+        };
+        ConusCase { params, storms }
+    }
+
+    /// The same scenario viewed from a refined child grid: the region of
+    /// `ratio × ratio` child cells per parent cell starting at parent
+    /// cell `(i0, j0)` and spanning `w × h` parent cells. Storm centers
+    /// and radii are mapped into child index coordinates (child cell
+    /// `ic` sits at parent coordinate `i0 - 0.5 + (ic - 0.5)/ratio`), so
+    /// the child's analytic cloud field is the parent's, sampled finer.
+    /// `dx` and `dt` shrink by `ratio`; the sounding column is
+    /// unchanged. Used by one-way nesting and its solo-fine reference.
+    pub fn refined(&self, ratio: i32, i0: i32, j0: i32, w: i32, h: i32) -> ConusCase {
+        assert!(ratio >= 1 && w >= 1 && h >= 1);
+        let r = ratio as f32;
+        let params = ConusParams {
+            nx: w * ratio,
+            ny: h * ratio,
+            dx: self.params.dx / r,
+            dt: self.params.dt / r,
+            wind: CaseWind {
+                // Same physical wavelength on the finer spacing.
+                cell_wavelength: self.params.wind.cell_wavelength * r,
+                // Phase offsets place child cell `ic` at parent index
+                // coordinate `i0 - 0.5 + (ic - 0.5)/ratio`, so the
+                // child's kinematic wind IS the parent's, sampled finer.
+                x_offset: (i0 as f32 - 0.5) * r - 0.5 + self.params.wind.x_offset * r,
+                j_offset: (j0 as f32 - 0.5) * r - 0.5 + self.params.wind.j_offset * r,
+                j_period: self.params.wind.j_period * r,
+                ..self.params.wind
+            },
+            ..self.params
+        };
+        let storms = self
+            .storms
+            .iter()
+            .map(|s| StormCell {
+                x: (s.x - i0 as f32 + 0.5) * r + 0.5,
+                y: (s.y - j0 as f32 + 0.5) * r + 0.5,
+                radius: s.radius * r,
+                intensity: s.intensity,
             })
             .collect();
         ConusCase { params, storms }
@@ -151,23 +267,23 @@ impl ConusCase {
         self.cloud_factor(i, j) > CLOUD_THRESHOLD
     }
 
-    /// Base-state temperature at level `k` (1-based), K.
+    /// Base-state temperature at level `k` (1-based), K — through the
+    /// case's shared [`Sounding`] column builder.
     pub fn temperature(&self, k: i32) -> f32 {
         let z = (k - 1) as f32 * self.params.dz;
-        (300.0 - 6.5e-3 * z).max(200.0)
+        self.params.sounding.temperature(z)
     }
 
-    /// Hydrostatic pressure at level `k`, Pa.
+    /// Hydrostatic pressure at level `k`, Pa — through the case's shared
+    /// [`Sounding`] column builder.
     pub fn pressure(&self, k: i32) -> f32 {
         let z = (k - 1) as f32 * self.params.dz;
-        let t0 = 300.0f32;
-        let gamma = 6.5e-3f32;
-        let expo = 9.80665 / (287.04 * gamma);
-        101_325.0 * (1.0 - gamma * z / t0).max(0.05).powf(expo)
+        self.params.sounding.pressure(z)
     }
 
     /// Initializes one rank's patch state from the analytic case.
     pub fn init_state(&self, patch: &PatchSpec) -> SbmPatchState {
+        let m = self.params.moisture;
         let mut st = SbmPatchState::new(*patch);
         // Base state over the full memory span (halo included, so the
         // first exchange is consistent).
@@ -183,9 +299,9 @@ impl ConusCase {
                     let z = (k - 1) as f32 * self.params.dz;
                     // Moist boundary layer, drier aloft; storms nearly
                     // saturated through their depth.
-                    let rh_bg = if z < 2_000.0 { 0.75 } else { 0.45 };
-                    let rh = if cf > CLOUD_THRESHOLD && z < 9_000.0 {
-                        (0.9 + 0.12 * cf).min(1.01)
+                    let rh_bg = if z < m.bl_depth { m.rh_bl } else { m.rh_aloft };
+                    let rh = if cf > CLOUD_THRESHOLD && z < m.storm_depth {
+                        (m.rh_storm_base + m.rh_storm_gain * cf).min(1.01)
                     } else {
                         rh_bg
                     };
@@ -193,8 +309,8 @@ impl ConusCase {
                 }
             }
         }
-        // Seed droplet spectra in convective columns below the mid
-        // troposphere (the storms are already raining in the benchmark).
+        // Seed droplet spectra in convective columns below the case's
+        // seeding top (the storms are already raining in the benchmark).
         for j in patch.jm.iter() {
             for i in patch.im.iter() {
                 let cf = self.cloud_factor(i, j);
@@ -203,15 +319,15 @@ impl ConusCase {
                 }
                 for k in patch.km.iter() {
                     let z = (k - 1) as f32 * self.params.dz;
-                    if z > 8_000.0 {
+                    if z > m.seed_top {
                         continue;
                     }
                     let mut bins = PointBins::empty();
                     for b in 6..=14 {
-                        bins.n[0][b] = 4.0e7 * cf * (1.0 - z / 9_000.0);
+                        bins.n[0][b] = m.ccn_per_bin * cf * (1.0 - z / m.storm_depth);
                     }
                     // Some drizzle so collisions start immediately.
-                    bins.n[0][18] = 2.0e4 * cf;
+                    bins.n[0][18] = m.drizzle * cf;
                     st.store_bins(i, k, j, &bins);
                 }
             }
@@ -371,6 +487,49 @@ mod tests {
             }
         }
         assert!(active_found && clear_found);
+    }
+
+    #[test]
+    fn refined_with_ratio_one_is_identity() {
+        let case = ConusCase::new(ConusParams::at_scale(0.05));
+        let child = case.refined(1, 1, 1, case.params.nx, case.params.ny);
+        assert_eq!(child.params, case.params);
+        assert_eq!(child.storms, case.storms);
+    }
+
+    #[test]
+    fn refined_child_samples_the_parent_cloud_field() {
+        let case = ConusCase::new(ConusParams::at_scale(0.05));
+        let (ratio, i0, j0, w, h) = (2, 7, 5, 8, 6);
+        let child = case.refined(ratio, i0, j0, w, h);
+        assert_eq!((child.params.nx, child.params.ny), (w * ratio, h * ratio));
+        assert_eq!(child.params.dx, case.params.dx / ratio as f32);
+        assert_eq!(child.params.dt, case.params.dt / ratio as f32);
+        assert_eq!(
+            child.params.wind.cell_wavelength,
+            case.params.wind.cell_wavelength * ratio as f32
+        );
+        // The child's mean cloud factor over the patch approximates the
+        // parent's over the covered region (same analytic field, sampled
+        // finer).
+        let mut parent_sum = 0.0f64;
+        for jp in j0..j0 + h {
+            for ip in i0..i0 + w {
+                parent_sum += case.cloud_factor(ip, jp) as f64;
+            }
+        }
+        let mut child_sum = 0.0f64;
+        for jc in 1..=child.params.ny {
+            for ic in 1..=child.params.nx {
+                child_sum += child.cloud_factor(ic, jc) as f64;
+            }
+        }
+        let parent_mean = parent_sum / (w * h) as f64;
+        let child_mean = child_sum / (child.params.nx * child.params.ny) as f64;
+        assert!(
+            (parent_mean - child_mean).abs() < 0.1 * parent_mean.max(0.05),
+            "parent mean {parent_mean:.4} vs child mean {child_mean:.4}"
+        );
     }
 
     #[test]

@@ -11,13 +11,21 @@
 //! scales to any resolution, so functional runs use a reduced grid while
 //! the performance model evaluates the full one analytically.
 //!
+//! [`library`] is the idealized case library: squall line, supercell,
+//! orographic precipitation, and maritime shallow convection, each a
+//! deterministic parameter set with its own sounding, CCN loading,
+//! storm placement, and shear — selected via the `&case` namelist block
+//! and pinned per-case by the `repro cases` gate.
+//!
 //! [`diffwrf`] is the output-verification tool of §VII-B: per-variable
 //! digit agreement between two model states.
 
 pub mod conus;
 pub mod diffwrf;
+pub mod library;
 pub mod wrfout;
 
 pub use conus::{ConusCase, ConusParams};
 pub use diffwrf::{diffwrf, DiffReport, FieldDiff};
+pub use library::{CaseKind, CaseWind, Moisture, Placement, Sounding};
 pub use wrfout::{load_state, save_state};

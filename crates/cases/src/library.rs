@@ -1,0 +1,400 @@
+//! Idealized case library in the spirit of the ESCAPE weather dwarfs.
+//!
+//! Every gate and bench originally ran the single CONUS-12km-like storm
+//! case, so the activity-compacted queue, the SoA panel path, and the
+//! autotuner's coefficients were only ever exercised at one activity
+//! fraction and one column profile. This module adds four idealized
+//! regimes — squall line, supercell, orographic precipitation, maritime
+//! shallow convection — each a deterministic [`ConusParams`] constructor
+//! with its own sounding, moisture/CCN loading, storm placement, and
+//! wind shear. The cases are designed so their column-activity fractions
+//! land in *disjoint* bands (shallow convection low, supercell high),
+//! which is what stresses the compaction queue differently per case.
+//!
+//! Shared building blocks ([`Sounding`], [`Moisture`], [`CaseWind`],
+//! [`Placement`]) replace constants that used to be duplicated between
+//! the gate case and ad-hoc scenarios: a case can no longer silently
+//! diverge from the gate sounding because both go through the same
+//! column builder.
+
+use crate::conus::ConusParams;
+
+/// Analytic base-state column shared by every case: a linear lapse-rate
+/// troposphere with hydrostatic pressure. The gate case and every
+/// library case build their temperature/pressure columns through this
+/// one type, so a case cannot diverge from the gate sounding silently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sounding {
+    /// Surface temperature, K.
+    pub t_surface: f32,
+    /// Tropospheric lapse rate, K/m.
+    pub lapse: f32,
+    /// Isothermal floor (stratosphere stand-in), K.
+    pub t_min: f32,
+    /// Surface pressure, Pa.
+    pub p_surface: f32,
+}
+
+impl Sounding {
+    /// The CONUS-12km column the gate case has always used.
+    pub const CONUS: Sounding = Sounding {
+        t_surface: 300.0,
+        lapse: 6.5e-3,
+        t_min: 200.0,
+        p_surface: 101_325.0,
+    };
+
+    /// Base-state temperature at height `z` (m), K.
+    pub fn temperature(&self, z: f32) -> f32 {
+        (self.t_surface - self.lapse * z).max(self.t_min)
+    }
+
+    /// Hydrostatic pressure at height `z` (m), Pa.
+    pub fn pressure(&self, z: f32) -> f32 {
+        let expo = 9.80665 / (287.04 * self.lapse);
+        self.p_surface * (1.0 - self.lapse * z / self.t_surface).max(0.05).powf(expo)
+    }
+}
+
+/// Moisture and CCN loading of a case: background/storm relative
+/// humidity, the depth storms moisten and seed, and the droplet/drizzle
+/// number the spectra start with (the knob that separates maritime from
+/// continental CCN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moisture {
+    /// Boundary-layer depth, m (moist below, drier above).
+    pub bl_depth: f32,
+    /// Background RH inside the boundary layer.
+    pub rh_bl: f32,
+    /// Background RH aloft.
+    pub rh_aloft: f32,
+    /// Storm-column RH at zero cloud factor.
+    pub rh_storm_base: f32,
+    /// Storm-column RH gain per unit cloud factor.
+    pub rh_storm_gain: f32,
+    /// Depth storms stay saturated through (also the droplet falloff
+    /// scale), m.
+    pub storm_depth: f32,
+    /// Top of the initial droplet seeding, m.
+    pub seed_top: f32,
+    /// Droplet number per seeded bin, #/kg (continental ≫ maritime).
+    pub ccn_per_bin: f32,
+    /// Drizzle-mode number so collisions start immediately, #/kg.
+    pub drizzle: f32,
+}
+
+impl Moisture {
+    /// The continental CONUS loading of the gate case.
+    pub const CONUS: Moisture = Moisture {
+        bl_depth: 2_000.0,
+        rh_bl: 0.75,
+        rh_aloft: 0.45,
+        rh_storm_base: 0.9,
+        rh_storm_gain: 0.12,
+        storm_depth: 9_000.0,
+        seed_top: 8_000.0,
+        ccn_per_bin: 4.0e7,
+        drizzle: 2.0e4,
+    };
+}
+
+/// Per-case parameters of the kinematic storm wind (peak updraft,
+/// steering flow, shear, updraft-cell wavelength) — the values that feed
+/// `wrf_dycore::wind::StormWind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseWind {
+    /// Peak updraft speed, m/s.
+    pub w_max: f32,
+    /// Steering flow at the surface, m/s.
+    pub u_surface: f32,
+    /// Shear across the column, m/s.
+    pub u_shear: f32,
+    /// Updraft-cell wavelength, grid points.
+    pub cell_wavelength: f32,
+    /// Zonal index phase offset, grid points (0 for a top-level run; a
+    /// refined child grid uses it to sample the parent's wind field at
+    /// the right physical position).
+    pub x_offset: f32,
+    /// Meridional index phase offset of the storm-line modulation.
+    pub j_offset: f32,
+    /// Period of the meridional storm-line modulation, grid points.
+    pub j_period: f32,
+}
+
+impl CaseWind {
+    /// The historical gate-case circulation.
+    pub const CONUS: CaseWind = CaseWind {
+        w_max: 8.0,
+        u_surface: 5.0,
+        u_shear: 15.0,
+        cell_wavelength: 24.0,
+        x_offset: 0.0,
+        j_offset: 0.0,
+        j_period: 40.0,
+    };
+}
+
+/// How a case scatters its convective cells over the domain. Every
+/// placement draws from the seeded RNG in a fixed call order, so
+/// scenarios stay deterministic per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Frontal-system clusters (the original CONUS case).
+    Clustered,
+    /// Cells along a SW–NE line (squall line).
+    Line,
+    /// One dominant cell plus small flankers (supercell).
+    Single,
+    /// Cells pinned to a fixed zonal band (orographic ridge).
+    Ridge,
+    /// Many small weak cells spread uniformly (maritime shallow
+    /// convection).
+    Scattered,
+}
+
+/// The selectable cases of the library (plus the legacy CONUS default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    /// The original CONUS-12km-like clustered-storm case.
+    Conus,
+    /// Squall line: a linear band of strong cells, strong shear.
+    SquallLine,
+    /// Supercell: one dominant deep cell, the highest activity fraction.
+    Supercell,
+    /// Orographic precipitation: moderate cells pinned to a ridge band,
+    /// cooler/shallower sounding, weak shear.
+    Orographic,
+    /// Maritime shallow convection: many weak shallow cells, low CCN,
+    /// the lowest activity fraction.
+    ShallowConvection,
+}
+
+impl CaseKind {
+    /// The four library cases (excluding the legacy CONUS default), in
+    /// ascending expected activity order.
+    pub const LIBRARY: [CaseKind; 4] = [
+        CaseKind::ShallowConvection,
+        CaseKind::Orographic,
+        CaseKind::SquallLine,
+        CaseKind::Supercell,
+    ];
+
+    /// Every kind, including the legacy default.
+    pub const ALL: [CaseKind; 5] = [
+        CaseKind::Conus,
+        CaseKind::ShallowConvection,
+        CaseKind::Orographic,
+        CaseKind::SquallLine,
+        CaseKind::Supercell,
+    ];
+
+    /// Stable machine name (fixture filenames, namelist values, JSON).
+    pub fn slug(self) -> &'static str {
+        match self {
+            CaseKind::Conus => "conus",
+            CaseKind::SquallLine => "squall_line",
+            CaseKind::Supercell => "supercell",
+            CaseKind::Orographic => "orographic",
+            CaseKind::ShallowConvection => "shallow_convection",
+        }
+    }
+
+    /// Parses a case name as written in the `&case` namelist block.
+    pub fn from_name(name: &str) -> Option<CaseKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "conus" | "conus12km" => Some(CaseKind::Conus),
+            "squall_line" | "squall" => Some(CaseKind::SquallLine),
+            "supercell" => Some(CaseKind::Supercell),
+            "orographic" | "ridge" => Some(CaseKind::Orographic),
+            "shallow_convection" | "shallow" | "maritime" => Some(CaseKind::ShallowConvection),
+            _ => None,
+        }
+    }
+
+    /// The expected column-activity band of the case at gate scale
+    /// (disjoint across [`CaseKind::LIBRARY`]; pinned by the cases gate).
+    pub fn activity_band(self) -> (f64, f64) {
+        match self {
+            CaseKind::Conus => (0.01, 0.60),
+            CaseKind::ShallowConvection => (0.005, 0.09),
+            CaseKind::Orographic => (0.10, 0.22),
+            CaseKind::SquallLine => (0.25, 0.45),
+            CaseKind::Supercell => (0.48, 0.85),
+        }
+    }
+
+    /// Scenario parameters at horizontal `scale` (1.0 = full CONUS
+    /// extent): the shared [`ConusParams::at_scale`] grid with this
+    /// case's sounding, moisture, placement, and wind overlaid.
+    pub fn params(self, scale: f64) -> ConusParams {
+        let base = ConusParams::at_scale(scale);
+        // Storm radii scale with the domain (see `ConusCase::new`), so
+        // fixed cell counts keep each case's activity fraction roughly
+        // scale-invariant.
+        match self {
+            CaseKind::Conus => base,
+            CaseKind::SquallLine => ConusParams {
+                seed: 0x5c0a_11ed,
+                n_storms: 7,
+                placement: Placement::Line,
+                wind: CaseWind {
+                    w_max: 10.0,
+                    u_surface: 8.0,
+                    u_shear: 22.0,
+                    cell_wavelength: 18.0,
+                    ..CaseWind::CONUS
+                },
+                ..base
+            },
+            CaseKind::Supercell => ConusParams {
+                seed: 0x50ce_11ed,
+                n_storms: 3,
+                placement: Placement::Single,
+                wind: CaseWind {
+                    w_max: 14.0,
+                    u_surface: 6.0,
+                    u_shear: 28.0,
+                    cell_wavelength: 30.0,
+                    ..CaseWind::CONUS
+                },
+                ..base
+            },
+            CaseKind::Orographic => ConusParams {
+                seed: 0x0b06_1a9c,
+                n_storms: 5,
+                placement: Placement::Ridge,
+                sounding: Sounding {
+                    t_surface: 288.0,
+                    lapse: 5.5e-3,
+                    t_min: 200.0,
+                    p_surface: 94_000.0,
+                },
+                wind: CaseWind {
+                    w_max: 4.0,
+                    u_surface: 10.0,
+                    u_shear: 6.0,
+                    cell_wavelength: 16.0,
+                    ..CaseWind::CONUS
+                },
+                ..base
+            },
+            CaseKind::ShallowConvection => ConusParams {
+                seed: 0x5ea5_a1de,
+                n_storms: 9,
+                placement: Placement::Scattered,
+                sounding: Sounding {
+                    t_surface: 298.0,
+                    lapse: 6.0e-3,
+                    t_min: 200.0,
+                    p_surface: 101_000.0,
+                },
+                moisture: Moisture {
+                    bl_depth: 1_500.0,
+                    rh_bl: 0.82,
+                    rh_aloft: 0.35,
+                    rh_storm_base: 0.9,
+                    rh_storm_gain: 0.12,
+                    storm_depth: 2_500.0,
+                    seed_top: 2_000.0,
+                    ccn_per_bin: 1.0e7,
+                    drizzle: 4.0e4,
+                },
+                wind: CaseWind {
+                    w_max: 2.5,
+                    u_surface: 4.0,
+                    u_shear: 3.0,
+                    cell_wavelength: 12.0,
+                    ..CaseWind::CONUS
+                },
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conus_sounding_matches_legacy_constants() {
+        let s = Sounding::CONUS;
+        assert_eq!(s.temperature(0.0), 300.0);
+        assert_eq!(s.pressure(0.0), 101_325.0);
+        // The legacy inline expression, repeated verbatim.
+        for k in 1..=50 {
+            let z = (k - 1) as f32 * 400.0;
+            assert_eq!(s.temperature(z).to_bits(), {
+                let t: f32 = (300.0 - 6.5e-3 * z).max(200.0);
+                t.to_bits()
+            });
+            assert_eq!(s.pressure(z).to_bits(), {
+                let t0 = 300.0f32;
+                let gamma = 6.5e-3f32;
+                let expo = 9.80665 / (287.04 * gamma);
+                let p: f32 = 101_325.0 * (1.0 - gamma * z / t0).max(0.05).powf(expo);
+                p.to_bits()
+            });
+        }
+    }
+
+    #[test]
+    fn slugs_round_trip() {
+        for kind in CaseKind::ALL {
+            assert_eq!(CaseKind::from_name(kind.slug()), Some(kind));
+        }
+        assert_eq!(CaseKind::from_name("squall"), Some(CaseKind::SquallLine));
+        assert_eq!(CaseKind::from_name("wsm6"), None);
+    }
+
+    #[test]
+    fn library_bands_are_disjoint_and_ascending() {
+        let bands: Vec<(f64, f64)> = CaseKind::LIBRARY
+            .iter()
+            .map(|k| k.activity_band())
+            .collect();
+        for w in bands.windows(2) {
+            assert!(
+                w[0].1 < w[1].0,
+                "bands must be disjoint and ascending: {w:?}"
+            );
+        }
+    }
+
+    /// Pins each case's activity fraction inside its documented band, at
+    /// the gate scale the cases gate runs and at a larger one (the
+    /// fixed storm counts + domain-scaled radii keep fractions roughly
+    /// scale-invariant).
+    #[test]
+    fn activity_fractions_land_in_their_bands() {
+        use crate::conus::ConusCase;
+        use wrf_grid::two_d_decomposition;
+        for scale in [0.05, 0.1] {
+            for kind in CaseKind::LIBRARY {
+                let params = kind.params(scale);
+                let case = ConusCase::new(params);
+                let dd = two_d_decomposition(params.domain(), 1, 3);
+                let f = case.activity(&dd.patches[0]).active_fraction();
+                let (lo, hi) = kind.activity_band();
+                assert!(
+                    (lo..hi).contains(&f),
+                    "{} at scale {scale}: fraction {f:.4} outside ({lo}, {hi})",
+                    kind.slug()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn params_are_deterministic_and_distinct() {
+        for kind in CaseKind::LIBRARY {
+            assert_eq!(kind.params(0.05), kind.params(0.05));
+            assert_ne!(kind.params(0.05), CaseKind::Conus.params(0.05));
+        }
+        // Distinct seeds: no case shares the legacy scenario stream.
+        let mut seeds: Vec<u64> = CaseKind::ALL.iter().map(|k| k.params(0.05).seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), CaseKind::ALL.len());
+    }
+}

@@ -20,9 +20,14 @@
 //!   definite clipping as WRF applies to moisture scalars.
 //! * [`rk3`] — the three-stage driver with halo refresh callbacks
 //!   between stages.
+//! * [`nest`] — one-way grid nesting: the child↔parent index map,
+//!   time interpolation between bracketing parent steps, and the
+//!   halo-strip injection that feeds a refined child patch through the
+//!   same [`rk3::HaloEngine`] rounds as the periodic and MPI engines.
 
 pub mod advect;
 pub mod diffusion;
+pub mod nest;
 pub mod rk3;
 pub mod wind;
 
@@ -31,5 +36,8 @@ pub use advect::{
     STENCIL_WIDTH,
 };
 pub use diffusion::horizontal_diffusion;
-pub use rk3::{rk3_advect_scalar, rk3_advect_scalar_overlapped, HaloEngine, HaloRefresh, Rk3Work};
+pub use nest::{fill_halo_round, time_interp, NestMap, NestSpec};
+pub use rk3::{
+    rk3_advect_scalar, rk3_advect_scalar_overlapped, FieldTag, HaloEngine, HaloRefresh, Rk3Work,
+};
 pub use wind::{storm_wind, Wind};

@@ -19,6 +19,21 @@ use wrf_grid::{interior_split, Field3, InteriorSplit, PatchSpec, Region};
 /// tendency evaluation.
 pub type HaloRefresh<'a> = dyn FnMut(&mut Field3<f32>) + 'a;
 
+/// Identity of the scalar a halo refresh is servicing. Periodic and MPI
+/// exchanges ignore it (the wire format is field-agnostic), but nest
+/// boundary engines must know *which* scalar they are forcing: the
+/// parent supplies different interpolated values for θ, vapor, and each
+/// hydrometeor bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldTag {
+    /// Potential temperature θ.
+    Theta,
+    /// Water-vapor mixing ratio.
+    Qv,
+    /// Hydrometeor bin `(class, bin)`.
+    Bin(usize, usize),
+}
+
 /// Work accounting of one RK3 advance, split by the paper's hotspot
 /// routine names.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,6 +118,11 @@ pub fn rk3_advect_scalar(
 pub trait HaloEngine {
     /// Number of dependent exchange rounds per refresh.
     fn rounds(&self) -> usize;
+    /// Names the scalar the following rounds will refresh. Exchange
+    /// engines that move bytes between ranks don't care and keep the
+    /// default no-op; nest boundary engines use it to pick the parent
+    /// field they interpolate from.
+    fn select(&mut self, _tag: FieldTag) {}
     /// Posts round `round` nonblocking (pack + `isend` + `irecv`). May
     /// read halo cells written by earlier rounds' `finish`.
     fn post(&mut self, round: usize, field: &Field3<f32>);

@@ -45,6 +45,16 @@ pub struct StormWind {
     pub cell_wavelength: f32,
     /// Domain vertical extent in grid points (for the half-sine profile).
     pub nz: f32,
+    /// Index offset added to `i` before scaling by `dx`, grid points —
+    /// lets a refined child grid sample the parent's wind field at the
+    /// right physical phase (0 for an un-nested run).
+    pub x_offset: f32,
+    /// Index offset added to `j` in the meridional modulation.
+    pub j_offset: f32,
+    /// Period of the meridional storm-line modulation, grid points
+    /// (the historical hard-coded 40; a child grid scales it by the
+    /// refinement ratio).
+    pub j_period: f32,
 }
 
 impl Default for StormWind {
@@ -55,6 +65,9 @@ impl Default for StormWind {
             u_shear: 15.0,
             cell_wavelength: 24.0,
             nz: 50.0,
+            x_offset: 0.0,
+            j_offset: 0.0,
+            j_period: 40.0,
         }
     }
 }
@@ -77,7 +90,7 @@ pub fn storm_wind(
     for j in patch.jm.iter() {
         for k in patch.km.iter() {
             for i in patch.im.iter() {
-                let x = i as f32 * dx - drift;
+                let x = (i as f32 + sp.x_offset) * dx - drift;
                 let z = (k - patch.km.lo) as f32 * dz;
                 let zfrac = (k - patch.km.lo) as f32 / sp.nz.max(1.0);
                 // ψ = A sin(kx x) sin(kz z): u' = ∂ψ/∂z, w = −∂ψ/∂x.
@@ -85,7 +98,10 @@ pub fn storm_wind(
                 let u_over = a * kz * (kx * x).sin() * (kz * z).cos();
                 let w = -a * kx * (kx * x).cos() * (kz * z).sin();
                 // Modulate cells in j so the storm line is finite.
-                let jmod = 0.5 * (1.0 + (2.0 * std::f32::consts::PI * (j as f32) / 40.0).sin());
+                let jmod = 0.5
+                    * (1.0
+                        + (2.0 * std::f32::consts::PI * (j as f32 + sp.j_offset) / sp.j_period)
+                            .sin());
                 wind.u
                     .set(i, k, j, sp.u_surface + sp.u_shear * zfrac + u_over * jmod);
                 wind.v.set(i, k, j, 2.0 * (1.0 - zfrac));

@@ -1,0 +1,823 @@
+//! The case-library gate (`repro cases`): per-case golden digests,
+//! activity bands, comm equivalence, and nested-vs-solo agreement.
+//!
+//! Four enforced claims about the idealized case library and the
+//! one-way nest:
+//!
+//! * **Reproducibility** — every library case (plus the legacy CONUS
+//!   default) produces *bitwise-identical* end-of-run digests across
+//!   all four scheme versions × both schedulers × both memory layouts,
+//!   and the canonical run matches its committed
+//!   `goldens/case_<slug>.golden` fixture under the golden policy.
+//! * **Comm equivalence** — each case decomposed over
+//!   [`CasesGateConfig::ranks`] ranks digests identically under
+//!   blocking and overlapped halo exchange.
+//! * **Activity bands** — each case's column-activity fraction lands in
+//!   its pinned band ([`CaseKind::activity_band`]), the library bands
+//!   are disjoint, and the fractions stay in-band across the sweep
+//!   scales (the standing `BENCH_cases.json` axis; PRs run the shallow
+//!   sweep, the nightly arm the deep one via `CI_CASES_SWEEP`).
+//! * **Nesting** — the pinned nested configuration
+//!   ([`ModelConfig::GATE_NEST`] over the squall-line case) digests
+//!   identically across versions × layouts × comm modes, its child
+//!   matches `goldens/case_nested.golden`, its parent matches the
+//!   squall-line case fixture (one-way nesting never feeds back), and
+//!   every case's nested child agrees with a solo fine-grid run of the
+//!   child region to the case's documented interior digit floor.
+//!
+//! The outcome is `BENCH_cases.json` next to `gate_report.json`; any
+//! violation makes `repro cases` exit nonzero.
+
+use crate::fixture::GoldenFixture;
+use crate::golden::{compare_digests, GoldenPolicy};
+use crate::json::escape;
+use fsbm_core::digest::StateDigest;
+use fsbm_core::exec::ExecMode;
+use fsbm_core::scheme::{Layout, SbmVersion};
+use miniwrf::config::ModelConfig;
+use miniwrf::model::Model;
+use miniwrf::nest::{interior_max_rel, run_nested, run_solo_fine};
+use miniwrf::parallel::run_parallel;
+use mpi_sim::CommMode;
+use prof_sim::{case_line, nest_line, TextTable};
+use std::fmt::Write as _;
+use std::path::Path;
+use wrf_cases::{CaseKind, ConusCase};
+
+/// Configuration of one cases-gate invocation.
+#[derive(Debug, Clone)]
+pub struct CasesGateConfig {
+    /// Ranks of the per-case comm-equivalence runs.
+    pub ranks: usize,
+    /// Worker count of the work-stealing matrix arm.
+    pub workers: usize,
+    /// Horizontal scales of the activity-fraction sweep (the gate scale
+    /// alone on PRs; the nightly arm adds larger scales).
+    pub sweep_scales: Vec<f64>,
+    /// Interior margin (child cells shaved off each lateral side) of
+    /// the nested-vs-solo comparison.
+    pub nest_margin: i32,
+    /// Golden thresholds for fixture comparisons.
+    pub policy: GoldenPolicy,
+}
+
+impl Default for CasesGateConfig {
+    fn default() -> Self {
+        CasesGateConfig {
+            ranks: 2,
+            workers: 3,
+            sweep_scales: vec![ModelConfig::GATE_SCALE],
+            nest_margin: 5,
+            policy: GoldenPolicy::default(),
+        }
+    }
+}
+
+/// The sweep scales of the nightly deep arm.
+pub const DEEP_SWEEP: &[f64] = &[0.05, 0.1, 0.2];
+
+/// Documented interior digit floor of the nested-vs-solo comparison at
+/// margin 5, per case. Measured agreement at the gate configuration is
+/// well above each floor (supercell 2.0, squall line 3.6, CONUS 3.7,
+/// orographic 5.5, shallow convection 7.0 digits); the floors leave
+/// headroom for toolchain drift while still catching a broken boundary
+/// injection, which collapses agreement to ~0–1 digits.
+pub fn nest_digit_floor(kind: CaseKind) -> f64 {
+    match kind {
+        CaseKind::Conus => 3.0,
+        CaseKind::SquallLine => 3.0,
+        CaseKind::Supercell => 1.7,
+        CaseKind::Orographic => 4.5,
+        CaseKind::ShallowConvection => 6.0,
+    }
+}
+
+/// One case's reproducibility + activity outcome.
+#[derive(Debug, Clone)]
+pub struct CaseCheck {
+    /// Case slug.
+    pub case: &'static str,
+    /// Runs in the version × scheduler × layout matrix.
+    pub matrix_runs: usize,
+    /// True when every matrix run digested identically.
+    pub bitwise: bool,
+    /// True when the canonical run matched the fixture bit for bit.
+    pub golden_bitwise: bool,
+    /// Minimum agreed digits of canonical vs fixture.
+    pub min_digits: u32,
+    /// Worst-agreeing field of that comparison (empty when bitwise).
+    pub worst_field: String,
+    /// True when the multi-rank blocking and overlapped runs agreed.
+    pub comm_bitwise: bool,
+    /// Column-activity fraction at gate scale.
+    pub activity: f64,
+    /// The case's pinned activity band.
+    pub band: (f64, f64),
+    /// Canonical digest checksum of the `T` field (table/summary key).
+    pub checksum: u64,
+    /// True when the check passed.
+    pub pass: bool,
+    /// Failure details (empty when passing).
+    pub violations: Vec<String>,
+}
+
+/// One case's nested-vs-solo agreement outcome.
+#[derive(Debug, Clone)]
+pub struct NestCheck {
+    /// Case slug.
+    pub case: &'static str,
+    /// Interior digits of agreement (nested child vs solo fine run).
+    pub interior_digits: f64,
+    /// The case's documented floor.
+    pub floor: f64,
+    /// True when `interior_digits >= floor`.
+    pub pass: bool,
+}
+
+/// One activity-sweep sample.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Case slug.
+    pub case: &'static str,
+    /// Horizontal scale of the sample.
+    pub scale: f64,
+    /// Column-activity fraction at that scale.
+    pub activity: f64,
+    /// True when the fraction is inside the case's band.
+    pub in_band: bool,
+}
+
+/// The cases gate's full outcome.
+#[derive(Debug, Clone)]
+pub struct CasesGateReport {
+    /// Configuration the gate ran with.
+    pub cfg: CasesGateConfig,
+    /// Per-case reproducibility + activity checks.
+    pub checks: Vec<CaseCheck>,
+    /// True when the library activity bands are pairwise disjoint.
+    pub bands_disjoint: bool,
+    /// True when the nested matrix (versions × layouts × comm modes)
+    /// digested identically (parent and child).
+    pub nest_matrix_bitwise: bool,
+    /// True when the canonical nested child matched its fixture.
+    pub nest_golden_bitwise: bool,
+    /// Minimum digits of the nested child vs its fixture.
+    pub nest_min_digits: u32,
+    /// True when the nested parent matched the squall-line case fixture
+    /// (one-way nesting leaves the parent untouched).
+    pub nest_parent_matches_case: bool,
+    /// Per-case nested-vs-solo agreement.
+    pub nest: Vec<NestCheck>,
+    /// Activity-fraction sweep samples.
+    pub sweep: Vec<SweepPoint>,
+}
+
+impl CasesGateReport {
+    /// True when every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+            && self.bands_disjoint
+            && self.nest_matrix_bitwise
+            && self.nest_golden_bitwise
+            && self.nest_parent_matches_case
+            && self.nest.iter().all(|n| n.pass)
+            && self.sweep.iter().all(|s| s.in_band)
+    }
+
+    /// All violation strings.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .checks
+            .iter()
+            .flat_map(|c| {
+                c.violations
+                    .iter()
+                    .map(move |x| format!("cases: {}: {x}", c.case))
+            })
+            .collect();
+        if !self.bands_disjoint {
+            v.push("cases: library activity bands overlap".into());
+        }
+        if !self.nest_matrix_bitwise {
+            v.push("cases: nested matrix diverged across versions/layouts/comm modes".into());
+        }
+        if !self.nest_golden_bitwise {
+            v.push(format!(
+                "cases: nested child drifted from goldens/case_nested.golden (min digits {})",
+                self.nest_min_digits
+            ));
+        }
+        if !self.nest_parent_matches_case {
+            v.push("cases: nested parent diverged from the un-nested squall-line run".into());
+        }
+        for n in &self.nest {
+            if !n.pass {
+                v.push(format!(
+                    "cases: nest {}: interior digits {:.2} < floor {:.2}",
+                    n.case, n.interior_digits, n.floor
+                ));
+            }
+        }
+        for s in &self.sweep {
+            if !s.in_band {
+                v.push(format!(
+                    "cases: sweep {} at scale {}: activity {:.4} outside band",
+                    s.case, s.scale, s.activity
+                ));
+            }
+        }
+        v
+    }
+
+    /// Human-readable rendering: the per-case digest table, canonical
+    /// case/nest lines, and the sweep.
+    pub fn rendered(&self) -> String {
+        let mut s = String::new();
+        s.push_str("=== repro cases: per-case digest table ===\n");
+        let mut t = TextTable::new(&[
+            "case", "runs", "bitwise", "golden", "digits", "comm", "activity", "band", "result",
+        ]);
+        for c in &self.checks {
+            t.push_row(vec![
+                c.case.to_string(),
+                c.matrix_runs.to_string(),
+                if c.bitwise { "yes" } else { "no" }.to_string(),
+                if c.golden_bitwise { "yes" } else { "no" }.to_string(),
+                c.min_digits.to_string(),
+                if c.comm_bitwise { "yes" } else { "no" }.to_string(),
+                format!("{:.4}", c.activity),
+                format!("[{:.3},{:.3}]", c.band.0, c.band.1),
+                if c.pass { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        s.push_str(&t.rendered());
+        s.push('\n');
+        for c in &self.checks {
+            let _ = writeln!(
+                s,
+                "{}",
+                case_line(c.case, c.activity, c.band.0, c.band.1, c.checksum, c.bitwise)
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\n=== repro cases: one-way nest (ratio {} over {}x{} parent cells, margin {}) ===",
+            ModelConfig::GATE_NEST.ratio,
+            ModelConfig::GATE_NEST.w,
+            ModelConfig::GATE_NEST.h,
+            self.cfg.nest_margin
+        );
+        let _ =
+            writeln!(
+            s,
+            "nest matrix bitwise: {}; child vs golden: {} ({} digits); parent vs case golden: {}",
+            if self.nest_matrix_bitwise { "yes" } else { "NO" },
+            if self.nest_golden_bitwise { "yes" } else { "NO" },
+            self.nest_min_digits,
+            if self.nest_parent_matches_case { "yes" } else { "NO" },
+        );
+        for n in &self.nest {
+            let _ = writeln!(
+                s,
+                "{}",
+                nest_line(
+                    n.case,
+                    ModelConfig::GATE_NEST.ratio,
+                    n.interior_digits,
+                    n.floor,
+                    n.pass
+                )
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\n=== repro cases: activity sweep (scales {:?}) ===",
+            self.cfg.sweep_scales
+        );
+        for p in &self.sweep {
+            let _ = writeln!(
+                s,
+                "sweep: {} scale={} activity={:.4} {}",
+                p.case,
+                p.scale,
+                p.activity,
+                if p.in_band { "in-band" } else { "OUT-OF-BAND" }
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\ncases gate: {}",
+            if self.pass() { "pass" } else { "FAIL" }
+        );
+        s
+    }
+
+    /// Renders the machine-readable `BENCH_cases.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"cases\",\n  \"format\": 1,\n");
+        let _ = writeln!(s, "  \"pass\": {},", self.pass());
+        let _ = writeln!(
+            s,
+            "  \"case\": {{\"ranks\": {}, \"workers\": {}, \"nest_margin\": {}, \
+             \"sweep_scales\": [{}]}},",
+            self.cfg.ranks,
+            self.cfg.workers,
+            self.cfg.nest_margin,
+            self.cfg
+                .sweep_scales
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        s.push_str("  \"cases\": [\n");
+        for (n, c) in self.checks.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"case\": \"{}\", \"matrix_runs\": {}, \"bitwise\": {}, \
+                 \"golden_bitwise\": {}, \"min_digits\": {}, \"worst_field\": \"{}\", \
+                 \"comm_bitwise\": {}, \"activity\": {:.6}, \"band\": [{}, {}], \
+                 \"checksum\": \"{:016x}\", \"pass\": {}}}{}",
+                escape(c.case),
+                c.matrix_runs,
+                c.bitwise,
+                c.golden_bitwise,
+                c.min_digits,
+                escape(&c.worst_field),
+                c.comm_bitwise,
+                c.activity,
+                c.band.0,
+                c.band.1,
+                c.checksum,
+                c.pass,
+                if n + 1 < self.checks.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(s, "  \"bands_disjoint\": {},", self.bands_disjoint);
+        let _ = writeln!(
+            s,
+            "  \"nest\": {{\"matrix_bitwise\": {}, \"golden_bitwise\": {}, \"min_digits\": {}, \
+             \"parent_matches_case\": {}, \"cases\": [",
+            self.nest_matrix_bitwise,
+            self.nest_golden_bitwise,
+            self.nest_min_digits,
+            self.nest_parent_matches_case
+        );
+        for (n, c) in self.nest.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"case\": \"{}\", \"interior_digits\": {:.3}, \"floor\": {}, \"pass\": {}}}{}",
+                escape(c.case),
+                c.interior_digits,
+                c.floor,
+                c.pass,
+                if n + 1 < self.nest.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]},\n");
+        s.push_str("  \"sweep\": [\n");
+        for (n, p) in self.sweep.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"case\": \"{}\", \"scale\": {}, \"activity\": {:.6}, \"in_band\": {}}}{}",
+                escape(p.case),
+                p.scale,
+                p.activity,
+                p.in_band,
+                if n + 1 < self.sweep.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Filename stem of a case fixture (`goldens/case_<slug>.golden`).
+pub fn case_fixture_name(kind: CaseKind) -> String {
+    format!("case_{}", kind.slug())
+}
+
+/// Human description written into a case fixture.
+fn case_fixture_description(kind: CaseKind) -> String {
+    format!(
+        "case={} scale={} nz={} steps={}",
+        kind.slug(),
+        ModelConfig::GATE_SCALE,
+        ModelConfig::GATE_NZ,
+        ModelConfig::GATE_STEPS
+    )
+}
+
+/// The case the pinned nested configuration runs (squall line: strong
+/// through-flow exercises the boundary injection hardest among the
+/// cases with >2 interior digits of headroom).
+pub const NEST_CASE: CaseKind = CaseKind::SquallLine;
+
+/// Runs one matrix entry of one case and digests the end state.
+fn case_digest(
+    kind: CaseKind,
+    version: SbmVersion,
+    mode: ExecMode,
+    workers: usize,
+    layout: Layout,
+) -> StateDigest {
+    let mut cfg = ModelConfig::case_gate(kind, version, mode, workers);
+    cfg.layout = layout;
+    let mut m = Model::single_rank(cfg);
+    m.run(ModelConfig::GATE_STEPS);
+    m.state.digest()
+}
+
+/// Builds the canonical committable fixture for one case.
+pub fn bless_case_fixture(kind: CaseKind) -> GoldenFixture {
+    // The `version` label is deliberately NOT an `SbmVersion::label()`:
+    // the main golden gate loads every `goldens/*.golden` and looks
+    // fixtures up by version label, so case fixtures carry a disjoint
+    // `case:` namespace to stay invisible to it.
+    GoldenFixture {
+        version: format!("case:{}", kind.slug()),
+        case: case_fixture_description(kind),
+        digest: case_digest(
+            kind,
+            SbmVersion::Baseline,
+            ExecMode::StaticTiles,
+            1,
+            Layout::PointAos,
+        ),
+    }
+}
+
+/// The canonical nested configuration of the gate.
+fn nested_cfg(version: SbmVersion, layout: Layout, comm: CommMode) -> ModelConfig {
+    let mut cfg = ModelConfig::case_gate(NEST_CASE, version, ExecMode::StaticTiles, 1);
+    cfg.layout = layout;
+    cfg.comm = comm;
+    cfg.nest = Some(ModelConfig::GATE_NEST);
+    cfg
+}
+
+/// Builds the canonical committable fixture pinning the nested child.
+pub fn bless_nested_fixture() -> Result<GoldenFixture, String> {
+    let run = run_nested(
+        nested_cfg(SbmVersion::Baseline, Layout::PointAos, CommMode::Blocking),
+        ModelConfig::GATE_STEPS,
+    )?;
+    Ok(GoldenFixture {
+        version: "case:nested".to_string(),
+        case: format!(
+            "nested {} ratio={} i0={} j0={} w={} h={} steps={}",
+            NEST_CASE.slug(),
+            ModelConfig::GATE_NEST.ratio,
+            ModelConfig::GATE_NEST.i0,
+            ModelConfig::GATE_NEST.j0,
+            ModelConfig::GATE_NEST.w,
+            ModelConfig::GATE_NEST.h,
+            ModelConfig::GATE_STEPS
+        ),
+        digest: run.child.digest(),
+    })
+}
+
+/// Writes the five case fixtures plus the nested-child fixture into
+/// `dir` (the `repro cases --bless` path).
+pub fn bless_cases(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for kind in CaseKind::ALL {
+        let fixture = bless_case_fixture(kind);
+        let path = dir.join(format!("{}.golden", case_fixture_name(kind)));
+        std::fs::write(&path, fixture.rendered())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    let fixture = bless_nested_fixture()?;
+    let path = dir.join("case_nested.golden");
+    std::fs::write(&path, fixture.rendered())
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    written.push(path);
+    Ok(written)
+}
+
+/// Loads one named fixture from `dir`.
+fn load_fixture(dir: &Path, stem: &str) -> Result<GoldenFixture, String> {
+    let path = dir.join(format!("{stem}.golden"));
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {} — run `repro cases --bless` ({e})",
+            path.display()
+        )
+    })?;
+    GoldenFixture::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Column-activity fraction of `kind` at `scale` (analytic, no model
+/// run needed).
+pub fn activity_fraction(kind: CaseKind, scale: f64) -> f64 {
+    let case = ConusCase::new(kind.params(scale));
+    let dd = wrf_grid::two_d_decomposition(case.params.domain(), 1, 3);
+    let act = case.activity(&dd.patches[0]);
+    act.active_columns as f64 / act.columns.max(1) as f64
+}
+
+/// Checks whether the library bands are pairwise disjoint.
+fn bands_disjoint() -> bool {
+    let mut bands: Vec<(f64, f64)> = CaseKind::LIBRARY
+        .iter()
+        .map(|k| k.activity_band())
+        .collect();
+    bands.sort_by(|a, b| a.0.total_cmp(&b.0));
+    bands.windows(2).all(|w| w[0].1 < w[1].0)
+}
+
+/// Runs the cases gate against the fixtures in `goldens_dir`.
+pub fn run_cases_gate(
+    gcfg: &CasesGateConfig,
+    goldens_dir: &Path,
+) -> Result<CasesGateReport, String> {
+    let mut checks = Vec::new();
+    for kind in CaseKind::ALL {
+        let fixture = load_fixture(goldens_dir, &case_fixture_name(kind))?;
+        let mut violations = Vec::new();
+
+        // Reproducibility matrix: versions × schedulers × layouts, all
+        // single-rank, all required bitwise-identical.
+        let canonical = case_digest(
+            kind,
+            SbmVersion::Baseline,
+            ExecMode::StaticTiles,
+            1,
+            Layout::PointAos,
+        );
+        let mut matrix_runs = 0usize;
+        let mut bitwise = true;
+        for version in SbmVersion::ALL {
+            for (mode, workers) in [
+                (ExecMode::StaticTiles, 1),
+                (ExecMode::work_steal(), gcfg.workers),
+            ] {
+                for layout in Layout::ALL {
+                    matrix_runs += 1;
+                    let d = case_digest(kind, version, mode, workers, layout);
+                    if !compare_digests(&canonical, &d).bitwise() {
+                        bitwise = false;
+                        violations.push(format!(
+                            "{} {:?} w{} {:?} diverged from the canonical run",
+                            version.label(),
+                            mode,
+                            workers,
+                            layout
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Canonical vs the committed fixture, under the golden policy.
+        let cmp = compare_digests(&fixture.digest, &canonical);
+        let golden_bitwise = cmp.bitwise();
+        let min_digits = cmp.min_digits();
+        let worst_field = cmp.worst().map(|f| f.name.clone()).unwrap_or_default();
+        if min_digits < gcfg.policy.min_state_digits && !golden_bitwise {
+            violations.push(format!(
+                "canonical run drifted from goldens/{}.golden: {min_digits} digits (worst {worst_field})",
+                case_fixture_name(kind)
+            ));
+        }
+
+        // Comm equivalence on a small decomposition.
+        let mut comm_cfg = ModelConfig::case_gate(
+            kind,
+            SbmVersion::Lookup,
+            ExecMode::work_steal(),
+            gcfg.workers,
+        );
+        comm_cfg.ranks = gcfg.ranks;
+        comm_cfg.comm = CommMode::Blocking;
+        let blocking = run_parallel(comm_cfg, ModelConfig::GATE_STEPS);
+        comm_cfg.comm = CommMode::Overlapped;
+        let overlapped = run_parallel(comm_cfg, ModelConfig::GATE_STEPS);
+        let comm_bitwise = blocking
+            .states
+            .iter()
+            .zip(overlapped.states.iter())
+            .all(|(b, o)| compare_digests(&b.digest(), &o.digest()).bitwise());
+        if !comm_bitwise {
+            violations.push(format!(
+                "blocking vs overlapped digests differ at {} ranks",
+                gcfg.ranks
+            ));
+        }
+
+        // Activity band at gate scale.
+        let activity = activity_fraction(kind, ModelConfig::GATE_SCALE);
+        let band = kind.activity_band();
+        if activity < band.0 || activity > band.1 {
+            violations.push(format!(
+                "activity {activity:.4} outside band [{:.3}, {:.3}]",
+                band.0, band.1
+            ));
+        }
+
+        let checksum = canonical.field("T").map(|f| f.checksum).unwrap_or(0);
+        checks.push(CaseCheck {
+            case: kind.slug(),
+            matrix_runs,
+            bitwise,
+            golden_bitwise,
+            min_digits,
+            worst_field,
+            comm_bitwise,
+            activity,
+            band,
+            checksum,
+            pass: violations.is_empty(),
+            violations,
+        });
+    }
+
+    // Nested matrix: versions × layouts under blocking, plus the
+    // overlapped arm — parent and child must digest identically
+    // everywhere.
+    let nested_fixture = load_fixture(goldens_dir, "case_nested")?;
+    let case_fixture = load_fixture(goldens_dir, &case_fixture_name(NEST_CASE))?;
+    let canonical_nested = run_nested(
+        nested_cfg(SbmVersion::Baseline, Layout::PointAos, CommMode::Blocking),
+        ModelConfig::GATE_STEPS,
+    )?;
+    let canonical_parent = canonical_nested.parent.digest();
+    let canonical_child = canonical_nested.child.digest();
+    let mut nest_matrix_bitwise = true;
+    for version in SbmVersion::ALL {
+        for layout in Layout::ALL {
+            for comm in [CommMode::Blocking, CommMode::Overlapped] {
+                let run = run_nested(nested_cfg(version, layout, comm), ModelConfig::GATE_STEPS)?;
+                if !compare_digests(&canonical_parent, &run.parent.digest()).bitwise()
+                    || !compare_digests(&canonical_child, &run.child.digest()).bitwise()
+                {
+                    nest_matrix_bitwise = false;
+                }
+            }
+        }
+    }
+    let nest_cmp = compare_digests(&nested_fixture.digest, &canonical_child);
+    let nest_golden_bitwise = nest_cmp.bitwise();
+    let nest_min_digits = nest_cmp.min_digits();
+    let nest_parent_matches_case =
+        compare_digests(&case_fixture.digest, &canonical_parent).bitwise();
+
+    // Nested-vs-solo interior agreement, per case.
+    let mut nest = Vec::new();
+    for kind in CaseKind::ALL {
+        let mut cfg = ModelConfig::case_gate(kind, SbmVersion::Lookup, ExecMode::StaticTiles, 1);
+        cfg.nest = Some(ModelConfig::GATE_NEST);
+        let nested = run_nested(cfg, ModelConfig::GATE_STEPS)?;
+        let solo = run_solo_fine(cfg, ModelConfig::GATE_STEPS)?;
+        let rel = interior_max_rel(&nested.child, &solo, gcfg.nest_margin);
+        let interior_digits = if rel <= 0.0 {
+            15.0
+        } else {
+            (-rel.log10()).clamp(0.0, 15.0)
+        };
+        let floor = nest_digit_floor(kind);
+        nest.push(NestCheck {
+            case: kind.slug(),
+            interior_digits,
+            floor,
+            pass: interior_digits >= floor,
+        });
+    }
+
+    // Activity sweep (the standing BENCH_cases.json axis).
+    let mut sweep = Vec::new();
+    for &scale in &gcfg.sweep_scales {
+        for kind in CaseKind::LIBRARY {
+            let activity = activity_fraction(kind, scale);
+            let band = kind.activity_band();
+            sweep.push(SweepPoint {
+                case: kind.slug(),
+                scale,
+                activity,
+                in_band: activity >= band.0 && activity <= band.1,
+            });
+        }
+    }
+
+    Ok(CasesGateReport {
+        cfg: gcfg.clone(),
+        checks,
+        bands_disjoint: bands_disjoint(),
+        nest_matrix_bitwise,
+        nest_golden_bitwise,
+        nest_min_digits,
+        nest_parent_matches_case,
+        nest,
+        sweep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pass: bool) -> CaseCheck {
+        CaseCheck {
+            case: "squall_line",
+            matrix_runs: 16,
+            bitwise: pass,
+            golden_bitwise: pass,
+            min_digits: if pass { 15 } else { 3 },
+            worst_field: if pass { String::new() } else { "T".into() },
+            comm_bitwise: true,
+            activity: 0.2794,
+            band: (0.25, 0.45),
+            checksum: 0xdead_beef,
+            pass,
+            violations: if pass {
+                Vec::new()
+            } else {
+                vec!["matrix diverged".into()]
+            },
+        }
+    }
+
+    fn report(pass: bool) -> CasesGateReport {
+        CasesGateReport {
+            cfg: CasesGateConfig::default(),
+            checks: vec![check(pass)],
+            bands_disjoint: true,
+            nest_matrix_bitwise: true,
+            nest_golden_bitwise: true,
+            nest_min_digits: 15,
+            nest_parent_matches_case: true,
+            nest: vec![NestCheck {
+                case: "squall_line",
+                interior_digits: 3.6,
+                floor: 3.0,
+                pass: true,
+            }],
+            sweep: vec![SweepPoint {
+                case: "squall_line",
+                scale: 0.05,
+                activity: 0.2794,
+                in_band: pass,
+            }],
+        }
+    }
+
+    #[test]
+    fn verdict_aggregates_every_axis() {
+        assert!(report(true).pass());
+        let bad = report(false);
+        assert!(!bad.pass());
+        let v = bad.violations();
+        assert!(v.iter().any(|x| x.contains("matrix diverged")), "{v:?}");
+        assert!(v.iter().any(|x| x.contains("sweep")), "{v:?}");
+    }
+
+    #[test]
+    fn nest_floor_gates() {
+        let mut rep = report(true);
+        rep.nest[0].interior_digits = 1.2;
+        rep.nest[0].pass = false;
+        assert!(!rep.pass());
+        assert!(rep
+            .violations()
+            .iter()
+            .any(|v| v.contains("interior digits 1.20")));
+    }
+
+    #[test]
+    fn rendering_and_json_carry_the_table() {
+        let rep = report(true);
+        let text = rep.rendered();
+        assert!(text.contains("per-case digest table"), "{text}");
+        assert!(text.contains("case: squall_line activity=0.2794"), "{text}");
+        assert!(text.contains("nest: squall_line ratio=2"), "{text}");
+        assert!(text.contains("cases gate: pass"), "{text}");
+        let json = rep.to_json();
+        assert!(json.contains("\"bench\": \"cases\""), "{json}");
+        assert!(
+            json.contains("\"checksum\": \"00000000deadbeef\""),
+            "{json}"
+        );
+        assert!(json.contains("\"interior_digits\": 3.600"), "{json}");
+        assert!(json.contains("\"pass\": true"), "{json}");
+    }
+
+    #[test]
+    fn floors_sit_below_measured_agreement_with_headroom() {
+        // Measured at the gate configuration (margin 5): supercell 2.0,
+        // squall 3.6, conus 3.7, orographic 5.5, shallow 7.0.
+        for kind in CaseKind::ALL {
+            let f = nest_digit_floor(kind);
+            assert!((1.0..=6.0).contains(&f), "{kind:?}: {f}");
+        }
+    }
+
+    #[test]
+    fn bands_are_disjoint() {
+        assert!(bands_disjoint());
+    }
+}

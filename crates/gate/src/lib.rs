@@ -24,6 +24,7 @@
 //! table ([`report`]); any violation makes `repro gate` exit nonzero.
 //! `repro gate --bless` regenerates the golden fixtures.
 
+pub mod cases;
 pub mod comm;
 pub mod ensemble;
 pub mod fault;
@@ -36,6 +37,7 @@ pub mod share;
 pub mod tune;
 pub mod zoo;
 
+pub use cases::{bless_cases, run_cases_gate, CasesGateConfig, CasesGateReport};
 pub use comm::{run_comm_gate, CommGateConfig, CommGateReport};
 pub use ensemble::{run_ensemble_gate, EnsembleGateConfig, EnsembleGateReport};
 pub use fault::{run_fault_gate, FaultGateConfig, FaultGateReport};

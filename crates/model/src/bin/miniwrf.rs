@@ -11,6 +11,7 @@
 
 use miniwrf::model::Model;
 use miniwrf::namelist::config_from_namelist;
+use miniwrf::nest::run_nested;
 use miniwrf::parallel::{run_parallel, run_parallel_checked};
 use miniwrf::restart::{run_parallel_restartable, RestartConfig};
 use miniwrf::service::run_ensemble;
@@ -90,6 +91,55 @@ fn main() {
                 slice_saved_secs: report.slice_secs_saved(),
             })
         );
+        return;
+    }
+
+    // &case nest_*: one-way nested integration — the parent advances
+    // coarse steps, the refined child takes `ratio` substeps per parent
+    // step with parent-forced lateral boundaries. Histories go to
+    // wrfout_d01.bin (parent) and wrfout_d02.bin (child), WRF-style.
+    if let Some(spec) = cfg.nest {
+        if cfg.ranks > 1 {
+            eprintln!(
+                "miniwrf: &case nesting runs single-rank (got ranks = {})",
+                cfg.ranks
+            );
+            std::process::exit(1);
+        }
+        let run = match run_nested(cfg, steps) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("miniwrf: nested run failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "nest d02: ratio {} at ({},{}) size {}x{} parent cells ({} substeps)",
+            spec.ratio,
+            spec.i0,
+            spec.j0,
+            spec.w,
+            spec.h,
+            steps * spec.ratio.max(1) as usize
+        );
+        println!(
+            "done: d01 condensate {:.3e}, precip {:.4} kg/m^2; d02 condensate {:.3e}, \
+             precip {:.4} kg/m^2",
+            run.parent.total_condensate_sum(),
+            run.parent.precip_acc,
+            run.child.total_condensate_sum(),
+            run.child.precip_acc
+        );
+        for (name, state) in [
+            ("wrfout_d01.bin", &run.parent),
+            ("wrfout_d02.bin", &run.child),
+        ] {
+            let out = std::path::Path::new(name);
+            match save_state(out, state) {
+                Ok(()) => println!("history written to {}", out.display()),
+                Err(e) => eprintln!("miniwrf: could not write history: {e}"),
+            }
+        }
         return;
     }
 

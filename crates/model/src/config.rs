@@ -5,7 +5,8 @@ use fsbm_core::exec::ExecMode;
 use fsbm_core::scheme::{Layout, SbmVersion};
 use gpu_sim::machine::{default_backend, Backend};
 use mpi_sim::CommMode;
-use wrf_cases::ConusParams;
+use wrf_cases::{CaseKind, ConusParams};
+use wrf_dycore::nest::NestSpec;
 
 /// Configuration of a model run (the subset of WRF's `namelist.input`
 /// the paper's experiments exercise).
@@ -13,6 +14,13 @@ use wrf_cases::ConusParams;
 pub struct ModelConfig {
     /// Scenario parameters (grid, spacing, Δt, storms).
     pub case: ConusParams,
+    /// Which library case `case` was built from (namelist `&case name`),
+    /// used for labeling fixtures/benches; `CaseKind::Conus` for the
+    /// legacy default.
+    pub case_kind: CaseKind,
+    /// One-way nested child grid riding inside this run's domain
+    /// (namelist `&case nest_* keys`); `None` for un-nested runs.
+    pub nest: Option<NestSpec>,
     /// Microphysics version under test.
     pub version: SbmVersion,
     /// MPI ranks (domain decomposition).
@@ -75,6 +83,8 @@ impl ModelConfig {
     pub fn paper_default(version: SbmVersion) -> Self {
         ModelConfig {
             case: ConusParams::full(),
+            case_kind: CaseKind::Conus,
+            nest: None,
             version,
             ranks: 16,
             tiles: 1,
@@ -100,6 +110,8 @@ impl ModelConfig {
         case.nz = nz;
         ModelConfig {
             case,
+            case_kind: CaseKind::Conus,
+            nest: None,
             version,
             ranks: 1,
             tiles: 1,
@@ -135,6 +147,33 @@ impl ModelConfig {
         cfg
     }
 
+    /// Like [`Self::gate`] for one of the library cases: the same gate
+    /// scale, levels, and step count, with the case's own sounding,
+    /// moisture/CCN loading, storm placement, and wind shear overlaid
+    /// (the per-case grid comes from the one shared column builder, so
+    /// a case cannot silently diverge from the gate sounding). The end
+    /// state is pinned by `goldens/case_<slug>.golden`.
+    pub fn case_gate(kind: CaseKind, version: SbmVersion, sched: ExecMode, workers: usize) -> Self {
+        let mut cfg = Self::gate(version, sched, workers);
+        let mut case = kind.params(Self::GATE_SCALE);
+        case.nz = Self::GATE_NZ;
+        cfg.case = case;
+        cfg.case_kind = kind;
+        cfg
+    }
+
+    /// The pinned nested configuration of the cases gate: a ratio-2
+    /// child over an 8 × 6 parent-cell window centered in the gate
+    /// domain (16 × 12 child points), far enough from the parent edge
+    /// that the child halo never reads parent halo cells.
+    pub const GATE_NEST: NestSpec = NestSpec {
+        ratio: 2,
+        i0: 7,
+        j0: 5,
+        w: 8,
+        h: 6,
+    };
+
     /// Horizontal scale of the gate case.
     pub const GATE_SCALE: f64 = 0.05;
     /// Vertical levels of the gate case.
@@ -159,6 +198,27 @@ mod tests {
         assert_eq!(c.tiles, 1);
         assert_eq!(c.steps(), 120);
         assert_eq!(c.case.nx, 425);
+    }
+
+    #[test]
+    fn case_gate_overlays_the_library_case_on_the_gate_grid() {
+        let base = ModelConfig::gate(SbmVersion::Lookup, ExecMode::StaticTiles, 1);
+        let c = ModelConfig::case_gate(
+            CaseKind::Supercell,
+            SbmVersion::Lookup,
+            ExecMode::StaticTiles,
+            1,
+        );
+        assert_eq!(c.case_kind, CaseKind::Supercell);
+        assert_eq!(
+            (c.case.nx, c.case.ny, c.case.nz),
+            (base.case.nx, base.case.ny, base.case.nz)
+        );
+        assert_ne!(c.case.seed, base.case.seed);
+        // The pinned nest window fits the gate domain with halo room.
+        assert!(ModelConfig::GATE_NEST
+            .validate(base.case.nx, base.case.ny, base.halo)
+            .is_ok());
     }
 
     #[test]

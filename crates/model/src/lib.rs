@@ -24,6 +24,7 @@ pub mod config;
 pub mod hotspots;
 pub mod model;
 pub mod namelist;
+pub mod nest;
 pub mod parallel;
 pub mod perfmodel;
 pub mod restart;
@@ -33,6 +34,7 @@ pub mod service;
 pub use config::ModelConfig;
 pub use model::{Model, RunReport, StepReport};
 pub use namelist::config_from_namelist;
+pub use nest::{interior_max_rel, run_nested, run_solo_fine, NestedRun};
 pub use parallel::{
     run_parallel, run_parallel_checked, CommStats, ParallelRun, RankFailure, ShareStats,
 };

@@ -8,7 +8,9 @@ use fsbm_core::types::{NKR, NTYPES};
 use prof_sim::Stopwatch;
 use wrf_cases::ConusCase;
 use wrf_dycore::diffusion::horizontal_diffusion;
-use wrf_dycore::rk3::{rk3_advect_scalar, rk3_advect_scalar_overlapped, HaloEngine, Rk3Work};
+use wrf_dycore::rk3::{
+    rk3_advect_scalar, rk3_advect_scalar_overlapped, FieldTag, HaloEngine, Rk3Work,
+};
 use wrf_dycore::wind::{storm_wind, StormWind, Wind};
 use wrf_exec::Executor;
 use wrf_grid::{two_d_decomposition, Field3, PatchSpec};
@@ -68,13 +70,22 @@ pub struct RunReport {
 /// before every tendency, or the split-phase engine overlapping halo
 /// messages with interior compute. Both drive the identical per-point
 /// arithmetic, so results are bitwise-equal.
+/// The blocking variant receives the [`FieldTag`] of the scalar being
+/// refreshed; plain exchanges ignore it, nest boundary closures key the
+/// parent field off it. The overlapped variant's engine learns the tag
+/// through [`HaloEngine::select`].
 enum Advance<'a> {
-    Blocking(&'a mut dyn FnMut(&mut Field3<f32>)),
+    Blocking(&'a mut dyn FnMut(FieldTag, &mut Field3<f32>)),
     Overlapped {
         engine: &'a mut dyn HaloEngine,
         pool: &'a Executor,
     },
 }
+
+/// Exner-function exponent Rd/cp used to convert between T and θ (also
+/// needed by the nest driver to build θ boundary values from parent
+/// snapshots).
+pub const KAPPA: f32 = 0.2854;
 
 /// A one-patch functional model instance.
 pub struct Model {
@@ -106,6 +117,14 @@ impl Model {
     /// Builds a model over one rank's patch.
     pub fn for_patch(cfg: ModelConfig, patch: PatchSpec) -> Self {
         let case = ConusCase::new(cfg.case);
+        Self::for_patch_with_case(cfg, patch, case)
+    }
+
+    /// Builds a model over one rank's patch with a pre-built scenario
+    /// (the nest driver passes the parent case refined into child
+    /// coordinates, which `ConusCase::new(cfg.case)` cannot produce).
+    /// `cfg.case` must still describe `case.params`' grid.
+    pub fn for_patch_with_case(cfg: ModelConfig, patch: PatchSpec, case: ConusCase) -> Self {
         let state = case.init_state(&patch);
         let mut sbm_cfg = SbmConfig::new(cfg.version);
         sbm_cfg.dt = cfg.case.dt;
@@ -130,11 +149,21 @@ impl Model {
         }
     }
 
-    /// The storm-wind parameters consistent with the configured domain.
+    /// The storm-wind parameters consistent with the configured domain
+    /// and the case's circulation (per-case shear is what differentiates
+    /// the library cases dynamically; the default `CaseWind::CONUS`
+    /// values equal the historical `StormWind::default()`).
     fn wind_params(&self) -> StormWind {
+        let w = self.cfg.case.wind;
         StormWind {
+            w_max: w.w_max,
+            u_surface: w.u_surface,
+            u_shear: w.u_shear,
+            cell_wavelength: w.cell_wavelength,
             nz: self.cfg.case.nz as f32,
-            ..Default::default()
+            x_offset: w.x_offset,
+            j_offset: w.j_offset,
+            j_period: w.j_period,
         }
     }
 
@@ -184,6 +213,19 @@ impl Model {
         refresh: &mut dyn FnMut(&mut Field3<f32>),
         masks: &[[bool; NKR]; NTYPES],
     ) -> StepReport {
+        let mut tagged = |_: FieldTag, f: &mut Field3<f32>| refresh(f);
+        self.step_inner(Advance::Blocking(&mut tagged), masks)
+    }
+
+    /// Like [`Self::step_with_refresh_and_masks`], but the refresh also
+    /// receives the [`FieldTag`] of the scalar it is servicing — the
+    /// blocking-mode hook for nest boundary forcing, where θ, vapor, and
+    /// each bin take different parent-interpolated halo values.
+    pub fn step_with_tagged_refresh(
+        &mut self,
+        refresh: &mut dyn FnMut(FieldTag, &mut Field3<f32>),
+        masks: &[[bool; NKR]; NTYPES],
+    ) -> StepReport {
         self.step_inner(Advance::Blocking(refresh), masks)
     }
 
@@ -221,7 +263,6 @@ impl Model {
 
         // Potential temperature: WRF transports θ (conserved under
         // advection), not T. Convert, advect, convert back.
-        const KAPPA: f32 = 0.2854;
         let mut wind_extra = PointWork::ZERO;
         for j in self.patch.jm.iter() {
             for k in self.patch.km.iter() {
@@ -235,6 +276,7 @@ impl Model {
         }
         rk3 += advect_one(
             &mut adv,
+            FieldTag::Theta,
             &mut self.scratch2,
             &self.wind,
             &self.patch,
@@ -260,6 +302,7 @@ impl Model {
         // Vapor.
         rk3 += advect_one(
             &mut adv,
+            FieldTag::Qv,
             &mut self.state.qv,
             &self.wind,
             &self.patch,
@@ -275,8 +318,9 @@ impl Model {
         // refresh before it has no tendency to hide behind, so the
         // overlapped path runs its rounds back-to-back.
         match &mut adv {
-            Advance::Blocking(refresh) => refresh(&mut self.state.qv),
+            Advance::Blocking(refresh) => refresh(FieldTag::Qv, &mut self.state.qv),
             Advance::Overlapped { engine, .. } => {
+                engine.select(FieldTag::Qv);
                 for r in 0..engine.rounds() {
                     engine.post(r, &self.state.qv);
                     engine.finish(r, &mut self.state.qv);
@@ -310,6 +354,7 @@ impl Model {
                 }
                 rk3 += advect_one(
                     &mut adv,
+                    FieldTag::Bin(c, b),
                     &mut self.scratch2,
                     &self.wind,
                     &self.patch,
@@ -435,10 +480,12 @@ impl Model {
 }
 
 /// Advances one scalar with whichever strategy `adv` carries; `dy`
-/// equals `dx` everywhere in this model.
+/// equals `dx` everywhere in this model. `tag` names the scalar for
+/// boundary engines that care which field they are forcing.
 #[allow(clippy::too_many_arguments)]
 fn advect_one(
     adv: &mut Advance<'_>,
+    tag: FieldTag,
     scalar: &mut Field3<f32>,
     wind: &Wind,
     patch: &PatchSpec,
@@ -450,12 +497,28 @@ fn advect_one(
     tend: &mut Field3<f32>,
 ) -> Rk3Work {
     match adv {
-        Advance::Blocking(refresh) => rk3_advect_scalar(
-            scalar, wind, patch, dx, dx, dz, dt, positive, scratch, tend, *refresh,
-        ),
-        Advance::Overlapped { engine, pool } => rk3_advect_scalar_overlapped(
-            scalar, wind, patch, dx, dx, dz, dt, positive, scratch, tend, *engine, pool,
-        ),
+        Advance::Blocking(refresh) => {
+            let mut tagged = |f: &mut Field3<f32>| refresh(tag, f);
+            rk3_advect_scalar(
+                scalar,
+                wind,
+                patch,
+                dx,
+                dx,
+                dz,
+                dt,
+                positive,
+                scratch,
+                tend,
+                &mut tagged,
+            )
+        }
+        Advance::Overlapped { engine, pool } => {
+            engine.select(tag);
+            rk3_advect_scalar_overlapped(
+                scalar, wind, patch, dx, dx, dz, dt, positive, scratch, tend, *engine, pool,
+            )
+        }
     }
 }
 

@@ -23,6 +23,8 @@ use crate::config::ModelConfig;
 use crate::service::EnsembleSpec;
 use fsbm_core::scheme::{Layout, SbmVersion};
 use std::collections::BTreeMap;
+use wrf_cases::CaseKind;
+use wrf_dycore::nest::NestSpec;
 
 /// What went wrong, beyond the rendered message — so callers can react
 /// to a typo'd key differently from malformed syntax.
@@ -225,6 +227,9 @@ const KNOWN_PARALLEL: &[&str] = &[
     "schedule",
 ];
 
+/// Keys accepted in `&case` (idealized-case selection + one-way nest).
+const KNOWN_CASE: &[&str] = &["name", "nest_ratio", "nest_i", "nest_j", "nest_w", "nest_h"];
+
 /// Keys accepted in `&ensemble`.
 const KNOWN_ENSEMBLE: &[&str] = &[
     "members",
@@ -242,7 +247,11 @@ const KNOWN_ENSEMBLE: &[&str] = &[
 /// (`&domains`, `&physics`, ...) keep the registry's ignore-unknown
 /// behavior.
 fn reject_unknown_keys(nl: &Namelist) -> Result<(), NamelistError> {
-    for (group, known) in [("parallel", KNOWN_PARALLEL), ("ensemble", KNOWN_ENSEMBLE)] {
+    for (group, known) in [
+        ("parallel", KNOWN_PARALLEL),
+        ("ensemble", KNOWN_ENSEMBLE),
+        ("case", KNOWN_CASE),
+    ] {
         if let Some(g) = nl.get(group) {
             if let Some(key) = g.keys().find(|k| !known.contains(&k.as_str())) {
                 return Err(NamelistError::unknown_key(group, key, known));
@@ -266,6 +275,28 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
     cfg.case.dx = get(&nl, "domains", "dx", cfg.case.dx)?;
     cfg.case.dz = get(&nl, "domains", "dz", cfg.case.dz)?;
     cfg.case.dt = get(&nl, "domains", "dt", cfg.case.dt)?;
+    // The &case block selects a library scenario: its seed, storm
+    // placement, sounding, moisture/CCN loading, and wind shear are
+    // overlaid on the configured grid (which stays under &domains
+    // control, via the one shared column builder). Explicit &scenario
+    // keys still win — they are read after the overlay.
+    if let Some(name) = nl.get("case").and_then(|g| g.get("name")) {
+        let kind = CaseKind::from_name(name).ok_or_else(|| {
+            let known: Vec<&str> = CaseKind::ALL.iter().map(|k| k.slug()).collect();
+            NamelistError::invalid(
+                0,
+                format!("unknown &case name `{name}` (known: {})", known.join(", ")),
+            )
+        })?;
+        let lib = kind.params(1.0);
+        cfg.case.seed = lib.seed;
+        cfg.case.n_storms = lib.n_storms;
+        cfg.case.sounding = lib.sounding;
+        cfg.case.moisture = lib.moisture;
+        cfg.case.placement = lib.placement;
+        cfg.case.wind = lib.wind;
+        cfg.case_kind = kind;
+    }
     cfg.case.n_storms = get(&nl, "scenario", "n_storms", cfg.case.n_storms)?;
     cfg.case.seed = get(&nl, "scenario", "seed", cfg.case.seed)?;
     cfg.minutes = get(&nl, "domains", "run_minutes", cfg.minutes)?;
@@ -358,6 +389,30 @@ pub fn config_from_namelist(text: &str) -> Result<ModelConfig, NamelistError> {
         return Err(NamelistError::invalid(
             0,
             "domain too small (need e_we, e_sn >= 8 and e_vert >= 4)",
+        ));
+    }
+    // One-way nest geometry (&case nest_*): a ratio-refined child over
+    // the w × h parent-cell window at (nest_i, nest_j). Validated
+    // against the final grid so an out-of-range window fails loudly.
+    let nest_ratio: i32 = get(&nl, "case", "nest_ratio", 0)?;
+    if nest_ratio > 0 {
+        let spec = NestSpec {
+            ratio: nest_ratio,
+            i0: get(&nl, "case", "nest_i", 1)?,
+            j0: get(&nl, "case", "nest_j", 1)?,
+            w: get(&nl, "case", "nest_w", 0)?,
+            h: get(&nl, "case", "nest_h", 0)?,
+        };
+        spec.validate(cfg.case.nx, cfg.case.ny, cfg.halo)
+            .map_err(|e| NamelistError::invalid(0, format!("&case nest: {e}")))?;
+        cfg.nest = Some(spec);
+    } else if nl
+        .get("case")
+        .is_some_and(|g| g.keys().any(|k| k.starts_with("nest_")))
+    {
+        return Err(NamelistError::invalid(
+            0,
+            "&case nest_* keys require nest_ratio >= 1",
         ));
     }
     // The &ensemble block turns the configuration into an ensemble
@@ -623,6 +678,71 @@ mod tests {
         .unwrap_err();
         assert!(err.message.contains("set one, not both"), "{err}");
         assert!(err.message.contains("fsbm_lookup"), "{err}");
+    }
+
+    #[test]
+    fn case_block_selects_a_library_scenario() {
+        // No block: the legacy CONUS default.
+        let cfg = config_from_namelist("").unwrap();
+        assert_eq!(cfg.case_kind, CaseKind::Conus);
+        // A named case overlays its ingredients, keeping the grid under
+        // &domains control.
+        let cfg = config_from_namelist(
+            "&domains\n e_we = 48, e_sn = 36\n/\n&case\n name = 'squall_line'\n/\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.case_kind, CaseKind::SquallLine);
+        assert_eq!((cfg.case.nx, cfg.case.ny), (48, 36));
+        let lib = CaseKind::SquallLine.params(1.0);
+        assert_eq!(cfg.case.seed, lib.seed);
+        assert_eq!(cfg.case.n_storms, lib.n_storms);
+        assert_eq!(cfg.case.placement, lib.placement);
+        assert_eq!(cfg.case.wind, lib.wind);
+        // Aliases parse; explicit &scenario keys still win.
+        let cfg = config_from_namelist("&case\n name = 'maritime'\n/\n&scenario\n seed = 7\n/\n")
+            .unwrap();
+        assert_eq!(cfg.case_kind, CaseKind::ShallowConvection);
+        assert_eq!(cfg.case.seed, 7);
+        // Unknown names list the library.
+        let err = config_from_namelist("&case\n name = 'derecho'\n/\n").unwrap_err();
+        assert!(err.message.contains("unknown &case name"), "{err}");
+        assert!(err.message.contains("squall_line"), "{err}");
+        // Typo'd keys are rejected like the other owned blocks.
+        let err = config_from_namelist("&case\n nmae = 'supercell'\n/\n").unwrap_err();
+        assert_eq!(
+            err.kind,
+            NamelistErrorKind::UnknownKey {
+                group: "case".into(),
+                key: "nmae".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn case_nest_keys_build_a_validated_spec() {
+        let cfg = config_from_namelist(
+            "&domains\n e_we = 21, e_sn = 15, e_vert = 8\n/\n\
+             &case\n name = 'supercell', nest_ratio = 2, nest_i = 7, nest_j = 5, \
+             nest_w = 8, nest_h = 6\n/\n",
+        )
+        .unwrap();
+        let spec = cfg.nest.unwrap();
+        assert_eq!(
+            (spec.ratio, spec.i0, spec.j0, spec.w, spec.h),
+            (2, 7, 5, 8, 6)
+        );
+        // Out-of-range windows are rejected against the final grid.
+        let err = config_from_namelist(
+            "&domains\n e_we = 21, e_sn = 15\n/\n\
+             &case\n nest_ratio = 2, nest_i = 18, nest_j = 5, nest_w = 8, nest_h = 6\n/\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("&case nest"), "{err}");
+        // nest_* without a ratio is a loud error, not a silent no-nest.
+        let err = config_from_namelist("&case\n nest_w = 8\n/\n").unwrap_err();
+        assert!(err.message.contains("nest_ratio"), "{err}");
+        // No nest keys: no nest.
+        assert!(config_from_namelist("").unwrap().nest.is_none());
     }
 
     #[test]

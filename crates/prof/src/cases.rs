@@ -1,0 +1,60 @@
+//! One-line case-library summaries.
+//!
+//! The cases gate (`repro cases`) prints one canonical line per
+//! idealized case and per nested-agreement check; CI greps these into
+//! the step summary, so the shapes are pinned by tests like the other
+//! `*_line` formatters.
+
+/// Renders the canonical per-case summary line: activity fraction vs
+/// the case's pinned band, the canonical digest checksum, and whether
+/// the whole version × schedule × layout matrix agreed bitwise.
+pub fn case_line(
+    case: &str,
+    activity: f64,
+    band_lo: f64,
+    band_hi: f64,
+    checksum: u64,
+    bitwise: bool,
+) -> String {
+    format!(
+        "case: {case} activity={activity:.4} band=[{band_lo:.3},{band_hi:.3}] \
+         digest={checksum:016x} bitwise={}",
+        if bitwise { "yes" } else { "no" }
+    )
+}
+
+/// Renders the canonical nested-agreement line: interior digits of the
+/// nested child against its solo fine-grid reference, vs the case's
+/// documented floor.
+pub fn nest_line(case: &str, ratio: i32, interior_digits: f64, floor: f64, pass: bool) -> String {
+    format!(
+        "nest: {case} ratio={ratio} interior-digits={interior_digits:.2} floor={floor:.2} {}",
+        if pass { "pass" } else { "FAIL" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_line_contains_every_field() {
+        let line = case_line("squall_line", 0.2794, 0.25, 0.45, 0xab12, true);
+        assert!(line.contains("case: squall_line"), "{line}");
+        assert!(line.contains("activity=0.2794"), "{line}");
+        assert!(line.contains("band=[0.250,0.450]"), "{line}");
+        assert!(line.contains("digest=000000000000ab12"), "{line}");
+        assert!(line.contains("bitwise=yes"), "{line}");
+    }
+
+    #[test]
+    fn nest_line_carries_the_verdict() {
+        let line = nest_line("supercell", 2, 2.02, 1.7, true);
+        assert!(line.contains("nest: supercell"), "{line}");
+        assert!(line.contains("ratio=2"), "{line}");
+        assert!(line.contains("interior-digits=2.02"), "{line}");
+        assert!(line.contains("floor=1.70"), "{line}");
+        assert!(line.ends_with("pass"), "{line}");
+        assert!(nest_line("conus", 2, 1.0, 3.0, false).ends_with("FAIL"));
+    }
+}

@@ -15,6 +15,7 @@
 //! [`Stopwatch`]) or the modeled times produced by `gpu-sim`/`mpi-sim`,
 //! so the same reports work for functional runs and performance-model runs.
 
+pub mod cases;
 pub mod comm;
 pub mod ensemble;
 pub mod exec;
@@ -26,6 +27,7 @@ pub mod table;
 pub mod tune;
 pub mod zoo;
 
+pub use cases::{case_line, nest_line};
 pub use comm::comm_line;
 pub use ensemble::{ensemble_line, EnsembleSummary};
 pub use exec::exec_line;

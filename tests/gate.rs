@@ -109,12 +109,21 @@ fn golden_gate_requires_a_baseline_fixture() {
 
 #[test]
 fn committed_goldens_match_current_physics() {
-    // The four committed fixtures under goldens/ must reproduce from a
-    // fresh serial run — the same check `repro gate` performs, reduced
-    // to the canonical (static-tiles, 1 worker) runs.
+    // The committed version fixtures under goldens/ must reproduce from
+    // a fresh serial run — the same check `repro gate` performs, reduced
+    // to the canonical (static-tiles, 1 worker) runs. The directory also
+    // holds the case-library fixtures (`case:` version namespace, gated
+    // by `repro cases`); they must stay invisible to the version lookup.
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens");
     let fixtures = wrf_offload_repro::wrf_gate::load_fixtures(&dir).expect("committed fixtures");
-    assert_eq!(fixtures.len(), 4);
+    assert_eq!(fixtures.len(), 10);
+    assert_eq!(
+        fixtures
+            .iter()
+            .filter(|f| f.version.starts_with("case:"))
+            .count(),
+        6
+    );
     let policy = GoldenPolicy::default();
     for version in SbmVersion::ALL {
         let fixture = fixtures
